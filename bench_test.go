@@ -1,0 +1,307 @@
+package pregelnet
+
+// Benchmark harness: one benchmark per table and figure in the paper's
+// evaluation (run via the experiment harness at reduced "quick" scale so
+// `go test -bench=. -benchmem` finishes in minutes; use
+// `go run ./cmd/experiments run all` for full-scale reports), plus ablation
+// benchmarks for the design choices DESIGN.md calls out and micro-benchmarks
+// of the engine hot paths.
+
+import (
+	"fmt"
+	"testing"
+
+	"pregelnet/internal/algorithms"
+	"pregelnet/internal/cloud"
+	"pregelnet/internal/core"
+	"pregelnet/internal/experiments"
+	"pregelnet/internal/graph"
+	"pregelnet/internal/partition"
+)
+
+// benchExperiment runs a registered experiment once per iteration and
+// reports its wall time; the experiment's own simulated-time results are the
+// scientific output (printed tables come from cmd/experiments).
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e := experiments.ByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := experiments.QuickConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1DatasetProperties(b *testing.B)      { benchExperiment(b, "table1") }
+func BenchmarkTable2PartitionQuality(b *testing.B)       { benchExperiment(b, "table2") }
+func BenchmarkFig2AppRuntimes(b *testing.B)              { benchExperiment(b, "fig2") }
+func BenchmarkFig3MessageWaveforms(b *testing.B)         { benchExperiment(b, "fig3") }
+func BenchmarkFig4SwathSizeSpeedup(b *testing.B)         { benchExperiment(b, "fig4") }
+func BenchmarkFig5MemoryTimeline(b *testing.B)           { benchExperiment(b, "fig5") }
+func BenchmarkFig6InitiationSpeedup(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkFig7InitiationTimeline(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8PartitioningRelativeTime(b *testing.B) { benchExperiment(b, "fig8") }
+func BenchmarkFig9And12TimeBreakdown(b *testing.B)       { benchExperiment(b, "fig9_12") }
+func BenchmarkFig10Through14WorkerImbalance(b *testing.B) {
+	benchExperiment(b, "fig10_14")
+}
+func BenchmarkFig15ElasticSpeedupProfile(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16ElasticScalingModel(b *testing.B)   { benchExperiment(b, "fig16") }
+
+// ---- Ablation benchmarks (design choices from DESIGN.md) ----
+
+// BenchmarkAblationThrash compares BC under memory pressure with the
+// virtual-memory thrash model enabled vs disabled. Without it, the paper's
+// swath heuristics would have nothing to win: the baseline single swath
+// would be optimal.
+func BenchmarkAblationThrash(b *testing.B) {
+	g := graph.DatasetSD()
+	roots := core.FirstNSources(g, 16)
+	probe, err := core.Run(bcSpec(g, roots, cloud.DefaultCostModel(cloud.LargeVM())))
+	if err != nil {
+		b.Fatal(err)
+	}
+	phys := int64(float64(probe.PeakMemory()) / 1.45)
+	for _, thrash := range []float64{1, 8} {
+		b.Run(fmt.Sprintf("thrashFactor=%g", thrash), func(b *testing.B) {
+			model := cloud.DefaultCostModel(cloud.LargeVM().WithMemory(phys))
+			model.ThrashMaxFactor = thrash
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(bcSpec(g, roots, model))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = res.SimSeconds
+			}
+			b.ReportMetric(sim, "sim-s")
+		})
+	}
+}
+
+// BenchmarkAblationBulkSize varies the bulk-transfer flush threshold: tiny
+// buffers mean per-message batches (no "bulk" benefit); the default 64 KiB
+// amortizes batch headers, which is the paper's motivation for buffering.
+func BenchmarkAblationBulkSize(b *testing.B) {
+	g := graph.DatasetSD()
+	roots := core.FirstNSources(g, 8)
+	for _, flush := range []int{64, 4 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("flushBytes=%d", flush), func(b *testing.B) {
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				spec := bcSpec(g, roots, cloud.DefaultCostModel(cloud.LargeVM()))
+				spec.FlushBytes = flush
+				res, err := core.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = 0
+				for _, s := range res.Steps {
+					bytes += s.RemoteBytes
+				}
+			}
+			b.ReportMetric(float64(bytes), "wire-bytes")
+		})
+	}
+}
+
+// BenchmarkAblationCombiner measures PageRank with and without the sum
+// combiner (Pregel's optimization; reduces same-destination traffic).
+func BenchmarkAblationCombiner(b *testing.B) {
+	g := graph.DatasetSD()
+	for _, combine := range []bool{false, true} {
+		b.Run(fmt.Sprintf("combiner=%v", combine), func(b *testing.B) {
+			var peak int64
+			for i := 0; i < b.N; i++ {
+				spec := algorithms.PageRank{Iterations: 10, Damping: 0.85}.Spec(g, 8)
+				if !combine {
+					spec.Combiner = nil
+				}
+				res, err := core.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = res.PeakMemory()
+			}
+			b.ReportMetric(float64(peak), "peak-bytes")
+		})
+	}
+}
+
+// BenchmarkAblationBarrier sweeps the worker count on a fixed small job:
+// per-superstep barrier overhead grows with workers, which is what makes
+// over-provisioning trough supersteps a loss (paper §VIII).
+func BenchmarkAblationBarrier(b *testing.B) {
+	g := graph.DatasetSD()
+	roots := core.FirstNSources(g, 4)
+	for _, workers := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var barrier float64
+			for i := 0; i < b.N; i++ {
+				spec := algorithms.BC(g, workers, core.NewAllAtOnce(roots))
+				res, err := core.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				barrier = 0
+				for _, s := range res.Steps {
+					barrier += s.BarrierSimSeconds
+				}
+			}
+			b.ReportMetric(barrier, "barrier-sim-s")
+		})
+	}
+}
+
+func bcSpec(g *graph.Graph, roots []graph.VertexID, model cloud.CostModel) core.JobSpec[algorithms.BCMsg] {
+	spec := algorithms.BC(g, 8, core.NewAllAtOnce(roots))
+	spec.CostModel = model
+	return spec
+}
+
+// ---- Engine micro-benchmarks ----
+
+// BenchmarkEnginePageRankStep measures raw engine throughput: messages
+// processed per wall second for PageRank on SD' (channel transport).
+func BenchmarkEnginePageRankStep(b *testing.B) {
+	g := graph.DatasetSD()
+	b.ResetTimer()
+	var msgs int64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(algorithms.PageRank{Iterations: 10, Damping: 0.85}.Spec(g, 4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = res.TotalMessages()
+	}
+	b.ReportMetric(float64(msgs)/b.Elapsed().Seconds()*float64(b.N)/float64(b.N), "msgs/s")
+}
+
+// BenchmarkEngineTCPvsChannel compares the two data planes on one workload.
+func BenchmarkEngineTCPvsChannel(b *testing.B) {
+	g := graph.ErdosRenyi(2000, 8000, 5)
+	run := func(b *testing.B, tcp bool) {
+		for i := 0; i < b.N; i++ {
+			spec := algorithms.SSSP(g, 4, 0)
+			if tcp {
+				net, err := NewTCPNetwork(4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				spec.Network = net
+			}
+			if _, err := core.Run(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("channel", func(b *testing.B) { run(b, false) })
+	b.Run("tcp", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkPartitioners measures partitioning throughput on WG'.
+func BenchmarkPartitioners(b *testing.B) {
+	g := graph.DatasetWG()
+	for _, p := range []partition.Partitioner{
+		partition.Hash{},
+		partition.NewLDG(partition.DefaultSlack),
+		partition.NewMultilevel(),
+	} {
+		b.Run(p.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Partition(g, 8)
+			}
+		})
+	}
+}
+
+// BenchmarkBCCodec measures the hot message encode/decode path.
+func BenchmarkBCCodec(b *testing.B) {
+	codec := algorithms.BCCodec{}
+	msg := algorithms.BCMsg{Root: 5, Kind: 1, From: 9, Aux: 3, Value: 1.5}
+	buf := make([]byte, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = codec.Append(buf[:0], msg)
+		m, _ := codec.Decode(buf)
+		if m.Root != 5 {
+			b.Fatal("corrupt")
+		}
+	}
+}
+
+// BenchmarkGraphGenerators measures dataset-scale generation.
+func BenchmarkGraphGenerators(b *testing.B) {
+	b.Run("barabasi-albert-10k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graph.BarabasiAlbert(10000, 4, int64(i))
+		}
+	})
+	b.Run("community-10k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graph.Community(10000, 32, 4, 0.85, int64(i))
+		}
+	})
+	b.Run("citation-band-10k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graph.CitationBand(10000, 4, 500, 0.02, int64(i))
+		}
+	})
+}
+
+// BenchmarkAblationDiskBuffering contrasts the paper's three buffering
+// regimes for BC under memory pressure (§IV): in-memory buffering with the
+// plain single swath (thrashes past the ceiling), in-memory buffering with
+// adaptive swaths (the paper's design), and Giraph/Hama-style disk-backed
+// buffering (no memory pressure, uniform I/O overhead). The paper's design
+// choice — in-memory + swaths — should win.
+func BenchmarkAblationDiskBuffering(b *testing.B) {
+	g := graph.DatasetSD()
+	roots := core.FirstNSources(g, 16)
+	probe, err := core.Run(bcSpec(g, roots, cloud.DefaultCostModel(cloud.LargeVM())))
+	if err != nil {
+		b.Fatal(err)
+	}
+	phys := int64(float64(probe.PeakMemory()) / 1.45)
+	target := phys * 6 / 7
+	cases := []struct {
+		name string
+		run  func() (*core.JobResult[algorithms.BCMsg], error)
+	}{
+		{"memory-single-swath", func() (*core.JobResult[algorithms.BCMsg], error) {
+			return core.Run(bcSpec(g, roots, cloud.DefaultCostModel(cloud.LargeVM().WithMemory(phys))))
+		}},
+		{"memory-adaptive-swaths", func() (*core.JobResult[algorithms.BCMsg], error) {
+			spec := algorithms.BC(g, 8, core.NewSwathRunner(roots,
+				&core.AdaptiveSizer{Initial: 4, TargetMemoryBytes: target}, core.DynamicPeakInitiator{}))
+			spec.CostModel = cloud.DefaultCostModel(cloud.LargeVM().WithMemory(phys))
+			return core.Run(spec)
+		}},
+		{"disk-buffered", func() (*core.JobResult[algorithms.BCMsg], error) {
+			model := cloud.DefaultCostModel(cloud.LargeVM().WithMemory(phys))
+			model.DiskBuffering = true
+			return core.Run(bcSpec(g, roots, model))
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				res, err := tc.run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = res.SimSeconds
+			}
+			b.ReportMetric(sim, "sim-s")
+		})
+	}
+}
+
+func BenchmarkExtBuffering(b *testing.B)    { benchExperiment(b, "ext_buffering") }
+func BenchmarkExtPartitioners(b *testing.B) { benchExperiment(b, "ext_partitioners") }

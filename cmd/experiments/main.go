@@ -1,0 +1,93 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments list
+//	experiments run [-workers N] [-roots-wg N] [-roots-cp N] [-quick] <id>|all
+//
+// Experiment ids: table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8
+// fig9_12 fig10_14 fig15 fig16.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pregelnet/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+	case "run":
+		runCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: experiments list")
+	fmt.Fprintln(os.Stderr, "       experiments run [-workers N] [-roots-wg N] [-roots-cp N] [-quick] <id>|all")
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "worker count (default 8)")
+	rootsWG := fs.Int("roots-wg", 0, "sampled BC/APSP roots on WG' (default 28)")
+	rootsCP := fs.Int("roots-cp", 0, "sampled BC/APSP roots on CP' (default 20)")
+	quick := fs.Bool("quick", false, "reduced scale for a fast smoke run")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	if *rootsWG > 0 {
+		cfg.RootsWG = *rootsWG
+	}
+	if *rootsCP > 0 {
+		cfg.RootsCP = *rootsCP
+	}
+
+	id := fs.Arg(0)
+	var list []experiments.Experiment
+	if id == "all" {
+		list = experiments.All()
+	} else {
+		e := experiments.ByID(id)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try 'experiments list'\n", id)
+			os.Exit(2)
+		}
+		list = []experiments.Experiment{*e}
+	}
+	for _, e := range list {
+		start := time.Now()
+		rep, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		rep.Render(os.Stdout)
+		fmt.Printf("(%s completed in %.1fs wall time)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,278 @@
+// Command pregel runs a graph algorithm on the BSP framework.
+//
+// Usage:
+//
+//	pregel -algo pagerank|bc|apsp|sssp|wsssp|wcc|lpa \
+//	       [-graph wg|cp|sd|lj | -file edges.txt] \
+//	       [-workers 8] [-partitioner hash|chunk|metis|ldg|fennel] \
+//	       [-roots N] [-swath adaptive|sampling|none] [-initiate seq|dynamic|staticN]
+//
+// Prints the result summary and per-superstep statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pregelnet/internal/algorithms"
+	"pregelnet/internal/cloud"
+	"pregelnet/internal/core"
+	"pregelnet/internal/graph"
+	"pregelnet/internal/metrics"
+	"pregelnet/internal/partition"
+)
+
+func main() {
+	var (
+		algo        = flag.String("algo", "pagerank", "algorithm: pagerank|bc|apsp|sssp|wsssp|wcc|lpa")
+		graphName   = flag.String("graph", "wg", "built-in dataset: sd|wg|cp|lj")
+		file        = flag.String("file", "", "edge-list file (overrides -graph)")
+		workers     = flag.Int("workers", 8, "number of partition workers")
+		partName    = flag.String("partitioner", "hash", "hash|chunk|metis|ldg|fennel")
+		roots       = flag.Int("roots", 25, "traversal roots for bc/apsp")
+		swath       = flag.String("swath", "adaptive", "swath sizing for bc/apsp: adaptive|sampling|none")
+		initiate    = flag.String("initiate", "dynamic", "swath initiation: seq|dynamic|static<N>")
+		iterations  = flag.Int("iterations", 30, "pagerank/lpa iterations")
+		memoryMiB   = flag.Int64("memory-mib", 0, "per-worker physical memory ceiling in MiB (0 = unlimited)")
+		showTop     = flag.Int("top", 10, "print the top-N result vertices")
+		stepsDetail = flag.Bool("steps", false, "print the per-superstep table")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphName, *file)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph %s: %d vertices, %d directed edges\n", g.Name(), g.NumVertices(), g.NumEdges())
+
+	p := partition.ByName(*partName)
+	if p == nil {
+		fatal(fmt.Errorf("unknown partitioner %q", *partName))
+	}
+	assign := p.Partition(g, *workers)
+	q := partition.Evaluate(g, assign, *workers, p.Name())
+	fmt.Printf("partitioning %s: %.0f%% remote edges, balance %.3f\n", p.Name(), 100*q.CutFraction, q.Balance)
+
+	model := cloud.DefaultCostModel(cloud.LargeVM())
+	if *memoryMiB > 0 {
+		model.Spec = model.Spec.WithMemory(*memoryMiB << 20)
+	}
+
+	switch *algo {
+	case "pagerank":
+		spec := algorithms.PageRank{Iterations: *iterations, Damping: 0.85}.Spec(g, *workers)
+		spec.Assignment = assign
+		spec.CostModel = model
+		res, err := core.Run(spec)
+		if err != nil {
+			fatal(err)
+		}
+		report(res.Steps, res.SimSeconds, res.CostDollars, *stepsDetail)
+		printTop("rank", algorithms.Ranks(res, g.NumVertices()), *showTop)
+	case "bc":
+		sched, err := buildScheduler(g, *roots, *swath, *initiate, model)
+		if err != nil {
+			fatal(err)
+		}
+		spec := algorithms.BC(g, *workers, sched)
+		spec.Assignment = assign
+		spec.CostModel = model
+		res, err := core.Run(spec)
+		if err != nil {
+			fatal(err)
+		}
+		report(res.Steps, res.SimSeconds, res.CostDollars, *stepsDetail)
+		printTop("betweenness", algorithms.BCScores(res, g.NumVertices()), *showTop)
+	case "apsp":
+		sched, err := buildScheduler(g, *roots, *swath, *initiate, model)
+		if err != nil {
+			fatal(err)
+		}
+		spec := algorithms.APSP(g, *workers, sched)
+		spec.Assignment = assign
+		spec.CostModel = model
+		res, err := core.Run(spec)
+		if err != nil {
+			fatal(err)
+		}
+		report(res.Steps, res.SimSeconds, res.CostDollars, *stepsDetail)
+		fmt.Printf("computed distances from %d roots\n", *roots)
+	case "sssp":
+		spec := algorithms.SSSP(g, *workers, 0)
+		spec.Assignment = assign
+		spec.CostModel = model
+		res, err := core.Run(spec)
+		if err != nil {
+			fatal(err)
+		}
+		report(res.Steps, res.SimSeconds, res.CostDollars, *stepsDetail)
+		dist := algorithms.SSSPDistances(res, g.NumVertices())
+		reach, maxd := 0, int32(0)
+		for _, d := range dist {
+			if d >= 0 {
+				reach++
+				if d > maxd {
+					maxd = d
+				}
+			}
+		}
+		fmt.Printf("reached %d/%d vertices, eccentricity %d\n", reach, g.NumVertices(), maxd)
+	case "wsssp":
+		wg := graph.RandomWeights(g, 1, 10, 99)
+		spec := algorithms.WeightedSSSP(wg, *workers, 0)
+		spec.Assignment = assign
+		spec.CostModel = model
+		res, err := core.Run(spec)
+		if err != nil {
+			fatal(err)
+		}
+		report(res.Steps, res.SimSeconds, res.CostDollars, *stepsDetail)
+		dist := algorithms.WeightedDistances(res, g.NumVertices())
+		reach := 0
+		maxd := 0.0
+		for _, d := range dist {
+			if !math.IsInf(d, 1) {
+				reach++
+				if d > maxd {
+					maxd = d
+				}
+			}
+		}
+		fmt.Printf("reached %d/%d vertices, weighted eccentricity %.2f\n", reach, g.NumVertices(), maxd)
+	case "wcc":
+		spec := algorithms.WCC(g, *workers)
+		spec.Assignment = assign
+		spec.CostModel = model
+		res, err := core.Run(spec)
+		if err != nil {
+			fatal(err)
+		}
+		report(res.Steps, res.SimSeconds, res.CostDollars, *stepsDetail)
+		labels := algorithms.WCCLabels(res, g.NumVertices())
+		comps := map[int32]int{}
+		for _, l := range labels {
+			comps[l]++
+		}
+		fmt.Printf("%d connected components\n", len(comps))
+	case "lpa":
+		spec := algorithms.LPA(g, *workers, *iterations)
+		spec.Assignment = assign
+		spec.CostModel = model
+		res, err := core.Run(spec)
+		if err != nil {
+			fatal(err)
+		}
+		report(res.Steps, res.SimSeconds, res.CostDollars, *stepsDetail)
+		labels := algorithms.LPALabels(res, g.NumVertices())
+		comms := map[int32]int{}
+		for _, l := range labels {
+			comms[l]++
+		}
+		fmt.Printf("%d communities detected\n", len(comms))
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+}
+
+func loadGraph(name, file string) (*graph.Graph, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := graph.ReadEdgeList(f, true)
+		if err != nil {
+			return nil, err
+		}
+		g.SetName(file)
+		return g, nil
+	}
+	g := graph.Dataset(name)
+	if g == nil {
+		return nil, fmt.Errorf("unknown dataset %q (want sd|wg|cp|lj)", name)
+	}
+	return g, nil
+}
+
+func buildScheduler(g *graph.Graph, roots int, swath, initiate string, model cloud.CostModel) (core.SwathScheduler, error) {
+	sources := core.FirstNSources(g, roots)
+	if swath == "none" {
+		return core.NewAllAtOnce(sources), nil
+	}
+	target := model.Spec.MemoryBytes * 6 / 7
+	var sizer core.SwathSizer
+	switch swath {
+	case "adaptive":
+		sizer = &core.AdaptiveSizer{Initial: max(2, roots/4), TargetMemoryBytes: target}
+	case "sampling":
+		sizer = &core.SamplingSizer{SampleSize: max(2, roots/4), Samples: 2, TargetMemoryBytes: target}
+	default:
+		return nil, fmt.Errorf("unknown swath sizing %q", swath)
+	}
+	var init core.SwathInitiator
+	switch {
+	case initiate == "seq":
+		init = core.SequentialInitiator{}
+	case initiate == "dynamic":
+		init = core.DynamicPeakInitiator{}
+	case strings.HasPrefix(initiate, "static"):
+		n, err := strconv.Atoi(strings.TrimPrefix(initiate, "static"))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad static initiation %q", initiate)
+		}
+		init = core.StaticNInitiator(n)
+	default:
+		return nil, fmt.Errorf("unknown initiation %q", initiate)
+	}
+	return core.NewSwathRunner(sources, sizer, init), nil
+}
+
+func report(steps []core.StepStats, simSec, cost float64, detail bool) {
+	var msgs int64
+	for i := range steps {
+		msgs += steps[i].TotalSent()
+	}
+	fmt.Printf("completed in %d supersteps, %d messages, %.2f simulated seconds, $%.4f simulated cost\n",
+		len(steps), msgs, simSec, cost)
+	fmt.Printf("messages/superstep: %s\n", metrics.Sparkline(metrics.MessagesPerStep(steps)))
+	if detail {
+		metrics.SeriesTable("per-superstep",
+			metrics.MessagesPerStep(steps),
+			metrics.ActivePerStep(steps),
+			metrics.PeakMemoryPerStep(steps),
+			metrics.SimTimePerStep(steps),
+		).Render(os.Stdout)
+	}
+}
+
+func printTop(what string, scores []float64, n int) {
+	type kv struct {
+		v VertexID
+		s float64
+	}
+	all := make([]kv, len(scores))
+	for v, s := range scores {
+		all[v] = kv{VertexID(v), s}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].s > all[j].s })
+	if n > len(all) {
+		n = len(all)
+	}
+	fmt.Printf("top %d vertices by %s:\n", n, what)
+	for i := 0; i < n; i++ {
+		fmt.Printf("  %8d  %.6g\n", all[i].v, all[i].s)
+	}
+}
+
+type VertexID = graph.VertexID
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pregel:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,31 @@
+// Command pregeld serves the framework's web role (paper Fig 1): an HTTP
+// endpoint for submitting graph jobs and polling their status while the job
+// manager and partition workers run them.
+//
+//	pregeld -addr :8080
+//
+//	curl -X POST localhost:8080/jobs -d '{"algorithm":"bc","graph":"wg","workers":8,"roots":25}'
+//	curl localhost:8080/jobs/0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"pregelnet/internal/webrole"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	server := webrole.NewServer()
+	defer server.Close()
+
+	fmt.Printf("pregeld listening on %s\n", *addr)
+	fmt.Println(`submit:  curl -X POST http://` + *addr + `/jobs -d '{"algorithm":"pagerank","graph":"wg"}'`)
+	fmt.Println(`status:  curl http://` + *addr + `/jobs/0`)
+	log.Fatal(http.ListenAndServe(*addr, server.Handler()))
+}

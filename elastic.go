@@ -1,0 +1,56 @@
+package pregelnet
+
+import (
+	"pregelnet/internal/elastic"
+	"pregelnet/internal/transport"
+)
+
+// Elastic-scaling analysis (paper §VIII) and data-plane transports.
+
+type (
+	// ElasticProfile pairs two runs of the same job at different fixed
+	// worker counts, aligned by superstep.
+	ElasticProfile = elastic.Profile
+	// ScalingPolicy chooses a worker count per superstep.
+	ScalingPolicy = elastic.Policy
+	// ScalingEstimate is a policy's projected runtime and VM-second cost.
+	ScalingEstimate = elastic.Estimate
+	// Network is a data plane connecting BSP workers.
+	Network = transport.Network
+)
+
+// NewElasticProfile builds a profile from per-superstep stats of a low- and
+// a high-worker-count run of the same job.
+func NewElasticProfile(workersLow int, low []StepStats, workersHigh int, high []StepStats) (*ElasticProfile, error) {
+	return elastic.NewProfile(workersLow, low, workersHigh, high)
+}
+
+// FixedScaling always uses n workers.
+func FixedScaling(n int) ScalingPolicy { return elastic.FixedPolicy(n) }
+
+// ThresholdScaling scales out when a superstep's active vertices exceed the
+// given fraction of the run's peak (the paper uses 0.5).
+func ThresholdScaling(fraction float64) ScalingPolicy {
+	return elastic.ThresholdPolicy{Fraction: fraction}
+}
+
+// OracleScaling picks the faster worker count per superstep (ideal bound).
+func OracleScaling() ScalingPolicy { return elastic.OraclePolicy{} }
+
+// EvaluateScaling projects a policy over a profile.
+func EvaluateScaling(p *ElasticProfile, policy ScalingPolicy) ScalingEstimate {
+	return elastic.Evaluate(p, policy)
+}
+
+// CompareScalingPolicies evaluates fixed-low, fixed-high, dynamic-50% and
+// oracle scaling — the paper's Fig 16 scenarios.
+func CompareScalingPolicies(p *ElasticProfile) []ScalingEstimate {
+	return elastic.CompareAll(p)
+}
+
+// NewTCPNetwork starts a loopback TCP data plane for n workers (real
+// sockets, length-prefixed bulk batches, per-superstep reconnection).
+func NewTCPNetwork(n int) (*transport.TCPNetwork, error) { return transport.NewTCPNetwork(n) }
+
+// NewChannelNetwork returns the in-process data plane (the default).
+func NewChannelNetwork(n, buffer int) Network { return transport.NewChannelNetwork(n, buffer) }

@@ -1,0 +1,66 @@
+package pregelnet_test
+
+import (
+	"fmt"
+
+	"pregelnet"
+)
+
+// ExampleShortestPaths runs a BSP breadth-first search on a small ring.
+func ExampleShortestPaths() {
+	b := pregelnet.NewGraphBuilder(6)
+	for v := 0; v < 6; v++ {
+		b.AddUndirected(pregelnet.VertexID(v), pregelnet.VertexID((v+1)%6))
+	}
+	g := b.Build()
+	dist, err := pregelnet.ShortestPaths(g, 2, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(dist)
+	// Output: [0 1 2 3 2 1]
+}
+
+// ExampleConnectedComponents labels two disjoint components.
+func ExampleConnectedComponents() {
+	b := pregelnet.NewGraphBuilder(5)
+	b.AddUndirected(0, 1)
+	b.AddUndirected(3, 4)
+	g := b.Build()
+	labels, err := pregelnet.ConnectedComponents(g, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(labels)
+	// Output: [0 0 2 3 3]
+}
+
+// ExampleBetweennessCentrality computes exact centrality on a path graph:
+// the middle vertex lies on the most shortest paths.
+func ExampleBetweennessCentrality() {
+	b := pregelnet.NewGraphBuilder(5)
+	for v := 0; v < 4; v++ {
+		b.AddUndirected(pregelnet.VertexID(v), pregelnet.VertexID(v+1))
+	}
+	g := b.Build()
+	res, err := pregelnet.BetweennessCentrality(g, 2, pregelnet.BCOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Scores)
+	// Output: [0 6 8 6 0]
+}
+
+// ExamplePartitionQuality compares hash and multilevel partitioning on a
+// ring, where contiguous cuts are optimal.
+func ExamplePartitionQuality() {
+	b := pregelnet.NewGraphBuilder(16)
+	for v := 0; v < 16; v++ {
+		b.AddUndirected(pregelnet.VertexID(v), pregelnet.VertexID((v+1)%16))
+	}
+	g := b.Build()
+	hash := pregelnet.PartitionQuality(g, pregelnet.HashPartitioner.Partition(g, 4), 4, "hash")
+	metis := pregelnet.PartitionQuality(g, pregelnet.MultilevelPartitioner().Partition(g, 4), 4, "metis")
+	fmt.Printf("hash cut: %.0f%%, metis cut: %.0f%%\n", 100*hash.CutFraction, 100*metis.CutFraction)
+	// Output: hash cut: 100%, metis cut: 25%
+}

@@ -1,0 +1,86 @@
+// bcswaths demonstrates the paper's core contribution: computing
+// betweenness centrality for a root set under a worker memory ceiling.
+// Starting every traversal at once (the plain Pregel model) buffers so many
+// messages that workers spill into virtual memory and thrash; the adaptive
+// swath heuristic splits the roots into memory-fitting swaths and finishes
+// several times faster at the same provisioning level.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pregelnet"
+)
+
+func main() {
+	g := pregelnet.Datasets.WG()
+	const workers, roots = 8, 24
+	fmt.Printf("BC on %s (%d vertices), %d roots, %d workers\n\n",
+		g.Name(), g.NumVertices(), roots, workers)
+
+	// Probe with unlimited memory to find the single-swath peak footprint,
+	// then set the ceiling below it — the scaled equivalent of the paper's
+	// 7 GB VMs being too small for a 40-root swath.
+	probe, err := pregelnet.BetweennessCentrality(g, workers, pregelnet.BCOptions{
+		Roots:     roots,
+		CostModel: pregelnet.CostModelWithMemory(1 << 50),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var peak int64
+	for _, s := range probe.Stats {
+		if s.PeakMemoryBytes > peak {
+			peak = s.PeakMemoryBytes
+		}
+	}
+	phys := int64(float64(peak) / 1.45)
+	target := phys * 6 / 7
+	model := pregelnet.CostModelWithMemory(phys)
+	fmt.Printf("calibrated: single-swath peak %.1f MiB, physical ceiling %.1f MiB, heuristic target %.1f MiB\n\n",
+		mib(peak), mib(phys), mib(target))
+
+	baseline, err := pregelnet.BetweennessCentrality(g, workers, pregelnet.BCOptions{
+		Roots: roots, CostModel: model,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline (all %d roots at once):  %6.2f sim-s, peak %.1f MiB (%.2fx ceiling — thrashing)\n",
+		roots, baseline.SimSec, mib(peakOf(baseline.Stats)), float64(peakOf(baseline.Stats))/float64(phys))
+
+	adaptive, err := pregelnet.BetweennessCentrality(g, workers, pregelnet.BCOptions{
+		Roots:     roots,
+		SwathSize: pregelnet.AdaptiveSwathSize(target),
+		Initiate:  pregelnet.DynamicInitiation(),
+		CostModel: model,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adaptive swaths + dynamic start:  %6.2f sim-s, peak %.1f MiB (%.2fx ceiling)\n",
+		adaptive.SimSec, mib(peakOf(adaptive.Stats)), float64(peakOf(adaptive.Stats))/float64(phys))
+	fmt.Printf("\nspeedup: %.2fx (paper reports up to 3.5x)\n", baseline.SimSec/adaptive.SimSec)
+
+	// The scores are identical either way.
+	for v := range baseline.Scores {
+		d := baseline.Scores[v] - adaptive.Scores[v]
+		if d > 1e-6 || d < -1e-6 {
+			log.Fatalf("scores differ at vertex %d", v)
+		}
+	}
+	fmt.Println("verified: identical centrality scores under both schedules")
+}
+
+func peakOf(steps []pregelnet.StepStats) int64 {
+	var p int64
+	for _, s := range steps {
+		if s.PeakMemoryBytes > p {
+			p = s.PeakMemoryBytes
+		}
+	}
+	return p
+}
+
+func mib(b int64) float64 { return float64(b) / (1 << 20) }

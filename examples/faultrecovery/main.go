@@ -1,0 +1,62 @@
+// faultrecovery demonstrates the engine's checkpoint/rollback support (the
+// Pregel feature the paper lists as a supported extension): a
+// betweenness-centrality job checkpoints every 3 supersteps; mid-run we
+// simulate a worker VM being lost; the manager rolls every worker back to
+// the last snapshot, replays its swath injections, and the job finishes
+// with exactly the same scores as a failure-free run.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"pregelnet"
+)
+
+func main() {
+	g := pregelnet.Datasets.SD()
+	roots := pregelnet.FirstNSources(g, 16)
+	fmt.Printf("BC on %s, %d roots, 4 workers, checkpoint every 3 supersteps\n\n", g.Name(), len(roots))
+
+	mkSpec := func() pregelnet.JobSpec[pregelnet.BCMessage] {
+		spec := pregelnet.BCSpec(g, 4, pregelnet.AllSourcesAtOnce(roots))
+		spec.CheckpointEvery = 3
+		return spec
+	}
+
+	clean, err := pregelnet.Run(mkSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("failure-free run : %d supersteps, %.2f sim-s\n", clean.Supersteps, clean.SimSeconds)
+
+	faulty := mkSpec()
+	var fired atomic.Bool
+	faulty.FailureInjector = func(worker, superstep int) error {
+		if worker == 2 && superstep == 7 && !fired.Swap(true) {
+			fmt.Println("!! superstep 7: worker 2's VM is lost (injected)")
+			return errors.New("VM restarted by cloud fabric")
+		}
+		return nil
+	}
+	recovered, err := pregelnet.Run(faulty)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered run    : %d superstep executions (%d re-executed after %d rollback), %.2f sim-s\n",
+		recovered.Supersteps, recovered.Supersteps-clean.Supersteps, recovered.Recoveries, recovered.SimSeconds)
+
+	a := pregelnet.BCScoresOf(clean, g.NumVertices())
+	b := pregelnet.BCScoresOf(recovered, g.NumVertices())
+	for v := range a {
+		diff := a[v] - b[v]
+		if diff > 1e-6 || diff < -1e-6 {
+			log.Fatalf("scores diverge at vertex %d: %v vs %v", v, a[v], b[v])
+		}
+	}
+	fmt.Println("\nverified: identical centrality scores despite the mid-job VM loss")
+	fmt.Printf("recovery cost: %.2f extra simulated seconds (re-executed supersteps are billed, as on a real cloud)\n",
+		recovered.SimSeconds-clean.SimSeconds)
+}

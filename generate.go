@@ -1,0 +1,73 @@
+package pregelnet
+
+import (
+	"io"
+
+	"pregelnet/internal/graph"
+)
+
+// Graph generators and IO, re-exported from the graph substrate.
+
+// GenerateErdosRenyi returns G(n, m) with a fixed seed.
+func GenerateErdosRenyi(n, m int, seed int64) *Graph { return graph.ErdosRenyi(n, m, seed) }
+
+// GenerateWattsStrogatz returns a small-world ring-lattice graph.
+func GenerateWattsStrogatz(n, k int, beta float64, seed int64) *Graph {
+	return graph.WattsStrogatz(n, k, beta, seed)
+}
+
+// GenerateBarabasiAlbert returns a preferential-attachment scale-free graph.
+func GenerateBarabasiAlbert(n, m int, seed int64) *Graph { return graph.BarabasiAlbert(n, m, seed) }
+
+// GenerateRMAT returns a Kronecker-style power-law graph with 2^scale
+// vertices.
+func GenerateRMAT(scale uint, edgeFactor int, a, b, c, d float64, seed int64) *Graph {
+	return graph.RMAT(scale, edgeFactor, a, b, c, d, seed)
+}
+
+// GenerateCommunity returns a power-law graph with planted communities
+// (web-graph-like).
+func GenerateCommunity(n, communities, m int, pIntra float64, seed int64) *Graph {
+	return graph.Community(n, communities, m, pIntra, seed)
+}
+
+// GenerateCitationBand returns a temporally banded citation graph
+// (cit-Patents-like).
+func GenerateCitationBand(n, m, window int, pFar float64, seed int64) *Graph {
+	return graph.CitationBand(n, m, window, pFar, seed)
+}
+
+// ReadEdgeList parses a SNAP-style edge list ('#' comments, "src dst" pairs;
+// IDs densely renumbered).
+func ReadEdgeList(r io.Reader, undirected bool) (*Graph, error) {
+	return graph.ReadEdgeList(r, undirected)
+}
+
+// WriteEdgeList writes a SNAP-style edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// ReadBinaryGraph reads the compact CSR binary format.
+func ReadBinaryGraph(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// WriteBinaryGraph writes the compact CSR binary format.
+func WriteBinaryGraph(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// LargestComponent extracts the largest connected component with dense IDs,
+// returning the new graph and the new→old vertex mapping.
+func LargestComponent(g *Graph) (*Graph, []VertexID) { return graph.LargestComponentSubgraph(g) }
+
+// BFSDistances computes hop distances from src sequentially (reference
+// implementation; the BSP equivalent is ShortestPaths).
+func BFSDistances(g *Graph, src VertexID) []int32 { return graph.BFS(g, src) }
+
+// WeightedGraph pairs a Graph with per-edge weights.
+type WeightedGraph = graph.Weighted
+
+// WithUniformWeights gives every edge weight 1.
+func WithUniformWeights(g *Graph) *WeightedGraph { return graph.UniformWeights(g) }
+
+// WithRandomWeights gives edges symmetric random weights in [min, max),
+// deterministically for a fixed seed.
+func WithRandomWeights(g *Graph, min, max float32, seed int64) *WeightedGraph {
+	return graph.RandomWeights(g, min, max, seed)
+}

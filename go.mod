@@ -1,0 +1,3 @@
+module pregelnet
+
+go 1.24

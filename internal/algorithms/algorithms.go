@@ -1,0 +1,45 @@
+// Package algorithms provides the vertex programs evaluated in the paper —
+// PageRank (the uniform-message baseline), betweenness-centrality (the
+// message-intensive stress case, Brandes' algorithm), and all-pairs shortest
+// paths — plus single-source shortest path, weakly connected components, and
+// label-propagation community detection (the "CD" class the paper names).
+//
+// Each algorithm exposes a Spec builder returning a core.JobSpec and a
+// result extractor that merges per-worker program state into global arrays.
+package algorithms
+
+import (
+	"pregelnet/internal/core"
+	"pregelnet/internal/graph"
+)
+
+// mergeFloat64 gathers a per-local-vertex float64 column from every worker
+// program into one global array.
+func mergeFloat64[M any](res *core.JobResult[M], n int, column func(prog core.VertexProgram[M]) []float64) []float64 {
+	out := make([]float64, n)
+	for w, prog := range res.Programs {
+		col := column(prog)
+		for li, v := range res.Owned[w] {
+			out[v] = col[li]
+		}
+	}
+	return out
+}
+
+// mergeInt32 gathers a per-local-vertex int32 column from every worker.
+func mergeInt32[M any](res *core.JobResult[M], n int, column func(prog core.VertexProgram[M]) []int32) []int32 {
+	out := make([]int32, n)
+	for w, prog := range res.Programs {
+		col := column(prog)
+		for li, v := range res.Owned[w] {
+			out[v] = col[li]
+		}
+	}
+	return out
+}
+
+// Sources returns the n lowest-ID vertices, the conventional root subset for
+// sampled BC/APSP experiments (the paper samples 50-75 roots per graph).
+func Sources(g *graph.Graph, n int) []graph.VertexID {
+	return core.FirstNSources(g, n)
+}

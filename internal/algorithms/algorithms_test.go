@@ -1,0 +1,352 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"pregelnet/internal/core"
+	"pregelnet/internal/graph"
+	"pregelnet/internal/partition"
+)
+
+func TestPageRankMatchesSequential(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 3, 5)
+	pr := DefaultPageRank()
+	res, err := core.Run(pr.Spec(g, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Ranks(res, g.NumVertices())
+	want := PageRankSequential(g, pr.Iterations, pr.Damping)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("vertex %d: rank %v, want %v", v, got[v], want[v])
+		}
+	}
+	// Ranks of a connected graph sum to ~1.
+	var sum float64
+	for _, r := range got {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("ranks sum to %v, want 1", sum)
+	}
+}
+
+func TestPageRankRunsExactIterations(t *testing.T) {
+	g := graph.Ring(20)
+	res, err := core.Run(PageRank{Iterations: 10, Damping: 0.85}.Spec(g, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Supersteps = iterations + final halt step.
+	if res.Supersteps != 11 {
+		t.Errorf("supersteps = %d, want 11", res.Supersteps)
+	}
+}
+
+func TestPageRankUniformMessageProfile(t *testing.T) {
+	// The paper's Fig 3: PageRank sends a constant number of messages per
+	// superstep (one per edge without a combiner; fewer but still constant
+	// with the sum combiner merging same-destination shares).
+	g := graph.ErdosRenyi(200, 600, 8)
+	plain := PageRank{Iterations: 8, Damping: 0.85}.Spec(g, 4)
+	plain.Combiner = nil
+	resPlain, err := core.Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if got := resPlain.Steps[i].TotalSent(); got != int64(g.NumEdges()) {
+			t.Errorf("plain step %d sent %d, want %d", i, got, g.NumEdges())
+		}
+	}
+	combined, err := core.Run(PageRank{Iterations: 8, Damping: 0.85}.Spec(g, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := combined.Steps[0].TotalSent()
+	if first > int64(g.NumEdges()) {
+		t.Errorf("combined sends %d exceed edge count %d", first, g.NumEdges())
+	}
+	for i := 1; i < 8; i++ {
+		if got := combined.Steps[i].TotalSent(); got != first {
+			t.Errorf("combined step %d sent %d, want constant %d", i, got, first)
+		}
+	}
+}
+
+func checkBCMatches(t *testing.T, g *graph.Graph, workers int, roots []graph.VertexID, sched core.SwathScheduler) *core.JobResult[BCMsg] {
+	t.Helper()
+	res, err := core.Run(BC(g, workers, sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := BCScores(res, g.NumVertices())
+	want := BCSequential(g, roots)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6*(1+math.Abs(want[v])) {
+			t.Fatalf("vertex %d: BC %v, want %v", v, got[v], want[v])
+		}
+	}
+	return res
+}
+
+func TestBCPathGraph(t *testing.T) {
+	// On a path 0-1-2-3-4 with all roots, vertex 2 lies on 8 ordered pairs...
+	// validated against the sequential reference.
+	g := graph.Path(5)
+	roots := Sources(g, 5)
+	checkBCMatches(t, g, 2, roots, core.NewAllAtOnce(roots))
+}
+
+func TestBCStarGraph(t *testing.T) {
+	// Star: center lies on every leaf-leaf shortest path.
+	g := graph.Star(8)
+	roots := Sources(g, 8)
+	res := checkBCMatches(t, g, 3, roots, core.NewAllAtOnce(roots))
+	scores := BCScores(res, g.NumVertices())
+	// Ordered leaf pairs: 7*6 = 42, all through the center.
+	if math.Abs(scores[0]-42) > 1e-9 {
+		t.Errorf("center score = %v, want 42", scores[0])
+	}
+	for v := 1; v < 8; v++ {
+		if scores[v] != 0 {
+			t.Errorf("leaf %d score = %v, want 0", v, scores[v])
+		}
+	}
+}
+
+func TestBCMultipleShortestPaths(t *testing.T) {
+	// A 4-cycle has two equal shortest paths between opposite corners;
+	// sigma accounting must split credit.
+	g := graph.Ring(4)
+	roots := Sources(g, 4)
+	res := checkBCMatches(t, g, 2, roots, core.NewAllAtOnce(roots))
+	scores := BCScores(res, g.NumVertices())
+	// By symmetry every vertex gets the same score: each opposite pair
+	// contributes 0.5 per path × 2 paths... reference checks exactness;
+	// here check symmetry.
+	for v := 1; v < 4; v++ {
+		if math.Abs(scores[v]-scores[0]) > 1e-9 {
+			t.Errorf("asymmetric scores: %v", scores)
+		}
+	}
+}
+
+func TestBCRandomGraphAllRoots(t *testing.T) {
+	g := graph.ErdosRenyi(120, 360, 13)
+	lcc, _ := graph.LargestComponentSubgraph(g)
+	roots := Sources(lcc, lcc.NumVertices())
+	checkBCMatches(t, lcc, 4, roots, core.NewAllAtOnce(roots))
+}
+
+func TestBCSubsetRoots(t *testing.T) {
+	g := graph.BarabasiAlbert(200, 3, 21)
+	roots := Sources(g, 25)
+	checkBCMatches(t, g, 4, roots, core.NewAllAtOnce(roots))
+}
+
+func TestBCWithSwathScheduling(t *testing.T) {
+	// Swath-scheduled BC must produce identical scores to all-at-once.
+	g := graph.BarabasiAlbert(150, 3, 33)
+	roots := Sources(g, 30)
+	for _, tc := range []struct {
+		name  string
+		sched core.SwathScheduler
+	}{
+		{"sequential", core.NewSwathRunner(roots, core.StaticSizer(7), core.SequentialInitiator{})},
+		{"static2", core.NewSwathRunner(roots, core.StaticSizer(7), core.StaticNInitiator(2))},
+		{"dynamic", core.NewSwathRunner(roots, core.StaticSizer(7), core.DynamicPeakInitiator{})},
+		{"adaptive-size", core.NewSwathRunner(roots,
+			&core.AdaptiveSizer{Initial: 4, TargetMemoryBytes: 1 << 20}, core.SequentialInitiator{})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			checkBCMatches(t, g, 4, roots, tc.sched)
+		})
+	}
+}
+
+func TestBCTriangleWaveform(t *testing.T) {
+	// Fig 3: one BC swath ramps messages up to a peak then back down.
+	g := graph.DatasetSD()
+	roots := Sources(g, 7) // the paper's Fig 3 uses a swath of seven
+	res, err := core.Run(BC(g, 4, core.NewAllAtOnce(roots)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peakStep, peak int64 = 0, 0
+	for _, s := range res.Steps {
+		if s.TotalSent() > peak {
+			peak = s.TotalSent()
+			peakStep = int64(s.Superstep)
+		}
+	}
+	if peakStep == 0 || peakStep == int64(len(res.Steps)-1) {
+		t.Errorf("peak at boundary step %d: not a triangle wave", peakStep)
+	}
+	if peak < int64(g.NumEdges()) {
+		t.Errorf("peak %d below edge count %d: traversal did not saturate", peak, g.NumEdges())
+	}
+}
+
+func TestAPSPMatchesBFS(t *testing.T) {
+	g := graph.ErdosRenyi(150, 450, 17)
+	roots := Sources(g, 20)
+	res, err := core.Run(APSP(g, 4, core.NewAllAtOnce(roots)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := APSPDistances(res, g.NumVertices(), roots)
+	for i, r := range roots {
+		want := graph.BFS(g, r)
+		for v := range want {
+			if got[i][v] != want[v] {
+				t.Fatalf("root %d vertex %d: dist %d, want %d", r, v, got[i][v], want[v])
+			}
+		}
+	}
+}
+
+func TestAPSPWithSwaths(t *testing.T) {
+	g := graph.BarabasiAlbert(120, 3, 3)
+	roots := Sources(g, 12)
+	sched := core.NewSwathRunner(roots, core.StaticSizer(4), core.DynamicPeakInitiator{})
+	res, err := core.Run(APSP(g, 3, sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := APSPDistances(res, g.NumVertices(), roots)
+	for i, r := range roots {
+		want := graph.BFS(g, r)
+		for v := range want {
+			if got[i][v] != want[v] {
+				t.Fatalf("root %d vertex %d: dist %d, want %d", r, v, got[i][v], want[v])
+			}
+		}
+	}
+}
+
+func TestSSSP(t *testing.T) {
+	g := graph.ErdosRenyi(200, 500, 29)
+	res, err := core.Run(SSSP(g, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := SSSPDistances(res, g.NumVertices())
+	want := graph.BFS(g, 3)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("vertex %d: %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestWCC(t *testing.T) {
+	b := graph.NewBuilder(9)
+	b.AddUndirected(0, 1)
+	b.AddUndirected(1, 2)
+	b.AddUndirected(4, 5)
+	b.AddUndirected(5, 6)
+	b.AddUndirected(7, 8)
+	g := b.Build()
+	res, err := core.Run(WCC(g, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := WCCLabels(res, 9)
+	want := []int32{0, 0, 0, 3, 4, 4, 4, 7, 7}
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestWCCMatchesReference(t *testing.T) {
+	g := graph.ErdosRenyi(300, 310, 31) // sparse: many components
+	res, err := core.Run(WCC(g, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := WCCLabels(res, g.NumVertices())
+	ref := graph.Components(g)
+	// Same partition: two vertices share a label iff they share a component.
+	for v := 1; v < g.NumVertices(); v++ {
+		sameRef := ref.Labels[v] == ref.Labels[0]
+		sameGot := labels[v] == labels[0]
+		if sameRef != sameGot {
+			t.Fatalf("vertex %d: component grouping mismatch", v)
+		}
+	}
+}
+
+func TestLPAConvergesOnCliques(t *testing.T) {
+	// Two cliques joined by one edge: LPA should give each clique one label.
+	b := graph.NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddUndirected(graph.VertexID(i), graph.VertexID(j))
+			b.AddUndirected(graph.VertexID(i+5), graph.VertexID(j+5))
+		}
+	}
+	b.AddUndirected(0, 5)
+	g := b.Build()
+	res, err := core.Run(LPA(g, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := LPALabels(res, 10)
+	for v := 1; v < 5; v++ {
+		if labels[v] != labels[1] {
+			t.Errorf("clique 1 not uniform: %v", labels)
+		}
+	}
+	for v := 6; v < 10; v++ {
+		if labels[v] != labels[6] {
+			t.Errorf("clique 2 not uniform: %v", labels)
+		}
+	}
+}
+
+func TestBCIndependentOfPartitioning(t *testing.T) {
+	// Scores must be identical whichever partitioner routes the messages.
+	g := graph.BarabasiAlbert(150, 3, 41)
+	roots := Sources(g, 20)
+	want := BCSequential(g, roots)
+	for _, p := range []partition.Partitioner{partition.Hash{}, partition.Chunk{}, partition.NewMultilevel()} {
+		spec := BC(g, 4, core.NewAllAtOnce(roots))
+		spec.Assignment = p.Partition(g, 4)
+		res, err := core.Run(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		got := BCScores(res, g.NumVertices())
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-6*(1+math.Abs(want[v])) {
+				t.Fatalf("%s: vertex %d: %v, want %v", p.Name(), v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBCCodecRoundTrip(t *testing.T) {
+	m := BCMsg{Root: 7, Kind: bcBackward, From: 9, Aux: 3, Value: 2.5}
+	buf := BCCodec{}.Append(nil, m)
+	if want := (BCCodec{}).Size(m); len(buf) != want {
+		t.Fatalf("encoded %d bytes, Size says %d", len(buf), want)
+	}
+	got, n := BCCodec{}.Decode(buf)
+	if n != len(buf) || got != m {
+		t.Errorf("round trip: %+v (%d), want %+v", got, n, m)
+	}
+}
+
+func TestAPSPCodecRoundTrip(t *testing.T) {
+	m := APSPMsg{Root: 123456, Dist: 42}
+	buf := APSPCodec{}.Append(nil, m)
+	got, n := APSPCodec{}.Decode(buf)
+	if n != 8 || got != m {
+		t.Errorf("round trip: %+v (%d)", got, n)
+	}
+}

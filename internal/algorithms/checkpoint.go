@@ -1,0 +1,300 @@
+package algorithms
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"math"
+
+	"pregelnet/internal/core"
+)
+
+// Checkpoint support (core.Checkpointable) for every built-in vertex
+// program, enabling the engine's fault recovery for real workloads.
+
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func writeF64(w io.Writer, v float64) error { return writeU64(w, math.Float64bits(v)) }
+
+func readF64(r io.Reader) (float64, error) {
+	u, err := readU64(r)
+	return math.Float64frombits(u), err
+}
+
+// Snapshot implements core.Checkpointable.
+func (p *pageRankProgram) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range p.ranks {
+		if err := writeF64(bw, r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore implements core.Checkpointable.
+func (p *pageRankProgram) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	for i := range p.ranks {
+		v, err := readF64(br)
+		if err != nil {
+			return err
+		}
+		p.ranks[i] = v
+	}
+	return nil
+}
+
+// Snapshot implements core.Checkpointable.
+func (p *ssspProgram) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, d := range p.dist {
+		if err := writeU64(bw, uint64(uint32(d))); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore implements core.Checkpointable.
+func (p *ssspProgram) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	for i := range p.dist {
+		v, err := readU64(br)
+		if err != nil {
+			return err
+		}
+		p.dist[i] = int32(uint32(v))
+	}
+	return nil
+}
+
+// Snapshot implements core.Checkpointable.
+func (p *wccProgram) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, l := range p.label {
+		if err := writeU64(bw, uint64(uint32(l))); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore implements core.Checkpointable.
+func (p *wccProgram) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	for i := range p.label {
+		v, err := readU64(br)
+		if err != nil {
+			return err
+		}
+		p.label[i] = int32(uint32(v))
+	}
+	return nil
+}
+
+// Snapshot implements core.Checkpointable.
+func (p *lpaProgram) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, l := range p.label {
+		if err := writeU64(bw, uint64(uint32(l))); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore implements core.Checkpointable.
+func (p *lpaProgram) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	for i := range p.label {
+		v, err := readU64(br)
+		if err != nil {
+			return err
+		}
+		p.label[i] = int32(uint32(v))
+	}
+	return nil
+}
+
+// Snapshot implements core.Checkpointable.
+func (p *apspProgram) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, dists := range p.dists {
+		if err := writeU64(bw, uint64(len(dists))); err != nil {
+			return err
+		}
+		for root, d := range dists {
+			if err := writeU64(bw, uint64(root)); err != nil {
+				return err
+			}
+			if err := writeU64(bw, uint64(uint32(d))); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore implements core.Checkpointable.
+func (p *apspProgram) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	p.stateBytes.Store(0)
+	for li := range p.dists {
+		n, err := readU64(br)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			p.dists[li] = nil
+			continue
+		}
+		m := make(map[uint32]int32, n)
+		for j := uint64(0); j < n; j++ {
+			root, err := readU64(br)
+			if err != nil {
+				return err
+			}
+			d, err := readU64(br)
+			if err != nil {
+				return err
+			}
+			m[uint32(root)] = int32(uint32(d))
+		}
+		p.dists[li] = m
+		p.stateBytes.Add(int64(16 * n))
+	}
+	return nil
+}
+
+// Snapshot implements core.Checkpointable. BC's per-vertex traversal state
+// (distance, sigma, delta, predecessor lists, ack/backward counters) is
+// fully serialized so an in-flight multi-root computation can resume.
+func (p *bcProgram) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for li := range p.scores {
+		if err := writeF64(bw, p.scores[li]); err != nil {
+			return err
+		}
+		states := p.states[li]
+		if err := writeU64(bw, uint64(len(states))); err != nil {
+			return err
+		}
+		for root, st := range states {
+			if err := writeU64(bw, uint64(root)); err != nil {
+				return err
+			}
+			for _, v := range []uint64{uint64(uint32(st.dist)), uint64(uint32(st.discovered)),
+				uint64(uint32(st.succ)), uint64(uint32(st.back))} {
+				if err := writeU64(bw, v); err != nil {
+					return err
+				}
+			}
+			if err := writeF64(bw, st.sigma); err != nil {
+				return err
+			}
+			if err := writeF64(bw, st.delta); err != nil {
+				return err
+			}
+			if err := writeU64(bw, uint64(len(st.preds))); err != nil {
+				return err
+			}
+			for _, pred := range st.preds {
+				if err := writeU64(bw, uint64(pred)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore implements core.Checkpointable.
+func (p *bcProgram) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	p.stateBytes.Store(0)
+	for li := range p.scores {
+		score, err := readF64(br)
+		if err != nil {
+			return err
+		}
+		p.scores[li] = score
+		n, err := readU64(br)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			p.states[li] = nil
+			continue
+		}
+		states := make(map[uint32]*bcRootState, n)
+		for j := uint64(0); j < n; j++ {
+			root, err := readU64(br)
+			if err != nil {
+				return err
+			}
+			var ints [4]uint64
+			for k := range ints {
+				if ints[k], err = readU64(br); err != nil {
+					return err
+				}
+			}
+			sigma, err := readF64(br)
+			if err != nil {
+				return err
+			}
+			delta, err := readF64(br)
+			if err != nil {
+				return err
+			}
+			nPreds, err := readU64(br)
+			if err != nil {
+				return err
+			}
+			st := &bcRootState{
+				dist:       int32(uint32(ints[0])),
+				discovered: int32(uint32(ints[1])),
+				succ:       int32(uint32(ints[2])),
+				back:       int32(uint32(ints[3])),
+				sigma:      sigma,
+				delta:      delta,
+				preds:      make([]uint32, nPreds),
+				bytes:      bcStateBaseBytes + int64(8*nPreds),
+			}
+			for k := range st.preds {
+				pred, err := readU64(br)
+				if err != nil {
+					return err
+				}
+				st.preds[k] = uint32(pred)
+			}
+			states[uint32(root)] = st
+			p.stateBytes.Add(st.bytes)
+		}
+		p.states[li] = states
+	}
+	return nil
+}
+
+// Compile-time checks that every program stays Checkpointable.
+var (
+	_ core.Checkpointable = (*pageRankProgram)(nil)
+	_ core.Checkpointable = (*ssspProgram)(nil)
+	_ core.Checkpointable = (*wccProgram)(nil)
+	_ core.Checkpointable = (*lpaProgram)(nil)
+	_ core.Checkpointable = (*apspProgram)(nil)
+	_ core.Checkpointable = (*bcProgram)(nil)
+)

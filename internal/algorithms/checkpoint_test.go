@@ -1,0 +1,133 @@
+package algorithms
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"pregelnet/internal/cloud"
+	"pregelnet/internal/core"
+	"pregelnet/internal/graph"
+)
+
+// chaos returns a FailureInjector that kills one worker once.
+func chaos(worker, superstep int) (func(int, int) error, *atomic.Bool) {
+	var fired atomic.Bool
+	return func(w, s int) error {
+		if w == worker && s == superstep && !fired.Swap(true) {
+			return errors.New("chaos: injected VM failure")
+		}
+		return nil
+	}, &fired
+}
+
+func TestBCSurvivesWorkerFailure(t *testing.T) {
+	g := graph.BarabasiAlbert(200, 3, 55)
+	roots := Sources(g, 20)
+	spec := BC(g, 4, core.NewAllAtOnce(roots))
+	spec.CheckpointEvery = 3
+	spec.CheckpointStore = cloud.NewBlobStore()
+	inject, fired := chaos(1, 7)
+	spec.FailureInjector = inject
+	res, err := core.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired.Load() {
+		t.Fatal("chaos never fired; pick an earlier superstep")
+	}
+	if res.Recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1", res.Recoveries)
+	}
+	got := BCScores(res, g.NumVertices())
+	want := BCSequential(g, roots)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6*(1+math.Abs(want[v])) {
+			t.Fatalf("vertex %d: BC %v, want %v after recovery", v, got[v], want[v])
+		}
+	}
+}
+
+func TestPageRankSurvivesWorkerFailure(t *testing.T) {
+	g := graph.ErdosRenyi(200, 800, 66)
+	pr := PageRank{Iterations: 20, Damping: 0.85}
+	spec := pr.Spec(g, 4)
+	spec.CheckpointEvery = 4
+	spec.CheckpointStore = cloud.NewBlobStore()
+	inject, fired := chaos(2, 9)
+	spec.FailureInjector = inject
+	res, err := core.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired.Load() || res.Recoveries != 1 {
+		t.Fatalf("fired=%v recoveries=%d", fired.Load(), res.Recoveries)
+	}
+	got := Ranks(res, g.NumVertices())
+	want := PageRankSequential(g, pr.Iterations, pr.Damping)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("vertex %d: rank %v, want %v after recovery", v, got[v], want[v])
+		}
+	}
+}
+
+func TestAPSPSurvivesWorkerFailure(t *testing.T) {
+	g := graph.ErdosRenyi(150, 450, 77)
+	roots := Sources(g, 12)
+	spec := APSP(g, 3, core.NewSwathRunner(roots, core.StaticSizer(4), core.StaticNInitiator(2)))
+	spec.CheckpointEvery = 2
+	spec.CheckpointStore = cloud.NewBlobStore()
+	inject, fired := chaos(0, 5)
+	spec.FailureInjector = inject
+	res, err := core.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired.Load() || res.Recoveries != 1 {
+		t.Fatalf("fired=%v recoveries=%d", fired.Load(), res.Recoveries)
+	}
+	got := APSPDistances(res, g.NumVertices(), roots)
+	for i, r := range roots {
+		want := graph.BFS(g, r)
+		for v := range want {
+			if got[i][v] != want[v] {
+				t.Fatalf("root %d vertex %d: %d, want %d after recovery", r, v, got[i][v], want[v])
+			}
+		}
+	}
+}
+
+func TestWCCAndLPASurviveWorkerFailure(t *testing.T) {
+	g := graph.ErdosRenyi(200, 220, 88)
+	spec := WCC(g, 3)
+	spec.CheckpointEvery = 2
+	spec.CheckpointStore = cloud.NewBlobStore()
+	inject, _ := chaos(1, 3)
+	spec.FailureInjector = inject
+	res, err := core.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := WCCLabels(res, g.NumVertices())
+	ref := graph.Components(g)
+	for v := 1; v < g.NumVertices(); v++ {
+		if (ref.Labels[v] == ref.Labels[0]) != (labels[v] == labels[0]) {
+			t.Fatalf("component mismatch at %d after recovery", v)
+		}
+	}
+
+	lpa := LPA(g, 3, 8)
+	lpa.CheckpointEvery = 2
+	lpa.CheckpointStore = cloud.NewBlobStore()
+	inject2, _ := chaos(0, 4)
+	lpa.FailureInjector = inject2
+	res2, err := core.Run(lpa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(LPALabels(res2, g.NumVertices())) != g.NumVertices() {
+		t.Fatal("lpa labels missing")
+	}
+}

@@ -1,0 +1,100 @@
+package algorithms
+
+import (
+	"encoding/binary"
+	"math"
+
+	"pregelnet/internal/core"
+	"pregelnet/internal/graph"
+)
+
+// Weighted single-source shortest paths — the canonical Pregel example
+// program: a vertex relaxes its distance on every incoming message and, when
+// improved, sends dist + w(v,u) to each neighbor; a min combiner collapses
+// same-destination relaxations. This is Bellman-Ford in BSP form and
+// converges in at most |V| supersteps (far fewer in practice).
+
+// WSSSPCodec encodes float64 tentative distances.
+type WSSSPCodec struct{}
+
+// Append implements core.Codec.
+func (WSSSPCodec) Append(buf []byte, m float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(m))
+	return append(buf, b[:]...)
+}
+
+// Decode implements core.Codec.
+func (WSSSPCodec) Decode(data []byte) (float64, int) {
+	return math.Float64frombits(binary.LittleEndian.Uint64(data)), 8
+}
+
+// Size implements core.Codec.
+func (WSSSPCodec) Size(float64) int { return 8 }
+
+// MinFloat64Combiner keeps the smallest tentative distance per destination.
+type MinFloat64Combiner struct{}
+
+// Combine implements core.Combiner.
+func (MinFloat64Combiner) Combine(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+type wssspProgram struct {
+	wg   *graph.Weighted
+	dist []float64
+}
+
+// WeightedSSSP builds the weighted shortest-path job from src.
+func WeightedSSSP(wg *graph.Weighted, workers int, src graph.VertexID) core.JobSpec[float64] {
+	return core.JobSpec[float64]{
+		Graph:      wg.Graph,
+		NumWorkers: workers,
+		Codec:      WSSSPCodec{},
+		Combiner:   MinFloat64Combiner{},
+		Scheduler:  core.NewAllAtOnce([]graph.VertexID{src}),
+		NewProgram: func(_ int, _ *graph.Graph, owned []graph.VertexID) core.VertexProgram[float64] {
+			p := &wssspProgram{wg: wg, dist: make([]float64, len(owned))}
+			for i := range p.dist {
+				p.dist[i] = math.Inf(1)
+			}
+			return p
+		},
+	}
+}
+
+// Compute implements core.VertexProgram.
+func (p *wssspProgram) Compute(ctx *core.Context[float64], msgs []float64) {
+	li := ctx.LocalIndex()
+	best := math.Inf(1)
+	if ctx.IsInjected() {
+		best = 0
+	}
+	for _, m := range msgs {
+		if m < best {
+			best = m
+		}
+	}
+	if best < p.dist[li] {
+		p.dist[li] = best
+		nbrs := ctx.Neighbors()
+		wts := p.wg.EdgeWeights(ctx.Vertex())
+		for i, u := range nbrs {
+			ctx.Send(u, best+float64(wts[i]))
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+// StateBytes implements core.StateReporter.
+func (p *wssspProgram) StateBytes() int64 { return int64(8 * len(p.dist)) }
+
+// WeightedDistances extracts the final distances (+Inf = unreachable).
+func WeightedDistances(res *core.JobResult[float64], n int) []float64 {
+	return mergeFloat64(res, n, func(prog core.VertexProgram[float64]) []float64 {
+		return prog.(*wssspProgram).dist
+	})
+}

@@ -1,0 +1,103 @@
+package cloud
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// BlobStore is an in-memory blob (file) store with named containers,
+// mirroring Azure blob storage where the paper stages graph files for
+// partition workers to load.
+type BlobStore struct {
+	mu         sync.RWMutex
+	containers map[string]map[string][]byte
+}
+
+// NewBlobStore creates an empty blob store.
+func NewBlobStore() *BlobStore {
+	return &BlobStore{containers: make(map[string]map[string][]byte)}
+}
+
+// Put stores data under container/name, overwriting any existing blob.
+// The data is copied.
+func (s *BlobStore) Put(container, name string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[container]
+	if !ok {
+		c = make(map[string][]byte)
+		s.containers[container] = c
+	}
+	c[name] = append([]byte(nil), data...)
+}
+
+// Get returns a copy of the blob's contents.
+func (s *BlobStore) Get(container, name string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.containers[container]
+	if !ok {
+		return nil, fmt.Errorf("cloud: blob container %q not found", container)
+	}
+	data, ok := c[name]
+	if !ok {
+		return nil, fmt.Errorf("cloud: blob %q/%q not found", container, name)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Open returns a reader over the blob's contents.
+func (s *BlobStore) Open(container, name string) (io.Reader, error) {
+	data, err := s.Get(container, name)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(data), nil
+}
+
+// Size returns the length of a blob in bytes.
+func (s *BlobStore) Size(container, name string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.containers[container]
+	if !ok {
+		return 0, fmt.Errorf("cloud: blob container %q not found", container)
+	}
+	data, ok := c[name]
+	if !ok {
+		return 0, fmt.Errorf("cloud: blob %q/%q not found", container, name)
+	}
+	return len(data), nil
+}
+
+// List returns the blob names in a container in sorted order.
+func (s *BlobStore) List(container string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := s.containers[container]
+	names := make([]string, 0, len(c))
+	for n := range c {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Delete removes a blob. Deleting a missing blob is an error, matching the
+// cloud API.
+func (s *BlobStore) Delete(container, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[container]
+	if !ok {
+		return fmt.Errorf("cloud: blob container %q not found", container)
+	}
+	if _, ok := c[name]; !ok {
+		return fmt.Errorf("cloud: blob %q/%q not found", container, name)
+	}
+	delete(c, name)
+	return nil
+}

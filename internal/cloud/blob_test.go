@@ -1,0 +1,95 @@
+package cloud
+
+import (
+	"io"
+	"testing"
+)
+
+func TestBlobPutGet(t *testing.T) {
+	s := NewBlobStore()
+	s.Put("graphs", "wg.bin", []byte{1, 2, 3})
+	data, err := s.Get("graphs", "wg.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 3 || data[0] != 1 {
+		t.Errorf("data = %v", data)
+	}
+	if n, err := s.Size("graphs", "wg.bin"); err != nil || n != 3 {
+		t.Errorf("Size = %d, %v", n, err)
+	}
+}
+
+func TestBlobGetMissing(t *testing.T) {
+	s := NewBlobStore()
+	if _, err := s.Get("nope", "x"); err == nil {
+		t.Error("expected error for missing container")
+	}
+	s.Put("c", "a", nil)
+	if _, err := s.Get("c", "missing"); err == nil {
+		t.Error("expected error for missing blob")
+	}
+	if _, err := s.Size("c", "missing"); err == nil {
+		t.Error("expected Size error for missing blob")
+	}
+}
+
+func TestBlobIsolation(t *testing.T) {
+	s := NewBlobStore()
+	buf := []byte{9}
+	s.Put("c", "b", buf)
+	buf[0] = 0
+	data, _ := s.Get("c", "b")
+	if data[0] != 9 {
+		t.Error("Put aliased caller buffer")
+	}
+	data[0] = 7
+	again, _ := s.Get("c", "b")
+	if again[0] != 9 {
+		t.Error("Get returned aliased storage")
+	}
+}
+
+func TestBlobListSorted(t *testing.T) {
+	s := NewBlobStore()
+	s.Put("c", "zeta", nil)
+	s.Put("c", "alpha", nil)
+	s.Put("c", "mid", nil)
+	names := s.List("c")
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("List = %v", names)
+		}
+	}
+	if len(s.List("empty")) != 0 {
+		t.Error("List of missing container should be empty")
+	}
+}
+
+func TestBlobDelete(t *testing.T) {
+	s := NewBlobStore()
+	s.Put("c", "x", []byte{1})
+	if err := s.Delete("c", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("c", "x"); err == nil {
+		t.Error("double delete should fail")
+	}
+	if err := s.Delete("none", "x"); err == nil {
+		t.Error("delete in missing container should fail")
+	}
+}
+
+func TestBlobOpen(t *testing.T) {
+	s := NewBlobStore()
+	s.Put("c", "r", []byte("stream"))
+	r, err := s.Open("c", "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil || string(data) != "stream" {
+		t.Errorf("read %q, %v", data, err)
+	}
+}

@@ -1,0 +1,174 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The cost model converts per-superstep, per-worker resource usage into
+// deterministic simulated time. It reproduces every timing mechanism the
+// paper's analysis relies on:
+//
+//   - superstep time = the *slowest* worker (BSP barrier semantics, §VII);
+//   - remote messages cost serialization CPU plus network transfer, local
+//     ones do not (the benefit partitioning chases);
+//   - message buffers beyond physical memory thrash in virtual memory with
+//     a punitive multiplier (§IV), and far beyond it the cloud fabric
+//     restarts the seemingly-unresponsive VM (§VI.B: job failure);
+//   - the barrier itself costs queue round-trips that grow with the number
+//     of workers (§VIII: added synchronization overhead of more workers).
+
+// WorkerStepUsage aggregates one worker's resource usage in one superstep.
+type WorkerStepUsage struct {
+	// ComputeOps counts abstract vertex-compute operations: vertices
+	// computed plus messages processed and emitted.
+	ComputeOps int64
+	// LocalMessages were delivered in-memory to co-located vertices.
+	LocalMessages int64
+	// RemoteBytesOut / RemoteBytesIn are serialized bulk-transfer volumes.
+	RemoteBytesOut int64
+	RemoteBytesIn  int64
+	// PeakMemoryBytes is the worker's peak buffered-message + vertex-state
+	// footprint during the superstep.
+	PeakMemoryBytes int64
+	// Peers is the number of remote workers this worker exchanged data
+	// with (sockets are re-established each superstep).
+	Peers int
+}
+
+// Add accumulates u2 into u, keeping the max of peak memories.
+func (u *WorkerStepUsage) Add(u2 WorkerStepUsage) {
+	u.ComputeOps += u2.ComputeOps
+	u.LocalMessages += u2.LocalMessages
+	u.RemoteBytesOut += u2.RemoteBytesOut
+	u.RemoteBytesIn += u2.RemoteBytesIn
+	if u2.PeakMemoryBytes > u.PeakMemoryBytes {
+		u.PeakMemoryBytes = u2.PeakMemoryBytes
+	}
+	if u2.Peers > u.Peers {
+		u.Peers = u2.Peers
+	}
+}
+
+// CostModel parameterizes the simulated-time computation.
+type CostModel struct {
+	Spec VMSpec
+	// QueueLatencySec is one control-plane queue round trip (step token or
+	// barrier check-in).
+	QueueLatencySec float64
+	// BarrierPerWorkerSec is the incremental barrier cost per worker: the
+	// manager drains one barrier-queue message per worker per superstep.
+	BarrierPerWorkerSec float64
+	// ConnectSetupSec is the cost of re-establishing one peer socket at the
+	// start of a superstep.
+	ConnectSetupSec float64
+	// ThrashMaxFactor is the time multiplier when memory reaches the
+	// restart limit; the multiplier rises linearly from 1 at the physical
+	// ceiling. Virtual-memory paging is punitive: default 8x.
+	ThrashMaxFactor float64
+	// RestartLimitFactor: peak memory above RestartLimitFactor*physical
+	// makes the fabric restart the VM, failing the job.
+	RestartLimitFactor float64
+	// DiskBuffering models Giraph/Hama-style disk-backed message buffers
+	// (paper §IV): buffered messages never overflow memory — no thrash and
+	// no fabric restarts — but every superstep's message handling pays a
+	// uniform multiplicative disk I/O overhead instead.
+	DiskBuffering bool
+	// DiskOverheadFactor is that multiplicative overhead (default 3 when
+	// DiskBuffering is set and the field is zero).
+	DiskOverheadFactor float64
+}
+
+// DefaultCostModel returns the model used throughout the experiments:
+// control-plane costs scaled alongside the dataset analogs, punitive
+// virtual-memory thrash, and the Azure-like 1.6x restart limit.
+func DefaultCostModel(spec VMSpec) CostModel {
+	return CostModel{
+		Spec:                spec,
+		QueueLatencySec:     0.002,
+		BarrierPerWorkerSec: 0.001,
+		ConnectSetupSec:     0.0002,
+		ThrashMaxFactor:     8,
+		RestartLimitFactor:  1.6,
+	}
+}
+
+// ErrMemoryBlowout is returned when a worker's memory footprint exceeds the
+// restart limit — the simulated equivalent of the Azure fabric restarting an
+// unresponsive, thrashing VM and failing the job.
+var ErrMemoryBlowout = errors.New("cloud: worker memory exceeded restart limit (VM restarted by fabric)")
+
+// WorkerSeconds returns the simulated seconds one worker spends actively
+// computing and communicating in a superstep (excluding barrier wait), the
+// thrash multiplier applied, and ErrMemoryBlowout if the footprint crossed
+// the restart limit.
+func (m CostModel) WorkerSeconds(u WorkerStepUsage) (seconds, thrash float64, err error) {
+	cores := float64(m.Spec.Cores)
+	compute := float64(u.ComputeOps) / (m.Spec.ComputeOpsPerSec * cores)
+	serialize := float64(u.RemoteBytesOut+u.RemoteBytesIn) / (m.Spec.SerializeBytesPerSec * cores)
+	network := maxf(float64(u.RemoteBytesOut), float64(u.RemoteBytesIn)) / m.Spec.NetworkBps
+	setup := float64(u.Peers) * m.ConnectSetupSec
+
+	if m.DiskBuffering {
+		// Sequential disk I/O for every buffered message: uniform slowdown,
+		// immune to memory pressure (the Hadoop-like trade-off the paper
+		// abjures for its in-memory design).
+		factor := m.DiskOverheadFactor
+		if factor <= 0 {
+			factor = 3
+		}
+		return (compute+serialize+network)*factor + setup, 1, nil
+	}
+
+	thrash = 1.0
+	mem := float64(u.PeakMemoryBytes)
+	phys := float64(m.Spec.MemoryBytes)
+	if mem > phys {
+		limit := m.RestartLimitFactor * phys
+		if mem > limit {
+			return 0, 0, fmt.Errorf("%w: peak %.0f bytes > limit %.0f", ErrMemoryBlowout, mem, limit)
+		}
+		// Linear ramp: 1x at the ceiling up to ThrashMaxFactor at the limit.
+		frac := (mem - phys) / (limit - phys)
+		thrash = 1 + frac*(m.ThrashMaxFactor-1)
+	}
+	// Thrash multiplies the entire active time: a VM paging against virtual
+	// memory stalls its communication threads as much as its compute (the
+	// paper observes thrashing workers becoming unresponsive enough for the
+	// cloud fabric to restart them). Connection setup is excluded; it
+	// happens at the superstep start before buffers fill.
+	return (compute+serialize+network)*thrash + setup, thrash, nil
+}
+
+// BarrierSeconds returns the per-superstep synchronization overhead for a
+// job with n workers: one step-token round trip plus draining n barrier
+// check-ins.
+func (m CostModel) BarrierSeconds(n int) float64 {
+	return 2*m.QueueLatencySec + float64(n)*m.BarrierPerWorkerSec
+}
+
+// SuperstepSeconds combines per-worker usages into the superstep's simulated
+// duration (max over workers plus barrier) and returns each worker's active
+// seconds alongside. Any worker blowing out memory fails the superstep.
+func (m CostModel) SuperstepSeconds(usages []WorkerStepUsage) (total float64, perWorker []float64, err error) {
+	perWorker = make([]float64, len(usages))
+	maxSec := 0.0
+	for i, u := range usages {
+		sec, _, werr := m.WorkerSeconds(u)
+		if werr != nil {
+			return 0, nil, fmt.Errorf("worker %d: %w", i, werr)
+		}
+		perWorker[i] = sec
+		if sec > maxSec {
+			maxSec = sec
+		}
+	}
+	return maxSec + m.BarrierSeconds(len(usages)), perWorker, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,230 @@
+package cloud
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testSpec() VMSpec {
+	return VMSpec{
+		Name:                 "test",
+		Cores:                4,
+		MemoryBytes:          1000,
+		NetworkBps:           1000,
+		ComputeOpsPerSec:     1000,
+		SerializeBytesPerSec: 1000,
+		CostPerHour:          0.48,
+	}
+}
+
+func TestWorkerSecondsComputeOnly(t *testing.T) {
+	m := DefaultCostModel(testSpec())
+	sec, thrash, err := m.WorkerSeconds(WorkerStepUsage{ComputeOps: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thrash != 1 {
+		t.Errorf("thrash = %v, want 1", thrash)
+	}
+	// 4000 ops / (1000 ops/s * 4 cores) = 1s.
+	if math.Abs(sec-1.0) > 1e-9 {
+		t.Errorf("seconds = %v, want 1.0", sec)
+	}
+}
+
+func TestWorkerSecondsNetworkAndSerialize(t *testing.T) {
+	m := DefaultCostModel(testSpec())
+	m.ConnectSetupSec = 0
+	u := WorkerStepUsage{RemoteBytesOut: 2000, RemoteBytesIn: 1000}
+	sec, _, err := m.WorkerSeconds(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// serialize: 3000 / (1000*4) = 0.75s; network: max(2000,1000)/1000 = 2s.
+	if math.Abs(sec-2.75) > 1e-9 {
+		t.Errorf("seconds = %v, want 2.75", sec)
+	}
+}
+
+func TestWorkerSecondsPeerSetup(t *testing.T) {
+	m := DefaultCostModel(testSpec())
+	u := WorkerStepUsage{Peers: 7}
+	sec, _, err := m.WorkerSeconds(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sec-7*m.ConnectSetupSec) > 1e-9 {
+		t.Errorf("seconds = %v, want %v", sec, 7*m.ConnectSetupSec)
+	}
+}
+
+func TestThrashRamp(t *testing.T) {
+	m := DefaultCostModel(testSpec()) // mem 1000, restart limit 1600, max 8x
+	// At the ceiling: no thrash.
+	_, thrash, err := m.WorkerSeconds(WorkerStepUsage{ComputeOps: 100, PeakMemoryBytes: 1000})
+	if err != nil || thrash != 1 {
+		t.Errorf("at ceiling: thrash=%v err=%v", thrash, err)
+	}
+	// Halfway to the limit: thrash = 1 + 0.5*(8-1) = 4.5.
+	_, thrash, err = m.WorkerSeconds(WorkerStepUsage{ComputeOps: 100, PeakMemoryBytes: 1300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(thrash-4.5) > 1e-9 {
+		t.Errorf("thrash = %v, want 4.5", thrash)
+	}
+	// Thrash multiplies all active time (compute and data movement) but not
+	// connection setup.
+	sec1, _, _ := m.WorkerSeconds(WorkerStepUsage{ComputeOps: 4000, RemoteBytesOut: 1000})
+	sec2, _, _ := m.WorkerSeconds(WorkerStepUsage{ComputeOps: 4000, RemoteBytesOut: 1000, PeakMemoryBytes: 1300})
+	if math.Abs(sec2-4.5*sec1) > 1e-9 {
+		t.Errorf("thrashed time %v, want %v", sec2, 4.5*sec1)
+	}
+	s3, _, _ := m.WorkerSeconds(WorkerStepUsage{Peers: 5})
+	s4, _, _ := m.WorkerSeconds(WorkerStepUsage{Peers: 5, PeakMemoryBytes: 1300, ComputeOps: 0})
+	if math.Abs(s3-s4) > 1e-9 {
+		t.Errorf("setup time should not thrash: %v vs %v", s3, s4)
+	}
+}
+
+func TestMemoryBlowout(t *testing.T) {
+	m := DefaultCostModel(testSpec())
+	_, _, err := m.WorkerSeconds(WorkerStepUsage{PeakMemoryBytes: 1601})
+	if !errors.Is(err, ErrMemoryBlowout) {
+		t.Errorf("err = %v, want ErrMemoryBlowout", err)
+	}
+}
+
+func TestBarrierGrowsWithWorkers(t *testing.T) {
+	m := DefaultCostModel(testSpec())
+	b4, b8 := m.BarrierSeconds(4), m.BarrierSeconds(8)
+	if b8 <= b4 {
+		t.Errorf("barrier(8)=%v should exceed barrier(4)=%v", b8, b4)
+	}
+	if math.Abs((b8-b4)-4*m.BarrierPerWorkerSec) > 1e-12 {
+		t.Errorf("barrier delta wrong: %v", b8-b4)
+	}
+}
+
+func TestSuperstepIsMaxOfWorkers(t *testing.T) {
+	m := DefaultCostModel(testSpec())
+	usages := []WorkerStepUsage{
+		{ComputeOps: 4000}, // 1s
+		{ComputeOps: 8000}, // 2s — the straggler defines the superstep
+		{ComputeOps: 400},  // 0.1s
+	}
+	total, per, err := m.SuperstepSeconds(usages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 + m.BarrierSeconds(3)
+	if math.Abs(total-want) > 1e-9 {
+		t.Errorf("superstep = %v, want %v", total, want)
+	}
+	if len(per) != 3 || per[1] < per[0] || per[0] < per[2] {
+		t.Errorf("per-worker = %v", per)
+	}
+}
+
+func TestSuperstepPropagatesBlowout(t *testing.T) {
+	m := DefaultCostModel(testSpec())
+	_, _, err := m.SuperstepSeconds([]WorkerStepUsage{{}, {PeakMemoryBytes: 99999}})
+	if !errors.Is(err, ErrMemoryBlowout) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUsageAdd(t *testing.T) {
+	u := WorkerStepUsage{ComputeOps: 1, PeakMemoryBytes: 10, Peers: 2}
+	u.Add(WorkerStepUsage{ComputeOps: 2, LocalMessages: 3, RemoteBytesOut: 4, RemoteBytesIn: 5, PeakMemoryBytes: 7, Peers: 1})
+	if u.ComputeOps != 3 || u.LocalMessages != 3 || u.RemoteBytesOut != 4 || u.RemoteBytesIn != 5 {
+		t.Errorf("Add sums wrong: %+v", u)
+	}
+	if u.PeakMemoryBytes != 10 || u.Peers != 2 {
+		t.Errorf("Add should keep maxima: %+v", u)
+	}
+}
+
+// Property: worker time is monotone in every usage dimension (more work
+// never takes less simulated time).
+func TestWorkerSecondsMonotoneProperty(t *testing.T) {
+	m := DefaultCostModel(testSpec())
+	f := func(ops, bytesOut uint16, mem uint16) bool {
+		base := WorkerStepUsage{ComputeOps: int64(ops), RemoteBytesOut: int64(bytesOut),
+			PeakMemoryBytes: int64(mem) % 1500}
+		bigger := base
+		bigger.ComputeOps += 10
+		bigger.RemoteBytesOut += 10
+		s1, _, err1 := m.WorkerSeconds(base)
+		s2, _, err2 := m.WorkerSeconds(bigger)
+		if err1 != nil || err2 != nil {
+			return true // blowout region: not comparable
+		}
+		return s2 >= s1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVMSpecPresets(t *testing.T) {
+	l, s := LargeVM(), SmallVM()
+	if l.Cores != 4*s.Cores || l.MemoryBytes != 4*s.MemoryBytes {
+		t.Error("small VM is not a fourth of large")
+	}
+	if math.Abs(l.CostPerHour-4*s.CostPerHour) > 1e-9 {
+		t.Error("small VM cost is not a fourth of large")
+	}
+	scaled := l.WithMemory(123)
+	if scaled.MemoryBytes != 123 || l.MemoryBytes == 123 {
+		t.Error("WithMemory should copy")
+	}
+}
+
+func TestFabricCostMetering(t *testing.T) {
+	f := NewFabric()
+	vms := f.Acquire(LargeVM(), 4)
+	if f.NumRunning() != 4 {
+		t.Fatalf("running = %d", f.NumRunning())
+	}
+	f.Advance(3600) // 1 hour with 4 large VMs = 4 * $0.48
+	if math.Abs(f.CostDollars()-4*0.48) > 1e-9 {
+		t.Errorf("cost = %v, want 1.92", f.CostDollars())
+	}
+	if math.Abs(f.VMSeconds()-4*3600) > 1e-9 {
+		t.Errorf("vm-seconds = %v", f.VMSeconds())
+	}
+	if err := f.Release(vms[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Release(vms[0]); err == nil {
+		t.Error("double release should fail")
+	}
+	f.Advance(3600)
+	if math.Abs(f.CostDollars()-(4*0.48+3*0.48)) > 1e-9 {
+		t.Errorf("cost after release = %v", f.CostDollars())
+	}
+}
+
+func TestDiskBufferingMode(t *testing.T) {
+	m := DefaultCostModel(testSpec())
+	m.DiskBuffering = true
+	// Uniform 3x on active time, no thrash, and immunity to memory blowout.
+	sec, thrash, err := m.WorkerSeconds(WorkerStepUsage{ComputeOps: 4000, PeakMemoryBytes: 99999})
+	if err != nil {
+		t.Fatalf("disk mode must not blow out: %v", err)
+	}
+	if thrash != 1 {
+		t.Errorf("thrash = %v, want 1 in disk mode", thrash)
+	}
+	if math.Abs(sec-3.0) > 1e-9 { // 1s compute * 3
+		t.Errorf("seconds = %v, want 3.0", sec)
+	}
+	m.DiskOverheadFactor = 5
+	sec, _, _ = m.WorkerSeconds(WorkerStepUsage{ComputeOps: 4000})
+	if math.Abs(sec-5.0) > 1e-9 {
+		t.Errorf("seconds = %v, want 5.0 with factor 5", sec)
+	}
+}

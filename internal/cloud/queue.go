@@ -1,0 +1,175 @@
+// Package cloud simulates the public-cloud substrate the paper runs on:
+// Azure-style reliable queues (the BSP control plane), a blob store (graph
+// staging), a VM fabric with instance specs and pay-per-use cost metering,
+// and a deterministic cost model that converts per-superstep resource usage
+// into simulated time — including virtual-memory thrash beyond the physical
+// memory ceiling and barrier-synchronization overhead that grows with the
+// number of workers.
+package cloud
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// QueueMessage is a message leased from a Queue. Azure queue semantics:
+// getting a message hides it for a visibility timeout; it must be deleted
+// before the timeout or it becomes visible again (at-least-once delivery).
+type QueueMessage struct {
+	ID           uint64
+	Body         []byte
+	DequeueCount int
+
+	leaseExpiry time.Time
+}
+
+// Queue is a reliable in-memory queue with visibility-timeout semantics,
+// mirroring Azure Storage queues which the paper uses for job submission,
+// superstep tokens, and barrier check-ins.
+type Queue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	name    string
+	nextID  uint64
+	visible []*QueueMessage
+	leased  map[uint64]*QueueMessage
+	closed  bool
+}
+
+// NewQueue creates an empty queue with the given name.
+func NewQueue(name string) *Queue {
+	q := &Queue{name: name, leased: make(map[uint64]*QueueMessage)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Name returns the queue name.
+func (q *Queue) Name() string { return q.name }
+
+// Put enqueues a message body. The body is copied.
+func (q *Queue) Put(body []byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.nextID++
+	msg := &QueueMessage{ID: q.nextID, Body: append([]byte(nil), body...)}
+	q.visible = append(q.visible, msg)
+	q.cond.Signal()
+}
+
+// Get leases the next visible message for the given visibility timeout.
+// It returns nil immediately if no message is visible (after reclaiming any
+// expired leases).
+func (q *Queue) Get(visibility time.Duration) *QueueMessage {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reclaimExpiredLocked(time.Now())
+	return q.leaseLocked(visibility)
+}
+
+// GetWait leases the next visible message, blocking up to maxWait for one to
+// arrive. Returns nil on timeout or if the queue is closed.
+func (q *Queue) GetWait(visibility, maxWait time.Duration) *QueueMessage {
+	deadline := time.Now().Add(maxWait)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		now := time.Now()
+		q.reclaimExpiredLocked(now)
+		if msg := q.leaseLocked(visibility); msg != nil {
+			return msg
+		}
+		if q.closed || !now.Before(deadline) {
+			return nil
+		}
+		// Poll: leases may expire and Puts may arrive. A short sleep outside
+		// the lock keeps the loop cheap without busy-waiting.
+		q.mu.Unlock()
+		time.Sleep(200 * time.Microsecond)
+		q.mu.Lock()
+	}
+}
+
+func (q *Queue) leaseLocked(visibility time.Duration) *QueueMessage {
+	if len(q.visible) == 0 {
+		return nil
+	}
+	msg := q.visible[0]
+	q.visible = q.visible[1:]
+	msg.DequeueCount++
+	msg.leaseExpiry = time.Now().Add(visibility)
+	q.leased[msg.ID] = msg
+	return msg
+}
+
+func (q *Queue) reclaimExpiredLocked(now time.Time) {
+	for id, msg := range q.leased {
+		if now.After(msg.leaseExpiry) {
+			delete(q.leased, id)
+			q.visible = append(q.visible, msg)
+		}
+	}
+}
+
+// Delete acknowledges a leased message, removing it permanently. Deleting an
+// unknown or already-expired lease returns an error, matching the cloud API.
+func (q *Queue) Delete(id uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.leased[id]; !ok {
+		return fmt.Errorf("cloud: queue %q: delete of unleased message %d", q.name, id)
+	}
+	delete(q.leased, id)
+	return nil
+}
+
+// Len returns the number of currently visible messages.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reclaimExpiredLocked(time.Now())
+	return len(q.visible)
+}
+
+// Close wakes all blocked consumers; subsequent Puts are dropped.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// QueueService is a namespace of queues, like an Azure storage account.
+type QueueService struct {
+	mu     sync.Mutex
+	queues map[string]*Queue
+}
+
+// NewQueueService creates an empty queue namespace.
+func NewQueueService() *QueueService {
+	return &QueueService{queues: make(map[string]*Queue)}
+}
+
+// Queue returns the named queue, creating it on first use.
+func (s *QueueService) Queue(name string) *Queue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		q = NewQueue(name)
+		s.queues[name] = q
+	}
+	return q
+}
+
+// CloseAll closes every queue in the namespace.
+func (s *QueueService) CloseAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, q := range s.queues {
+		q.Close()
+	}
+}

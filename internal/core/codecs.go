@@ -1,0 +1,63 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Common message codecs shared by the built-in algorithms and tests.
+
+// Float64Codec encodes float64 messages as 8 little-endian bytes.
+type Float64Codec struct{}
+
+// Append implements Codec.
+func (Float64Codec) Append(buf []byte, m float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(m))
+	return append(buf, b[:]...)
+}
+
+// Decode implements Codec.
+func (Float64Codec) Decode(data []byte) (float64, int) {
+	return math.Float64frombits(binary.LittleEndian.Uint64(data)), 8
+}
+
+// Size implements Codec.
+func (Float64Codec) Size(float64) int { return 8 }
+
+// Uint32Codec encodes uint32 messages as 4 little-endian bytes.
+type Uint32Codec struct{}
+
+// Append implements Codec.
+func (Uint32Codec) Append(buf []byte, m uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], m)
+	return append(buf, b[:]...)
+}
+
+// Decode implements Codec.
+func (Uint32Codec) Decode(data []byte) (uint32, int) {
+	return binary.LittleEndian.Uint32(data), 4
+}
+
+// Size implements Codec.
+func (Uint32Codec) Size(uint32) int { return 4 }
+
+// SumCombiner is a Pregel combiner that adds float64 messages (e.g. partial
+// PageRank contributions to the same target vertex).
+type SumCombiner struct{}
+
+// Combine implements Combiner.
+func (SumCombiner) Combine(a, b float64) float64 { return a + b }
+
+// MinUint32Combiner keeps the minimum of uint32 messages (e.g. BFS/SSSP
+// distances).
+type MinUint32Combiner struct{}
+
+// Combine implements Combiner.
+func (MinUint32Combiner) Combine(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"pregelnet/internal/graph"
+)
+
+// TestContextAccessors verifies every Context accessor from inside Compute.
+func TestContextAccessors(t *testing.T) {
+	g := graph.Star(9) // vertex 0: degree 8; leaves: degree 1
+	var mu sync.Mutex
+	checked := map[graph.VertexID]bool{}
+	spec := JobSpec[uint32]{
+		Graph:      g,
+		NumWorkers: 3,
+		Codec:      Uint32Codec{},
+		NewProgram: func(workerID int, _ *graph.Graph, owned []graph.VertexID) VertexProgram[uint32] {
+			return computeFunc[uint32](func(ctx *Context[uint32], msgs []uint32) {
+				mu.Lock()
+				defer mu.Unlock()
+				v := ctx.Vertex()
+				checked[v] = true
+				if ctx.NumVertices() != 9 {
+					t.Errorf("NumVertices = %d", ctx.NumVertices())
+				}
+				if ctx.NumWorkers() != 3 {
+					t.Errorf("NumWorkers = %d", ctx.NumWorkers())
+				}
+				if ctx.WorkerID() != workerID {
+					t.Errorf("WorkerID = %d, want %d", ctx.WorkerID(), workerID)
+				}
+				if int(v)%3 != workerID {
+					t.Errorf("vertex %d on worker %d with hash partitioning", v, workerID)
+				}
+				wantDeg := 1
+				if v == 0 {
+					wantDeg = 8
+				}
+				if ctx.Degree() != wantDeg {
+					t.Errorf("vertex %d degree = %d, want %d", v, ctx.Degree(), wantDeg)
+				}
+				if len(ctx.Neighbors()) != wantDeg {
+					t.Errorf("vertex %d neighbors = %d", v, len(ctx.Neighbors()))
+				}
+				if ctx.Superstep() != 0 {
+					t.Errorf("superstep = %d", ctx.Superstep())
+				}
+				if li := ctx.LocalIndex(); li < 0 || li >= 3 {
+					t.Errorf("local index %d out of range for 9 vertices / 3 workers", li)
+				}
+				if _, ok := ctx.Agg("never-set"); ok {
+					t.Error("Agg of unknown name should report !ok")
+				}
+				ctx.VoteToHalt()
+			})
+		},
+		ActivateAll: true,
+	}
+	if _, err := Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if len(checked) != 9 {
+		t.Errorf("computed %d vertices, want 9", len(checked))
+	}
+}
+
+// TestSendToArbitraryVertex checks messaging beyond graph edges (Pregel
+// permits sending to any vertex id).
+func TestSendToArbitraryVertex(t *testing.T) {
+	g := graph.Ring(12)
+	var hits [12]bool
+	var mu sync.Mutex
+	spec := JobSpec[uint32]{
+		Graph:      g,
+		NumWorkers: 4,
+		Codec:      Uint32Codec{},
+		NewProgram: func(int, *graph.Graph, []graph.VertexID) VertexProgram[uint32] {
+			return computeFunc[uint32](func(ctx *Context[uint32], msgs []uint32) {
+				switch ctx.Superstep() {
+				case 0:
+					// Everyone messages vertex (v+6)%12 — the antipode, never
+					// a graph neighbor.
+					ctx.Send(graph.VertexID((int(ctx.Vertex())+6)%12), uint32(ctx.Vertex()))
+					ctx.VoteToHalt()
+				case 1:
+					if len(msgs) != 1 || int(msgs[0]) != (int(ctx.Vertex())+6)%12 {
+						t.Errorf("vertex %d got %v", ctx.Vertex(), msgs)
+					}
+					mu.Lock()
+					hits[ctx.Vertex()] = true
+					mu.Unlock()
+					ctx.VoteToHalt()
+				}
+			})
+		},
+		ActivateAll: true,
+	}
+	if _, err := Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	for v, hit := range hits {
+		if !hit {
+			t.Errorf("vertex %d never received its antipode message", v)
+		}
+	}
+}
+
+// TestSingleWorkerJob exercises the no-peer path (no sentinels, no remote
+// messages at all).
+func TestSingleWorkerJob(t *testing.T) {
+	g := graph.ErdosRenyi(100, 300, 31)
+	res, err := Run(bfsSpec(g, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBFSMatches(t, g, res, 0)
+	for _, s := range res.Steps {
+		if s.SentRemote != 0 || s.RemoteBytes != 0 {
+			t.Fatalf("single worker sent remote traffic: %+v", s)
+		}
+	}
+}
+
+// TestManyWorkersFewVertices: more workers than active vertices must not
+// deadlock or misroute.
+func TestManyWorkersFewVertices(t *testing.T) {
+	g := graph.Path(5)
+	res, err := Run(bfsSpec(g, 5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBFSMatches(t, g, res, 2)
+}
+
+// TestVertexStaysActiveWithoutHalt: a program that never votes keeps its
+// vertex computing every superstep until MaxSupersteps; with a master
+// compute halting at step 3 the job ends cleanly.
+func TestVertexStaysActiveWithoutHalt(t *testing.T) {
+	g := graph.Ring(6)
+	var computes [6]int
+	var mu sync.Mutex
+	spec := JobSpec[uint32]{
+		Graph:      g,
+		NumWorkers: 2,
+		Codec:      Uint32Codec{},
+		NewProgram: func(int, *graph.Graph, []graph.VertexID) VertexProgram[uint32] {
+			return computeFunc[uint32](func(ctx *Context[uint32], _ []uint32) {
+				mu.Lock()
+				computes[ctx.Vertex()]++
+				mu.Unlock()
+				// no VoteToHalt: stays active
+			})
+		},
+		ActivateAll: true,
+		MasterCompute: func(superstep int, _ map[string]float64) error {
+			if superstep == 3 {
+				return ErrHaltJob
+			}
+			return nil
+		},
+	}
+	if _, err := Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range computes {
+		if c != 4 {
+			t.Errorf("vertex %d computed %d times, want 4", v, c)
+		}
+	}
+}

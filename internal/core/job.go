@@ -1,0 +1,237 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pregelnet/internal/cloud"
+	"pregelnet/internal/graph"
+	"pregelnet/internal/partition"
+	"pregelnet/internal/transport"
+)
+
+// msgWireOverhead is the per-message framing inside a batch payload:
+// 4 bytes destination vertex + 4 bytes message length.
+const msgWireOverhead = 8
+
+func appendMsgHeader(buf []byte, to graph.VertexID, size int) []byte {
+	var hdr [msgWireOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(to))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(size))
+	return append(buf, hdr[:]...)
+}
+
+func readMsgHeader(data []byte) (to graph.VertexID, size int) {
+	return graph.VertexID(binary.LittleEndian.Uint32(data[0:])),
+		int(binary.LittleEndian.Uint32(data[4:]))
+}
+
+// JobSpec configures a BSP job.
+type JobSpec[M any] struct {
+	// Graph is the input graph, shared read-only by all workers (each worker
+	// loads it from the blob store in the real deployment; here they share
+	// the in-memory CSR structure and own disjoint vertex partitions).
+	Graph *graph.Graph
+	// Assignment maps vertices to workers. Defaults to hash partitioning.
+	Assignment partition.Assignment
+	// NumWorkers is the number of partition workers.
+	NumWorkers int
+	// NewProgram creates worker-local program instances.
+	NewProgram func(workerID int, g *graph.Graph, owned []graph.VertexID) VertexProgram[M]
+	// Codec serializes messages.
+	Codec Codec[M]
+	// Combiner, if non-nil, merges messages addressed to the same vertex
+	// (sender side and on delivery).
+	Combiner Combiner[M]
+	// Scheduler injects swaths of source vertices over time. Nil means no
+	// injections (use ActivateAll for algorithms like PageRank).
+	Scheduler SwathScheduler
+	// ActivateAll starts every vertex active in superstep 0.
+	ActivateAll bool
+	// CostModel prices resource usage into simulated time. Zero value means
+	// cloud.DefaultCostModel(cloud.LargeVM()).
+	CostModel cloud.CostModel
+	// Network is the data plane; nil defaults to an in-process channel
+	// network.
+	Network transport.Network
+	// Queues is the control plane namespace; nil allocates a private one.
+	Queues *cloud.QueueService
+	// MaxSupersteps aborts runaway jobs (default 100000).
+	MaxSupersteps int
+	// FlushBytes is the bulk-transfer buffer threshold (default 64 KiB).
+	FlushBytes int
+	// AggregatorOps overrides reduction ops for named aggregators; any
+	// unlisted name uses AggSum. Names ending in '*' register a prefix.
+	AggregatorOps map[string]AggOp
+	// ComputeParallelism overrides the number of compute goroutines per
+	// worker (default: the cost model's VM core count).
+	ComputeParallelism int
+	// CheckpointEvery enables fault recovery: every Nth superstep each
+	// worker snapshots its state to the checkpoint store before computing.
+	// Requires the vertex program to implement Checkpointable. 0 disables.
+	CheckpointEvery int
+	// CheckpointStore holds snapshots (nil allocates a private store).
+	CheckpointStore *cloud.BlobStore
+	// MaxRecoveries bounds rollback attempts before the job fails for good
+	// (default 3 when checkpointing is enabled).
+	MaxRecoveries int
+	// FailureInjector is a test/chaos hook: if non-nil it is consulted once
+	// per worker per superstep (after the superstep's work completes); a
+	// non-nil error simulates that worker's VM failing, triggering recovery.
+	FailureInjector func(worker, superstep int) error
+	// MasterCompute, if non-nil, runs on the manager after every superstep
+	// with the reduced aggregator values (GPS-style global computation). It
+	// may mutate the map (values are broadcast to vertices next superstep).
+	// Returning ErrHaltJob stops the job cleanly; any other error aborts it.
+	MasterCompute func(superstep int, aggs map[string]float64) error
+}
+
+// ErrHaltJob is returned by a MasterCompute hook to stop the job cleanly
+// (e.g. a convergence test), mirroring GPS's master-driven termination.
+var ErrHaltJob = errors.New("core: job halted by master compute")
+
+func (s *JobSpec[M]) withDefaults() (JobSpec[M], error) {
+	spec := *s
+	if spec.Graph == nil {
+		return spec, fmt.Errorf("core: JobSpec.Graph is required")
+	}
+	if spec.NumWorkers <= 0 {
+		return spec, fmt.Errorf("core: NumWorkers must be positive, got %d", spec.NumWorkers)
+	}
+	if spec.NewProgram == nil {
+		return spec, fmt.Errorf("core: JobSpec.NewProgram is required")
+	}
+	if spec.Codec == nil {
+		return spec, fmt.Errorf("core: JobSpec.Codec is required")
+	}
+	if spec.Assignment == nil {
+		spec.Assignment = partition.Hash{}.Partition(spec.Graph, spec.NumWorkers)
+	}
+	if len(spec.Assignment) != spec.Graph.NumVertices() {
+		return spec, fmt.Errorf("core: assignment covers %d vertices, graph has %d",
+			len(spec.Assignment), spec.Graph.NumVertices())
+	}
+	if err := spec.Assignment.Validate(spec.NumWorkers); err != nil {
+		return spec, err
+	}
+	if spec.CostModel.Spec.Cores == 0 {
+		spec.CostModel = cloud.DefaultCostModel(cloud.LargeVM())
+	}
+	if spec.MaxSupersteps <= 0 {
+		spec.MaxSupersteps = 100000
+	}
+	if spec.FlushBytes <= 0 {
+		spec.FlushBytes = 64 << 10
+	}
+	if spec.ComputeParallelism <= 0 {
+		spec.ComputeParallelism = spec.CostModel.Spec.Cores
+	}
+	if spec.Queues == nil {
+		spec.Queues = cloud.NewQueueService()
+	}
+	if spec.CheckpointEvery > 0 {
+		if spec.CheckpointStore == nil {
+			spec.CheckpointStore = cloud.NewBlobStore()
+		}
+		if spec.MaxRecoveries <= 0 {
+			spec.MaxRecoveries = 3
+		}
+	}
+	return spec, nil
+}
+
+// StepStats summarizes one completed superstep, combining the barrier
+// check-ins of all workers. These are the quantities the paper plots in
+// Figs 3, 5, 7, 9-15.
+type StepStats struct {
+	Superstep int
+	// ActiveVertices is the number of vertices computed this superstep.
+	ActiveVertices int64
+	// ActiveAfter is the number of vertices that had not voted to halt by
+	// the end of the superstep (used for halt detection; a halted vertex is
+	// still recomputed if a message arrives).
+	ActiveAfter int64
+	// Injected is the number of swath sources injected this superstep.
+	Injected int
+	// SentLocal/SentRemote count data messages emitted this superstep.
+	SentLocal  int64
+	SentRemote int64
+	// RemoteBytes is the serialized bulk-transfer volume.
+	RemoteBytes int64
+	// PeakMemoryBytes is the largest per-worker memory footprint (message
+	// buffers + program state).
+	PeakMemoryBytes int64
+	// ComputeOps is the total abstract compute operations.
+	ComputeOps int64
+	// Per-worker breakdowns (index = worker id).
+	WorkerSent   []int64 // messages emitted per worker (Figs 10-14)
+	WorkerMemory []int64 // peak memory per worker
+	WorkerActive []int64 // vertices computed per worker
+	// Simulated-time results from the cost model.
+	SimSeconds        float64   // full superstep duration (max worker + barrier)
+	WorkerSimSeconds  []float64 // each worker's active compute+I/O seconds
+	BarrierSimSeconds float64   // barrier overhead component
+	// Aggregates holds the reduced aggregator values contributed this step.
+	Aggregates map[string]float64
+}
+
+// TotalSent returns local + remote messages emitted in the superstep.
+func (s *StepStats) TotalSent() int64 { return s.SentLocal + s.SentRemote }
+
+// Utilization returns the mean fraction of superstep time workers spent
+// actively computing/communicating rather than waiting at the barrier
+// (the "VM utilization %" of Figs 9 and 12).
+func (s *StepStats) Utilization() float64 {
+	if s.SimSeconds <= 0 || len(s.WorkerSimSeconds) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, w := range s.WorkerSimSeconds {
+		sum += w / s.SimSeconds
+	}
+	return sum / float64(len(s.WorkerSimSeconds))
+}
+
+// JobResult is the outcome of a completed job.
+type JobResult[M any] struct {
+	// Programs are the per-worker program instances, for result extraction.
+	Programs []VertexProgram[M]
+	// Owned lists each worker's vertices, aligned with Programs.
+	Owned [][]graph.VertexID
+	// Steps are the per-superstep statistics in order.
+	Steps []StepStats
+	// SimSeconds is the total simulated runtime (Σ step SimSeconds).
+	SimSeconds float64
+	// WallSeconds is the real elapsed time of the run.
+	WallSeconds float64
+	// CostDollars and VMSeconds are the simulated bill for the worker VMs.
+	CostDollars float64
+	VMSeconds   float64
+	// Supersteps is the number of superstep executions, including any
+	// re-executed after recoveries.
+	Supersteps int
+	// Recoveries counts checkpoint rollbacks performed.
+	Recoveries int
+}
+
+// TotalMessages returns the total data messages exchanged over the job.
+func (r *JobResult[M]) TotalMessages() int64 {
+	var t int64
+	for i := range r.Steps {
+		t += r.Steps[i].TotalSent()
+	}
+	return t
+}
+
+// PeakMemory returns the largest per-worker memory footprint seen in any
+// superstep.
+func (r *JobResult[M]) PeakMemory() int64 {
+	var peak int64
+	for i := range r.Steps {
+		if r.Steps[i].PeakMemoryBytes > peak {
+			peak = r.Steps[i].PeakMemoryBytes
+		}
+	}
+	return peak
+}

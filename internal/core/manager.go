@@ -1,0 +1,338 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"pregelnet/internal/cloud"
+	"pregelnet/internal/graph"
+)
+
+// manager coordinates supersteps: it posts step tokens to per-worker step
+// queues, waits for all workers to check in at the barrier queue, reduces
+// aggregators, asks the swath scheduler what to inject next, prices the
+// superstep with the cost model, and decides when to halt (paper §III).
+type manager[M any] struct {
+	spec     *JobSpec[M]
+	stepQs   []*cloud.Queue
+	barrierQ *cloud.Queue
+	fabric   *cloud.Fabric
+	aggOps   map[string]AggOp
+}
+
+func (m *manager[M]) aggOp(name string) AggOp {
+	if op, ok := m.aggOps[name]; ok {
+		return op
+	}
+	for pat, op := range m.aggOps {
+		if strings.HasSuffix(pat, "*") && strings.HasPrefix(name, pat[:len(pat)-1]) {
+			return op
+		}
+	}
+	return AggSum
+}
+
+// runError marks an error that aborts the whole job; the manager still
+// shuts workers down cleanly.
+type runError struct {
+	Superstep int
+	Err       error
+}
+
+func (e *runError) Error() string {
+	return fmt.Sprintf("core: superstep %d: %v", e.Superstep, e.Err)
+}
+
+func (e *runError) Unwrap() error { return e.Err }
+
+// run drives the job to completion and returns the per-superstep stats
+// (a timeline that may include re-executed supersteps after recoveries)
+// and the number of checkpoint rollbacks performed.
+func (m *manager[M]) run() (steps []StepStats, recoveries int, err error) {
+	var prev *StepStats
+	prevAggs := map[string]float64{}
+	// Injection log for replay after recovery: the scheduler is consulted
+	// exactly once per superstep number; re-executed supersteps reuse the
+	// recorded decision so scheduler state stays consistent.
+	injectionLog := make(map[int][]graph.VertexID)
+	aggLog := make(map[int]map[string]float64) // broadcast values per superstep
+	statsBySuperstep := make(map[int]StepStats)
+	scheduledThrough := -1
+	lastCheckpoint := -1
+
+	// rollback rolls every worker back to the last checkpoint.
+	rollback := func(superstep int, cause error) error {
+		if m.spec.CheckpointEvery <= 0 || lastCheckpoint < 0 {
+			return cause
+		}
+		if recoveries >= m.spec.MaxRecoveries {
+			return fmt.Errorf("giving up after %d recoveries: %w", recoveries, cause)
+		}
+		recoveries++
+		target := lastCheckpoint
+		for w := 0; w < m.spec.NumWorkers; w++ {
+			body, merr := json.Marshal(stepToken{RestoreTo: &target})
+			if merr != nil {
+				return merr
+			}
+			m.stepQs[w].Put(body)
+		}
+		if aerr := m.collectRestoreAcks(target); aerr != nil {
+			return fmt.Errorf("recovery to superstep %d failed: %w (original: %v)", target, aerr, cause)
+		}
+		return nil
+	}
+
+	superstep := 0
+	for {
+		if superstep >= m.spec.MaxSupersteps {
+			m.halt()
+			return steps, recoveries, &runError{superstep, fmt.Errorf("exceeded MaxSupersteps=%d", m.spec.MaxSupersteps)}
+		}
+		// Ask the scheduler what to inject before this superstep — unless
+		// this superstep is a post-recovery replay, which reuses the log.
+		var injections []graph.VertexID
+		if superstep <= scheduledThrough {
+			injections = injectionLog[superstep]
+			prevAggs = aggLog[superstep]
+		} else {
+			if m.spec.Scheduler != nil {
+				injections = m.spec.Scheduler.NextSources(prev)
+			}
+			injectionLog[superstep] = injections
+			aggLog[superstep] = prevAggs
+			scheduledThrough = superstep
+		}
+		// Halt detection: nothing active, nothing in flight, nothing left to
+		// inject. At superstep 0 there must be some source of activation.
+		if superstep == 0 {
+			if !m.spec.ActivateAll && len(injections) == 0 && m.spec.Scheduler == nil {
+				m.halt()
+				return steps, recoveries, &runError{0, fmt.Errorf("no initial activation: set ActivateAll or a Scheduler")}
+			}
+		} else if len(injections) == 0 &&
+			prev.ActiveAfter == 0 && prev.TotalSent() == 0 &&
+			(m.spec.Scheduler == nil || m.spec.Scheduler.Done()) {
+			m.halt()
+			return steps, recoveries, nil
+		}
+
+		checkpoint := m.spec.CheckpointEvery > 0 && superstep%m.spec.CheckpointEvery == 0
+
+		// Route injections to their owning workers and send step tokens.
+		perWorker := make([][]graph.VertexID, m.spec.NumWorkers)
+		for _, v := range injections {
+			wID := m.spec.Assignment[v]
+			perWorker[wID] = append(perWorker[wID], v)
+		}
+		for w := 0; w < m.spec.NumWorkers; w++ {
+			tok := stepToken{Superstep: superstep, Injections: perWorker[w],
+				Aggregates: prevAggs, Checkpoint: checkpoint}
+			body, merr := json.Marshal(tok)
+			if merr != nil {
+				m.halt()
+				return steps, recoveries, &runError{superstep, merr}
+			}
+			m.stepQs[w].Put(body)
+		}
+
+		// Collect one barrier check-in per worker. Worker failures (chaos
+		// injection or anything the worker reports) trigger rollback.
+		stats, cerr := m.collectBarrier(superstep)
+		if cerr != nil {
+			if rerr := rollback(superstep, cerr); rerr != nil {
+				m.halt()
+				return steps, recoveries, &runError{superstep, rerr}
+			}
+			prev = restorePrev(statsBySuperstep, lastCheckpoint)
+			superstep = lastCheckpoint
+			continue
+		}
+		if checkpoint {
+			lastCheckpoint = superstep
+		}
+		stats.Injected = len(injections)
+
+		// Price the superstep and advance the pay-per-use meter. A memory
+		// blowout here is the fabric restarting a thrashing VM — also
+		// recoverable when checkpoints exist.
+		usages := make([]cloud.WorkerStepUsage, m.spec.NumWorkers)
+		for w := 0; w < m.spec.NumWorkers; w++ {
+			usages[w] = cloud.WorkerStepUsage{
+				ComputeOps:      stats.ComputeOpsPerWorker[w],
+				LocalMessages:   0,
+				RemoteBytesOut:  stats.BytesOutPerWorker[w],
+				RemoteBytesIn:   stats.BytesInPerWorker[w],
+				PeakMemoryBytes: stats.WorkerMemory[w],
+				Peers:           stats.PeersPerWorker[w],
+			}
+		}
+		simTotal, perWorkerSec, serr := m.spec.CostModel.SuperstepSeconds(usages)
+		if serr != nil {
+			if rerr := rollback(superstep, serr); rerr != nil {
+				m.halt()
+				return steps, recoveries, &runError{superstep, rerr}
+			}
+			prev = restorePrev(statsBySuperstep, lastCheckpoint)
+			superstep = lastCheckpoint
+			continue
+		}
+		stats.SimSeconds = simTotal
+		stats.WorkerSimSeconds = perWorkerSec
+		stats.BarrierSimSeconds = m.spec.CostModel.BarrierSeconds(m.spec.NumWorkers)
+		m.fabric.Advance(simTotal)
+
+		stats.Aggregates = stats.aggPartial
+		prevAggs = stats.aggPartial
+		if prevAggs == nil {
+			prevAggs = map[string]float64{}
+		}
+		// GPS-style master compute: global logic over the reduced
+		// aggregators, optionally mutating what gets broadcast.
+		if m.spec.MasterCompute != nil {
+			if hookErr := m.spec.MasterCompute(superstep, prevAggs); hookErr != nil {
+				steps = append(steps, stats.StepStats)
+				m.halt()
+				if errors.Is(hookErr, ErrHaltJob) {
+					return steps, recoveries, nil
+				}
+				return steps, recoveries, &runError{superstep, hookErr}
+			}
+		}
+		steps = append(steps, stats.StepStats)
+		statsBySuperstep[superstep] = stats.StepStats
+		prev = &steps[len(steps)-1]
+		superstep++
+	}
+}
+
+// restorePrev returns the stats preceding the checkpointed superstep, for
+// halt checks during replay (nil when rolling back to superstep 0).
+func restorePrev(bySuper map[int]StepStats, checkpoint int) *StepStats {
+	if checkpoint <= 0 {
+		return nil
+	}
+	if s, ok := bySuper[checkpoint-1]; ok {
+		return &s
+	}
+	return nil
+}
+
+// collectRestoreAcks waits for every worker to confirm a rollback.
+func (m *manager[M]) collectRestoreAcks(target int) error {
+	seen := make([]bool, m.spec.NumWorkers)
+	for got := 0; got < m.spec.NumWorkers; {
+		lease := m.barrierQ.GetWait(queueVisibility, queueMaxWait)
+		if lease == nil {
+			return fmt.Errorf("timeout waiting for restore acks (%d/%d)", got, m.spec.NumWorkers)
+		}
+		var msg barrierMsg
+		err := json.Unmarshal(lease.Body, &msg)
+		_ = m.barrierQ.Delete(lease.ID)
+		if err != nil {
+			return fmt.Errorf("bad restore ack: %v", err)
+		}
+		if msg.Err != "" {
+			return fmt.Errorf("worker %d: %s", msg.Worker, msg.Err)
+		}
+		if !msg.Restored || msg.Superstep != target || msg.Worker < 0 ||
+			msg.Worker >= m.spec.NumWorkers || seen[msg.Worker] {
+			return fmt.Errorf("unexpected restore ack from worker %d (superstep %d)", msg.Worker, msg.Superstep)
+		}
+		seen[msg.Worker] = true
+		got++
+	}
+	return nil
+}
+
+// collected extends StepStats with manager-internal per-worker columns.
+type collected struct {
+	StepStats
+	ComputeOpsPerWorker []int64
+	BytesOutPerWorker   []int64
+	BytesInPerWorker    []int64
+	PeersPerWorker      []int
+	aggPartial          map[string]float64
+}
+
+func (m *manager[M]) collectBarrier(superstep int) (collected, error) {
+	n := m.spec.NumWorkers
+	c := collected{
+		StepStats: StepStats{
+			Superstep:    superstep,
+			WorkerSent:   make([]int64, n),
+			WorkerMemory: make([]int64, n),
+			WorkerActive: make([]int64, n),
+		},
+		ComputeOpsPerWorker: make([]int64, n),
+		BytesOutPerWorker:   make([]int64, n),
+		BytesInPerWorker:    make([]int64, n),
+		PeersPerWorker:      make([]int, n),
+	}
+	seen := make([]bool, n)
+	var workerErr error
+	for got := 0; got < n; {
+		lease := m.barrierQ.GetWait(queueVisibility, queueMaxWait)
+		if lease == nil {
+			return c, fmt.Errorf("barrier timeout waiting for workers at superstep %d (%d/%d)", superstep, got, n)
+		}
+		var msg barrierMsg
+		err := json.Unmarshal(lease.Body, &msg)
+		_ = m.barrierQ.Delete(lease.ID)
+		if err != nil {
+			return c, fmt.Errorf("bad barrier message: %v", err)
+		}
+		if msg.Superstep != superstep || msg.Worker < 0 || msg.Worker >= n || seen[msg.Worker] {
+			return c, fmt.Errorf("unexpected barrier message: worker %d superstep %d (want %d)",
+				msg.Worker, msg.Superstep, superstep)
+		}
+		seen[msg.Worker] = true
+		got++
+		if msg.Err != "" {
+			// Keep draining the remaining check-ins so the queue is clean
+			// for a recovery attempt, then report the failure.
+			if workerErr == nil {
+				workerErr = fmt.Errorf("worker %d failed: %s", msg.Worker, msg.Err)
+			}
+			continue
+		}
+		w := msg.Worker
+		c.ActiveVertices += msg.Active
+		c.ActiveAfter += msg.ActiveAfter
+		c.SentLocal += msg.SentLocal
+		c.SentRemote += msg.SentRemote
+		c.RemoteBytes += msg.BytesOut
+		c.ComputeOps += msg.ComputeOps
+		c.WorkerSent[w] = msg.SentLocal + msg.SentRemote
+		c.WorkerMemory[w] = msg.PeakMemory
+		c.WorkerActive[w] = msg.Active
+		if msg.PeakMemory > c.PeakMemoryBytes {
+			c.PeakMemoryBytes = msg.PeakMemory
+		}
+		c.ComputeOpsPerWorker[w] = msg.ComputeOps
+		c.BytesOutPerWorker[w] = msg.BytesOut
+		c.BytesInPerWorker[w] = msg.BytesIn
+		c.PeersPerWorker[w] = msg.Peers
+		for name, v := range msg.Aggregates {
+			if c.aggPartial == nil {
+				c.aggPartial = make(map[string]float64)
+			}
+			if prevV, ok := c.aggPartial[name]; ok {
+				c.aggPartial[name] = m.aggOp(name).combine(prevV, v)
+			} else {
+				c.aggPartial[name] = v
+			}
+		}
+	}
+	return c, workerErr
+}
+
+// halt sends halt tokens so every worker exits cleanly.
+func (m *manager[M]) halt() {
+	body, _ := json.Marshal(stepToken{Halt: true})
+	for _, q := range m.stepQs {
+		q.Put(body)
+	}
+}

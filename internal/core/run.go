@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pregelnet/internal/cloud"
+	"pregelnet/internal/graph"
+	"pregelnet/internal/transport"
+)
+
+// Run executes a BSP job to completion: it allocates worker VMs from a
+// fabric, wires the control plane (queues) and data plane (network), runs
+// one goroutine per partition worker plus the manager, and returns the
+// per-superstep statistics, simulated runtime, and simulated cost.
+func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
+	s, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	// Build per-worker vertex lists and the global→local index.
+	n := s.Graph.NumVertices()
+	owned := make([][]graph.VertexID, s.NumWorkers)
+	globalToLocal := make([]int32, n)
+	for v := 0; v < n; v++ {
+		w := s.Assignment[v]
+		globalToLocal[v] = int32(len(owned[w]))
+		owned[w] = append(owned[w], graph.VertexID(v))
+	}
+	// Each worker needs its own global→local view: -1 for non-owned.
+	perWorkerIndex := make([][]int32, s.NumWorkers)
+	for w := range perWorkerIndex {
+		perWorkerIndex[w] = make([]int32, n)
+		for v := range perWorkerIndex[w] {
+			perWorkerIndex[w][v] = -1
+		}
+	}
+	for v := 0; v < n; v++ {
+		w := s.Assignment[v]
+		perWorkerIndex[w][v] = globalToLocal[v]
+	}
+
+	network := s.Network
+	if network == nil {
+		network = transport.NewChannelNetwork(s.NumWorkers, 1024)
+		defer network.Close()
+	}
+	if network.NumWorkers() < s.NumWorkers {
+		return nil, fmt.Errorf("core: network has %d endpoints, need %d", network.NumWorkers(), s.NumWorkers)
+	}
+
+	fabric := cloud.NewFabric()
+	vms := fabric.Acquire(s.CostModel.Spec, s.NumWorkers)
+
+	workers := make([]*worker[M], s.NumWorkers)
+	for w := 0; w < s.NumWorkers; w++ {
+		ep, err := network.Endpoint(w)
+		if err != nil {
+			return nil, err
+		}
+		workers[w] = newWorker(&s, w, owned[w], perWorkerIndex[w], ep, s.AggregatorOps)
+	}
+
+	mgr := &manager[M]{
+		spec:     &s,
+		stepQs:   make([]*cloud.Queue, s.NumWorkers),
+		barrierQ: s.Queues.Queue("barrier"),
+		fabric:   fabric,
+		aggOps:   s.AggregatorOps,
+	}
+	for w := 0; w < s.NumWorkers; w++ {
+		mgr.stepQs[w] = s.Queues.Queue(fmt.Sprintf("step-%d", w))
+	}
+
+	start := time.Now()
+	if s.CheckpointEvery > 0 {
+		if _, ok := workers[0].program.(Checkpointable); !ok {
+			return nil, fmt.Errorf("core: CheckpointEvery set but program %T does not implement Checkpointable", workers[0].program)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker[M]) {
+			defer wg.Done()
+			w.run()
+		}(w)
+	}
+	steps, recoveries, runErr := mgr.run()
+	// Unblock any worker stuck waiting for tokens, then join.
+	s.Queues.CloseAll()
+	wg.Wait()
+	for _, vm := range vms {
+		_ = fabric.Release(vm)
+	}
+
+	result := &JobResult[M]{
+		Programs:    make([]VertexProgram[M], s.NumWorkers),
+		Owned:       owned,
+		Steps:       steps,
+		WallSeconds: time.Since(start).Seconds(),
+		CostDollars: fabric.CostDollars(),
+		VMSeconds:   fabric.VMSeconds(),
+		Supersteps:  len(steps),
+		Recoveries:  recoveries,
+	}
+	for w := range workers {
+		result.Programs[w] = workers[w].program
+	}
+	for i := range steps {
+		result.SimSeconds += steps[i].SimSeconds
+	}
+	if runErr != nil {
+		return result, runErr
+	}
+	return result, nil
+}

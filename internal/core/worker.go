@@ -1,0 +1,552 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pregelnet/internal/cloud"
+	"pregelnet/internal/graph"
+	"pregelnet/internal/partition"
+	"pregelnet/internal/transport"
+)
+
+const (
+	inboxStripes    = 64
+	queueVisibility = 30 * time.Second
+	queueMaxWait    = 10 * time.Minute
+)
+
+// stepToken is the manager→worker control message starting one superstep.
+type stepToken struct {
+	Superstep  int                `json:"s"`
+	Halt       bool               `json:"halt,omitempty"`
+	Injections []graph.VertexID   `json:"inj,omitempty"`
+	Aggregates map[string]float64 `json:"agg,omitempty"`
+	// Checkpoint asks the worker to snapshot its state before computing.
+	Checkpoint bool `json:"ckpt,omitempty"`
+	// RestoreTo, when non-nil, asks the worker to roll back to the snapshot
+	// taken before the given superstep instead of computing.
+	RestoreTo *int `json:"restore,omitempty"`
+}
+
+// barrierMsg is the worker→manager check-in ending one superstep. It carries
+// the per-worker statistics the manager needs for halt detection, swath
+// heuristics, cost modelling, and the paper's per-worker plots.
+type barrierMsg struct {
+	Worker      int                `json:"w"`
+	Superstep   int                `json:"s"`
+	Active      int64              `json:"active"`
+	ActiveAfter int64              `json:"after"`
+	SentLocal   int64              `json:"sl"`
+	SentRemote  int64              `json:"sr"`
+	RecvRemote  int64              `json:"rr"`
+	BytesOut    int64              `json:"bo"`
+	BytesIn     int64              `json:"bi"`
+	PeakMemory  int64              `json:"mem"`
+	ComputeOps  int64              `json:"ops"`
+	Peers       int                `json:"peers"`
+	Aggregates  map[string]float64 `json:"agg,omitempty"`
+	Err         string             `json:"err,omitempty"`
+	Restored    bool               `json:"restored,omitempty"`
+}
+
+type worker[M any] struct {
+	id         int
+	numWorkers int
+	g          *graph.Graph
+	assign     partition.Assignment
+	codec      Codec[M]
+	combiner   Combiner[M]
+	flushBytes int
+	aggOps     map[string]AggOp
+	parallel   int
+
+	owned         []graph.VertexID
+	globalToLocal []int32
+	halted        []bool
+	program       VertexProgram[M]
+
+	inboxCur      [][]M
+	inboxCurBytes int64
+	inboxNext     [][]M
+	inboxNextByts atomic.Int64
+	inboxLocks    [inboxStripes]sync.Mutex
+
+	endpoint transport.Endpoint
+	stepQ    *cloud.Queue
+	barrierQ *cloud.Queue
+
+	ckptStore  *cloud.BlobStore
+	failInject func(worker, superstep int) error
+
+	superstep   int
+	prevAggs    map[string]float64
+	injectedSet map[int32]bool
+
+	aggMu    sync.Mutex
+	stepAggs map[string]float64
+
+	// Per-step counters (reset at step start). Receiver-side counters are
+	// atomics because the receive goroutine updates them concurrently.
+	statSentLocal  atomic.Int64
+	statSentRemote atomic.Int64
+	statBytesOut   atomic.Int64
+	statComputeOps atomic.Int64
+	peersContacted []atomic.Bool
+
+	// Receive-side counters are keyed by the batch's superstep: a fast peer
+	// can deliver step-s batches before this worker has even started step s,
+	// so a per-step reset would race (and make BytesIn nondeterministic).
+	recvMu    sync.Mutex
+	recvMsgs  map[int]int64
+	recvBytes map[int]int64
+
+	// Sentinel tracking: peers that finished sending for a given superstep.
+	sentinelMu   sync.Mutex
+	sentinelCond *sync.Cond
+	sentinels    map[int]int
+
+	sendMu sync.Mutex // serializes endpoint.Send across compute goroutines
+}
+
+func newWorker[M any](spec *JobSpec[M], id int, owned []graph.VertexID,
+	globalToLocal []int32, ep transport.Endpoint, aggOps map[string]AggOp) *worker[M] {
+	w := &worker[M]{
+		id:             id,
+		numWorkers:     spec.NumWorkers,
+		g:              spec.Graph,
+		assign:         spec.Assignment,
+		codec:          spec.Codec,
+		combiner:       spec.Combiner,
+		flushBytes:     spec.FlushBytes,
+		aggOps:         aggOps,
+		parallel:       spec.ComputeParallelism,
+		owned:          owned,
+		globalToLocal:  globalToLocal,
+		halted:         make([]bool, len(owned)),
+		inboxCur:       make([][]M, len(owned)),
+		inboxNext:      make([][]M, len(owned)),
+		endpoint:       ep,
+		stepQ:          spec.Queues.Queue(fmt.Sprintf("step-%d", id)),
+		barrierQ:       spec.Queues.Queue("barrier"),
+		peersContacted: make([]atomic.Bool, spec.NumWorkers),
+		sentinels:      make(map[int]int),
+		recvMsgs:       make(map[int]int64),
+		recvBytes:      make(map[int]int64),
+	}
+	w.sentinelCond = sync.NewCond(&w.sentinelMu)
+	w.ckptStore = spec.CheckpointStore
+	w.failInject = spec.FailureInjector
+	for i := range w.halted {
+		w.halted[i] = !spec.ActivateAll
+	}
+	w.program = spec.NewProgram(id, spec.Graph, owned)
+	return w
+}
+
+func (w *worker[M]) aggOp(name string) AggOp {
+	if op, ok := w.aggOps[name]; ok {
+		return op
+	}
+	for pat, op := range w.aggOps {
+		if strings.HasSuffix(pat, "*") && strings.HasPrefix(name, pat[:len(pat)-1]) {
+			return op
+		}
+	}
+	return AggSum
+}
+
+// run executes the worker loop until a halt token arrives or an error makes
+// progress impossible. It always reports via the barrier queue so the
+// manager never deadlocks.
+func (w *worker[M]) run() {
+	go w.receiveLoop()
+	for {
+		lease := w.stepQ.GetWait(queueVisibility, queueMaxWait)
+		if lease == nil {
+			return // queues closed: job torn down
+		}
+		var tok stepToken
+		err := json.Unmarshal(lease.Body, &tok)
+		_ = w.stepQ.Delete(lease.ID)
+		if err != nil {
+			w.checkIn(barrierMsg{Worker: w.id, Err: fmt.Sprintf("bad step token: %v", err)})
+			return
+		}
+		if tok.Halt {
+			w.endpoint.Close()
+			return
+		}
+		if tok.RestoreTo != nil {
+			msg := barrierMsg{Worker: w.id, Superstep: *tok.RestoreTo, Restored: true}
+			if err := w.restore(w.ckptStore, *tok.RestoreTo); err != nil {
+				msg.Err = err.Error()
+			}
+			w.checkIn(msg)
+			continue
+		}
+		w.runSuperstep(&tok)
+	}
+}
+
+func (w *worker[M]) runSuperstep(tok *stepToken) {
+	w.superstep = tok.Superstep
+	w.prevAggs = tok.Aggregates
+	w.resetStepCounters()
+	if tok.Checkpoint {
+		if err := w.snapshot(w.ckptStore); err != nil {
+			w.checkIn(barrierMsg{Worker: w.id, Superstep: w.superstep, Err: err.Error()})
+			return
+		}
+	}
+	// Re-establish peer sockets each superstep (paper §III: avoids socket
+	// timeouts on long-running jobs).
+	if err := w.endpoint.ResetPeers(); err != nil {
+		w.checkIn(barrierMsg{Worker: w.id, Superstep: w.superstep, Err: err.Error()})
+		return
+	}
+
+	// Determine the active set: vertices with pending messages, vertices
+	// that did not vote to halt, and scheduler injections.
+	injected := make(map[int32]bool, len(tok.Injections))
+	for _, v := range tok.Injections {
+		li := w.globalToLocal[v]
+		if li < 0 {
+			w.checkIn(barrierMsg{Worker: w.id, Superstep: w.superstep,
+				Err: fmt.Sprintf("injection %d not owned by worker %d", v, w.id)})
+			return
+		}
+		injected[li] = true
+	}
+	w.injectedSet = injected
+	active := make([]int32, 0, len(injected))
+	for i := range w.owned {
+		li := int32(i)
+		if len(w.inboxCur[li]) > 0 || !w.halted[li] || injected[li] {
+			active = append(active, li)
+		}
+	}
+
+	// Parallel compute across cores.
+	var wg sync.WaitGroup
+	p := w.parallel
+	if p > len(active) && len(active) > 0 {
+		p = len(active)
+	}
+	if p < 1 {
+		p = 1
+	}
+	errCh := make(chan error, p)
+	for slot := 0; slot < p; slot++ {
+		lo := len(active) * slot / p
+		hi := len(active) * (slot + 1) / p
+		wg.Add(1)
+		go func(vertices []int32) {
+			defer wg.Done()
+			if err := w.computeSlice(vertices); err != nil {
+				errCh <- err
+			}
+		}(active[lo:hi])
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		w.checkIn(barrierMsg{Worker: w.id, Superstep: w.superstep, Err: err.Error()})
+		return
+	default:
+	}
+
+	// All compute done and buffers flushed: notify peers and wait until
+	// every peer's data for this superstep has arrived (BSP barrier
+	// condition 2: all messages delivered).
+	if err := w.broadcastSentinels(); err != nil {
+		w.checkIn(barrierMsg{Worker: w.id, Superstep: w.superstep, Err: err.Error()})
+		return
+	}
+	w.awaitSentinels()
+
+	// Memory accounting: messages held for this step + messages buffered for
+	// the next + program state (paper §IV: buffered messages dominate).
+	var stateBytes int64
+	if sr, ok := w.program.(StateReporter); ok {
+		stateBytes = sr.StateBytes()
+	}
+	peakMem := w.inboxCurBytes + w.inboxNextByts.Load() + stateBytes
+
+	// Swap inboxes for the next superstep.
+	for i := range w.inboxCur {
+		w.inboxCur[i] = nil
+	}
+	w.inboxCur, w.inboxNext = w.inboxNext, w.inboxCur
+	w.inboxCurBytes = w.inboxNextByts.Load()
+	w.inboxNextByts.Store(0)
+
+	var activeAfter int64
+	for i := range w.halted {
+		if !w.halted[i] {
+			activeAfter++
+		}
+	}
+	peers := 0
+	for i := range w.peersContacted {
+		if w.peersContacted[i].Load() {
+			peers++
+		}
+	}
+	// All step-s batches have arrived (sentinels seen), so these totals are
+	// complete and deterministic.
+	w.recvMu.Lock()
+	recvMsgs := w.recvMsgs[w.superstep]
+	recvBytes := w.recvBytes[w.superstep]
+	delete(w.recvMsgs, w.superstep)
+	delete(w.recvBytes, w.superstep)
+	w.recvMu.Unlock()
+	// Chaos hook: simulate this worker's VM failing after the superstep's
+	// work (all messages delivered, so peers are in a consistent state).
+	if w.failInject != nil {
+		if err := w.failInject(w.id, w.superstep); err != nil {
+			w.checkIn(barrierMsg{Worker: w.id, Superstep: w.superstep, Err: err.Error()})
+			return
+		}
+	}
+	w.checkIn(barrierMsg{
+		Worker:      w.id,
+		Superstep:   w.superstep,
+		Active:      int64(len(active)),
+		ActiveAfter: activeAfter,
+		SentLocal:   w.statSentLocal.Load(),
+		SentRemote:  w.statSentRemote.Load(),
+		RecvRemote:  recvMsgs,
+		BytesOut:    w.statBytesOut.Load(),
+		BytesIn:     recvBytes,
+		PeakMemory:  peakMem,
+		ComputeOps:  w.statComputeOps.Load(),
+		Peers:       peers,
+		Aggregates:  w.drainAggs(),
+	})
+}
+
+// computeSlice runs the user program over a contiguous slice of active
+// local vertices using one Context, then flushes its remote buffers.
+func (w *worker[M]) computeSlice(vertices []int32) error {
+	ctx := &Context[M]{
+		w:            w,
+		superstep:    w.superstep,
+		outRemoteBuf: make([][]byte, w.numWorkers),
+		outRemoteCnt: make([]int32, w.numWorkers),
+		aggs:         make(map[string]float64),
+	}
+	if w.combiner != nil {
+		ctx.combineStage = make([]map[graph.VertexID]M, w.numWorkers)
+	}
+	for _, li := range vertices {
+		msgs := w.inboxCur[li]
+		w.inboxCur[li] = nil
+		ctx.vertex = w.owned[li]
+		ctx.local = li
+		ctx.injected = w.injectedThisStep(li)
+		ctx.halted = false
+		ctx.computeOps += int64(1 + len(msgs))
+		w.program.Compute(ctx, msgs)
+		w.halted[li] = ctx.halted
+	}
+	// Flush combiner stages into the wire buffers, then flush all buffers.
+	if ctx.combineStage != nil {
+		for dest, stage := range ctx.combineStage {
+			for to, m := range stage {
+				ctx.encodeRemote(dest, to, m)
+			}
+			ctx.combineStage[dest] = nil
+		}
+	}
+	for dest := range ctx.outRemoteBuf {
+		if len(ctx.outRemoteBuf[dest]) > 0 {
+			if err := w.flushSlotBufferErr(ctx, dest); err != nil {
+				return err
+			}
+		}
+	}
+	if ctx.flushErr != nil {
+		return ctx.flushErr
+	}
+	// Merge per-slot counters.
+	w.statComputeOps.Add(ctx.computeOps)
+	w.statSentLocal.Add(ctx.sentLocal)
+	w.statSentRemote.Add(ctx.sentRemote)
+	w.statBytesOut.Add(ctx.remoteBytesOut)
+	w.mergeAggs(ctx.aggs)
+	return nil
+}
+
+// injectedThisStep is threaded through a map rebuilt per superstep; to keep
+// the hot path branch-light the worker stores it in a field.
+func (w *worker[M]) injectedThisStep(li int32) bool {
+	return w.injectedSet != nil && w.injectedSet[li]
+}
+
+// deliverLocal appends a message to a co-located vertex's next-step inbox.
+// Called concurrently from compute goroutines and the receive loop.
+func (w *worker[M]) deliverLocal(li int32, m M, size int64) {
+	lock := &w.inboxLocks[int(li)%inboxStripes]
+	lock.Lock()
+	if w.combiner != nil && len(w.inboxNext[li]) > 0 {
+		w.inboxNext[li][0] = w.combiner.Combine(w.inboxNext[li][0], m)
+	} else {
+		w.inboxNext[li] = append(w.inboxNext[li], m)
+		w.inboxNextByts.Add(size)
+	}
+	lock.Unlock()
+}
+
+// flushSlotBuffer sends a slot's buffered batch for one destination worker
+// from the mid-step fast path. The first failure is recorded on the Context
+// and surfaced when the compute slice finishes, failing the superstep.
+func (w *worker[M]) flushSlotBuffer(c *Context[M], dest int) {
+	if err := w.flushSlotBufferErr(c, dest); err != nil && c.flushErr == nil {
+		c.flushErr = err
+	}
+}
+
+func (w *worker[M]) flushSlotBufferErr(c *Context[M], dest int) error {
+	buf := c.outRemoteBuf[dest]
+	if len(buf) == 0 {
+		return nil
+	}
+	b := &transport.Batch{
+		From:      int32(w.id),
+		To:        int32(dest),
+		Superstep: int32(w.superstep),
+		Count:     c.outRemoteCnt[dest],
+		Payload:   buf,
+	}
+	c.outRemoteBuf[dest] = nil
+	c.outRemoteCnt[dest] = 0
+	c.remoteBytesOut += b.WireSize()
+	w.peersContacted[dest].Store(true)
+	w.sendMu.Lock()
+	err := w.endpoint.Send(b)
+	w.sendMu.Unlock()
+	return err
+}
+
+// broadcastSentinels tells every peer this worker is done sending for the
+// current superstep. Sentinels are zero-payload batches with Count == -1.
+func (w *worker[M]) broadcastSentinels() error {
+	for dest := 0; dest < w.numWorkers; dest++ {
+		if dest == w.id {
+			continue
+		}
+		b := &transport.Batch{
+			From:      int32(w.id),
+			To:        int32(dest),
+			Superstep: int32(w.superstep),
+			Count:     -1,
+		}
+		w.sendMu.Lock()
+		err := w.endpoint.Send(b)
+		w.sendMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// awaitSentinels blocks until all peers have finished sending for the
+// current superstep.
+func (w *worker[M]) awaitSentinels() {
+	if w.numWorkers == 1 {
+		return
+	}
+	w.sentinelMu.Lock()
+	for w.sentinels[w.superstep] < w.numWorkers-1 {
+		w.sentinelCond.Wait()
+	}
+	delete(w.sentinels, w.superstep)
+	w.sentinelMu.Unlock()
+}
+
+// receiveLoop is the worker's background receive thread (paper §III): it
+// deserializes incoming batches and routes messages to target vertices'
+// next-superstep inboxes.
+func (w *worker[M]) receiveLoop() {
+	for {
+		b, err := w.endpoint.Recv()
+		if err != nil {
+			return // endpoint closed
+		}
+		if b.Count < 0 { // sentinel
+			w.sentinelMu.Lock()
+			w.sentinels[int(b.Superstep)]++
+			w.sentinelCond.Broadcast()
+			w.sentinelMu.Unlock()
+			continue
+		}
+		w.recvMu.Lock()
+		w.recvBytes[int(b.Superstep)] += b.WireSize()
+		w.recvMsgs[int(b.Superstep)] += int64(b.Count)
+		w.recvMu.Unlock()
+		data := b.Payload
+		for len(data) >= msgWireOverhead {
+			to, size := readMsgHeader(data)
+			data = data[msgWireOverhead:]
+			m, n := w.codec.Decode(data[:size])
+			_ = n
+			data = data[size:]
+			li := w.globalToLocal[to]
+			if li < 0 {
+				continue // misrouted: drop (cannot happen with valid assignment)
+			}
+			w.deliverLocal(li, m, int64(size+msgWireOverhead))
+		}
+	}
+}
+
+func (w *worker[M]) resetStepCounters() {
+	w.statSentLocal.Store(0)
+	w.statSentRemote.Store(0)
+	w.statBytesOut.Store(0)
+	w.statComputeOps.Store(0)
+	for i := range w.peersContacted {
+		w.peersContacted[i].Store(false)
+	}
+}
+
+func (w *worker[M]) checkIn(msg barrierMsg) {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		body = []byte(fmt.Sprintf(`{"w":%d,"s":%d,"err":"marshal: %v"}`, msg.Worker, msg.Superstep, err))
+	}
+	w.barrierQ.Put(body)
+}
+
+// Aggregator merging across compute slots.
+func (w *worker[M]) mergeAggs(slot map[string]float64) {
+	if len(slot) == 0 {
+		return
+	}
+	w.aggMu.Lock()
+	if w.stepAggs == nil {
+		w.stepAggs = make(map[string]float64)
+	}
+	for name, v := range slot {
+		if prev, ok := w.stepAggs[name]; ok {
+			w.stepAggs[name] = w.aggOp(name).combine(prev, v)
+		} else {
+			w.stepAggs[name] = v
+		}
+	}
+	w.aggMu.Unlock()
+}
+
+func (w *worker[M]) drainAggs() map[string]float64 {
+	w.aggMu.Lock()
+	aggs := w.stepAggs
+	w.stepAggs = nil
+	w.aggMu.Unlock()
+	return aggs
+}

@@ -1,0 +1,196 @@
+// Package elastic implements the paper's analysis of elastic cloud scaling
+// (§VIII): BC's per-superstep resource demand oscillates, so peak supersteps
+// benefit super-linearly from extra workers (less memory pressure and
+// contention) while trough supersteps are dominated by barrier overhead that
+// *grows* with worker count. The paper extrapolates from 4- and 8-worker
+// runs, aligned superstep by superstep (the worker count does not change the
+// superstep count), and evaluates scaling policies against fixed
+// deployments on both runtime and pro-rata VM-second cost.
+package elastic
+
+import (
+	"fmt"
+
+	"pregelnet/internal/core"
+)
+
+// Profile pairs two runs of the same job at different fixed worker counts,
+// aligned by superstep.
+type Profile struct {
+	WorkersLow  int
+	WorkersHigh int
+	Low         []core.StepStats // per-superstep stats at WorkersLow
+	High        []core.StepStats // per-superstep stats at WorkersHigh
+}
+
+// NewProfile validates and builds a profile. The runs must have executed the
+// same schedule; small tail differences are tolerated by truncating to the
+// shorter run.
+func NewProfile(workersLow int, low []core.StepStats, workersHigh int, high []core.StepStats) (*Profile, error) {
+	if workersLow >= workersHigh {
+		return nil, fmt.Errorf("elastic: low worker count %d must be < high %d", workersLow, workersHigh)
+	}
+	if len(low) == 0 || len(high) == 0 {
+		return nil, fmt.Errorf("elastic: empty runs")
+	}
+	n := len(low)
+	if len(high) < n {
+		n = len(high)
+	}
+	return &Profile{
+		WorkersLow:  workersLow,
+		WorkersHigh: workersHigh,
+		Low:         low[:n],
+		High:        high[:n],
+	}, nil
+}
+
+// Steps returns the aligned superstep count.
+func (p *Profile) Steps() int { return len(p.Low) }
+
+// SpeedupPerStep returns t_low/t_high per superstep — Fig 15 (bottom).
+// Values above WorkersHigh/WorkersLow are super-linear.
+func (p *Profile) SpeedupPerStep() []float64 {
+	out := make([]float64, p.Steps())
+	for i := range out {
+		if p.High[i].SimSeconds > 0 {
+			out[i] = p.Low[i].SimSeconds / p.High[i].SimSeconds
+		}
+	}
+	return out
+}
+
+// ActivePerStep returns active vertices per superstep (Fig 15 top); the two
+// runs agree on this by construction, so the low run's values are used.
+func (p *Profile) ActivePerStep() []int64 {
+	out := make([]int64, p.Steps())
+	for i := range out {
+		out[i] = p.Low[i].ActiveVertices
+	}
+	return out
+}
+
+// MaxActive returns the peak active-vertex count across the run.
+func (p *Profile) MaxActive() int64 {
+	var m int64
+	for _, a := range p.ActivePerStep() {
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Policy chooses a worker count for each superstep.
+type Policy interface {
+	Name() string
+	// Workers returns the worker count for superstep i of the profile.
+	Workers(p *Profile, i int) int
+}
+
+// FixedPolicy always uses the same count (must be the profile's low or high).
+type FixedPolicy int
+
+// Name implements Policy.
+func (f FixedPolicy) Name() string { return fmt.Sprintf("fixed-%d", int(f)) }
+
+// Workers implements Policy.
+func (f FixedPolicy) Workers(*Profile, int) int { return int(f) }
+
+// ThresholdPolicy is the paper's dynamic heuristic: scale out to the high
+// worker count when the superstep's active vertices exceed Fraction of the
+// run's peak, scale in otherwise (the paper uses 50%).
+type ThresholdPolicy struct {
+	Fraction float64
+}
+
+// Name implements Policy.
+func (t ThresholdPolicy) Name() string { return fmt.Sprintf("dynamic-%.0f%%", t.Fraction*100) }
+
+// Workers implements Policy.
+func (t ThresholdPolicy) Workers(p *Profile, i int) int {
+	if float64(p.Low[i].ActiveVertices) > t.Fraction*float64(p.MaxActive()) {
+		return p.WorkersHigh
+	}
+	return p.WorkersLow
+}
+
+// OraclePolicy picks whichever count is faster for each superstep — the
+// paper's ideal-scaling upper bound.
+type OraclePolicy struct{}
+
+// Name implements Policy.
+func (OraclePolicy) Name() string { return "oracle" }
+
+// Workers implements Policy.
+func (OraclePolicy) Workers(p *Profile, i int) int {
+	if p.High[i].SimSeconds < p.Low[i].SimSeconds {
+		return p.WorkersHigh
+	}
+	return p.WorkersLow
+}
+
+// Estimate is the projected outcome of running the job under a policy.
+type Estimate struct {
+	Policy       string
+	Seconds      float64 // projected runtime
+	VMSeconds    float64 // pro-rata cost: Σ workers × step seconds
+	StepsAtHigh  int     // supersteps run with the high worker count
+	ScaleChanges int     // number of scale-out/in transitions
+	RelTime4     float64 // Seconds normalized to the fixed low-count run
+	RelCost4     float64 // VMSeconds normalized to the fixed low-count run
+}
+
+// Evaluate projects a policy over the profile. Like the paper's analysis it
+// does not charge scaling overheads (ScaleChanges is reported so a reader
+// can judge how much overhead would matter).
+func Evaluate(p *Profile, policy Policy) Estimate {
+	est := Estimate{Policy: policy.Name()}
+	prevWorkers := -1
+	for i := 0; i < p.Steps(); i++ {
+		w := policy.Workers(p, i)
+		var sec float64
+		switch w {
+		case p.WorkersHigh:
+			sec = p.High[i].SimSeconds
+			est.StepsAtHigh++
+		default:
+			sec = p.Low[i].SimSeconds
+		}
+		est.Seconds += sec
+		est.VMSeconds += float64(w) * sec
+		if prevWorkers >= 0 && w != prevWorkers {
+			est.ScaleChanges++
+		}
+		prevWorkers = w
+	}
+	base := Evaluate4Base(p)
+	if base.Seconds > 0 {
+		est.RelTime4 = est.Seconds / base.Seconds
+		est.RelCost4 = est.VMSeconds / base.VMSeconds
+	}
+	return est
+}
+
+// Evaluate4Base returns the fixed low-worker-count baseline totals.
+func Evaluate4Base(p *Profile) Estimate {
+	var est Estimate
+	est.Policy = FixedPolicy(p.WorkersLow).Name()
+	for i := 0; i < p.Steps(); i++ {
+		est.Seconds += p.Low[i].SimSeconds
+		est.VMSeconds += float64(p.WorkersLow) * p.Low[i].SimSeconds
+	}
+	est.RelTime4, est.RelCost4 = 1, 1
+	return est
+}
+
+// CompareAll evaluates the paper's four scenarios (fixed low, fixed high,
+// dynamic 50%, oracle) — the bar groups of Fig 16.
+func CompareAll(p *Profile) []Estimate {
+	return []Estimate{
+		Evaluate(p, FixedPolicy(p.WorkersLow)),
+		Evaluate(p, FixedPolicy(p.WorkersHigh)),
+		Evaluate(p, ThresholdPolicy{Fraction: 0.5}),
+		Evaluate(p, OraclePolicy{}),
+	}
+}

@@ -1,0 +1,135 @@
+package elastic
+
+import (
+	"math"
+	"testing"
+
+	"pregelnet/internal/core"
+)
+
+// fakeProfile builds a profile with a peak in the middle: the high-worker
+// run is much faster at the peak (superlinear) and slightly slower in the
+// troughs (barrier overhead), mirroring Fig 15.
+func fakeProfile(t *testing.T) *Profile {
+	t.Helper()
+	low := []core.StepStats{
+		{ActiveVertices: 10, SimSeconds: 1.0},
+		{ActiveVertices: 100, SimSeconds: 10.0},
+		{ActiveVertices: 10, SimSeconds: 1.0},
+	}
+	high := []core.StepStats{
+		{ActiveVertices: 10, SimSeconds: 1.2},
+		{ActiveVertices: 100, SimSeconds: 3.0},
+		{ActiveVertices: 10, SimSeconds: 1.2},
+	}
+	p, err := NewProfile(4, low, 8, high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewProfileValidation(t *testing.T) {
+	steps := []core.StepStats{{SimSeconds: 1}}
+	if _, err := NewProfile(8, steps, 4, steps); err == nil {
+		t.Error("expected error for low >= high")
+	}
+	if _, err := NewProfile(4, nil, 8, steps); err == nil {
+		t.Error("expected error for empty run")
+	}
+	long := []core.StepStats{{SimSeconds: 1}, {SimSeconds: 2}}
+	p, err := NewProfile(4, long, 8, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps() != 1 {
+		t.Errorf("steps = %d, want truncation to 1", p.Steps())
+	}
+}
+
+func TestSpeedupPerStep(t *testing.T) {
+	p := fakeProfile(t)
+	sp := p.SpeedupPerStep()
+	if math.Abs(sp[1]-10.0/3.0) > 1e-9 {
+		t.Errorf("peak speedup = %v", sp[1])
+	}
+	if sp[0] >= 1 {
+		t.Errorf("trough speedup = %v, want < 1 (slowdown)", sp[0])
+	}
+	// Peak speedup is super-linear (> 8/4 = 2).
+	if sp[1] <= 2 {
+		t.Errorf("peak speedup %v not superlinear", sp[1])
+	}
+}
+
+func TestThresholdPolicy(t *testing.T) {
+	p := fakeProfile(t)
+	pol := ThresholdPolicy{Fraction: 0.5}
+	if pol.Workers(p, 0) != 4 || pol.Workers(p, 1) != 8 || pol.Workers(p, 2) != 4 {
+		t.Errorf("threshold policy chose %d,%d,%d", pol.Workers(p, 0), pol.Workers(p, 1), pol.Workers(p, 2))
+	}
+}
+
+func TestOraclePolicy(t *testing.T) {
+	p := fakeProfile(t)
+	pol := OraclePolicy{}
+	if pol.Workers(p, 0) != 4 || pol.Workers(p, 1) != 8 {
+		t.Error("oracle picked wrong counts")
+	}
+}
+
+func TestEvaluateDynamicBeatsFixed(t *testing.T) {
+	p := fakeProfile(t)
+	fixed4 := Evaluate(p, FixedPolicy(4))
+	fixed8 := Evaluate(p, FixedPolicy(8))
+	dynamic := Evaluate(p, ThresholdPolicy{Fraction: 0.5})
+	oracle := Evaluate(p, OraclePolicy{})
+
+	// Dynamic: 1.0 + 3.0 + 1.0 = 5.0s; fixed4 = 12s; fixed8 = 5.4s.
+	if math.Abs(dynamic.Seconds-5.0) > 1e-9 {
+		t.Errorf("dynamic seconds = %v", dynamic.Seconds)
+	}
+	if dynamic.Seconds >= fixed8.Seconds || dynamic.Seconds >= fixed4.Seconds {
+		t.Error("dynamic should beat both fixed deployments here")
+	}
+	// Cost: dynamic = 4+24+4 = 32 VMs; fixed8 = 43.2; fixed4 = 48.
+	if dynamic.VMSeconds >= fixed8.VMSeconds || dynamic.VMSeconds >= fixed4.VMSeconds {
+		t.Errorf("dynamic cost %v should be cheapest (fixed4=%v fixed8=%v)",
+			dynamic.VMSeconds, fixed4.VMSeconds, fixed8.VMSeconds)
+	}
+	// Oracle is a lower bound on time among policies using these two counts.
+	if oracle.Seconds > dynamic.Seconds+1e-9 {
+		t.Error("oracle slower than dynamic")
+	}
+	if dynamic.StepsAtHigh != 1 || dynamic.ScaleChanges != 2 {
+		t.Errorf("dynamic ran %d high steps, %d changes", dynamic.StepsAtHigh, dynamic.ScaleChanges)
+	}
+	// Normalizations are relative to fixed-4.
+	if math.Abs(fixed4.RelTime4-1) > 1e-9 || math.Abs(fixed4.RelCost4-1) > 1e-9 {
+		t.Errorf("fixed4 normalization: %+v", fixed4)
+	}
+	if dynamic.RelTime4 >= 1 || dynamic.RelCost4 >= 1 {
+		t.Errorf("dynamic normalized: time=%v cost=%v", dynamic.RelTime4, dynamic.RelCost4)
+	}
+}
+
+func TestCompareAll(t *testing.T) {
+	p := fakeProfile(t)
+	all := CompareAll(p)
+	if len(all) != 4 {
+		t.Fatalf("len = %d", len(all))
+	}
+	names := []string{"fixed-4", "fixed-8", "dynamic-50%", "oracle"}
+	for i, want := range names {
+		if all[i].Policy != want {
+			t.Errorf("policy %d = %q, want %q", i, all[i].Policy, want)
+		}
+	}
+}
+
+func TestMaxActive(t *testing.T) {
+	p := fakeProfile(t)
+	if p.MaxActive() != 100 {
+		t.Errorf("max active = %d", p.MaxActive())
+	}
+}

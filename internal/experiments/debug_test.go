@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+
+	"pregelnet/internal/algorithms"
+	"pregelnet/internal/core"
+	"pregelnet/internal/graph"
+)
+
+// TestDebugElasticSteps prints per-step timing/memory for the 4- and
+// 8-worker elastic runs to guide cost-model calibration. Skipped unless run
+// explicitly with -run TestDebugElasticSteps.
+func TestDebugElasticSteps(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	cfg := QuickConfig()
+	g := graph.DatasetWG()
+	roots := algorithms.Sources(g, cfg.rootsFor(g))
+	swathSize := initialProbeSize(len(roots)) * 2
+	mkSched := func() core.SwathScheduler {
+		return core.NewSwathRunner(roots, core.StaticSizer(swathSize), core.StaticNInitiator(6))
+	}
+	probe, err := runBC(g, cfg.Workers, mkSched(), hugeMemoryModel(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := int64(1.5 * float64(probe.PeakMemory()))
+	t.Logf("probe peak=%d phys=%d", probe.PeakMemory(), phys)
+	model := scaledModel(phys)
+	low, err := runBC(g, cfg.Workers/2, mkSched(), model, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := runBC(g, cfg.Workers, mkSched(), model, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(low.Steps) && i < len(high.Steps); i++ {
+		l, h := low.Steps[i], high.Steps[i]
+		t.Logf("step %2d: active=%6d msgs=%8d mem4=%5.2fx mem8=%5.2fx t4=%7.4f t8=%7.4f speedup=%5.2f",
+			i, l.ActiveVertices, l.TotalSent(),
+			float64(l.PeakMemoryBytes)/float64(phys), float64(h.PeakMemoryBytes)/float64(phys),
+			l.SimSeconds, h.SimSeconds, l.SimSeconds/h.SimSeconds)
+	}
+}

@@ -1,0 +1,290 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the scaled synthetic datasets (see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured results).
+//
+// Each experiment returns a Report of plain-text tables. Absolute numbers
+// are in simulated seconds from the deterministic cost model; the claims
+// under reproduction are the *shapes*: who wins, by what factor, and where
+// the crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pregelnet/internal/algorithms"
+	"pregelnet/internal/cloud"
+	"pregelnet/internal/core"
+	"pregelnet/internal/graph"
+	"pregelnet/internal/metrics"
+	"pregelnet/internal/partition"
+)
+
+// Config controls experiment scale. The zero value is usable via
+// DefaultConfig.
+type Config struct {
+	// Workers is the standard worker count (the paper uses 8).
+	Workers int
+	// RootsWG / RootsCP are the sampled BC/APSP root counts for the WG' and
+	// CP' graphs. The paper samples 75 and 50 on the full datasets; the
+	// defaults here are scaled with the graphs. The swath experiments use
+	// these as the baseline "largest successful swath" totals too (the
+	// paper's were 40 and 25).
+	RootsWG int
+	RootsCP int
+	// PageRankIterations matches the paper's 30.
+	PageRankIterations int
+}
+
+// DefaultConfig returns the standard experiment scale.
+func DefaultConfig() Config {
+	return Config{Workers: 8, RootsWG: 28, RootsCP: 20, PageRankIterations: 30}
+}
+
+// QuickConfig returns a reduced scale for benchmarks and smoke tests.
+func QuickConfig() Config {
+	return Config{Workers: 8, RootsWG: 10, RootsCP: 8, PageRankIterations: 10}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Workers <= 0 {
+		c.Workers = d.Workers
+	}
+	if c.RootsWG <= 0 {
+		c.RootsWG = d.RootsWG
+	}
+	if c.RootsCP <= 0 {
+		c.RootsCP = d.RootsCP
+	}
+	if c.PageRankIterations <= 0 {
+		c.PageRankIterations = d.PageRankIterations
+	}
+	return c
+}
+
+// experimentRoots returns the sampled BC/APSP root set for a dataset.
+// WG' takes the lowest vertex IDs — like Google's arbitrary web-page IDs,
+// these land at random positions in the graph. CP' mirrors cit-Patents,
+// whose IDs are chronological patent numbers: consecutive IDs are
+// temporally clustered in the citation graph, so its root set is a
+// BFS ball around one vertex. This locality is what concentrates traversal
+// activity in a few METIS partitions (§VII's CP load imbalance).
+func experimentRoots(g *graph.Graph, n int) []graph.VertexID {
+	if g.Name() != graph.NameCP {
+		return algorithms.Sources(g, n)
+	}
+	dist := graph.BFS(g, 0)
+	ball := make([]graph.VertexID, 0, n)
+	for radius := int32(0); len(ball) < n; radius++ {
+		for v := range dist {
+			if dist[v] == radius && len(ball) < n {
+				ball = append(ball, graph.VertexID(v))
+			}
+		}
+	}
+	return ball
+}
+
+// rootsFor returns the sampled root count for a dataset.
+func (c Config) rootsFor(g *graph.Graph) int {
+	switch g.Name() {
+	case graph.NameCP:
+		return c.RootsCP
+	default:
+		return c.RootsWG
+	}
+}
+
+// Report is an experiment's rendered result.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*metrics.Table
+	Notes  []string
+}
+
+// Render writes the report as text.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", r.ID, r.Title)
+	for _, note := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", note)
+	}
+	if len(r.Notes) > 0 {
+		fmt.Fprintln(w)
+	}
+	for _, t := range r.Tables {
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// Experiment is a registered paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Report, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Dataset properties (Table 1)", Table1},
+		{"table2", "Partition quality: % remote edges (in-text table)", Table2},
+		{"fig2", "Total time for PageRank, BC, APSP (Fig 2)", Fig2},
+		{"fig3", "Messages per superstep waveforms (Fig 3)", Fig3},
+		{"fig4", "Swath size heuristic speedups (Fig 4)", Fig4},
+		{"fig5", "Memory usage over time (Fig 5)", Fig5},
+		{"fig6", "Swath initiation heuristic speedups (Fig 6)", Fig6},
+		{"fig7", "Message transfers over time by initiation heuristic (Fig 7)", Fig7},
+		{"fig8", "Partitioning: relative time vs hash (Fig 8)", Fig8},
+		{"fig9_12", "Compute vs barrier-wait breakdown and utilization (Figs 9, 12)", Fig9And12},
+		{"fig10_14", "Per-worker messages in peak supersteps (Figs 10, 11, 13, 14)", Fig10Through14},
+		{"fig15", "Per-superstep 8v4 speedup and active vertices (Fig 15)", Fig15},
+		{"fig16", "Elastic scaling: time and cost projections (Fig 16)", Fig16},
+		{"ext_buffering", "Extension: disk vs memory buffering under pressure", ExtBuffering},
+		{"ext_partitioners", "Extension: partitioner sweep across datasets and k", ExtPartitioners},
+	}
+}
+
+// ByID returns the experiment with the given id, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range All() {
+		if e.ID == id {
+			e := e
+			return &e
+		}
+	}
+	return nil
+}
+
+// ---- shared machinery ----
+
+// bcMsg is a local alias for the BC wire message type.
+type bcMsg = algorithms.BCMsg
+
+// scaledModel returns the experiment cost model with the given physical
+// memory ceiling and an extra-punitive thrash factor (paper §IV:
+// virtual-memory paging is worse than disk-based buffering due to its
+// random access pattern).
+func scaledModel(mem int64) cloud.CostModel {
+	m := cloud.DefaultCostModel(cloud.LargeVM().WithMemory(mem))
+	m.ThrashMaxFactor = 12
+	return m
+}
+
+// hugeMemoryModel returns the experiment cost model with an effectively
+// unlimited memory ceiling (for calibration probes and memory-insensitive
+// experiments).
+func hugeMemoryModel() cloud.CostModel {
+	return scaledModel(1 << 50)
+}
+
+// runBC runs betweenness centrality and fails loudly on engine errors.
+func runBC(g *graph.Graph, workers int, sched core.SwathScheduler,
+	model cloud.CostModel, assign partition.Assignment) (*core.JobResult[algorithms.BCMsg], error) {
+	spec := algorithms.BC(g, workers, sched)
+	spec.CostModel = model
+	spec.Assignment = assign
+	return core.Run(spec)
+}
+
+// calibrateBCMemory probes the peak per-worker memory of a single
+// all-at-once swath of `roots` sources, with no ceiling. Experiments derive
+// their physical memory ceilings from this, mirroring how the paper's
+// baseline is "the largest swath size we could successfully complete".
+func calibrateBCMemory(g *graph.Graph, workers, roots int) (int64, error) {
+	res, err := runBC(g, workers, core.NewAllAtOnce(experimentRoots(g, roots)), hugeMemoryModel(), nil)
+	if err != nil {
+		return 0, err
+	}
+	return res.PeakMemory(), nil
+}
+
+// bcSwathEnvironment is the calibrated setup shared by the swath experiments
+// (Figs 4-7): a memory ceiling chosen so the baseline single swath of
+// `roots` sources spills into virtual memory (thrash) but still completes —
+// the paper's §VI.B baseline — and the 6/7 target the heuristics aim for.
+type bcSwathEnvironment struct {
+	g        *graph.Graph
+	workers  int
+	roots    []graph.VertexID
+	physMem  int64
+	target   int64
+	model    cloud.CostModel
+	peakFull int64 // probe peak of the full single swath
+}
+
+func newBCSwathEnvironment(cfg Config, g *graph.Graph) (*bcSwathEnvironment, error) {
+	roots := cfg.rootsFor(g)
+	peak, err := calibrateBCMemory(g, cfg.Workers, roots)
+	if err != nil {
+		return nil, fmt.Errorf("calibration on %s: %w", g.Name(), err)
+	}
+	// The baseline swath peaks at ~1.45x the physical ceiling: deep in
+	// virtual-memory territory but under the 1.6x restart limit (paper:
+	// "allowing them to spill to virtual memory").
+	phys := int64(float64(peak) / 1.45)
+	env := &bcSwathEnvironment{
+		g:        g,
+		workers:  cfg.Workers,
+		roots:    experimentRoots(g, roots),
+		physMem:  phys,
+		target:   phys * 6 / 7, // the paper's 6 GB target on 7 GB VMs
+		model:    scaledModel(phys),
+		peakFull: peak,
+	}
+	return env, nil
+}
+
+// runBaseline executes the paper's baseline: the whole root set as one
+// swath, spilling into virtual memory.
+func (env *bcSwathEnvironment) runBaseline() (*core.JobResult[algorithms.BCMsg], error) {
+	return runBC(env.g, env.workers, core.NewAllAtOnce(env.roots), env.model, nil)
+}
+
+// runWith executes the root set under a sizer+initiator pair.
+func (env *bcSwathEnvironment) runWith(sizer core.SwathSizer, init core.SwathInitiator,
+	workers int) (*core.JobResult[algorithms.BCMsg], error) {
+	return runBC(env.g, workers, core.NewSwathRunner(env.roots, sizer, init), env.model, nil)
+}
+
+func (env *bcSwathEnvironment) adaptiveSizer() core.SwathSizer {
+	return &core.AdaptiveSizer{Initial: initialProbeSize(len(env.roots)), TargetMemoryBytes: env.target}
+}
+
+func (env *bcSwathEnvironment) samplingSizer() core.SwathSizer {
+	return &core.SamplingSizer{
+		SampleSize:        initialProbeSize(len(env.roots)),
+		Samples:           2,
+		TargetMemoryBytes: env.target,
+	}
+}
+
+func initialProbeSize(totalRoots int) int {
+	s := totalRoots / 4
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+// fmtSeconds renders simulated seconds compactly.
+func fmtSeconds(s float64) string { return fmt.Sprintf("%.2f", s) }
+
+// fmtRatio renders a ratio/speedup.
+func fmtRatio(r float64) string { return fmt.Sprintf("%.2f", r) }
+
+// fmtBytes renders byte counts in MiB for readability.
+func fmtBytes(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<20)) }
+
+// sortedKeys returns map keys in sorted order for deterministic tables.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pregelnet/internal/core"
+	"pregelnet/internal/elastic"
+	"pregelnet/internal/graph"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Workers != 8 || c.RootsWG <= 0 || c.RootsCP <= 0 || c.PageRankIterations != 30 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if c.rootsFor(graph.DatasetCP()) != c.RootsCP {
+		t.Error("rootsFor CP wrong")
+	}
+	if c.rootsFor(graph.DatasetWG()) != c.RootsWG {
+		t.Error("rootsFor WG wrong")
+	}
+}
+
+func TestByID(t *testing.T) {
+	if ByID("fig4") == nil || ByID("nope") != nil {
+		t.Error("ByID lookup broken")
+	}
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+// TestSwathEnvironmentShapes verifies the central claim of Fig 4/5 at quick
+// scale: the single-swath baseline spills past physical memory and thrashes,
+// the adaptive heuristic stays under the ceiling and is substantially
+// faster at the same provisioning level.
+func TestSwathEnvironmentShapes(t *testing.T) {
+	cfg := QuickConfig()
+	env, err := newBCSwathEnvironment(cfg, graph.DatasetWG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := env.runBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.PeakMemory() <= env.physMem {
+		t.Errorf("baseline peak %d should exceed phys %d (spill)", base.PeakMemory(), env.physMem)
+	}
+	adaptive, err := env.runWith(env.adaptiveSizer(), core.SequentialInitiator{}, env.workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.PeakMemory() > env.physMem {
+		t.Errorf("adaptive peak %d exceeded phys %d", adaptive.PeakMemory(), env.physMem)
+	}
+	speedup := base.SimSeconds / adaptive.SimSeconds
+	if speedup < 1.3 {
+		t.Errorf("adaptive speedup = %.2f, want > 1.3 (paper: up to 3.5 at full scale)", speedup)
+	}
+	t.Logf("baseline %.1fs (%.2fx phys), adaptive %.1fs (%.2fx phys): speedup %.2fx",
+		base.SimSeconds, float64(base.PeakMemory())/float64(env.physMem),
+		adaptive.SimSeconds, float64(adaptive.PeakMemory())/float64(env.physMem), speedup)
+}
+
+// TestElasticProfileShapes verifies Fig 15/16's mechanism at quick scale:
+// superlinear speedup spikes exist, and the dynamic policy beats fixed-4 on
+// time without exceeding its cost by much.
+func TestElasticProfileShapes(t *testing.T) {
+	cfg := QuickConfig()
+	p, err := elasticProfile(cfg, graph.DatasetWG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	superlinear := 0
+	for _, s := range p.SpeedupPerStep() {
+		if s > 2 {
+			superlinear++
+		}
+	}
+	if superlinear == 0 {
+		t.Error("no superlinear supersteps observed")
+	}
+	dynamic := elastic.Evaluate(p, elastic.ThresholdPolicy{Fraction: 0.5})
+	if dynamic.RelTime4 >= 1 {
+		t.Errorf("dynamic policy rel time = %.2f, want < 1", dynamic.RelTime4)
+	}
+	t.Logf("superlinear steps: %d/%d; dynamic relTime=%.2f relCost=%.2f",
+		superlinear, p.Steps(), dynamic.RelTime4, dynamic.RelCost4)
+}
+
+// TestAllExperimentsQuick runs every registered experiment at quick scale
+// and checks that reports render.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are heavy; skipped in -short mode")
+	}
+	cfg := QuickConfig()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			var sb strings.Builder
+			rep.Render(&sb)
+			if len(sb.String()) < 100 {
+				t.Errorf("%s: suspiciously short report:\n%s", e.ID, sb.String())
+			}
+			if len(rep.Tables) == 0 {
+				t.Errorf("%s: no tables", e.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pregelnet/internal/core"
+	"pregelnet/internal/graph"
+	"pregelnet/internal/metrics"
+	"pregelnet/internal/partition"
+)
+
+// Extension experiments beyond the paper's figures: quantified versions of
+// two design discussions in §II and §IV.
+
+// ExtBuffering quantifies §IV's buffering argument: BC under memory pressure
+// with (a) in-memory buffering and the plain single swath — spills into
+// virtual memory and thrashes; (b) in-memory buffering with the adaptive
+// swath heuristic — the paper's design; (c) Giraph/Hama-style disk-backed
+// buffering — immune to memory pressure but uniformly slower. The paper
+// "abjures disk-based buffering since it uniformly adds a multiplicative
+// overhead", betting that swaths keep in-memory viable; this experiment
+// shows the bet paying off.
+func ExtBuffering(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	t := &metrics.Table{
+		Title:   "Buffering strategies for BC under memory pressure (smaller is better)",
+		Headers: []string{"graph", "strategy", "sim-s", "vs best", "peak mem/phys", "supersteps"},
+	}
+	notes := []string{}
+	for _, g := range []*graph.Graph{graph.DatasetWG(), graph.DatasetCP()} {
+		env, err := newBCSwathEnvironment(cfg, g)
+		if err != nil {
+			return nil, err
+		}
+		type row struct {
+			name string
+			res  *core.JobResult[bcMsg]
+		}
+		var rows []row
+
+		base, err := env.runBaseline()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row{"memory, single swath (thrashes)", base})
+
+		adaptive, err := env.runWith(env.adaptiveSizer(), core.DynamicPeakInitiator{}, env.workers)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row{"memory, adaptive swaths (paper)", adaptive})
+
+		diskModel := env.model
+		diskModel.DiskBuffering = true
+		disk, err := runBC(env.g, env.workers, core.NewAllAtOnce(env.roots), diskModel, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row{"disk-backed buffers (Giraph/Hama-like)", disk})
+
+		best := rows[0].res.SimSeconds
+		for _, r := range rows {
+			if r.res.SimSeconds < best {
+				best = r.res.SimSeconds
+			}
+		}
+		for _, r := range rows {
+			t.AddRow(g.Name(), r.name, fmtSeconds(r.res.SimSeconds),
+				fmtRatio(r.res.SimSeconds/best),
+				fmtRatio(float64(r.res.PeakMemory())/float64(env.physMem)),
+				fmt.Sprintf("%d", r.res.Supersteps))
+		}
+		notes = append(notes, fmt.Sprintf("%s: disk mode never exceeds physical memory but pays a uniform 3x I/O overhead", g.Name()))
+	}
+	notes = append(notes, "expected shape: memory+swaths < disk < memory-thrashing")
+	return &Report{ID: "ext_buffering", Title: "Buffering strategies", Tables: []*metrics.Table{t}, Notes: notes}, nil
+}
+
+// ExtPartitioners sweeps every partitioner over every dataset analog at
+// several worker counts — the broader version of the paper's in-text quality
+// table, adding chunk and Fennel.
+func ExtPartitioners(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	t := &metrics.Table{
+		Title:   "Partitioner sweep: % remote edges (balance in parentheses)",
+		Headers: []string{"graph", "k", "hash", "chunk", "ldg", "fennel", "metis"},
+	}
+	partitioners := []partition.Partitioner{
+		partition.Hash{}, partition.Chunk{},
+		partition.NewLDG(partition.DefaultSlack), partition.NewFennel(),
+		partition.NewMultilevel(),
+	}
+	for _, g := range graph.AllDatasets() {
+		for _, k := range []int{4, 8, 16} {
+			row := []string{g.Name(), fmt.Sprintf("%d", k)}
+			for _, p := range partitioners {
+				q := partition.Evaluate(g, p.Partition(g, k), k, p.Name())
+				row = append(row, fmt.Sprintf("%.0f%% (%.2f)", 100*q.CutFraction, q.Balance))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return &Report{
+		ID:     "ext_partitioners",
+		Title:  "Partitioner sweep",
+		Tables: []*metrics.Table{t},
+		Notes: []string{
+			"expected shape: metis lowest cut everywhere; fennel/ldg between metis and hash; chunk only helps when IDs encode locality (they are shuffled here, so it matches hash)",
+		},
+	}, nil
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pregelnet/internal/core"
+	"pregelnet/internal/elastic"
+	"pregelnet/internal/graph"
+	"pregelnet/internal/metrics"
+)
+
+// elasticProfile builds the 4-vs-8-worker superstep-aligned profile for BC
+// on a dataset, with swath heuristics off in favour of fixed swath sizes and
+// initiation intervals (§VIII: "to provide a fair and focused comparison").
+// The memory ceiling is calibrated so peak supersteps thrash at 4 workers
+// but fit at 8 — the mechanism behind the paper's observed super-linear
+// speedup spikes.
+func elasticProfile(cfg Config, g *graph.Graph) (*elastic.Profile, error) {
+	roots := experimentRoots(g, cfg.rootsFor(g))
+	swathSize := initialProbeSize(len(roots)) * 2
+	interval := 6 // fixed initiation interval
+	mkSched := func() core.SwathScheduler {
+		return core.NewSwathRunner(roots, core.StaticSizer(swathSize), core.StaticNInitiator(interval))
+	}
+
+	// Probe with 8 workers and no ceiling to find the peak footprint.
+	probe, err := runBC(g, cfg.Workers, mkSched(), hugeMemoryModel(), nil)
+	if err != nil {
+		return nil, err
+	}
+	// At 4 workers each holds ~2x the messages; a ceiling of 1.7x the
+	// 8-worker peak lets 8 workers fit while 4 workers spill past the
+	// ceiling only in their peak supersteps (~1.2x, inside the restart
+	// limit) — the oscillation Fig 15 shows.
+	model := scaledModel(int64(1.7 * float64(probe.PeakMemory())))
+
+	low, err := runBC(g, cfg.Workers/2, mkSched(), model, nil)
+	if err != nil {
+		return nil, fmt.Errorf("4-worker run on %s: %w", g.Name(), err)
+	}
+	high, err := runBC(g, cfg.Workers, mkSched(), model, nil)
+	if err != nil {
+		return nil, fmt.Errorf("8-worker run on %s: %w", g.Name(), err)
+	}
+	return elastic.NewProfile(cfg.Workers/2, low.Steps, cfg.Workers, high.Steps)
+}
+
+// Fig15 reproduces the per-superstep speedup profile: the speedup of 8
+// workers over 4 at each superstep (bottom) against the number of active
+// vertices (top). The paper finds super-linear (>2x) spikes correlated with
+// active-vertex peaks and sub-linear (even <1x) speedup in the troughs.
+func Fig15(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	var tables []*metrics.Table
+	notes := []string{}
+	for _, g := range []*graph.Graph{graph.DatasetWG(), graph.DatasetCP()} {
+		p, err := elasticProfile(cfg, g)
+		if err != nil {
+			return nil, err
+		}
+		speedup := metrics.Series{Name: "speedup 8w vs 4w", Values: p.SpeedupPerStep()}
+		active := metrics.Series{Name: "active vertices"}
+		for _, a := range p.ActivePerStep() {
+			active.Values = append(active.Values, float64(a))
+		}
+		t := metrics.SeriesTable(
+			fmt.Sprintf("Fig 15: per-superstep speedup and active vertices, BC on %s", g.Name()),
+			active, speedup)
+		tables = append(tables, t)
+
+		super, sub := 0, 0
+		for _, s := range speedup.Values {
+			if s > 2 {
+				super++
+			}
+			if s > 0 && s < 1 {
+				sub++
+			}
+		}
+		notes = append(notes, fmt.Sprintf("%s: %d superlinear (>2x) supersteps, %d slowdown (<1x) supersteps; active %s | speedup %s",
+			g.Name(), super, sub, metrics.Sparkline(active), metrics.Sparkline(speedup)))
+	}
+	notes = append(notes, "expected shape: superlinear spikes at active-vertex peaks (memory pressure relief), sub-linear troughs (barrier overhead of 8 workers)")
+	return &Report{ID: "fig15", Title: "Elastic speedup profile", Tables: tables, Notes: notes}, nil
+}
+
+// Fig16 reproduces the elastic-scaling projection: estimated BC time under
+// fixed 4-worker, fixed 8-worker, dynamic (scale to 8 when >50% of peak
+// vertices are active), and oracle scaling, normalized to the 4-worker run,
+// with pro-rata VM-second cost on the secondary axis. The paper finds the
+// dynamic policy achieves ~8-worker performance at ~4-worker (or lower)
+// cost, close to the oracle.
+func Fig16(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	t := &metrics.Table{
+		Title: "Fig 16: elastic scaling projections, normalized to 4 workers (smaller is better)",
+		Headers: []string{"graph", "policy", "sim-s", "rel. time", "vm-seconds", "rel. cost",
+			"supersteps@8w", "scale changes"},
+	}
+	notes := []string{}
+	for _, g := range []*graph.Graph{graph.DatasetWG(), graph.DatasetCP()} {
+		p, err := elasticProfile(cfg, g)
+		if err != nil {
+			return nil, err
+		}
+		for _, est := range elastic.CompareAll(p) {
+			t.AddRow(g.Name(), est.Policy,
+				fmtSeconds(est.Seconds), fmtRatio(est.RelTime4),
+				fmtSeconds(est.VMSeconds), fmtRatio(est.RelCost4),
+				fmt.Sprintf("%d", est.StepsAtHigh), fmt.Sprintf("%d", est.ScaleChanges))
+		}
+		notes = append(notes, fmt.Sprintf("%s: projections ignore scale-out/in overheads, as the paper's do", g.Name()))
+	}
+	notes = append(notes,
+		"expected shape: dynamic ~matches fixed-8 time at ~fixed-4 (or lower) cost; oracle is the lower bound")
+	return &Report{ID: "fig16", Title: "Elastic scaling model", Tables: []*metrics.Table{t}, Notes: notes}, nil
+}

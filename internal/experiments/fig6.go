@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"pregelnet/internal/cloud"
+
+	"pregelnet/internal/core"
+	"pregelnet/internal/graph"
+	"pregelnet/internal/metrics"
+)
+
+// Fig6 reproduces the swath *initiation* heuristic evaluation (§VI.C): with
+// swath sizes fixed (the adaptive sizer), compare when the next swath starts
+// — strictly sequentially (baseline), every N supersteps (static-N), or on
+// the dynamic message-traffic peak detector. Overlapping swath executions
+// flattens resource usage and removes synchronization overhead; the paper
+// reports up to 24% speedup for the dynamic heuristic on WG, with the best
+// static N being graph-dependent (N=4 best for CP, N=6 for WG) — exactly
+// the guesswork the dynamic heuristic eliminates.
+func Fig6(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	t := &metrics.Table{
+		Title: "Fig 6: speedup of initiation heuristics vs sequential initiation (taller is better)",
+		Headers: []string{"graph", "initiation", "sim-s", "speedup vs sequential",
+			"supersteps", "peak mem/phys"},
+	}
+	notes := []string{}
+	for _, g := range []*graph.Graph{graph.DatasetWG(), graph.DatasetCP()} {
+		env, err := newBCSwathEnvironment(cfg, g)
+		if err != nil {
+			return nil, err
+		}
+		sizer := env.adaptiveSizer()
+		seq, err := env.runWith(sizer, core.SequentialInitiator{}, env.workers)
+		if err != nil {
+			return nil, fmt.Errorf("sequential on %s: %w", g.Name(), err)
+		}
+		add := func(name string, res *core.JobResult[bcMsg], err error) error {
+			if errors.Is(err, cloud.ErrMemoryBlowout) {
+				// Initiating too soon stacked swath peaks past the restart
+				// limit: the fabric killed the worker — the failure mode the
+				// paper warns about for aggressive static-N.
+				t.AddRow(g.Name(), name, "failed", "-", "-", ">1.60 (VM restarted)")
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			t.AddRow(g.Name(), name, fmtSeconds(res.SimSeconds),
+				fmtRatio(seq.SimSeconds/res.SimSeconds),
+				fmt.Sprintf("%d", res.Supersteps),
+				fmtRatio(float64(res.PeakMemory())/float64(env.physMem)))
+			return nil
+		}
+		if err := add("sequential (baseline)", seq, nil); err != nil {
+			return nil, err
+		}
+		for _, n := range []int{2, 4, 6, 8} {
+			res, err := env.runWith(env.adaptiveSizer(), core.StaticNInitiator(n), env.workers)
+			if err := add(fmt.Sprintf("static-%d", n), res, err); err != nil {
+				return nil, fmt.Errorf("static-%d on %s: %w", n, g.Name(), err)
+			}
+		}
+		dyn, err := env.runWith(env.adaptiveSizer(), core.DynamicPeakInitiator{}, env.workers)
+		if err := add("dynamic (peak detection)", dyn, err); err != nil {
+			return nil, fmt.Errorf("dynamic on %s: %w", g.Name(), err)
+		}
+		notes = append(notes, fmt.Sprintf("%s: sequential took %d supersteps; overlap reduces cumulative supersteps and barrier overhead", g.Name(), seq.Supersteps))
+	}
+	notes = append(notes,
+		"expected shape: overlapping beats sequential; best static N is graph-dependent; dynamic approaches the best static without hand tuning",
+		"static-N with N below the traversal ramp can overshoot memory and lose its advantage (the paper's 'exacerbating resource demand')")
+	return &Report{ID: "fig6", Title: "Swath initiation heuristics", Tables: []*metrics.Table{t}, Notes: notes}, nil
+}

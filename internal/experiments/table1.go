@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pregelnet/internal/graph"
+	"pregelnet/internal/metrics"
+)
+
+// Table1 reproduces the dataset-properties table: vertex and edge counts and
+// the 90% effective diameter of each (scaled) dataset analog, with the
+// paper's original values alongside for comparison.
+func Table1(cfg Config) (*Report, error) {
+	paper := map[string][3]string{
+		graph.NameSD: {"82,168", "948,464", "4.7"},
+		graph.NameWG: {"875,713", "5,105,039", "8.1"},
+		graph.NameCP: {"3,774,768", "16,518,948", "9.4"},
+		graph.NameLJ: {"4,847,571", "68,993,773", "6.5"},
+	}
+	t := &metrics.Table{
+		Title: "Table 1: evaluation datasets (scaled analogs vs paper originals)",
+		Headers: []string{"graph", "vertices", "edges", "90% eff. diameter",
+			"avg degree", "max degree", "paper V", "paper E", "paper diam"},
+	}
+	for _, g := range graph.AllDatasets() {
+		st := graph.ComputeStats(g, 16, 1234)
+		p := paper[g.Name()]
+		t.AddRow(g.Name(),
+			fmt.Sprintf("%d", st.Vertices),
+			fmt.Sprintf("%d", st.Edges),
+			fmt.Sprintf("%.1f", st.EffectiveDiameter),
+			fmt.Sprintf("%.1f", st.AvgDegree),
+			fmt.Sprintf("%d", st.MaxDegree),
+			p[0], p[1], p[2])
+	}
+	return &Report{
+		ID:    "table1",
+		Title: "Dataset properties",
+		Notes: []string{
+			"datasets are deterministic synthetic analogs ~50-150x smaller than the SNAP originals",
+			"small-world shape preserved: short effective diameter, heavy-tailed degrees (SD'/WG'/LJ'), mesh locality (CP')",
+		},
+		Tables: []*metrics.Table{t},
+	}, nil
+}

@@ -1,0 +1,108 @@
+package graph
+
+import "sync"
+
+// This file defines the four scaled synthetic analogs of the paper's SNAP
+// datasets (Table 1). Real traces are proprietary-scale downloads; the
+// analogs are deterministic generators chosen so that the *structural
+// properties that drive the paper's results* are preserved:
+//
+//   - SD' (SlashDot analog): Barabási–Albert preferential attachment.
+//     Dense social graph, heavy-tailed degrees, very short diameter (~4).
+//   - WG' (web-Google analog): preferential attachment with planted
+//     communities. Hub-based power-law web structure with host locality;
+//     BFS frontiers spread across partitions fast.
+//   - CP' (cit-Patents analog): temporally banded citation graph. Each
+//     vertex cites a recent window of earlier vertices, so BFS frontiers
+//     advance as contiguous bands that stay spatially concentrated — which
+//     is exactly what produces the METIS load imbalance the paper reports
+//     for CP (Figs 12-14).
+//   - LJ' (LiveJournal analog): larger, denser RMAT. Used only for PageRank
+//     in Fig 2, as BC/APSP did not fit worker memory in the paper either.
+//
+// All are symmetrized, restricted to their largest connected component, and
+// ID-shuffled (real dataset IDs carry no generator locality) so
+// every BC root reaches the full graph, matching how the paper uses the
+// datasets (unweighted, undirected BC).
+
+// Dataset names used throughout the experiment harness.
+const (
+	NameSD = "SD'"
+	NameWG = "WG'"
+	NameCP = "CP'"
+	NameLJ = "LJ'"
+)
+
+var datasetCache sync.Map // name -> *Graph
+
+func cached(name string, build func() *Graph) *Graph {
+	if g, ok := datasetCache.Load(name); ok {
+		return g.(*Graph)
+	}
+	g := build()
+	g.SetName(name)
+	actual, _ := datasetCache.LoadOrStore(name, g)
+	return actual.(*Graph)
+}
+
+// DatasetSD returns the SlashDot analog (~2k vertices, ~12k edges).
+func DatasetSD() *Graph {
+	return cached(NameSD, func() *Graph {
+		g := BarabasiAlbert(2048, 6, 42)
+		lcc, _ := LargestComponentSubgraph(g)
+		return lcc.ShuffleIDs(101)
+	})
+}
+
+// DatasetWG returns the web-Google analog (~13k vertices, ~52k edges):
+// power-law hubs with planted host-level community structure, so that — as
+// with the real web graph — low-cut partitions exist for METIS to find.
+func DatasetWG() *Graph {
+	return cached(NameWG, func() *Graph {
+		g := Community(13000, 64, 4, 0.85, 7)
+		lcc, _ := LargestComponentSubgraph(g)
+		return lcc.ShuffleIDs(102)
+	})
+}
+
+// DatasetCP returns the cit-Patents analog (~32k vertices, ~131k edges):
+// a temporally banded citation graph (chronological IDs citing a recent
+// window) with a longer effective diameter, no hubs, and band-contiguous
+// BFS frontiers.
+func DatasetCP() *Graph {
+	return cached(NameCP, func() *Graph {
+		g := CitationBand(32768, 4, 1500, 0.02, 11)
+		lcc, _ := LargestComponentSubgraph(g)
+		return lcc.ShuffleIDs(103)
+	})
+}
+
+// DatasetLJ returns the LiveJournal analog (~30k vertices, ~400k edges).
+func DatasetLJ() *Graph {
+	return cached(NameLJ, func() *Graph {
+		g := RMAT(15, 14, 0.57, 0.19, 0.19, 0.05, 23)
+		lcc, _ := LargestComponentSubgraph(g)
+		return lcc.ShuffleIDs(104)
+	})
+}
+
+// Dataset returns a dataset analog by name (NameSD, NameWG, NameCP, NameLJ),
+// or nil if the name is unknown.
+func Dataset(name string) *Graph {
+	switch name {
+	case NameSD, "sd", "SD":
+		return DatasetSD()
+	case NameWG, "wg", "WG":
+		return DatasetWG()
+	case NameCP, "cp", "CP":
+		return DatasetCP()
+	case NameLJ, "lj", "LJ":
+		return DatasetLJ()
+	}
+	return nil
+}
+
+// AllDatasets returns the four analogs in the paper's Table 1 order.
+func AllDatasets() []*Graph {
+	return []*Graph{DatasetSD(), DatasetWG(), DatasetCP(), DatasetLJ()}
+}

@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the edge-list text format used by SNAP (the paper's
+// dataset source) and a compact binary format for the blob store.
+
+// ReadEdgeList parses a SNAP-style edge list: one "src<ws>dst" pair per
+// line, '#' lines are comments. Vertex IDs may be sparse; they are densely
+// renumbered in first-appearance order. If undirected is true each edge is
+// added in both directions.
+func ReadEdgeList(r io.Reader, undirected bool) (*Graph, error) {
+	type rawEdge struct{ u, v int64 }
+	var raw []rawEdge
+	idMap := make(map[int64]VertexID)
+	intern := func(x int64) VertexID {
+		if id, ok := idMap[x]; ok {
+			return id
+		}
+		id := VertexID(len(idMap))
+		idMap[x] = id
+		return id
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected 2 fields, got %d", lineNo, len(fields))
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source id: %v", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target id: %v", lineNo, err)
+		}
+		raw = append(raw, rawEdge{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	// Intern IDs in a deterministic pass.
+	for _, e := range raw {
+		intern(e.u)
+		intern(e.v)
+	}
+	b := NewBuilder(len(idMap))
+	for _, e := range raw {
+		u, v := idMap[e.u], idMap[e.v]
+		if undirected {
+			b.AddUndirected(u, v)
+		} else {
+			b.Add(u, v)
+		}
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes the graph as a SNAP-style edge list with a header
+// comment. Every directed edge is written once.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s  vertices=%d directed-edges=%d\n", g.Name(), g.NumVertices(), g.NumEdges())
+	var err error
+	g.ForEachEdge(func(u, v VertexID) {
+		if err == nil {
+			_, err = fmt.Fprintf(bw, "%d\t%d\n", u, v)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("graph: writing edge list: %w", err)
+	}
+	return bw.Flush()
+}
+
+const binaryMagic = 0x50474252 // "PGBR"
+
+// WriteBinary serializes the graph in the compact CSR binary format used to
+// stage graphs in the blob store.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	hdr := make([]byte, 4+4+8+8)
+	binary.LittleEndian.PutUint32(hdr[0:], binaryMagic)
+	name := g.Name()
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(name)))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(g.NumEdges()))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, off := range g.offsets {
+		binary.LittleEndian.PutUint64(buf, uint64(off))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	for _, v := range g.adj {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(v))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 4+4+8+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading binary header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic in binary graph")
+	}
+	nameLen := binary.LittleEndian.Uint32(hdr[4:])
+	n := int(binary.LittleEndian.Uint64(hdr[8:]))
+	m := int(binary.LittleEndian.Uint64(hdr[16:]))
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("graph: reading name: %w", err)
+	}
+	offsets := make([]int64, n+1)
+	buf := make([]byte, 8)
+	for i := range offsets {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("graph: reading offsets: %w", err)
+		}
+		offsets[i] = int64(binary.LittleEndian.Uint64(buf))
+	}
+	adj := make([]VertexID, m)
+	for i := range adj {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+		}
+		adj[i] = VertexID(binary.LittleEndian.Uint32(buf[:4]))
+	}
+	g := &Graph{name: string(nameBuf), offsets: offsets, adj: adj}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	input := `# comment line
+# another
+0	1
+1 2
+5 0
+`
+	g, err := ReadEdgeList(strings.NewReader(input), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IDs 0,1,2,5 are renumbered densely in first-appearance order: 0,1,2,3.
+	if g.NumVertices() != 4 {
+		t.Fatalf("vertices = %d, want 4", g.NumVertices())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", g.NumEdges())
+	}
+	if !g.HasEdge(3, 0) { // 5->0 renumbered to 3->0
+		t.Error("missing renumbered edge 5->0")
+	}
+}
+
+func TestReadEdgeListUndirected(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("undirected read missing reverse edge")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("0\n"), false); err == nil {
+		t.Error("expected error for single-field line")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("a b\n"), false); err == nil {
+		t.Error("expected error for non-numeric id")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := ErdosRenyi(50, 120, 4)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed size: %d/%d -> %d/%d",
+			g.NumVertices(), g.NumEdges(), g2.NumVertices(), g2.NumEdges())
+	}
+	// The reader renumbers vertices in first-appearance order, so compare the
+	// isomorphism-invariant sorted degree sequence rather than raw edges.
+	degrees := func(g *Graph) []int {
+		ds := make([]int, g.NumVertices())
+		for v := range ds {
+			ds[v] = g.OutDegree(VertexID(v))
+		}
+		sort.Ints(ds)
+		return ds
+	}
+	d1, d2 := degrees(g), degrees(g2)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("degree sequence mismatch at %d: %d vs %d", i, d1[i], d2[i])
+		}
+	}
+}
+
+func TestEdgeListRoundTripExact(t *testing.T) {
+	// Path's edge iteration interns IDs in identity order, so the round trip
+	// is exact edge-for-edge.
+	g := Path(6)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ForEachEdge(func(u, v VertexID) {
+		if !g2.HasEdge(u, v) {
+			t.Errorf("lost edge (%d,%d)", u, v)
+		}
+	})
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := BarabasiAlbert(200, 3, 6)
+	g.SetName("test-graph")
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Name() != "test-graph" {
+		t.Errorf("name = %q", g2.Name())
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("binary round trip changed size")
+	}
+	g.ForEachEdge(func(u, v VertexID) {
+		if !g2.HasEdge(u, v) {
+			t.Errorf("lost edge (%d,%d)", u, v)
+		}
+	})
+}
+
+func TestReadBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Error("expected bad-magic error")
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	g := Ring(10)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("expected error for truncated input")
+	}
+}

@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := Path(5)
+	dist := BFS(g, 0)
+	for i, want := range []int32{0, 1, 2, 3, 4} {
+		if dist[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddUndirected(0, 1)
+	b.AddUndirected(2, 3)
+	g := b.Build()
+	dist := BFS(g, 0)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Errorf("unreachable vertices should be -1, got %v", dist)
+	}
+}
+
+func TestBFSRing(t *testing.T) {
+	g := Ring(8)
+	dist := BFS(g, 0)
+	want := []int32{0, 1, 2, 3, 4, 3, 2, 1}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddUndirected(0, 1)
+	b.AddUndirected(1, 2)
+	b.AddUndirected(3, 4)
+	g := b.Build()
+	c := Components(g)
+	if c.Count != 3 {
+		t.Fatalf("components = %d, want 3", c.Count)
+	}
+	if c.LargestSize != 3 {
+		t.Errorf("largest = %d, want 3", c.LargestSize)
+	}
+	if c.Labels[0] != c.Labels[2] || c.Labels[3] != c.Labels[4] || c.Labels[0] == c.Labels[3] {
+		t.Errorf("labels wrong: %v", c.Labels)
+	}
+}
+
+func TestLargestComponentSubgraph(t *testing.T) {
+	b := NewBuilder(7)
+	b.AddUndirected(0, 1)
+	b.AddUndirected(1, 2)
+	b.AddUndirected(2, 3) // component of size 4
+	b.AddUndirected(5, 6) // component of size 2
+	g := b.Build()
+	sub, mapping := LargestComponentSubgraph(g)
+	if sub.NumVertices() != 4 {
+		t.Fatalf("subgraph vertices = %d, want 4", sub.NumVertices())
+	}
+	if len(mapping) != 4 {
+		t.Fatalf("mapping len = %d", len(mapping))
+	}
+	if c := Components(sub); c.Count != 1 {
+		t.Error("subgraph not connected")
+	}
+	// Edge (1,2) must survive under the mapping.
+	found := false
+	sub.ForEachEdge(func(u, v VertexID) {
+		if mapping[u] == 1 && mapping[v] == 2 {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("edge (1,2) lost in extraction")
+	}
+}
+
+func TestEffectiveDiameterRing(t *testing.T) {
+	// On a ring of 20, pairwise distances are 1..10; the 90th percentile is 9.
+	eff, avg := effectiveDiameter(Ring(20), 20, 1)
+	if eff < 8 || eff > 10 {
+		t.Errorf("ring effective diameter = %.2f, want ~9", eff)
+	}
+	// Mean distance on an even ring of n=20: sum(1..9)*2+10 over 19 pairs = 5.26.
+	if math.Abs(avg-5.26) > 0.1 {
+		t.Errorf("ring avg path = %.2f, want ~5.26", avg)
+	}
+}
+
+func TestEffectiveDiameterComplete(t *testing.T) {
+	eff, avg := effectiveDiameter(Complete(10), 10, 1)
+	if eff > 1 || avg != 1 {
+		t.Errorf("complete graph eff=%v avg=%v, want <=1 and 1", eff, avg)
+	}
+}
+
+func TestComputeStatsStar(t *testing.T) {
+	st := ComputeStats(Star(11), 11, 1)
+	if st.Vertices != 11 || st.Edges != 10 {
+		t.Fatalf("V=%d E=%d", st.Vertices, st.Edges)
+	}
+	if st.Components != 1 {
+		t.Errorf("components = %d", st.Components)
+	}
+	if st.MaxDegree != 10 {
+		t.Errorf("max degree = %d", st.MaxDegree)
+	}
+	// Leaf-leaf distance is 2; 90% of pairs are leaf-leaf so eff diam ~2.
+	if st.EffectiveDiameter < 1 || st.EffectiveDiameter > 2 {
+		t.Errorf("eff diameter = %.2f, want in [1,2]", st.EffectiveDiameter)
+	}
+}
+
+func TestClusteringComplete(t *testing.T) {
+	// Every vertex of K5 has all neighbors interconnected: coefficient 1.
+	if c := SampledClustering(Complete(5), 100, 1); math.Abs(c-1) > 1e-9 {
+		t.Errorf("K5 clustering = %v, want 1", c)
+	}
+	// A star has no triangles: coefficient 0.
+	if c := SampledClustering(Star(10), 100, 1); c != 0 {
+		t.Errorf("star clustering = %v, want 0", c)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := DegreeHistogram(Star(5))
+	if h[4] != 1 || h[1] != 4 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestTopDegreeVertices(t *testing.T) {
+	top := TopDegreeVertices(Star(6), 2)
+	if len(top) != 2 || top[0] != 0 {
+		t.Errorf("top = %v, want center first", top)
+	}
+	all := TopDegreeVertices(Star(3), 10)
+	if len(all) != 3 {
+		t.Errorf("clamped top length = %d, want 3", len(all))
+	}
+}
+
+func TestPowerLawExponentBA(t *testing.T) {
+	g := BarabasiAlbert(3000, 4, 77)
+	alpha := DegreePowerLawExponent(g, 4)
+	// BA graphs have alpha ~ 3 in theory; accept the usual finite-size band.
+	if alpha < 1.8 || alpha > 4.5 {
+		t.Errorf("BA power-law exponent = %.2f, outside [1.8, 4.5]", alpha)
+	}
+}
+
+// Property: BFS distances obey the triangle-ish frontier invariant — every
+// edge (u,v) has |dist(u)-dist(v)| <= 1 when both are reachable.
+func TestBFSFrontierProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := ErdosRenyi(60, 120, seed)
+		dist := BFS(g, 0)
+		ok := true
+		g.ForEachEdge(func(u, v VertexID) {
+			du, dv := dist[u], dist[v]
+			if du >= 0 && dv >= 0 && (du-dv > 1 || dv-du > 1) {
+				ok = false
+			}
+			// A reachable vertex adjacent to an unreachable one is impossible
+			// in an undirected graph.
+			if du >= 0 && dv < 0 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

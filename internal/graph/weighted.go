@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Weighted pairs a graph with per-edge weights aligned to the adjacency
+// array, for weighted algorithms (the canonical Pregel example is weighted
+// single-source shortest paths).
+type Weighted struct {
+	*Graph
+	weights []float32 // weights[i] belongs to adj[i]
+}
+
+// NewWeighted attaches weights to a graph. The slice must have exactly one
+// entry per directed edge, in adjacency order.
+func NewWeighted(g *Graph, weights []float32) (*Weighted, error) {
+	if len(weights) != g.NumEdges() {
+		return nil, fmt.Errorf("graph: %d weights for %d edges", len(weights), g.NumEdges())
+	}
+	return &Weighted{Graph: g, weights: weights}, nil
+}
+
+// UniformWeights returns g with every edge weighted 1 (so weighted
+// algorithms degrade to their unweighted counterparts).
+func UniformWeights(g *Graph) *Weighted {
+	w := make([]float32, g.NumEdges())
+	for i := range w {
+		w[i] = 1
+	}
+	wg, _ := NewWeighted(g, w)
+	return wg
+}
+
+// RandomWeights returns g with symmetric random edge weights in [min, max):
+// the weight of (u,v) equals the weight of (v,u), as required for undirected
+// shortest paths. Deterministic for a fixed seed.
+func RandomWeights(g *Graph, min, max float32, seed int64) *Weighted {
+	if max < min {
+		min, max = max, min
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float32, g.NumEdges())
+	for u := 0; u < g.NumVertices(); u++ {
+		nbrs := g.Neighbors(VertexID(u))
+		base := g.offsets[u]
+		for i, v := range nbrs {
+			if VertexID(u) < v || !g.HasEdge(v, VertexID(u)) {
+				w[base+int64(i)] = min + rng.Float32()*(max-min)
+			}
+		}
+	}
+	// Mirror weights onto the reverse edges.
+	for u := 0; u < g.NumVertices(); u++ {
+		nbrs := g.Neighbors(VertexID(u))
+		base := g.offsets[u]
+		for i, v := range nbrs {
+			if VertexID(u) < v {
+				continue
+			}
+			// Find (v,u) and copy its weight.
+			rn := g.Neighbors(v)
+			rbase := g.offsets[v]
+			lo, hi := 0, len(rn)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if rn[mid] < VertexID(u) {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < len(rn) && rn[lo] == VertexID(u) {
+				w[base+int64(i)] = w[rbase+int64(lo)]
+			}
+		}
+	}
+	wg, _ := NewWeighted(g, w)
+	return wg
+}
+
+// EdgeWeights returns the weights of v's out-edges, aligned with Neighbors.
+// The slice aliases internal storage and must not be modified.
+func (w *Weighted) EdgeWeights(v VertexID) []float32 {
+	return w.weights[w.offsets[v]:w.offsets[v+1]]
+}
+
+// Weight returns the weight of edge (u, v), or -1 if absent.
+func (w *Weighted) Weight(u, v VertexID) float32 {
+	nbrs := w.Neighbors(u)
+	base := w.offsets[u]
+	for i, x := range nbrs {
+		if x == v {
+			return w.weights[base+int64(i)]
+		}
+	}
+	return -1
+}
+
+// DijkstraReference computes exact weighted shortest-path distances from src
+// (sequential; used to validate the BSP program). Unreachable = +Inf.
+func (w *Weighted) DijkstraReference(src VertexID) []float64 {
+	n := w.NumVertices()
+	const inf = 1e308
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	visited := make([]bool, n)
+	// O(n^2) scan-based Dijkstra: simple and fine at test scale.
+	for iter := 0; iter < n; iter++ {
+		best, bestD := -1, inf
+		for v := 0; v < n; v++ {
+			if !visited[v] && dist[v] < bestD {
+				best, bestD = v, dist[v]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		visited[best] = true
+		nbrs := w.Neighbors(VertexID(best))
+		wts := w.EdgeWeights(VertexID(best))
+		for i, u := range nbrs {
+			if d := bestD + float64(wts[i]); d < dist[u] {
+				dist[u] = d
+			}
+		}
+	}
+	return dist
+}

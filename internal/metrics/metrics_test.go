@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"pregelnet/internal/core"
+)
+
+func fakeSteps() []core.StepStats {
+	return []core.StepStats{
+		{Superstep: 0, ActiveVertices: 1, SentLocal: 10, SentRemote: 5,
+			PeakMemoryBytes: 100, SimSeconds: 1.0, WorkerSimSeconds: []float64{0.5, 1.0},
+			WorkerSent: []int64{10, 5}},
+		{Superstep: 1, ActiveVertices: 4, SentLocal: 40, SentRemote: 20,
+			PeakMemoryBytes: 400, SimSeconds: 2.0, WorkerSimSeconds: []float64{2.0, 1.0},
+			WorkerSent: []int64{40, 20}},
+		{Superstep: 2, ActiveVertices: 2, SentLocal: 5, SentRemote: 5,
+			PeakMemoryBytes: 50, SimSeconds: 0.5, WorkerSimSeconds: []float64{0.25, 0.25},
+			WorkerSent: []int64{5, 5}},
+	}
+}
+
+func TestSeriesExtraction(t *testing.T) {
+	steps := fakeSteps()
+	msgs := MessagesPerStep(steps)
+	if len(msgs.Values) != 3 || msgs.Values[0] != 15 || msgs.Values[1] != 60 {
+		t.Errorf("messages = %v", msgs.Values)
+	}
+	if r := RemoteMessagesPerStep(steps); r.Values[1] != 20 {
+		t.Errorf("remote = %v", r.Values)
+	}
+	if a := ActivePerStep(steps); a.Values[2] != 2 {
+		t.Errorf("active = %v", a.Values)
+	}
+	if m := PeakMemoryPerStep(steps); m.Values[1] != 400 {
+		t.Errorf("memory = %v", m.Values)
+	}
+	if s := SimTimePerStep(steps); s.Values[2] != 0.5 {
+		t.Errorf("sim time = %v", s.Values)
+	}
+	cum := CumulativeSimTime(steps)
+	if cum.Values[0] != 1.0 || cum.Values[1] != 3.0 || cum.Values[2] != 3.5 {
+		t.Errorf("cumulative = %v", cum.Values)
+	}
+	u := UtilizationPerStep(steps)
+	if u.Values[0] != 0.75 { // (0.5/1.0 + 1.0/1.0)/2
+		t.Errorf("utilization[0] = %v, want 0.75", u.Values[0])
+	}
+}
+
+func TestComputeBreakdown(t *testing.T) {
+	b := ComputeBreakdown(fakeSteps())
+	// Mean active: (0.75 + 1.5 + 0.25) = 2.5; total = 3.5; wait = 1.0.
+	if b.ActiveSeconds != 2.5 || b.TotalSeconds != 3.5 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	if b.WaitSeconds != 1.0 {
+		t.Errorf("wait = %v", b.WaitSeconds)
+	}
+	if b.Utilization < 0.71 || b.Utilization > 0.72 {
+		t.Errorf("utilization = %v", b.Utilization)
+	}
+}
+
+func TestWorkerMessageMatrix(t *testing.T) {
+	ids, matrix := WorkerMessageMatrix(fakeSteps(), 2)
+	// The peak 2-step window is steps 0-1 (75 msgs) vs 1-2 (70)... step 0+1
+	// = 75, step 1+2 = 70 → window starts at 0.
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Errorf("ids = %v", ids)
+	}
+	if matrix[1][0] != 40 || matrix[1][1] != 20 {
+		t.Errorf("matrix = %v", matrix)
+	}
+	// Window larger than run clamps.
+	ids, _ = WorkerMessageMatrix(fakeSteps(), 99)
+	if len(ids) != 3 {
+		t.Errorf("clamped window = %d", len(ids))
+	}
+	if ids, _ := WorkerMessageMatrix(nil, 2); ids != nil {
+		t.Error("empty steps should give nil")
+	}
+}
+
+func TestImbalanceRatio(t *testing.T) {
+	r := ImbalanceRatio(fakeSteps(), 2)
+	// Step 1: max 40, mean 30 → 1.333; step 0: max 10, mean 7.5 → 1.333.
+	if r < 1.3 || r > 1.4 {
+		t.Errorf("imbalance = %v", r)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "demo", Headers: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("3", "4")
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "3") {
+		t.Errorf("render output:\n%s", out)
+	}
+	var csv strings.Builder
+	tab.RenderCSV(&csv)
+	if !strings.HasPrefix(csv.String(), "a,b\n1,2\n") {
+		t.Errorf("csv output: %q", csv.String())
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	tab := SeriesTable("t", Series{Name: "x", Values: []float64{1, 2}},
+		Series{Name: "y", Values: []float64{3.5}})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "1" || tab.Rows[0][2] != "3.5" {
+		t.Errorf("row 0 = %v", tab.Rows[0])
+	}
+	if tab.Rows[1][2] != "" {
+		t.Errorf("short series should pad empty, got %q", tab.Rows[1][2])
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline(Series{Values: []float64{0, 5, 10}})
+	if len([]rune(s)) != 3 {
+		t.Errorf("sparkline runes = %q", s)
+	}
+	if Sparkline(Series{}) != "" {
+		t.Error("empty series should render empty")
+	}
+	// All zeros should not panic or index out of range.
+	if z := Sparkline(Series{Values: []float64{0, 0}}); len([]rune(z)) != 2 {
+		t.Errorf("zeros = %q", z)
+	}
+}

@@ -1,0 +1,304 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pregelnet/internal/graph"
+)
+
+func TestHash(t *testing.T) {
+	g := graph.Ring(10)
+	a := Hash{}.Partition(g, 4)
+	if err := a.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 10; v++ {
+		if a[v] != int32(v%4) {
+			t.Errorf("vertex %d -> %d, want %d", v, a[v], v%4)
+		}
+	}
+}
+
+func TestChunk(t *testing.T) {
+	g := graph.Ring(10)
+	a := Chunk{}.Partition(g, 3)
+	if err := a.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	// ceil(10/3)=4: [0..3]->0, [4..7]->1, [8..9]->2
+	if a[0] != 0 || a[3] != 0 || a[4] != 1 || a[8] != 2 {
+		t.Errorf("chunk assignment wrong: %v", a)
+	}
+}
+
+func TestChunkEmpty(t *testing.T) {
+	a := Chunk{}.Partition(graph.NewBuilder(0).Build(), 3)
+	if len(a) != 0 {
+		t.Fatal("expected empty assignment")
+	}
+}
+
+func TestAssignmentHelpers(t *testing.T) {
+	a := Assignment{0, 1, 1, 2}
+	if a.NumPartitions() != 3 {
+		t.Errorf("NumPartitions = %d", a.NumPartitions())
+	}
+	sizes := a.Sizes(3)
+	if sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Errorf("Sizes = %v", sizes)
+	}
+	if err := a.Validate(3); err != nil {
+		t.Error(err)
+	}
+	if err := a.Validate(2); err == nil {
+		t.Error("expected Validate(2) to fail")
+	}
+}
+
+func TestEvaluateRingChunk(t *testing.T) {
+	// A ring of 12 in 4 chunks cuts exactly 4 undirected edges = 8 directed.
+	g := graph.Ring(12)
+	a := Chunk{}.Partition(g, 4)
+	q := Evaluate(g, a, 4, "chunk")
+	if q.EdgeCut != 8 {
+		t.Errorf("edge cut = %d, want 8", q.EdgeCut)
+	}
+	if q.Balance != 1.0 {
+		t.Errorf("balance = %v, want 1.0", q.Balance)
+	}
+}
+
+func TestEvaluateHashCutsNearlyEverything(t *testing.T) {
+	g := graph.DatasetSD()
+	k := 8
+	q := Evaluate(g, Hash{}.Partition(g, k), k, "hash")
+	// Expect ~ (k-1)/k = 87.5% cut, as the paper reports ~87%.
+	if q.CutFraction < 0.80 || q.CutFraction > 0.95 {
+		t.Errorf("hash cut fraction = %.2f, want ~0.875", q.CutFraction)
+	}
+}
+
+func TestLDGBeatsHashOnLocalGraph(t *testing.T) {
+	g := graph.WattsStrogatz(2000, 6, 0.05, 3)
+	k := 8
+	hashQ := Evaluate(g, Hash{}.Partition(g, k), k, "hash")
+	ldg := NewLDG(DefaultSlack)
+	a := ldg.Partition(g, k)
+	if err := a.Validate(k); err != nil {
+		t.Fatal(err)
+	}
+	q := Evaluate(g, a, k, "ldg")
+	if q.CutFraction >= hashQ.CutFraction {
+		t.Errorf("LDG cut %.3f not better than hash %.3f", q.CutFraction, hashQ.CutFraction)
+	}
+	if q.Balance > 1.2 {
+		t.Errorf("LDG balance %.3f too skewed", q.Balance)
+	}
+}
+
+func TestLDGCapacityRespected(t *testing.T) {
+	g := graph.Star(100)
+	k := 4
+	a := NewLDG(1.0).Partition(g, k)
+	sizes := a.Sizes(k)
+	for p, s := range sizes {
+		if s > 26 { // ceil(100/4) + rounding
+			t.Errorf("partition %d has %d vertices, exceeds capacity", p, s)
+		}
+	}
+}
+
+func TestLDGBFSOrder(t *testing.T) {
+	g := graph.WattsStrogatz(1000, 6, 0.05, 3)
+	k := 4
+	a := NewLDGWithOrder(DefaultSlack, OrderBFS).Partition(g, k)
+	if err := a.Validate(k); err != nil {
+		t.Fatal(err)
+	}
+	q := Evaluate(g, a, k, "ldg-bfs")
+	hashQ := Evaluate(g, Hash{}.Partition(g, k), k, "hash")
+	if q.CutFraction >= hashQ.CutFraction {
+		t.Errorf("LDG-BFS cut %.3f not better than hash %.3f", q.CutFraction, hashQ.CutFraction)
+	}
+}
+
+func TestMultilevelRing(t *testing.T) {
+	// The optimal 4-way cut of a ring is 4 undirected edges; multilevel
+	// should get close (allow 2x).
+	g := graph.Ring(256)
+	m := NewMultilevel()
+	a := m.Partition(g, 4)
+	if err := a.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	q := Evaluate(g, a, 4, "metis")
+	if q.EdgeCut > 16 {
+		t.Errorf("ring 4-way cut = %d directed edges, want <= 16", q.EdgeCut)
+	}
+	if q.Balance > 1.2 {
+		t.Errorf("balance = %.3f", q.Balance)
+	}
+}
+
+func TestMultilevelGrid(t *testing.T) {
+	g := graph.Grid(32, 32)
+	m := NewMultilevel()
+	k := 4
+	a := m.Partition(g, k)
+	q := Evaluate(g, a, k, "metis")
+	// Optimal 4-way cut of a 32x32 grid is ~64 undirected edges (two
+	// straight cuts); accept up to 3x.
+	if q.EdgeCut > 3*2*64 {
+		t.Errorf("grid cut = %d directed edges, want near-optimal", q.EdgeCut)
+	}
+	if q.Balance > 1.15 {
+		t.Errorf("balance = %.3f", q.Balance)
+	}
+}
+
+func TestMultilevelBeatsLDGAndHash(t *testing.T) {
+	g := graph.DatasetCP()
+	k := 8
+	hashQ := Evaluate(g, Hash{}.Partition(g, k), k, "hash")
+	ldgQ := Evaluate(g, NewLDG(DefaultSlack).Partition(g, k), k, "ldg")
+	metisQ := Evaluate(g, NewMultilevel().Partition(g, k), k, "metis")
+	t.Logf("CP': hash=%.2f ldg=%.2f metis=%.2f", hashQ.CutFraction, ldgQ.CutFraction, metisQ.CutFraction)
+	if !(metisQ.CutFraction < ldgQ.CutFraction && ldgQ.CutFraction < hashQ.CutFraction) {
+		t.Errorf("expected metis < ldg < hash cut ordering, got %.2f %.2f %.2f",
+			metisQ.CutFraction, ldgQ.CutFraction, hashQ.CutFraction)
+	}
+	// Paper reports METIS ~17-18% remote edges; ours should be well under 40%.
+	if metisQ.CutFraction > 0.4 {
+		t.Errorf("metis cut fraction %.2f too high", metisQ.CutFraction)
+	}
+}
+
+func TestMultilevelK1AndEmpty(t *testing.T) {
+	g := graph.Ring(10)
+	a := NewMultilevel().Partition(g, 1)
+	for _, p := range a {
+		if p != 0 {
+			t.Fatal("k=1 must assign everything to partition 0")
+		}
+	}
+	empty := NewMultilevel().Partition(graph.NewBuilder(0).Build(), 4)
+	if len(empty) != 0 {
+		t.Fatal("empty graph should give empty assignment")
+	}
+}
+
+func TestMultilevelStarDoesNotStall(t *testing.T) {
+	// Star graphs defeat heavy-edge matching (everything matches the hub);
+	// the partitioner must still terminate and produce a valid assignment.
+	g := graph.Star(500)
+	a := NewMultilevel().Partition(g, 4)
+	if err := a.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultilevelDeterministic(t *testing.T) {
+	g := graph.DatasetSD()
+	a1 := NewMultilevel().Partition(g, 8)
+	a2 := NewMultilevel().Partition(g, 8)
+	for v := range a1 {
+		if a1[v] != a2[v] {
+			t.Fatalf("nondeterministic at vertex %d", v)
+		}
+	}
+}
+
+func TestFennelBeatsHashOnCommunityGraph(t *testing.T) {
+	g := graph.Community(2000, 16, 4, 0.9, 5)
+	k := 8
+	hashQ := Evaluate(g, Hash{}.Partition(g, k), k, "hash")
+	a := NewFennel().Partition(g, k)
+	if err := a.Validate(k); err != nil {
+		t.Fatal(err)
+	}
+	q := Evaluate(g, a, k, "fennel")
+	if q.CutFraction >= hashQ.CutFraction {
+		t.Errorf("fennel cut %.3f not better than hash %.3f", q.CutFraction, hashQ.CutFraction)
+	}
+	if q.Balance > 1.25 {
+		t.Errorf("fennel balance %.3f too skewed", q.Balance)
+	}
+}
+
+func TestFennelEmptyAndTiny(t *testing.T) {
+	if got := NewFennel().Partition(graph.NewBuilder(0).Build(), 4); len(got) != 0 {
+		t.Error("empty graph should give empty assignment")
+	}
+	a := NewFennel().Partition(graph.Ring(3), 8)
+	if err := a.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"hash", "chunk", "ldg", "metis", "multilevel", "streaming", "fennel"} {
+		if ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("bogus") != nil {
+		t.Error("ByName(bogus) should be nil")
+	}
+}
+
+// Property: every partitioner produces a complete valid assignment on random
+// graphs, with every partition in range.
+func TestPartitionersValidProperty(t *testing.T) {
+	partitioners := []Partitioner{Hash{}, Chunk{}, NewLDG(DefaultSlack), NewMultilevel()}
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%7) + 2
+		g := graph.ErdosRenyi(80, 160, seed)
+		for _, p := range partitioners {
+			a := p.Partition(g, k)
+			if len(a) != g.NumVertices() {
+				return false
+			}
+			if a.Validate(k) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: evaluated sizes always sum to the vertex count.
+func TestEvaluateSizesSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.ErdosRenyi(60, 120, seed)
+		a := NewLDG(DefaultSlack).Partition(g, 5)
+		q := Evaluate(g, a, 5, "ldg")
+		total := 0
+		for _, s := range q.Sizes {
+			total += s
+		}
+		return total == g.NumVertices()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: multilevel respects its balance tolerance on community graphs
+// of varied shapes.
+func TestMultilevelBalanceProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%6) + 2
+		g := graph.Community(600, 6, 3, 0.8, seed)
+		m := NewMultilevel()
+		q := Evaluate(g, m.Partition(g, k), k, "metis")
+		// Tolerance 1.05 plus slack for integer rounding on small parts.
+		return q.Balance <= m.BalanceTolerance+0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+package partition
+
+import (
+	"math"
+
+	"pregelnet/internal/graph"
+)
+
+// Streaming partitioning (Stanton & Kliot, MSR-TR-2011-121): vertices arrive
+// one at a time with their adjacency lists and are assigned immediately using
+// only the assignments made so far. The paper uses the best heuristic from
+// that work — linear-weighted deterministic greedy (LDG) — as its "Streaming"
+// strategy.
+
+// DefaultSlack is the capacity slack factor for LDG: each partition may hold
+// up to slack * n/k vertices.
+const DefaultSlack = 1.05
+
+// LDG implements linear (weighted) deterministic greedy streaming
+// partitioning: vertex v goes to the partition maximizing
+//
+//	|N(v) ∩ P_i| * (1 - |P_i| / C)
+//
+// where C is the per-partition capacity. Ties break toward the least-loaded
+// partition, then the lowest index (deterministic).
+type LDG struct {
+	slack float64
+	order StreamOrder
+}
+
+// StreamOrder determines the order vertices are streamed in.
+type StreamOrder int
+
+const (
+	// OrderID streams vertices in increasing ID order (the natural file
+	// order the paper's loader sees).
+	OrderID StreamOrder = iota
+	// OrderBFS streams vertices in breadth-first order from vertex 0,
+	// appending unreached vertices in ID order. BFS order generally improves
+	// streaming quality since neighbors arrive near each other.
+	OrderBFS
+)
+
+// NewLDG returns an LDG partitioner with the given capacity slack
+// (use DefaultSlack for the paper's configuration), streaming in ID order.
+func NewLDG(slack float64) *LDG {
+	return &LDG{slack: slack, order: OrderID}
+}
+
+// NewLDGWithOrder returns an LDG partitioner with a specific stream order.
+func NewLDGWithOrder(slack float64, order StreamOrder) *LDG {
+	return &LDG{slack: slack, order: order}
+}
+
+// Name implements Partitioner.
+func (l *LDG) Name() string { return "ldg" }
+
+// Partition implements Partitioner.
+func (l *LDG) Partition(g *graph.Graph, k int) Assignment {
+	n := g.NumVertices()
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = -1
+	}
+	capacity := l.slack * float64(n) / float64(k)
+	if capacity < 1 {
+		capacity = 1
+	}
+	sizes := make([]int, k)
+	neighborCount := make([]int, k)
+
+	assign := func(v graph.VertexID) {
+		for i := range neighborCount {
+			neighborCount[i] = 0
+		}
+		for _, u := range g.Neighbors(v) {
+			if p := a[u]; p >= 0 {
+				neighborCount[p]++
+			}
+		}
+		best, bestScore := 0, -1.0
+		for p := 0; p < k; p++ {
+			if float64(sizes[p]) >= capacity {
+				continue
+			}
+			score := float64(neighborCount[p]) * (1 - float64(sizes[p])/capacity)
+			if score > bestScore ||
+				(score == bestScore && sizes[p] < sizes[best]) {
+				best, bestScore = p, score
+			}
+		}
+		if bestScore < 0 {
+			// All partitions at capacity (possible with tight slack): fall
+			// back to the least loaded.
+			for p := 1; p < k; p++ {
+				if sizes[p] < sizes[best] {
+					best = p
+				}
+			}
+		}
+		a[v] = int32(best)
+		sizes[best]++
+	}
+
+	for _, v := range l.streamOrder(g) {
+		assign(v)
+	}
+	return a
+}
+
+// Fennel implements the Fennel streaming partitioner (Tsourakakis et al.):
+// vertex v goes to the partition maximizing |N(v) ∩ P_i| − α·γ·|P_i|^(γ−1),
+// an interpolation between edge-cut and balance objectives. Included as the
+// natural successor to LDG for comparison studies.
+type Fennel struct {
+	// Gamma is the balance exponent (1.5 is the paper's default).
+	Gamma float64
+	// Slack bounds partition size at slack·n/k like LDG.
+	Slack float64
+}
+
+// NewFennel returns a Fennel partitioner with standard parameters.
+func NewFennel() *Fennel { return &Fennel{Gamma: 1.5, Slack: 1.1} }
+
+// Name implements Partitioner.
+func (f *Fennel) Name() string { return "fennel" }
+
+// Partition implements Partitioner.
+func (f *Fennel) Partition(g *graph.Graph, k int) Assignment {
+	n := g.NumVertices()
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = -1
+	}
+	if n == 0 {
+		return a
+	}
+	m := float64(g.NumEdges()) / 2
+	gamma := f.Gamma
+	if gamma <= 1 {
+		gamma = 1.5
+	}
+	alpha := m * math.Pow(float64(k), gamma-1) / math.Pow(float64(n), gamma)
+	if alpha <= 0 {
+		alpha = 1
+	}
+	capacity := f.Slack * float64(n) / float64(k)
+	if capacity < 1 {
+		capacity = 1
+	}
+	sizes := make([]int, k)
+	neighborCount := make([]int, k)
+	for v := 0; v < n; v++ {
+		for i := range neighborCount {
+			neighborCount[i] = 0
+		}
+		for _, u := range g.Neighbors(graph.VertexID(v)) {
+			if p := a[u]; p >= 0 {
+				neighborCount[p]++
+			}
+		}
+		best, bestScore := -1, math.Inf(-1)
+		for p := 0; p < k; p++ {
+			if float64(sizes[p]) >= capacity {
+				continue
+			}
+			score := float64(neighborCount[p]) - alpha*gamma*math.Pow(float64(sizes[p]), gamma-1)
+			if score > bestScore || (score == bestScore && sizes[p] < sizes[best]) {
+				best, bestScore = p, score
+			}
+		}
+		if best < 0 {
+			// All partitions at capacity: fall back to the least loaded.
+			best = 0
+			for p := 1; p < k; p++ {
+				if sizes[p] < sizes[best] {
+					best = p
+				}
+			}
+		}
+		a[v] = int32(best)
+		sizes[best]++
+	}
+	return a
+}
+
+func (l *LDG) streamOrder(g *graph.Graph) []graph.VertexID {
+	n := g.NumVertices()
+	order := make([]graph.VertexID, 0, n)
+	if l.order == OrderID {
+		for v := 0; v < n; v++ {
+			order = append(order, graph.VertexID(v))
+		}
+		return order
+	}
+	// BFS order from vertex 0, then any unreached vertices by ID.
+	seen := make([]bool, n)
+	queue := make([]graph.VertexID, 0, n)
+	push := func(v graph.VertexID) {
+		if !seen[v] {
+			seen[v] = true
+			queue = append(queue, v)
+		}
+	}
+	if n > 0 {
+		push(0)
+	}
+	for i := 0; i < len(queue); i++ {
+		u := queue[i]
+		order = append(order, u)
+		for _, v := range g.Neighbors(u) {
+			push(v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !seen[v] {
+			order = append(order, graph.VertexID(v))
+		}
+	}
+	return order
+}

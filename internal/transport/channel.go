@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ChannelNetwork is an in-process data plane: each worker owns a buffered
+// inbox channel. It preserves the TCP transport's semantics (opaque
+// serialized payloads, per-destination batches) while being fast and
+// allocation-light, and is the default for experiments.
+type ChannelNetwork struct {
+	endpoints []*channelEndpoint
+	closeOnce sync.Once
+}
+
+// NewChannelNetwork creates a data plane for n workers with the given inbox
+// buffer depth per worker.
+func NewChannelNetwork(n, buffer int) *ChannelNetwork {
+	cn := &ChannelNetwork{endpoints: make([]*channelEndpoint, n)}
+	for i := range cn.endpoints {
+		cn.endpoints[i] = &channelEndpoint{
+			net:   cn,
+			id:    i,
+			inbox: make(chan *Batch, buffer),
+			done:  make(chan struct{}),
+		}
+	}
+	return cn
+}
+
+// NumWorkers implements Network.
+func (cn *ChannelNetwork) NumWorkers() int { return len(cn.endpoints) }
+
+// Endpoint implements Network.
+func (cn *ChannelNetwork) Endpoint(w int) (Endpoint, error) {
+	if w < 0 || w >= len(cn.endpoints) {
+		return nil, fmt.Errorf("transport: worker %d out of range [0,%d)", w, len(cn.endpoints))
+	}
+	return cn.endpoints[w], nil
+}
+
+// Close implements Network.
+func (cn *ChannelNetwork) Close() error {
+	cn.closeOnce.Do(func() {
+		for _, ep := range cn.endpoints {
+			ep.closeOnce.Do(func() { close(ep.done) })
+		}
+	})
+	return nil
+}
+
+type channelEndpoint struct {
+	net       *ChannelNetwork
+	id        int
+	inbox     chan *Batch
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func (ep *channelEndpoint) Send(b *Batch) error {
+	if int(b.To) < 0 || int(b.To) >= len(ep.net.endpoints) {
+		return fmt.Errorf("transport: send to unknown worker %d", b.To)
+	}
+	dst := ep.net.endpoints[b.To]
+	select {
+	case <-dst.done:
+		return ErrClosed
+	case dst.inbox <- b:
+		return nil
+	}
+}
+
+func (ep *channelEndpoint) Recv() (*Batch, error) {
+	select {
+	case b := <-ep.inbox:
+		return b, nil
+	case <-ep.done:
+		// Drain anything already queued before reporting EOF.
+		select {
+		case b := <-ep.inbox:
+			return b, nil
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+func (ep *channelEndpoint) ResetPeers() error { return nil } // nothing cached
+
+func (ep *channelEndpoint) Close() error {
+	ep.closeOnce.Do(func() { close(ep.done) })
+	return nil
+}

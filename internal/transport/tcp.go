@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPNetwork is a data plane over real TCP sockets. Each worker runs a
+// listener; senders dial peers lazily, cache the connections, and tear them
+// down on ResetPeers (the paper re-establishes sockets every superstep to
+// avoid idle timeouts on long-running jobs). Incoming batches from all peers
+// are funneled into one inbox per worker by per-connection reader
+// goroutines — the paper's "receive thread".
+type TCPNetwork struct {
+	endpoints []*tcpEndpoint
+	closeOnce sync.Once
+}
+
+// NewTCPNetwork starts listeners for n workers on loopback and returns the
+// connected network. Addresses are chosen by the kernel; use Addr to
+// retrieve them.
+func NewTCPNetwork(n int) (*TCPNetwork, error) {
+	tn := &TCPNetwork{endpoints: make([]*tcpEndpoint, n)}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tn.Close()
+			return nil, fmt.Errorf("transport: listen for worker %d: %w", i, err)
+		}
+		ep := &tcpEndpoint{
+			id:    i,
+			ln:    ln,
+			inbox: make(chan *Batch, 1024),
+			done:  make(chan struct{}),
+			conns: make(map[int]net.Conn),
+		}
+		tn.endpoints[i] = ep
+		addrs[i] = ln.Addr().String()
+		go ep.acceptLoop()
+	}
+	for _, ep := range tn.endpoints {
+		ep.peerAddrs = addrs
+	}
+	return tn, nil
+}
+
+// NumWorkers implements Network.
+func (tn *TCPNetwork) NumWorkers() int { return len(tn.endpoints) }
+
+// Endpoint implements Network.
+func (tn *TCPNetwork) Endpoint(w int) (Endpoint, error) {
+	if w < 0 || w >= len(tn.endpoints) {
+		return nil, fmt.Errorf("transport: worker %d out of range [0,%d)", w, len(tn.endpoints))
+	}
+	return tn.endpoints[w], nil
+}
+
+// Addr returns the listen address of worker w.
+func (tn *TCPNetwork) Addr(w int) string { return tn.endpoints[w].ln.Addr().String() }
+
+// Close implements Network.
+func (tn *TCPNetwork) Close() error {
+	tn.closeOnce.Do(func() {
+		for _, ep := range tn.endpoints {
+			if ep != nil {
+				ep.Close()
+			}
+		}
+	})
+	return nil
+}
+
+type tcpEndpoint struct {
+	id        int
+	ln        net.Listener
+	peerAddrs []string
+	inbox     chan *Batch
+	done      chan struct{}
+	closeOnce sync.Once
+
+	mu    sync.Mutex
+	conns map[int]net.Conn // cached outgoing connections by peer
+}
+
+func (ep *tcpEndpoint) acceptLoop() {
+	for {
+		conn, err := ep.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go ep.readLoop(conn)
+	}
+}
+
+func (ep *tcpEndpoint) readLoop(conn net.Conn) {
+	defer conn.Close()
+	for {
+		b, err := readBatch(conn)
+		if err != nil {
+			return // peer closed or reset
+		}
+		select {
+		case ep.inbox <- b:
+		case <-ep.done:
+			return
+		}
+	}
+}
+
+func (ep *tcpEndpoint) Send(b *Batch) error {
+	select {
+	case <-ep.done:
+		return ErrClosed
+	default:
+	}
+	to := int(b.To)
+	if to < 0 || to >= len(ep.peerAddrs) {
+		return fmt.Errorf("transport: send to unknown worker %d", b.To)
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	conn, ok := ep.conns[to]
+	if !ok {
+		var err error
+		conn, err = net.Dial("tcp", ep.peerAddrs[to])
+		if err != nil {
+			return fmt.Errorf("transport: dial worker %d: %w", to, err)
+		}
+		ep.conns[to] = conn
+	}
+	if err := writeBatch(conn, b); err != nil {
+		// Drop the broken connection; one retry with a fresh dial.
+		conn.Close()
+		delete(ep.conns, to)
+		conn, derr := net.Dial("tcp", ep.peerAddrs[to])
+		if derr != nil {
+			return fmt.Errorf("transport: redial worker %d: %w", to, derr)
+		}
+		ep.conns[to] = conn
+		return writeBatch(conn, b)
+	}
+	return nil
+}
+
+func (ep *tcpEndpoint) Recv() (*Batch, error) {
+	select {
+	case b := <-ep.inbox:
+		return b, nil
+	case <-ep.done:
+		select {
+		case b := <-ep.inbox:
+			return b, nil
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+func (ep *tcpEndpoint) ResetPeers() error {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for to, conn := range ep.conns {
+		conn.Close()
+		delete(ep.conns, to)
+	}
+	return nil
+}
+
+func (ep *tcpEndpoint) Close() error {
+	ep.closeOnce.Do(func() {
+		close(ep.done)
+		ep.ln.Close()
+		ep.ResetPeers()
+	})
+	return nil
+}

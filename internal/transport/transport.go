@@ -1,0 +1,100 @@
+// Package transport moves bulk data-message batches between BSP workers.
+//
+// The paper's data plane uses Azure TCP endpoints between every pair of
+// workers, with serialized messages buffered per destination and sent as
+// "bulk" transfers by background threads; sockets are re-established each
+// superstep to avoid timeouts on long jobs. This package provides that TCP
+// transport (over real sockets) plus an in-process channel transport with
+// identical semantics for fast deterministic experiments.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Batch is a bulk transfer of serialized vertex messages from one worker to
+// another within one superstep. Payload encoding is owned by the engine; the
+// transport treats it as opaque bytes.
+type Batch struct {
+	From      int32 // sending worker
+	To        int32 // receiving worker
+	Superstep int32
+	Count     int32 // number of vertex messages in Payload
+	Payload   []byte
+}
+
+// WireSize returns the encoded size of the batch in bytes, used for network
+// cost accounting.
+func (b *Batch) WireSize() int64 {
+	return int64(batchHeaderSize + len(b.Payload))
+}
+
+const batchHeaderSize = 4 * 5 // from, to, superstep, count, payload length
+
+// ErrClosed is returned by endpoints after Close.
+var ErrClosed = fmt.Errorf("transport: endpoint closed")
+
+// Endpoint is one worker's connection to the data plane.
+type Endpoint interface {
+	// Send delivers a batch to batch.To. It may block for flow control.
+	Send(b *Batch) error
+	// Recv returns the next incoming batch, blocking until one arrives.
+	// Returns io.EOF after Close.
+	Recv() (*Batch, error)
+	// ResetPeers tears down cached peer connections; the next Send
+	// reconnects. The engine calls this at superstep boundaries, mirroring
+	// the paper's per-superstep socket re-establishment.
+	ResetPeers() error
+	// Close shuts the endpoint down and unblocks Recv.
+	Close() error
+}
+
+// Network is a data plane connecting a fixed set of workers.
+type Network interface {
+	NumWorkers() int
+	// Endpoint returns worker w's endpoint. Each worker must use only its
+	// own endpoint.
+	Endpoint(w int) (Endpoint, error)
+	// Close shuts down all endpoints.
+	Close() error
+}
+
+// writeBatch frames and writes a batch to w.
+func writeBatch(w io.Writer, b *Batch) error {
+	hdr := make([]byte, batchHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(b.From))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(b.To))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(b.Superstep))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(b.Count))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(b.Payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(b.Payload)
+	return err
+}
+
+// readBatch reads one framed batch from r.
+func readBatch(r io.Reader) (*Batch, error) {
+	hdr := make([]byte, batchHeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	b := &Batch{
+		From:      int32(binary.LittleEndian.Uint32(hdr[0:])),
+		To:        int32(binary.LittleEndian.Uint32(hdr[4:])),
+		Superstep: int32(binary.LittleEndian.Uint32(hdr[8:])),
+		Count:     int32(binary.LittleEndian.Uint32(hdr[12:])),
+	}
+	n := binary.LittleEndian.Uint32(hdr[16:])
+	if n > 1<<30 {
+		return nil, fmt.Errorf("transport: absurd payload length %d", n)
+	}
+	b.Payload = make([]byte, n)
+	if _, err := io.ReadFull(r, b.Payload); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

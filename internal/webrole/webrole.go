@@ -1,0 +1,384 @@
+// Package webrole implements the paper's web front end (Fig 1): an HTTP
+// service where users submit graph jobs and poll their status while the job
+// manager and partition workers execute them. Requests specify the
+// algorithm, dataset, worker count, partitioning, and (for traversal
+// algorithms) the root count and swath heuristics.
+package webrole
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pregelnet/internal/algorithms"
+	"pregelnet/internal/cloud"
+	"pregelnet/internal/core"
+	"pregelnet/internal/graph"
+	"pregelnet/internal/partition"
+)
+
+// JobRequest is the submission payload.
+type JobRequest struct {
+	// Algorithm: pagerank | bc | apsp | sssp | wcc | lpa.
+	Algorithm string `json:"algorithm"`
+	// Graph: built-in dataset name (sd | wg | cp | lj).
+	Graph string `json:"graph"`
+	// Workers is the partition worker count (default 8).
+	Workers int `json:"workers,omitempty"`
+	// Partitioner: hash | chunk | metis | ldg (default hash).
+	Partitioner string `json:"partitioner,omitempty"`
+	// Roots bounds bc/apsp traversal sources (default 25).
+	Roots int `json:"roots,omitempty"`
+	// Iterations for pagerank/lpa (default 30/10).
+	Iterations int `json:"iterations,omitempty"`
+	// Swath: none | adaptive | sampling (bc/apsp; default adaptive).
+	Swath string `json:"swath,omitempty"`
+	// Initiate: seq | dynamic | staticN (default dynamic).
+	Initiate string `json:"initiate,omitempty"`
+	// MemoryMiB caps per-worker memory (0 = default spec).
+	MemoryMiB int64 `json:"memoryMiB,omitempty"`
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Summary is the completed-job report returned by the status endpoint.
+type Summary struct {
+	Supersteps  int         `json:"supersteps"`
+	Messages    int64       `json:"messages"`
+	SimSeconds  float64     `json:"simSeconds"`
+	CostDollars float64     `json:"costDollars"`
+	WallSeconds float64     `json:"wallSeconds"`
+	TopVertices []TopVertex `json:"topVertices,omitempty"`
+	Extra       string      `json:"extra,omitempty"`
+}
+
+// TopVertex is one row of a ranked result.
+type TopVertex struct {
+	Vertex graph.VertexID `json:"vertex"`
+	Score  float64        `json:"score"`
+}
+
+// JobStatus is the polled job record.
+type JobStatus struct {
+	ID      int        `json:"id"`
+	Request JobRequest `json:"request"`
+	State   JobState   `json:"state"`
+	Error   string     `json:"error,omitempty"`
+	Result  *Summary   `json:"result,omitempty"`
+}
+
+// Server is the web role. It runs jobs sequentially in the background (one
+// BSP job at a time, as a single manager VM would).
+type Server struct {
+	mu     sync.Mutex
+	jobs   map[int]*JobStatus
+	order  []int
+	nextID int
+	queue  chan int
+	wg     sync.WaitGroup
+}
+
+// NewServer starts the background job runner.
+func NewServer() *Server {
+	s := &Server{jobs: make(map[int]*JobStatus), queue: make(chan int, 128)}
+	s.wg.Add(1)
+	go s.runLoop()
+	return s
+}
+
+// Close drains the job queue and stops the runner.
+func (s *Server) Close() {
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Handler returns the HTTP routes:
+//
+//	POST /jobs        submit a JobRequest, returns {"id": N}
+//	GET  /jobs        list all jobs
+//	GET  /jobs/{id}   poll one job
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := validate(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.jobs[id] = &JobStatus{ID: id, Request: req, State: StateQueued}
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	s.queue <- id
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintf(w, `{"id":%d}`+"\n", id)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	list := make([]*JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		cp := *s.jobs[id]
+		list = append(list, &cp)
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(list)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, "bad job id", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	var cp JobStatus
+	if ok {
+		cp = *job
+	}
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(&cp)
+}
+
+func validate(req *JobRequest) error {
+	switch req.Algorithm {
+	case "pagerank", "bc", "apsp", "sssp", "wcc", "lpa":
+	default:
+		return fmt.Errorf("unknown algorithm %q", req.Algorithm)
+	}
+	if graph.Dataset(req.Graph) == nil {
+		return fmt.Errorf("unknown graph %q (want sd|wg|cp|lj)", req.Graph)
+	}
+	if req.Workers == 0 {
+		req.Workers = 8
+	}
+	if req.Workers < 1 || req.Workers > 64 {
+		return fmt.Errorf("workers %d out of range [1,64]", req.Workers)
+	}
+	if req.Partitioner == "" {
+		req.Partitioner = "hash"
+	}
+	if partition.ByName(req.Partitioner) == nil {
+		return fmt.Errorf("unknown partitioner %q", req.Partitioner)
+	}
+	if req.Roots <= 0 {
+		req.Roots = 25
+	}
+	if req.Iterations <= 0 {
+		if req.Algorithm == "lpa" {
+			req.Iterations = 10
+		} else {
+			req.Iterations = 30
+		}
+	}
+	if req.Swath == "" {
+		req.Swath = "adaptive"
+	}
+	if req.Initiate == "" {
+		req.Initiate = "dynamic"
+	}
+	return nil
+}
+
+func (s *Server) runLoop() {
+	defer s.wg.Done()
+	for id := range s.queue {
+		s.mu.Lock()
+		job := s.jobs[id]
+		job.State = StateRunning
+		req := job.Request
+		s.mu.Unlock()
+
+		summary, err := execute(req)
+		s.mu.Lock()
+		if err != nil {
+			job.State = StateFailed
+			job.Error = err.Error()
+		} else {
+			job.State = StateDone
+			job.Result = summary
+		}
+		s.mu.Unlock()
+	}
+}
+
+func execute(req JobRequest) (*Summary, error) {
+	g := graph.Dataset(req.Graph)
+	assign := partition.ByName(req.Partitioner).Partition(g, req.Workers)
+	model := cloud.DefaultCostModel(cloud.LargeVM())
+	if req.MemoryMiB > 0 {
+		model.Spec = model.Spec.WithMemory(req.MemoryMiB << 20)
+	}
+
+	top := func(scores []float64, n int) []TopVertex {
+		tv := make([]TopVertex, len(scores))
+		for v, s := range scores {
+			tv[v] = TopVertex{graph.VertexID(v), s}
+		}
+		sort.Slice(tv, func(i, j int) bool { return tv[i].Score > tv[j].Score })
+		if n > len(tv) {
+			n = len(tv)
+		}
+		return tv[:n]
+	}
+	summarize := func(steps []core.StepStats, sim, cost, wall float64, sup int) *Summary {
+		var msgs int64
+		for i := range steps {
+			msgs += steps[i].TotalSent()
+		}
+		return &Summary{Supersteps: sup, Messages: msgs, SimSeconds: sim,
+			CostDollars: cost, WallSeconds: wall}
+	}
+
+	switch req.Algorithm {
+	case "pagerank":
+		spec := algorithms.PageRank{Iterations: req.Iterations, Damping: 0.85}.Spec(g, req.Workers)
+		spec.Assignment = assign
+		spec.CostModel = model
+		res, err := core.Run(spec)
+		if err != nil {
+			return nil, err
+		}
+		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps)
+		sum.TopVertices = top(algorithms.Ranks(res, g.NumVertices()), 10)
+		return sum, nil
+	case "bc":
+		sched, err := scheduler(g, req, model)
+		if err != nil {
+			return nil, err
+		}
+		spec := algorithms.BC(g, req.Workers, sched)
+		spec.Assignment = assign
+		spec.CostModel = model
+		res, err := core.Run(spec)
+		if err != nil {
+			return nil, err
+		}
+		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps)
+		sum.TopVertices = top(algorithms.BCScores(res, g.NumVertices()), 10)
+		return sum, nil
+	case "apsp":
+		sched, err := scheduler(g, req, model)
+		if err != nil {
+			return nil, err
+		}
+		spec := algorithms.APSP(g, req.Workers, sched)
+		spec.Assignment = assign
+		spec.CostModel = model
+		res, err := core.Run(spec)
+		if err != nil {
+			return nil, err
+		}
+		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps)
+		sum.Extra = fmt.Sprintf("distances computed from %d roots", req.Roots)
+		return sum, nil
+	case "sssp":
+		spec := algorithms.SSSP(g, req.Workers, 0)
+		spec.Assignment = assign
+		spec.CostModel = model
+		res, err := core.Run(spec)
+		if err != nil {
+			return nil, err
+		}
+		return summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps), nil
+	case "wcc":
+		spec := algorithms.WCC(g, req.Workers)
+		spec.Assignment = assign
+		spec.CostModel = model
+		res, err := core.Run(spec)
+		if err != nil {
+			return nil, err
+		}
+		labels := algorithms.WCCLabels(res, g.NumVertices())
+		comps := map[int32]bool{}
+		for _, l := range labels {
+			comps[l] = true
+		}
+		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps)
+		sum.Extra = fmt.Sprintf("%d connected components", len(comps))
+		return sum, nil
+	case "lpa":
+		spec := algorithms.LPA(g, req.Workers, req.Iterations)
+		spec.Assignment = assign
+		spec.CostModel = model
+		res, err := core.Run(spec)
+		if err != nil {
+			return nil, err
+		}
+		labels := algorithms.LPALabels(res, g.NumVertices())
+		comms := map[int32]bool{}
+		for _, l := range labels {
+			comms[l] = true
+		}
+		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps)
+		sum.Extra = fmt.Sprintf("%d communities", len(comms))
+		return sum, nil
+	}
+	return nil, fmt.Errorf("unreachable algorithm %q", req.Algorithm)
+}
+
+func scheduler(g *graph.Graph, req JobRequest, model cloud.CostModel) (core.SwathScheduler, error) {
+	sources := core.FirstNSources(g, req.Roots)
+	if req.Swath == "none" {
+		return core.NewAllAtOnce(sources), nil
+	}
+	target := model.Spec.MemoryBytes * 6 / 7
+	var sizer core.SwathSizer
+	switch req.Swath {
+	case "adaptive":
+		sizer = &core.AdaptiveSizer{Initial: max(2, req.Roots/4), TargetMemoryBytes: target}
+	case "sampling":
+		sizer = &core.SamplingSizer{SampleSize: max(2, req.Roots/4), Samples: 2, TargetMemoryBytes: target}
+	default:
+		return nil, fmt.Errorf("unknown swath mode %q", req.Swath)
+	}
+	var init core.SwathInitiator
+	switch {
+	case req.Initiate == "seq":
+		init = core.SequentialInitiator{}
+	case req.Initiate == "dynamic":
+		init = core.DynamicPeakInitiator{}
+	case strings.HasPrefix(req.Initiate, "static"):
+		n, err := strconv.Atoi(strings.TrimPrefix(req.Initiate, "static"))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad initiation %q", req.Initiate)
+		}
+		init = core.StaticNInitiator(n)
+	default:
+		return nil, fmt.Errorf("unknown initiation %q", req.Initiate)
+	}
+	return core.NewSwathRunner(sources, sizer, init), nil
+}

@@ -1,0 +1,202 @@
+package webrole
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func submit(t *testing.T, ts *httptest.Server, req JobRequest) int {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var out struct{ ID int }
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.ID
+}
+
+func await(t *testing.T, ts *httptest.Server, id int) *JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", ts.URL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return &st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("job did not finish")
+	return nil
+}
+
+func TestSubmitAndCompletePageRank(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := submit(t, ts, JobRequest{Algorithm: "pagerank", Graph: "sd", Workers: 4, Iterations: 10})
+	st := await(t, ts, id)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+	if st.Result == nil || st.Result.Supersteps != 11 {
+		t.Fatalf("result = %+v", st.Result)
+	}
+	if len(st.Result.TopVertices) != 10 {
+		t.Errorf("top vertices = %d", len(st.Result.TopVertices))
+	}
+	if st.Result.TopVertices[0].Score < st.Result.TopVertices[9].Score {
+		t.Error("top vertices not sorted")
+	}
+}
+
+func TestSubmitBCWithSwaths(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := submit(t, ts, JobRequest{
+		Algorithm: "bc", Graph: "sd", Workers: 4, Roots: 10,
+		Partitioner: "metis", Swath: "adaptive", Initiate: "dynamic",
+	})
+	st := await(t, ts, id)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+	if st.Result.Messages == 0 || st.Result.SimSeconds <= 0 {
+		t.Errorf("result = %+v", st.Result)
+	}
+}
+
+func TestAllAlgorithmsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("web role full sweep in -short mode")
+	}
+	s := NewServer()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ids := map[string]int{}
+	for _, algo := range []string{"apsp", "sssp", "wcc", "lpa"} {
+		ids[algo] = submit(t, ts, JobRequest{Algorithm: algo, Graph: "sd", Workers: 3, Roots: 8, Iterations: 5})
+	}
+	for algo, id := range ids {
+		st := await(t, ts, id)
+		if st.State != StateDone {
+			t.Errorf("%s: state=%s err=%s", algo, st.State, st.Error)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []JobRequest{
+		{Algorithm: "nope", Graph: "sd"},
+		{Algorithm: "pagerank", Graph: "nope"},
+		{Algorithm: "pagerank", Graph: "sd", Workers: 1000},
+		{Algorithm: "pagerank", Graph: "sd", Partitioner: "nope"},
+	}
+	for i, req := range cases {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status = %d, want 400", i, resp.StatusCode)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed json: status = %d", resp.StatusCode)
+	}
+}
+
+func TestListAndNotFound(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	submit(t, ts, JobRequest{Algorithm: "sssp", Graph: "sd", Workers: 2})
+	submit(t, ts, JobRequest{Algorithm: "wcc", Graph: "sd", Workers: 2})
+
+	resp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 2 || list[0].ID != 0 || list[1].ID != 1 {
+		t.Errorf("list = %+v", list)
+	}
+
+	resp, err = http.Get(ts.URL + "/jobs/999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/jobs/abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id status = %d", resp.StatusCode)
+	}
+}
+
+func TestFailedJobReportsError(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// A tiny memory ceiling forces a blowout failure.
+	id := submit(t, ts, JobRequest{Algorithm: "bc", Graph: "sd", Workers: 2, Roots: 20,
+		Swath: "none", MemoryMiB: 1})
+	st := await(t, ts, id)
+	if st.State != StateFailed || st.Error == "" {
+		t.Errorf("state=%s err=%q, want failed with message", st.State, st.Error)
+	}
+}

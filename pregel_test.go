@@ -1,0 +1,226 @@
+package pregelnet
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestFacadePageRank(t *testing.T) {
+	g := GenerateBarabasiAlbert(300, 3, 1)
+	res, err := PageRank(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranks) != 300 {
+		t.Fatalf("ranks = %d", len(res.Ranks))
+	}
+	var sum float64
+	for _, r := range res.Ranks {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("ranks sum to %v", sum)
+	}
+	if res.SimSec <= 0 || res.CostUS <= 0 || len(res.Stats) == 0 {
+		t.Errorf("missing run stats: %+v", res)
+	}
+}
+
+func TestFacadeBCWithSwaths(t *testing.T) {
+	g := GenerateBarabasiAlbert(200, 3, 2)
+	baseline, err := BetweennessCentrality(g, 4, BCOptions{Roots: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swathed, err := BetweennessCentrality(g, 4, BCOptions{
+		Roots:     20,
+		SwathSize: StaticSwathSize(5),
+		Initiate:  DynamicInitiation(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range baseline.Scores {
+		if math.Abs(baseline.Scores[v]-swathed.Scores[v]) > 1e-6*(1+baseline.Scores[v]) {
+			t.Fatalf("vertex %d: swathed %v != baseline %v", v, swathed.Scores[v], baseline.Scores[v])
+		}
+	}
+}
+
+func TestFacadeAPSPAndSSSP(t *testing.T) {
+	g := GenerateErdosRenyi(150, 450, 3)
+	apsp, err := AllPairsShortestPaths(g, 3, 10, StaticSwathSize(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sssp, err := ShortestPaths(g, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := BFSDistances(g, 0)
+	for v := range ref {
+		if sssp[v] != ref[v] {
+			t.Fatalf("sssp[%d] = %d, want %d", v, sssp[v], ref[v])
+		}
+		if apsp.Dist[0][v] != ref[v] {
+			t.Fatalf("apsp[0][%d] = %d, want %d", v, apsp.Dist[0][v], ref[v])
+		}
+	}
+}
+
+func TestFacadeComponentsAndCommunities(t *testing.T) {
+	b := NewGraphBuilder(6)
+	b.AddUndirected(0, 1)
+	b.AddUndirected(2, 3)
+	b.AddUndirected(3, 4)
+	g := b.Build()
+	labels, err := ConnectedComponents(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != labels[1] || labels[2] != labels[4] || labels[0] == labels[2] {
+		t.Errorf("labels = %v", labels)
+	}
+	comm, err := Communities(GenerateCommunity(300, 3, 3, 0.95, 5), 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comm) != 300 {
+		t.Errorf("communities = %d labels", len(comm))
+	}
+}
+
+func TestFacadePartitioners(t *testing.T) {
+	g := Datasets.SD()
+	for _, p := range []Partitioner{HashPartitioner, ChunkPartitioner, MultilevelPartitioner(), StreamingPartitioner()} {
+		a := p.Partition(g, 8)
+		q := PartitionQuality(g, a, 8, p.Name())
+		if q.CutFraction < 0 || q.CutFraction > 1 {
+			t.Errorf("%s cut = %v", p.Name(), q.CutFraction)
+		}
+	}
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	g := GenerateWattsStrogatz(100, 4, 0.1, 1)
+	var buf bytes.Buffer
+	if err := WriteBinaryGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinaryGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Error("binary round trip changed graph")
+	}
+	var txt bytes.Buffer
+	if err := WriteEdgeList(&txt, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEdgeList(&txt, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("datasets in -short mode")
+	}
+	if Datasets.ByName("wg") != Datasets.WG() {
+		t.Error("ByName(wg) mismatch")
+	}
+	st := Datasets.Stats(Datasets.SD(), 8, 1)
+	if st.Vertices == 0 || st.EffectiveDiameter <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	lcc, mapping := LargestComponent(Datasets.SD())
+	if lcc.NumVertices() != len(mapping) {
+		t.Error("LargestComponent mapping length mismatch")
+	}
+}
+
+func TestFacadeCostModels(t *testing.T) {
+	m := DefaultCostModel()
+	if m.Spec.Cores != 4 {
+		t.Errorf("default cores = %d", m.Spec.Cores)
+	}
+	m2 := CostModelWithMemory(1234)
+	if m2.Spec.MemoryBytes != 1234 {
+		t.Errorf("memory = %d", m2.Spec.MemoryBytes)
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	if g := GenerateRMAT(8, 4, 0.57, 0.19, 0.19, 0.05, 1); g.NumVertices() != 256 {
+		t.Error("rmat size")
+	}
+	if g := GenerateCitationBand(500, 3, 50, 0.05, 1); g.NumVertices() != 500 {
+		t.Error("citation band size")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	g := GenerateBarabasiAlbert(200, 3, 31)
+	tri, err := TriangleCount(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri <= 0 {
+		t.Errorf("triangles = %d, want > 0 on a BA graph", tri)
+	}
+	cores, err := KCoreDecomposition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cores) != 200 || cores[0] == 0 {
+		t.Errorf("coreness = %v...", cores[:5])
+	}
+	est, err := EstimateDiameter(g, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Max <= 0 || est.Effective90 <= 0 {
+		t.Errorf("diameter estimate = %+v", est)
+	}
+}
+
+func TestFacadeCheckpointedBC(t *testing.T) {
+	// The facade's BCOptions do not expose checkpointing directly, but the
+	// generic JobSpec path does; verify it composes.
+	g := GenerateErdosRenyi(120, 360, 41)
+	roots := FirstNSources(g, 10)
+	spec := algorithmsBCSpec(g, roots)
+	spec.CheckpointEvery = 3
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Supersteps == 0 {
+		t.Error("no supersteps")
+	}
+}
+
+// algorithmsBCSpec builds a BC spec via the public generic API.
+func algorithmsBCSpec(g *Graph, roots []VertexID) JobSpec[BCMessage] {
+	return BCSpec(g, 4, AllSourcesAtOnce(roots))
+}
+
+func TestFacadeWeightedSSSP(t *testing.T) {
+	g := GenerateErdosRenyi(100, 300, 9)
+	wg := WithRandomWeights(g, 1, 4, 2)
+	dist, err := WeightedShortestPaths(wg, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wg.DijkstraReference(0)
+	for v := range want {
+		if want[v] < 1e300 && math.Abs(dist[v]-want[v]) > 1e-6 {
+			t.Fatalf("vertex %d: %v, want %v", v, dist[v], want[v])
+		}
+	}
+	if u := WithUniformWeights(g); u.Weight(0, g.Neighbors(0)[0]) != 1 {
+		t.Error("uniform weight != 1")
+	}
+}
