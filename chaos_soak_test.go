@@ -1,0 +1,120 @@
+package pregelnet
+
+import (
+	"math"
+	"testing"
+
+	"pregelnet/internal/algorithms"
+	"pregelnet/internal/transport"
+)
+
+// Chaos soak tests: run real algorithms under a seeded FaultPlan hitting
+// every substrate layer in a single run — duplicated queue messages,
+// transient blob errors, early lease expiries, a scripted VM restart, a
+// dropped data-plane connection — and require results identical to a
+// failure-free run (small FP tolerance: message combine order is
+// arrival-order dependent even between two clean runs).
+
+func soakBCSpec(g *Graph, roots []VertexID) JobSpec[BCMessage] {
+	spec := BCSpec(g, 4, AllSourcesAtOnce(roots))
+	spec.CheckpointEvery = 3
+	return spec
+}
+
+func TestChaosSoakBCOverTCP(t *testing.T) {
+	g := GenerateErdosRenyi(120, 360, 41)
+	roots := FirstNSources(g, 10)
+
+	clean, err := Run(soakBCSpec(g, roots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BCScoresOf(clean, g.NumVertices())
+
+	spec := soakBCSpec(g, roots)
+	network, err := transport.NewTCPNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer network.Close()
+	spec.Network = network
+	spec.Chaos = NewChaos(FaultPlan{
+		Seed:               2026,
+		BlobErrorProb:      1,
+		MaxBlobErrors:      3, // < retry budget: absorbed deterministically
+		QueueDuplicateProb: 1,
+		LeaseExpiryProb:    0.25,
+		MaxLeaseExpiries:   6,
+		SendDropProb:       0.05,
+		MaxSendDrops:       5,
+		VMRestarts:         []VMRestart{{Worker: 1, Superstep: 3}},
+		ConnDrops:          []ConnDrop{{From: 0, To: 1, Superstep: 2}},
+	})
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatalf("chaos soak failed: %v", err)
+	}
+	got := BCScoresOf(res, g.NumVertices())
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6 {
+			t.Fatalf("vertex %d: score %v under chaos, %v clean", v, got[v], want[v])
+		}
+	}
+	if res.Recoveries < 1 {
+		t.Errorf("recoveries = %d, want >= 1 (scripted VM restart)", res.Recoveries)
+	}
+	if res.Faults == nil || res.Faults.VMRestarts != 1 || res.Faults.ConnDrops != 1 {
+		t.Errorf("faults = %+v, want exactly 1 VM restart and 1 conn drop", res.Faults)
+	}
+	if res.Retries == 0 {
+		t.Error("Retries = 0, want > 0 (blob errors and conn drop must be retried)")
+	}
+	if res.DuplicatesDropped == 0 {
+		t.Error("DuplicatesDropped = 0, want > 0 (every check-in was duplicated)")
+	}
+}
+
+func TestChaosSoakPageRank(t *testing.T) {
+	g := GenerateBarabasiAlbert(200, 3, 9)
+	mk := func() JobSpec[float64] {
+		spec := algorithms.PageRank{Iterations: 10, Damping: 0.85}.Spec(g, 3)
+		spec.CheckpointEvery = 2
+		return spec
+	}
+
+	clean, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.Ranks(clean, g.NumVertices())
+
+	spec := mk()
+	spec.Chaos = NewChaos(FaultPlan{
+		Seed:               99,
+		BlobErrorProb:      1,
+		MaxBlobErrors:      4,
+		QueueDuplicateProb: 0.5,
+		LeaseExpiryProb:    0.25,
+		MaxLeaseExpiries:   6,
+		SendDropProb:       0.1,
+		MaxSendDrops:       5,
+		VMRestarts:         []VMRestart{{Worker: 2, Superstep: 4}},
+	})
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatalf("chaos soak failed: %v", err)
+	}
+	got := algorithms.Ranks(res, g.NumVertices())
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("vertex %d: rank %v under chaos, %v clean", v, got[v], want[v])
+		}
+	}
+	if res.Recoveries < 1 {
+		t.Errorf("recoveries = %d, want >= 1", res.Recoveries)
+	}
+	if res.Supersteps <= clean.Supersteps {
+		t.Errorf("chaos run executed %d supersteps, clean %d: replay must re-execute work",
+			res.Supersteps, clean.Supersteps)
+	}
+}

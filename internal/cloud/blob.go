@@ -13,6 +13,7 @@ import (
 // partition workers to load.
 type BlobStore struct {
 	mu         sync.RWMutex
+	chaos      *Chaos
 	containers map[string]map[string][]byte
 }
 
@@ -21,23 +22,39 @@ func NewBlobStore() *BlobStore {
 	return &BlobStore{containers: make(map[string]map[string][]byte)}
 }
 
-// Put stores data under container/name, overwriting any existing blob.
-// The data is copied.
-func (s *BlobStore) Put(container, name string, data []byte) {
+// SetChaos installs a fault injector consulted by Get and Put (nil removes
+// it). Injected failures are transient (see IsTransient) and leave the store
+// unchanged, so callers may retry.
+func (s *BlobStore) SetChaos(c *Chaos) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.chaos = c
+}
+
+// Put stores data under container/name, overwriting any existing blob.
+// The data is copied. Put fails only with an injected transient error.
+func (s *BlobStore) Put(container, name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.chaos.BlobFault("put", container, name); err != nil {
+		return err
+	}
 	c, ok := s.containers[container]
 	if !ok {
 		c = make(map[string][]byte)
 		s.containers[container] = c
 	}
 	c[name] = append([]byte(nil), data...)
+	return nil
 }
 
 // Get returns a copy of the blob's contents.
 func (s *BlobStore) Get(container, name string) ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if err := s.chaos.BlobFault("get", container, name); err != nil {
+		return nil, err
+	}
 	c, ok := s.containers[container]
 	if !ok {
 		return nil, fmt.Errorf("cloud: blob container %q not found", container)

@@ -1,0 +1,290 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestChaosDeterministicSequences(t *testing.T) {
+	plan := FaultPlan{
+		Seed:               42,
+		BlobErrorProb:      0.3,
+		QueueDuplicateProb: 0.3,
+		LeaseExpiryProb:    0.3,
+		SendDropProb:       0.3,
+	}
+	a, b := NewChaos(plan), NewChaos(plan)
+	for i := 0; i < 200; i++ {
+		if (a.BlobFault("get", "c", "n") == nil) != (b.BlobFault("get", "c", "n") == nil) {
+			t.Fatalf("blob decision %d diverged between identical plans", i)
+		}
+		if a.QueueDuplicate("q") != b.QueueDuplicate("q") {
+			t.Fatalf("queue decision %d diverged", i)
+		}
+		if a.LeaseExpiresEarly("q") != b.LeaseExpiresEarly("q") {
+			t.Fatalf("lease decision %d diverged", i)
+		}
+		if (a.SendFault(0, 1, i) == nil) != (b.SendFault(0, 1, i) == nil) {
+			t.Fatalf("send decision %d diverged", i)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Total() == 0 {
+		t.Error("prob 0.3 over 200 draws injected nothing")
+	}
+}
+
+func TestChaosIndependentStreams(t *testing.T) {
+	// Drawing heavily from one category must not change another category's
+	// decision sequence (each has its own PRNG stream).
+	plan := FaultPlan{Seed: 7, BlobErrorProb: 0.5, QueueDuplicateProb: 0.5}
+	a, b := NewChaos(plan), NewChaos(plan)
+	for i := 0; i < 500; i++ { // extra blob traffic on a only
+		a.BlobFault("get", "c", "n")
+	}
+	for i := 0; i < 50; i++ {
+		if a.QueueDuplicate("q") != b.QueueDuplicate("q") {
+			t.Fatalf("queue decision %d perturbed by blob traffic", i)
+		}
+	}
+}
+
+func TestChaosCaps(t *testing.T) {
+	c := NewChaos(FaultPlan{
+		Seed: 1, BlobErrorProb: 1, MaxBlobErrors: 3,
+		QueueDuplicateProb: 1, MaxQueueDuplicates: 2,
+		LeaseExpiryProb: 1, MaxLeaseExpiries: 1,
+		SendDropProb: 1, MaxSendDrops: 4,
+	})
+	for i := 0; i < 20; i++ {
+		c.BlobFault("put", "c", "n")
+		c.QueueDuplicate("q")
+		c.LeaseExpiresEarly("q")
+		c.SendFault(0, 1, i)
+	}
+	s := c.Stats()
+	if s.BlobErrors != 3 || s.QueueDuplicates != 2 || s.LeaseExpiries != 1 || s.SendDrops != 4 {
+		t.Errorf("caps not honoured: %+v", s)
+	}
+}
+
+func TestChaosScriptedEventsFireOnce(t *testing.T) {
+	c := NewChaos(FaultPlan{
+		VMRestarts: []VMRestart{{Worker: 1, Superstep: 3}},
+		ConnDrops:  []ConnDrop{{From: 0, To: 2, Superstep: 5}},
+	})
+	if err := c.VMRestartAt(1, 2); err != nil {
+		t.Errorf("restart fired at wrong superstep: %v", err)
+	}
+	if err := c.VMRestartAt(0, 3); err != nil {
+		t.Errorf("restart fired for wrong worker: %v", err)
+	}
+	err := c.VMRestartAt(1, 3)
+	if err == nil {
+		t.Fatal("scripted restart did not fire")
+	}
+	if IsTransient(err) {
+		t.Error("VM restart must not be classified transient (recovery is rollback, not retry)")
+	}
+	if c.VMRestartAt(1, 3) != nil {
+		t.Error("scripted restart fired twice")
+	}
+
+	if c.SendFault(0, 2, 4) != nil {
+		t.Error("conn drop fired at wrong superstep")
+	}
+	derr := c.SendFault(0, 2, 5)
+	if derr == nil {
+		t.Fatal("scripted conn drop did not fire")
+	}
+	if !IsTransient(derr) {
+		t.Error("conn drop must be transient (recovery is reconnect+retry)")
+	}
+	if c.SendFault(0, 2, 5) != nil {
+		t.Error("scripted conn drop fired twice")
+	}
+	s := c.Stats()
+	if s.VMRestarts != 1 || s.ConnDrops != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestChaosNilSafe(t *testing.T) {
+	var c *Chaos
+	if c.BlobFault("get", "c", "n") != nil || c.QueueDuplicate("q") ||
+		c.LeaseExpiresEarly("q") || c.SendFault(0, 1, 0) != nil ||
+		c.VMRestartAt(0, 0) != nil || c.Stats().Total() != 0 {
+		t.Error("nil Chaos must inject nothing")
+	}
+}
+
+func TestFaultPlanEnabled(t *testing.T) {
+	if (FaultPlan{}).Enabled() {
+		t.Error("zero plan reported enabled")
+	}
+	if !(FaultPlan{BlobErrorProb: 0.1}).Enabled() ||
+		!(FaultPlan{VMRestarts: []VMRestart{{}}}).Enabled() {
+		t.Error("non-zero plan reported disabled")
+	}
+}
+
+type customTransient struct{}
+
+func (customTransient) Error() string   { return "custom" }
+func (customTransient) Transient() bool { return true }
+
+func TestIsTransient(t *testing.T) {
+	if IsTransient(nil) {
+		t.Error("nil is not transient")
+	}
+	if IsTransient(errors.New("plain")) {
+		t.Error("plain error is not transient")
+	}
+	if !IsTransient(&transientError{"x"}) {
+		t.Error("transientError not recognized")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", ErrTransient)) {
+		t.Error("wrapped ErrTransient not recognized")
+	}
+	// Transport-style classification: Transient() bool anywhere in the chain,
+	// without wrapping ErrTransient itself.
+	if !IsTransient(fmt.Errorf("outer: %w", customTransient{})) {
+		t.Error("Transient() interface in chain not recognized")
+	}
+}
+
+func TestRetryDoSucceedsAfterTransients(t *testing.T) {
+	var sleeps []time.Duration
+	p := RetryPolicy{Sleep: func(d time.Duration) { sleeps = append(sleeps, d) }}
+	calls := 0
+	err := p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return &transientError{"flaky"}
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("slept %d times, want 2", len(sleeps))
+	}
+	if sleeps[1] <= sleeps[0]/2 {
+		t.Errorf("backoff not growing: %v", sleeps)
+	}
+}
+
+func TestRetryDoStopsOnPermanentError(t *testing.T) {
+	perm := errors.New("permanent")
+	calls := 0
+	err := RetryPolicy{Sleep: func(time.Duration) {}}.Do(func() error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Errorf("err=%v calls=%d, want permanent error after 1 call", err, calls)
+	}
+}
+
+func TestRetryDoExhaustsAttempts(t *testing.T) {
+	retries := 0
+	p := RetryPolicy{
+		MaxAttempts: 4,
+		Sleep:       func(time.Duration) {},
+		OnRetry:     func(int, error) { retries++ },
+	}
+	calls := 0
+	err := p.Do(func() error { calls++; return &transientError{"always"} })
+	if err == nil || !IsTransient(err) {
+		t.Errorf("want last transient error, got %v", err)
+	}
+	if calls != 4 || retries != 3 {
+		t.Errorf("calls=%d retries=%d, want 4/3", calls, retries)
+	}
+}
+
+func TestRetryBackoffBounded(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	for a := 1; a < 30; a++ {
+		d := p.backoff(a)
+		if d <= 0 || d > p.MaxDelay {
+			t.Fatalf("backoff(%d) = %v outside (0, %v]", a, d, p.MaxDelay)
+		}
+	}
+}
+
+func TestBlobChaosTransientErrors(t *testing.T) {
+	s := NewBlobStore()
+	s.SetChaos(NewChaos(FaultPlan{Seed: 9, BlobErrorProb: 1, MaxBlobErrors: 2}))
+	err := s.Put("c", "n", []byte("v"))
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("want injected transient put error, got %v", err)
+	}
+	if _, err := s.Get("c", "n"); err == nil || !IsTransient(err) {
+		t.Fatalf("want injected transient get error, got %v", err)
+	}
+	// Cap reached: operations succeed again and Put really stores the data.
+	if err := s.Put("c", "n", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Get("c", "n")
+	if err != nil || string(data) != "v" {
+		t.Fatalf("data=%q err=%v", data, err)
+	}
+	// Retry machinery rides over the faults end to end.
+	s2 := NewBlobStore()
+	s2.SetChaos(NewChaos(FaultPlan{Seed: 9, BlobErrorProb: 1, MaxBlobErrors: 2}))
+	p := RetryPolicy{Sleep: func(time.Duration) {}}
+	if err := p.Do(func() error { return s2.Put("c", "k", []byte("w")) }); err != nil {
+		t.Fatalf("retry did not absorb injected blob faults: %v", err)
+	}
+}
+
+func TestQueueChaosDuplicateDelivery(t *testing.T) {
+	q := NewQueue("dup")
+	q.SetChaos(NewChaos(FaultPlan{Seed: 3, QueueDuplicateProb: 1, MaxQueueDuplicates: 1}))
+	q.Put([]byte("once"))
+	first := q.Get(time.Minute)
+	second := q.Get(time.Minute)
+	if first == nil || second == nil {
+		t.Fatal("duplicate was not enqueued")
+	}
+	if string(first.Body) != "once" || string(second.Body) != "once" {
+		t.Errorf("bodies %q, %q", first.Body, second.Body)
+	}
+	if q.Get(time.Minute) != nil {
+		t.Error("more than one duplicate injected despite cap")
+	}
+}
+
+func TestQueueChaosEarlyLeaseExpiry(t *testing.T) {
+	q := NewQueue("lease")
+	q.SetChaos(NewChaos(FaultPlan{Seed: 5, LeaseExpiryProb: 1, MaxLeaseExpiries: 1}))
+	q.Put([]byte("x"))
+	first := q.Get(time.Hour) // lease injected to expire immediately
+	if first == nil {
+		t.Fatal("expected message")
+	}
+	// The original consumer's Delete must fail: its lease already expired.
+	// (Check before re-leasing — the simplified receipt model reuses the
+	// message ID, so after redelivery the ID names the new, live lease.)
+	time.Sleep(time.Millisecond)
+	if err := q.Delete(first.ID); err == nil {
+		t.Error("Delete on an expired lease should error")
+	}
+	second := q.GetWait(time.Minute, 2*time.Second)
+	if second == nil {
+		t.Fatal("early-expired lease was not redelivered")
+	}
+	if second.DequeueCount != 2 {
+		t.Errorf("dequeue count = %d, want 2", second.DequeueCount)
+	}
+	if err := q.Delete(second.ID); err != nil {
+		t.Errorf("Delete on the live re-lease failed: %v", err)
+	}
+}

@@ -31,6 +31,7 @@ type Queue struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	name    string
+	chaos   *Chaos
 	nextID  uint64
 	visible []*QueueMessage
 	leased  map[uint64]*QueueMessage
@@ -47,17 +48,33 @@ func NewQueue(name string) *Queue {
 // Name returns the queue name.
 func (q *Queue) Name() string { return q.name }
 
-// Put enqueues a message body. The body is copied.
+// SetChaos installs a fault injector (nil removes it): Put may enqueue
+// duplicates and leases may expire immediately, exercising the at-least-once
+// delivery semantics consumers must already tolerate.
+func (q *Queue) SetChaos(c *Chaos) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.chaos = c
+}
+
+// Put enqueues a message body. The body is copied. Under chaos the message
+// may be enqueued twice (at-least-once duplicate delivery).
 func (q *Queue) Put(body []byte) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return
 	}
-	q.nextID++
-	msg := &QueueMessage{ID: q.nextID, Body: append([]byte(nil), body...)}
-	q.visible = append(q.visible, msg)
-	q.cond.Signal()
+	copies := 1
+	if q.chaos.QueueDuplicate(q.name) {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		q.nextID++
+		msg := &QueueMessage{ID: q.nextID, Body: append([]byte(nil), body...)}
+		q.visible = append(q.visible, msg)
+		q.cond.Signal()
+	}
 }
 
 // Get leases the next visible message for the given visibility timeout.
@@ -71,7 +88,10 @@ func (q *Queue) Get(visibility time.Duration) *QueueMessage {
 }
 
 // GetWait leases the next visible message, blocking up to maxWait for one to
-// arrive. Returns nil on timeout or if the queue is closed.
+// arrive. Returns nil on timeout or if the queue is closed. The wait is a
+// condition-variable sleep (woken by Put and Close) backed by a timer for
+// the earlier of the caller's deadline and the next lease expiry, so expired
+// leases are redelivered to waiting consumers without busy-polling.
 func (q *Queue) GetWait(visibility, maxWait time.Duration) *QueueMessage {
 	deadline := time.Now().Add(maxWait)
 	q.mu.Lock()
@@ -85,17 +105,32 @@ func (q *Queue) GetWait(visibility, maxWait time.Duration) *QueueMessage {
 		if q.closed || !now.Before(deadline) {
 			return nil
 		}
-		// Poll: leases may expire and Puts may arrive. A short sleep outside
-		// the lock keeps the loop cheap without busy-waiting.
-		q.mu.Unlock()
-		time.Sleep(200 * time.Microsecond)
-		q.mu.Lock()
+		wake := deadline
+		if e, ok := q.earliestLeaseExpiryLocked(); ok && e.Before(wake) {
+			wake = e
+		}
+		// The timer callback takes q.mu before broadcasting; since we hold
+		// q.mu until cond.Wait releases it, the wakeup cannot be lost even if
+		// the timer fires immediately.
+		t := time.AfterFunc(time.Until(wake)+time.Millisecond, func() {
+			q.mu.Lock()
+			q.cond.Broadcast()
+			q.mu.Unlock()
+		})
+		q.cond.Wait()
+		t.Stop()
 	}
 }
 
 func (q *Queue) leaseLocked(visibility time.Duration) *QueueMessage {
 	if len(q.visible) == 0 {
 		return nil
+	}
+	if q.chaos.LeaseExpiresEarly(q.name) {
+		// The lease is granted but expires immediately: the next reclaim
+		// redelivers the message and the original consumer's Delete fails,
+		// as when a real consumer outlives its visibility timeout.
+		visibility = 0
 	}
 	msg := q.visible[0]
 	q.visible = q.visible[1:]
@@ -105,20 +140,38 @@ func (q *Queue) leaseLocked(visibility time.Duration) *QueueMessage {
 	return msg
 }
 
+// earliestLeaseExpiryLocked returns the soonest lease expiry, if any lease
+// is outstanding.
+func (q *Queue) earliestLeaseExpiryLocked() (time.Time, bool) {
+	var earliest time.Time
+	found := false
+	for _, msg := range q.leased {
+		if !found || msg.leaseExpiry.Before(earliest) {
+			earliest = msg.leaseExpiry
+			found = true
+		}
+	}
+	return earliest, found
+}
+
 func (q *Queue) reclaimExpiredLocked(now time.Time) {
 	for id, msg := range q.leased {
 		if now.After(msg.leaseExpiry) {
 			delete(q.leased, id)
 			q.visible = append(q.visible, msg)
+			q.cond.Signal()
 		}
 	}
 }
 
 // Delete acknowledges a leased message, removing it permanently. Deleting an
-// unknown or already-expired lease returns an error, matching the cloud API.
+// unknown or already-expired lease returns an error, matching the cloud API:
+// expired leases are reclaimed first, so acknowledging a message after its
+// visibility timeout fails and the message is redelivered to someone else.
 func (q *Queue) Delete(id uint64) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.reclaimExpiredLocked(time.Now())
 	if _, ok := q.leased[id]; !ok {
 		return fmt.Errorf("cloud: queue %q: delete of unleased message %d", q.name, id)
 	}
@@ -145,12 +198,24 @@ func (q *Queue) Close() {
 // QueueService is a namespace of queues, like an Azure storage account.
 type QueueService struct {
 	mu     sync.Mutex
+	chaos  *Chaos
 	queues map[string]*Queue
 }
 
 // NewQueueService creates an empty queue namespace.
 func NewQueueService() *QueueService {
 	return &QueueService{queues: make(map[string]*Queue)}
+}
+
+// SetChaos installs a fault injector on every queue in the namespace,
+// including queues created later.
+func (s *QueueService) SetChaos(c *Chaos) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.chaos = c
+	for _, q := range s.queues {
+		q.SetChaos(c)
+	}
 }
 
 // Queue returns the named queue, creating it on first use.
@@ -160,6 +225,7 @@ func (s *QueueService) Queue(name string) *Queue {
 	q, ok := s.queues[name]
 	if !ok {
 		q = NewQueue(name)
+		q.SetChaos(s.chaos)
 		s.queues[name] = q
 	}
 	return q

@@ -194,6 +194,24 @@ func TestQueueService(t *testing.T) {
 	}
 }
 
+func TestQueueDeleteAfterExpiryErrors(t *testing.T) {
+	q := NewQueue("expired-del")
+	q.Put([]byte("x"))
+	msg := q.Get(2 * time.Millisecond)
+	if msg == nil {
+		t.Fatal("expected message")
+	}
+	time.Sleep(5 * time.Millisecond)
+	// The visibility timeout has passed: the ack must fail and the message
+	// must be visible again for another consumer (at-least-once semantics).
+	if err := q.Delete(msg.ID); err == nil {
+		t.Error("Delete after lease expiry should error")
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (message redelivered)", q.Len())
+	}
+}
+
 func TestQueueGetWaitRedeliversExpiredLease(t *testing.T) {
 	q := NewQueue("redeliver")
 	q.Put([]byte("x"))

@@ -1,0 +1,102 @@
+package cloud
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// Shared retry helper for transient cloud faults: exponential backoff with
+// deterministic jitter, bounded attempts. Used by the engine around blob and
+// queue operations (checkpoint snapshot/restore) and around data-plane sends
+// (reconnect after a dropped peer connection).
+
+// IsTransient reports whether err is safe to retry: it wraps ErrTransient or
+// any error in its chain implements `Transient() bool` returning true (the
+// transport package classifies socket-level failures that way without
+// importing this package).
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if t, ok := e.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+	}
+	return false
+}
+
+// RetryPolicy retries an operation on transient failure with exponential
+// backoff and jitter. The zero value is usable and applies the defaults
+// documented on each field.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 6). Non-transient errors abort immediately.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 500µs); each
+	// subsequent retry doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 50ms).
+	MaxDelay time.Duration
+	// Sleep is a test hook replacing time.Sleep.
+	Sleep func(time.Duration)
+	// OnRetry, if non-nil, is called before each retry with the 1-based
+	// number of the attempt that just failed and its error (observability:
+	// the engine counts retries into StepStats).
+	OnRetry func(attempt int, err error)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 6
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 500 * time.Microsecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 50 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// backoff returns the delay before retry `attempt` (1-based): exponential in
+// the attempt number with deterministic jitter in [0.5, 1.0) derived from the
+// golden-ratio sequence, so concurrent retriers spread out without shared
+// PRNG state (which would make fault interleavings scheduling-dependent).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := float64(p.BaseDelay) * math.Pow(2, float64(attempt-1))
+	const phi = 0.6180339887498949
+	frac := math.Mod(float64(attempt)*phi, 1.0)
+	d *= 0.5 + 0.5*frac
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	return time.Duration(d)
+}
+
+// Do runs op, retrying transient failures up to MaxAttempts total tries.
+// It returns nil as soon as op succeeds, the error unchanged if it is not
+// transient, or the last transient error once attempts are exhausted.
+func (p RetryPolicy) Do(op func() error) error {
+	p = p.withDefaults()
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if !IsTransient(err) || attempt >= p.MaxAttempts {
+			return err
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
+		p.Sleep(p.backoff(attempt))
+	}
+}

@@ -88,6 +88,7 @@ type Fabric struct {
 	// costSeconds accumulates Σ (instance CostPerHour/3600 · seconds).
 	costDollars float64
 	vmSeconds   float64
+	restarts    int
 }
 
 // NewFabric creates an empty fabric.
@@ -118,6 +119,24 @@ func (f *Fabric) Release(vm *VM) error {
 	}
 	delete(f.running, vm.ID)
 	return nil
+}
+
+// RecordRestart notes the fabric restarting an instance out from under its
+// job (memory blowout or injected chaos). The instance keeps accruing cost
+// while it reboots; the job-level consequence — checkpoint rollback — is the
+// engine's responsibility.
+func (f *Fabric) RecordRestart(vm *VM) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	vm.Restarts++
+	f.restarts++
+}
+
+// Restarts returns the total VM restarts recorded across the fabric.
+func (f *Fabric) Restarts() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.restarts
 }
 
 // NumRunning returns the number of currently allocated instances.

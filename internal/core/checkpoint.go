@@ -73,21 +73,59 @@ func (w *worker[M]) snapshot(store *cloud.BlobStore) error {
 	if err := ckpt.Snapshot(&buf); err != nil {
 		return fmt.Errorf("program snapshot: %w", err)
 	}
-	store.Put(checkpointContainer, checkpointBlob(w.superstep, w.id), buf.Bytes())
+	// Blob writes can fail transiently on a real cloud; retry with backoff
+	// before declaring the superstep failed.
+	name := checkpointBlob(w.superstep, w.id)
+	if err := w.retry.Do(func() error {
+		return store.Put(checkpointContainer, name, buf.Bytes())
+	}); err != nil {
+		return fmt.Errorf("storing checkpoint: %w", err)
+	}
 	return nil
+}
+
+// decodeChecked decodes one snapshot message, converting malformed input —
+// a short buffer that panics the codec, or trailing garbage — into an error
+// instead of silently yielding a zero-valued message.
+func (w *worker[M]) decodeChecked(enc []byte) (m M, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("corrupt checkpoint message: decode panicked: %v", r)
+		}
+	}()
+	m, n := w.codec.Decode(enc)
+	if n != len(enc) {
+		return m, fmt.Errorf("corrupt checkpoint message: decoded %d of %d bytes", n, len(enc))
+	}
+	return m, nil
 }
 
 // restore loads the snapshot taken before `superstep` and resets all
 // transient state (pending inboxes from the aborted execution are dropped).
-func (w *worker[M]) restore(store *cloud.BlobStore, superstep int) error {
+// epoch is the manager-assigned recovery generation for this rollback.
+func (w *worker[M]) restore(store *cloud.BlobStore, superstep int, epoch int32) error {
 	ckpt, ok := w.program.(Checkpointable)
 	if !ok {
 		return fmt.Errorf("program %T does not implement core.Checkpointable", w.program)
 	}
-	data, err := store.Get(checkpointContainer, checkpointBlob(superstep, w.id))
-	if err != nil {
+	var data []byte
+	name := checkpointBlob(superstep, w.id)
+	if err := w.retry.Do(func() error {
+		var gerr error
+		data, gerr = store.Get(checkpointContainer, name)
+		return gerr
+	}); err != nil {
 		return fmt.Errorf("loading checkpoint: %w", err)
 	}
+	// Adopt the manager's recovery epoch FIRST: the receive loop is still
+	// running and may hold in-flight batches from the aborted execution; once
+	// the epoch moves they are dropped on arrival instead of polluting the
+	// state rebuilt below. The epoch comes from the restore token (not a
+	// local counter) so every worker lands on the same value even if a
+	// duplicated token makes one of them see the rollback twice; restore acks
+	// are collected before any replay token is sent, so epochs are in
+	// lockstep before new data flows.
+	w.epoch.Store(epoch)
 	r := bytes.NewReader(data)
 	readU64 := func() (uint64, error) {
 		var b [8]byte
@@ -107,22 +145,45 @@ func (w *worker[M]) restore(store *cloud.BlobStore, superstep int) error {
 	for i, f := range flags {
 		w.halted[i] = f == 1
 	}
+	// The receive loop may still be delivering stale (pre-rollback) batches
+	// concurrently; hold every inbox stripe lock while resetting so a racing
+	// deliverLocal cannot interleave with the wipe. New stale arrivals are
+	// rejected by the epoch filter bumped above.
+	for i := range w.inboxLocks {
+		w.inboxLocks[i].Lock()
+	}
+	unlockStripes := func() {
+		for i := range w.inboxLocks {
+			w.inboxLocks[i].Unlock()
+		}
+	}
 	for li := range w.inboxCur {
 		count, err := readU64()
 		if err != nil {
+			unlockStripes()
 			return err
 		}
 		msgs := make([]M, 0, count)
 		for j := uint64(0); j < count; j++ {
 			size, err := readU64()
 			if err != nil {
+				unlockStripes()
 				return err
+			}
+			if size > uint64(r.Len()) {
+				unlockStripes()
+				return fmt.Errorf("corrupt checkpoint: message claims %d bytes, %d remain", size, r.Len())
 			}
 			enc := make([]byte, size)
 			if _, err := io.ReadFull(r, enc); err != nil {
+				unlockStripes()
 				return err
 			}
-			m, _ := w.codec.Decode(enc)
+			m, derr := w.decodeChecked(enc)
+			if derr != nil {
+				unlockStripes()
+				return derr
+			}
 			msgs = append(msgs, m)
 		}
 		w.inboxCur[li] = msgs
@@ -130,10 +191,12 @@ func (w *worker[M]) restore(store *cloud.BlobStore, superstep int) error {
 	}
 	curBytes, err := readU64()
 	if err != nil {
+		unlockStripes()
 		return err
 	}
 	w.inboxCurBytes = int64(curBytes)
 	w.inboxNextByts.Store(0)
+	unlockStripes()
 	// Drop sentinel bookkeeping from the aborted execution.
 	w.sentinelMu.Lock()
 	w.sentinels = make(map[int]int)

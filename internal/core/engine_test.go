@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"pregelnet/internal/cloud"
@@ -302,9 +303,10 @@ func TestStatsAccounting(t *testing.T) {
 // "deg/sum", its ID to "id/min" and "id/max", then halts after verifying the
 // previous step's global values.
 type aggProgram struct {
-	t       *testing.T
-	g       *graph.Graph
-	checked bool
+	t *testing.T
+	g *graph.Graph
+	// checked is atomic: Compute runs concurrently across a worker's cores.
+	checked atomic.Bool
 }
 
 func (p *aggProgram) Compute(ctx *Context[uint32], _ []uint32) {
@@ -314,8 +316,7 @@ func (p *aggProgram) Compute(ctx *Context[uint32], _ []uint32) {
 		ctx.Aggregate("id/min", float64(ctx.Vertex()))
 		ctx.Aggregate("id/max", float64(ctx.Vertex()))
 	case 1:
-		if !p.checked {
-			p.checked = true
+		if !p.checked.Swap(true) {
 			if v, ok := ctx.Agg("deg/sum"); !ok || v != float64(p.g.NumEdges()) {
 				p.t.Errorf("deg/sum = %v (%v), want %d", v, ok, p.g.NumEdges())
 			}

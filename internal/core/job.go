@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"pregelnet/internal/cloud"
 	"pregelnet/internal/graph"
@@ -80,6 +81,25 @@ type JobSpec[M any] struct {
 	// per worker per superstep (after the superstep's work completes); a
 	// non-nil error simulates that worker's VM failing, triggering recovery.
 	FailureInjector func(worker, superstep int) error
+	// Chaos, when non-nil, injects seeded faults into the whole substrate:
+	// transient blob errors, duplicate queue deliveries, early lease
+	// expiries, dropped data-plane connections, and scripted VM restarts
+	// (see cloud.FaultPlan). The engine's retry and rollback machinery must
+	// absorb them all; results are identical to a failure-free run.
+	Chaos *cloud.Chaos
+	// Retry is the policy applied to transient faults in blob, queue, and
+	// transport operations (zero value = cloud defaults: 6 attempts,
+	// exponential backoff from 500µs with jitter, 50ms cap).
+	Retry cloud.RetryPolicy
+	// QueueVisibility is the control-plane lease visibility timeout
+	// (default 30s). Raise it if supersteps are expected to outlive it —
+	// an expired lease means the message is redelivered to someone else.
+	QueueVisibility time.Duration
+	// BarrierTimeout bounds how long the manager waits for all workers at a
+	// barrier and how long a worker waits for peer sentinels (default 60s).
+	// A worker that misses the deadline is treated as failed (straggler
+	// detection) and triggers checkpoint rollback instead of hanging the job.
+	BarrierTimeout time.Duration
 	// MasterCompute, if non-nil, runs on the manager after every superstep
 	// with the reduced aggregator values (GPS-style global computation). It
 	// may mutate the map (values are broadcast to vertices next superstep).
@@ -130,6 +150,12 @@ func (s *JobSpec[M]) withDefaults() (JobSpec[M], error) {
 	if spec.Queues == nil {
 		spec.Queues = cloud.NewQueueService()
 	}
+	if spec.QueueVisibility <= 0 {
+		spec.QueueVisibility = 30 * time.Second
+	}
+	if spec.BarrierTimeout <= 0 {
+		spec.BarrierTimeout = 60 * time.Second
+	}
 	if spec.CheckpointEvery > 0 {
 		if spec.CheckpointStore == nil {
 			spec.CheckpointStore = cloud.NewBlobStore()
@@ -174,6 +200,14 @@ type StepStats struct {
 	BarrierSimSeconds float64   // barrier overhead component
 	// Aggregates holds the reduced aggregator values contributed this step.
 	Aggregates map[string]float64
+	// Retries counts transient-fault retries (blob, queue, transport)
+	// workers performed during this superstep — re-executed work the cloud
+	// bills for even though the logical result is unchanged.
+	Retries int64
+	// DuplicatesDropped counts duplicate or stale control-plane messages
+	// (barrier check-ins, restore acks) the manager tolerated while
+	// collecting this superstep's barrier.
+	DuplicatesDropped int64
 }
 
 // TotalSent returns local + remote messages emitted in the superstep.
@@ -213,6 +247,15 @@ type JobResult[M any] struct {
 	Supersteps int
 	// Recoveries counts checkpoint rollbacks performed.
 	Recoveries int
+	// Retries is the total transient-fault retries across all supersteps.
+	Retries int64
+	// DuplicatesDropped is the total duplicate/stale control-plane messages
+	// tolerated by the manager.
+	DuplicatesDropped int64
+	// VMRestarts counts fabric-initiated VM restarts during the job.
+	VMRestarts int
+	// Faults reports the faults injected by JobSpec.Chaos, if set.
+	Faults *cloud.FaultStats
 }
 
 // TotalMessages returns the total data messages exchanged over the job.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"pregelnet/internal/cloud"
 	"pregelnet/internal/graph"
@@ -20,6 +21,9 @@ type manager[M any] struct {
 	barrierQ *cloud.Queue
 	fabric   *cloud.Fabric
 	aggOps   map[string]AggOp
+	// dupsDropped counts duplicate/stale control-plane messages tolerated
+	// (at-least-once queue delivery makes them normal, not errors).
+	dupsDropped int64
 }
 
 func (m *manager[M]) aggOp(name string) AggOp {
@@ -73,7 +77,10 @@ func (m *manager[M]) run() (steps []StepStats, recoveries int, err error) {
 		recoveries++
 		target := lastCheckpoint
 		for w := 0; w < m.spec.NumWorkers; w++ {
-			body, merr := json.Marshal(stepToken{RestoreTo: &target})
+			// The recovery count doubles as the epoch stamped on the restore
+			// token: workers adopt it for data-plane batches and use it to
+			// drop duplicate deliveries of this token.
+			body, merr := json.Marshal(stepToken{RestoreTo: &target, Epoch: recoveries})
 			if merr != nil {
 				return merr
 			}
@@ -220,13 +227,24 @@ func restorePrev(bySuper map[int]StepStats, checkpoint int) *StepStats {
 	return nil
 }
 
-// collectRestoreAcks waits for every worker to confirm a rollback.
+// collectRestoreAcks waits for every worker to confirm a rollback. The
+// barrier queue may still hold duplicates and stale check-ins from the
+// aborted execution (at-least-once delivery, straggler check-ins arriving
+// after the rollback decision); those are drained and ignored — only a
+// restore ack for the wrong target, a failed restore, or running out of time
+// fails the recovery.
 func (m *manager[M]) collectRestoreAcks(target int) error {
-	seen := make([]bool, m.spec.NumWorkers)
-	for got := 0; got < m.spec.NumWorkers; {
-		lease := m.barrierQ.GetWait(queueVisibility, queueMaxWait)
+	n := m.spec.NumWorkers
+	seen := make([]bool, n)
+	deadline := time.Now().Add(m.spec.BarrierTimeout)
+	for got := 0; got < n; {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return fmt.Errorf("timeout waiting for restore acks (%d/%d)", got, n)
+		}
+		lease := m.barrierQ.GetWait(m.spec.QueueVisibility, remaining)
 		if lease == nil {
-			return fmt.Errorf("timeout waiting for restore acks (%d/%d)", got, m.spec.NumWorkers)
+			return fmt.Errorf("timeout waiting for restore acks (%d/%d)", got, n)
 		}
 		var msg barrierMsg
 		err := json.Unmarshal(lease.Body, &msg)
@@ -234,12 +252,23 @@ func (m *manager[M]) collectRestoreAcks(target int) error {
 		if err != nil {
 			return fmt.Errorf("bad restore ack: %v", err)
 		}
+		if msg.Worker < 0 || msg.Worker >= n {
+			return fmt.Errorf("restore ack from unknown worker %d", msg.Worker)
+		}
+		if !msg.Restored {
+			// A stale superstep check-in from the aborted execution (e.g. a
+			// straggler that finished after the rollback decision). Ignore.
+			m.dupsDropped++
+			continue
+		}
+		if msg.Superstep != target || seen[msg.Worker] {
+			// Duplicate ack (redelivered message) or ack for an older
+			// recovery. Ignore.
+			m.dupsDropped++
+			continue
+		}
 		if msg.Err != "" {
 			return fmt.Errorf("worker %d: %s", msg.Worker, msg.Err)
-		}
-		if !msg.Restored || msg.Superstep != target || msg.Worker < 0 ||
-			msg.Worker >= m.spec.NumWorkers || seen[msg.Worker] {
-			return fmt.Errorf("unexpected restore ack from worker %d (superstep %d)", msg.Worker, msg.Superstep)
 		}
 		seen[msg.Worker] = true
 		got++
@@ -273,10 +302,21 @@ func (m *manager[M]) collectBarrier(superstep int) (collected, error) {
 	}
 	seen := make([]bool, n)
 	var workerErr error
+	// Straggler detection: the whole barrier must complete within
+	// BarrierTimeout. A worker that misses the deadline is treated as failed
+	// — the caller rolls back to the last checkpoint — instead of blocking
+	// the job on an open-ended wait.
+	deadline := time.Now().Add(m.spec.BarrierTimeout)
 	for got := 0; got < n; {
-		lease := m.barrierQ.GetWait(queueVisibility, queueMaxWait)
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return c, fmt.Errorf("barrier timeout: straggler at superstep %d (%d/%d checked in within %v)",
+				superstep, got, n, m.spec.BarrierTimeout)
+		}
+		lease := m.barrierQ.GetWait(m.spec.QueueVisibility, remaining)
 		if lease == nil {
-			return c, fmt.Errorf("barrier timeout waiting for workers at superstep %d (%d/%d)", superstep, got, n)
+			return c, fmt.Errorf("barrier timeout: straggler at superstep %d (%d/%d checked in within %v)",
+				superstep, got, n, m.spec.BarrierTimeout)
 		}
 		var msg barrierMsg
 		err := json.Unmarshal(lease.Body, &msg)
@@ -284,12 +324,21 @@ func (m *manager[M]) collectBarrier(superstep int) (collected, error) {
 		if err != nil {
 			return c, fmt.Errorf("bad barrier message: %v", err)
 		}
-		if msg.Superstep != superstep || msg.Worker < 0 || msg.Worker >= n || seen[msg.Worker] {
-			return c, fmt.Errorf("unexpected barrier message: worker %d superstep %d (want %d)",
-				msg.Worker, msg.Superstep, superstep)
+		if msg.Worker < 0 || msg.Worker >= n {
+			return c, fmt.Errorf("barrier message from unknown worker %d", msg.Worker)
+		}
+		if msg.Restored || msg.Superstep != superstep || seen[msg.Worker] {
+			// At-least-once control plane: duplicate check-ins (redelivered
+			// barrier messages), stale check-ins from an aborted pre-rollback
+			// execution, and late restore acks are all expected under faults.
+			// Dedupe by (worker, superstep) and drop the rest.
+			m.dupsDropped++
+			c.DuplicatesDropped++
+			continue
 		}
 		seen[msg.Worker] = true
 		got++
+		c.Retries += msg.Retries
 		if msg.Err != "" {
 			// Keep draining the remaining check-ins so the queue is clean
 			// for a recovery attempt, then report the failure.

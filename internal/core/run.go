@@ -54,6 +54,35 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 	fabric := cloud.NewFabric()
 	vms := fabric.Acquire(s.CostModel.Spec, s.NumWorkers)
 
+	// Chaos wiring: the fault plan reaches every substrate layer — queues
+	// (duplicates, early lease expiry), blob store (transient errors),
+	// transport (dropped connections), and the VM fabric (scripted restarts,
+	// folded into the failure-injector path so they trigger checkpoint
+	// rollback exactly like a real fabric restart).
+	if s.Chaos != nil {
+		s.Queues.SetChaos(s.Chaos)
+		if s.CheckpointStore != nil {
+			s.CheckpointStore.SetChaos(s.Chaos)
+		}
+		if fi, ok := network.(transport.FaultInjectable); ok {
+			fi.SetSendFault(s.Chaos.SendFault)
+		}
+		chaos := s.Chaos
+		userInjector := s.FailureInjector
+		s.FailureInjector = func(worker, superstep int) error {
+			if err := chaos.VMRestartAt(worker, superstep); err != nil {
+				if worker >= 0 && worker < len(vms) {
+					fabric.RecordRestart(vms[worker])
+				}
+				return err
+			}
+			if userInjector != nil {
+				return userInjector(worker, superstep)
+			}
+			return nil
+		}
+	}
+
 	workers := make([]*worker[M], s.NumWorkers)
 	for w := 0; w < s.NumWorkers; w++ {
 		ep, err := network.Endpoint(w)
@@ -111,6 +140,13 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 	}
 	for i := range steps {
 		result.SimSeconds += steps[i].SimSeconds
+		result.Retries += steps[i].Retries
+		result.DuplicatesDropped += steps[i].DuplicatesDropped
+	}
+	result.VMRestarts = fabric.Restarts()
+	if s.Chaos != nil {
+		fs := s.Chaos.Stats()
+		result.Faults = &fs
 	}
 	if runErr != nil {
 		return result, runErr

@@ -15,9 +15,11 @@ import (
 )
 
 const (
-	inboxStripes    = 64
-	queueVisibility = 30 * time.Second
-	queueMaxWait    = 10 * time.Minute
+	inboxStripes = 64
+	// queueMaxWait bounds a worker's idle wait for the next step token. The
+	// manager closes the queues at job teardown, which unblocks waiters
+	// immediately; this is only a backstop against an orphaned worker.
+	queueMaxWait = 10 * time.Minute
 )
 
 // stepToken is the manager→worker control message starting one superstep.
@@ -31,6 +33,12 @@ type stepToken struct {
 	// RestoreTo, when non-nil, asks the worker to roll back to the snapshot
 	// taken before the given superstep instead of computing.
 	RestoreTo *int `json:"restore,omitempty"`
+	// Epoch is the recovery generation of a restore token (the manager's
+	// rollback count, starting at 1). Workers adopt it as their data-plane
+	// batch epoch and skip restore tokens for an epoch they have already
+	// restored, so at-least-once token delivery (duplicates, re-leases
+	// arriving after replay started) cannot roll state back mid-job.
+	Epoch int `json:"epoch,omitempty"`
 }
 
 // barrierMsg is the worker→manager check-in ending one superstep. It carries
@@ -50,6 +58,7 @@ type barrierMsg struct {
 	ComputeOps  int64              `json:"ops"`
 	Peers       int                `json:"peers"`
 	Aggregates  map[string]float64 `json:"agg,omitempty"`
+	Retries     int64              `json:"rt,omitempty"`
 	Err         string             `json:"err,omitempty"`
 	Restored    bool               `json:"restored,omitempty"`
 }
@@ -82,6 +91,16 @@ type worker[M any] struct {
 
 	ckptStore  *cloud.BlobStore
 	failInject func(worker, superstep int) error
+
+	// Robustness state (chaos substrate).
+	retry          cloud.RetryPolicy // retries transient faults; counts into statRetries
+	visibility     time.Duration     // control-plane lease visibility
+	barrierTimeout time.Duration     // sentinel-wait deadline (straggler bound)
+	doneThrough    int               // highest superstep executed; duplicate step tokens ≤ this are skipped
+	epoch          atomic.Int32      // recovery epoch stamped on outgoing batches
+	sendSeq        []int32           // per-destination send sequence (guarded by sendMu)
+	lastSeq        []int32           // per-sender last received sequence (receive goroutine only)
+	statRetries    atomic.Int64
 
 	superstep   int
 	prevAggs    map[string]float64
@@ -137,10 +156,23 @@ func newWorker[M any](spec *JobSpec[M], id int, owned []graph.VertexID,
 		sentinels:      make(map[int]int),
 		recvMsgs:       make(map[int]int64),
 		recvBytes:      make(map[int]int64),
+		visibility:     spec.QueueVisibility,
+		barrierTimeout: spec.BarrierTimeout,
+		doneThrough:    -1,
+		sendSeq:        make([]int32, spec.NumWorkers),
+		lastSeq:        make([]int32, spec.NumWorkers),
 	}
 	w.sentinelCond = sync.NewCond(&w.sentinelMu)
 	w.ckptStore = spec.CheckpointStore
 	w.failInject = spec.FailureInjector
+	w.retry = spec.Retry
+	userOnRetry := spec.Retry.OnRetry
+	w.retry.OnRetry = func(attempt int, err error) {
+		w.statRetries.Add(1)
+		if userOnRetry != nil {
+			userOnRetry(attempt, err)
+		}
+	}
 	for i := range w.halted {
 		w.halted[i] = !spec.ActivateAll
 	}
@@ -166,13 +198,13 @@ func (w *worker[M]) aggOp(name string) AggOp {
 func (w *worker[M]) run() {
 	go w.receiveLoop()
 	for {
-		lease := w.stepQ.GetWait(queueVisibility, queueMaxWait)
+		lease := w.stepQ.GetWait(w.visibility, queueMaxWait)
 		if lease == nil {
 			return // queues closed: job torn down
 		}
 		var tok stepToken
 		err := json.Unmarshal(lease.Body, &tok)
-		_ = w.stepQ.Delete(lease.ID)
+		_ = w.stepQ.Delete(lease.ID) // may fail if the lease expired; dedupe below absorbs redelivery
 		if err != nil {
 			w.checkIn(barrierMsg{Worker: w.id, Err: fmt.Sprintf("bad step token: %v", err)})
 			return
@@ -182,14 +214,33 @@ func (w *worker[M]) run() {
 			return
 		}
 		if tok.RestoreTo != nil {
+			if int32(tok.Epoch) <= w.epoch.Load() {
+				// Duplicate restore token (queue duplicate or expired lease
+				// redelivered after replay began) for a rollback this worker
+				// already performed: restoring again would silently revert
+				// state mid-job, so it is dropped.
+				continue
+			}
 			msg := barrierMsg{Worker: w.id, Superstep: *tok.RestoreTo, Restored: true}
-			if err := w.restore(w.ckptStore, *tok.RestoreTo); err != nil {
+			if err := w.restore(w.ckptStore, *tok.RestoreTo, int32(tok.Epoch)); err != nil {
 				msg.Err = err.Error()
+			} else {
+				// Replayed supersteps start at RestoreTo; tokens for them must
+				// execute even though they were executed before the rollback.
+				w.doneThrough = *tok.RestoreTo - 1
 			}
 			w.checkIn(msg)
 			continue
 		}
+		if tok.Superstep <= w.doneThrough {
+			// Duplicate delivery of a step token already executed (queue
+			// at-least-once semantics: a re-leased or duplicated message).
+			// Re-executing would double-send messages and double check in, so
+			// the duplicate is acknowledged and dropped.
+			continue
+		}
 		w.runSuperstep(&tok)
+		w.doneThrough = tok.Superstep
 	}
 }
 
@@ -262,12 +313,18 @@ func (w *worker[M]) runSuperstep(tok *stepToken) {
 
 	// All compute done and buffers flushed: notify peers and wait until
 	// every peer's data for this superstep has arrived (BSP barrier
-	// condition 2: all messages delivered).
+	// condition 2: all messages delivered). The wait is bounded: a peer that
+	// never delivers (dropped connection past retries, stalled VM) must not
+	// hang this worker forever — the timeout surfaces as a failure the
+	// manager recovers from by rollback.
 	if err := w.broadcastSentinels(); err != nil {
 		w.checkIn(barrierMsg{Worker: w.id, Superstep: w.superstep, Err: err.Error()})
 		return
 	}
-	w.awaitSentinels()
+	if err := w.awaitSentinels(); err != nil {
+		w.checkIn(barrierMsg{Worker: w.id, Superstep: w.superstep, Err: err.Error()})
+		return
+	}
 
 	// Memory accounting: messages held for this step + messages buffered for
 	// the next + program state (paper §IV: buffered messages dominate).
@@ -327,6 +384,7 @@ func (w *worker[M]) runSuperstep(tok *stepToken) {
 		ComputeOps:  w.statComputeOps.Load(),
 		Peers:       peers,
 		Aggregates:  w.drainAggs(),
+		Retries:     w.statRetries.Swap(0),
 	})
 }
 
@@ -427,10 +485,20 @@ func (w *worker[M]) flushSlotBufferErr(c *Context[M], dest int) error {
 	c.outRemoteCnt[dest] = 0
 	c.remoteBytesOut += b.WireSize()
 	w.peersContacted[dest].Store(true)
+	return w.sendBatch(b)
+}
+
+// sendBatch stamps a batch with the worker's recovery epoch and the next
+// per-destination sequence number, then sends it, retrying transient
+// data-plane faults (dropped/stalled connections) with backoff. Receivers
+// dedupe by (From, Seq), so a retry can never double-deliver.
+func (w *worker[M]) sendBatch(b *transport.Batch) error {
 	w.sendMu.Lock()
-	err := w.endpoint.Send(b)
-	w.sendMu.Unlock()
-	return err
+	defer w.sendMu.Unlock()
+	w.sendSeq[b.To]++
+	b.Seq = w.sendSeq[b.To]
+	b.Epoch = w.epoch.Load()
+	return w.retry.Do(func() error { return w.endpoint.Send(b) })
 }
 
 // broadcastSentinels tells every peer this worker is done sending for the
@@ -446,10 +514,7 @@ func (w *worker[M]) broadcastSentinels() error {
 			Superstep: int32(w.superstep),
 			Count:     -1,
 		}
-		w.sendMu.Lock()
-		err := w.endpoint.Send(b)
-		w.sendMu.Unlock()
-		if err != nil {
+		if err := w.sendBatch(b); err != nil {
 			return err
 		}
 	}
@@ -457,17 +522,33 @@ func (w *worker[M]) broadcastSentinels() error {
 }
 
 // awaitSentinels blocks until all peers have finished sending for the
-// current superstep.
-func (w *worker[M]) awaitSentinels() {
+// current superstep, or the barrier deadline passes (a peer is stuck or its
+// messages were lost past all retries). A timeout is reported as a worker
+// failure so the manager can roll back instead of waiting forever.
+func (w *worker[M]) awaitSentinels() error {
 	if w.numWorkers == 1 {
-		return
+		return nil
 	}
+	deadline := time.Now().Add(w.barrierTimeout)
 	w.sentinelMu.Lock()
+	defer w.sentinelMu.Unlock()
 	for w.sentinels[w.superstep] < w.numWorkers-1 {
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("worker %d: superstep %d: %d/%d peer sentinels after %v (straggler or lost connection)",
+				w.id, w.superstep, w.sentinels[w.superstep], w.numWorkers-1, w.barrierTimeout)
+		}
+		// Timer-backed cond wait: the callback takes the mutex before
+		// broadcasting, so the wakeup cannot be lost.
+		t := time.AfterFunc(time.Until(deadline)+time.Millisecond, func() {
+			w.sentinelMu.Lock()
+			w.sentinelCond.Broadcast()
+			w.sentinelMu.Unlock()
+		})
 		w.sentinelCond.Wait()
+		t.Stop()
 	}
 	delete(w.sentinels, w.superstep)
-	w.sentinelMu.Unlock()
+	return nil
 }
 
 // receiveLoop is the worker's background receive thread (paper §III): it
@@ -478,6 +559,24 @@ func (w *worker[M]) receiveLoop() {
 		b, err := w.endpoint.Recv()
 		if err != nil {
 			return // endpoint closed
+		}
+		// Duplicate suppression: a sender may retry a batch after a transient
+		// fault whose first attempt was actually delivered. Sequence numbers
+		// are monotonic per sender, so anything at or below the last seen
+		// sequence is a duplicate.
+		if b.Seq != 0 {
+			if b.Seq <= w.lastSeq[b.From] {
+				continue
+			}
+			w.lastSeq[b.From] = b.Seq
+		}
+		// Stale-epoch suppression: after a checkpoint rollback all workers
+		// advance their recovery epoch in lockstep; batches still in flight
+		// from the aborted execution carry the old epoch and must not leak
+		// into replayed supersteps (they would double-deliver messages or
+		// prematurely satisfy a sentinel wait).
+		if b.Epoch != w.epoch.Load() {
+			continue
 		}
 		if b.Count < 0 { // sentinel
 			w.sentinelMu.Lock()

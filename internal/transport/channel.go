@@ -13,6 +13,22 @@ import (
 type ChannelNetwork struct {
 	endpoints []*channelEndpoint
 	closeOnce sync.Once
+
+	faultMu sync.RWMutex
+	fault   FaultFunc
+}
+
+// SetSendFault implements FaultInjectable.
+func (cn *ChannelNetwork) SetSendFault(f FaultFunc) {
+	cn.faultMu.Lock()
+	cn.fault = f
+	cn.faultMu.Unlock()
+}
+
+func (cn *ChannelNetwork) sendFault() FaultFunc {
+	cn.faultMu.RLock()
+	defer cn.faultMu.RUnlock()
+	return cn.fault
 }
 
 // NewChannelNetwork creates a data plane for n workers with the given inbox
@@ -62,6 +78,11 @@ type channelEndpoint struct {
 func (ep *channelEndpoint) Send(b *Batch) error {
 	if int(b.To) < 0 || int(b.To) >= len(ep.net.endpoints) {
 		return fmt.Errorf("transport: send to unknown worker %d", b.To)
+	}
+	if f := ep.net.sendFault(); f != nil {
+		if err := f(int(b.From), int(b.To), int(b.Superstep)); err != nil {
+			return err // injected fault: batch not delivered
+		}
 	}
 	dst := ep.net.endpoints[b.To]
 	select {

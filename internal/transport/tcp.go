@@ -18,6 +18,15 @@ type TCPNetwork struct {
 	closeOnce sync.Once
 }
 
+// SetSendFault implements FaultInjectable.
+func (tn *TCPNetwork) SetSendFault(f FaultFunc) {
+	for _, ep := range tn.endpoints {
+		ep.faultMu.Lock()
+		ep.fault = f
+		ep.faultMu.Unlock()
+	}
+}
+
 // NewTCPNetwork starts listeners for n workers on loopback and returns the
 // connected network. Addresses are chosen by the kernel; use Addr to
 // retrieve them.
@@ -83,6 +92,9 @@ type tcpEndpoint struct {
 
 	mu    sync.Mutex
 	conns map[int]net.Conn // cached outgoing connections by peer
+
+	faultMu sync.RWMutex
+	fault   FaultFunc
 }
 
 func (ep *tcpEndpoint) acceptLoop() {
@@ -120,27 +132,45 @@ func (ep *tcpEndpoint) Send(b *Batch) error {
 	if to < 0 || to >= len(ep.peerAddrs) {
 		return fmt.Errorf("transport: send to unknown worker %d", b.To)
 	}
+	ep.faultMu.RLock()
+	fault := ep.fault
+	ep.faultMu.RUnlock()
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
+	if fault != nil {
+		if ferr := fault(int(b.From), int(b.To), int(b.Superstep)); ferr != nil {
+			// Injected connection fault: the batch is not written and any
+			// cached socket to the peer is torn down, so a retry must redial.
+			if conn, ok := ep.conns[to]; ok {
+				conn.Close()
+				delete(ep.conns, to)
+			}
+			return ferr
+		}
+	}
 	conn, ok := ep.conns[to]
 	if !ok {
 		var err error
 		conn, err = net.Dial("tcp", ep.peerAddrs[to])
 		if err != nil {
-			return fmt.Errorf("transport: dial worker %d: %w", to, err)
+			return &transientSendError{fmt.Errorf("transport: dial worker %d: %w", to, err)}
 		}
 		ep.conns[to] = conn
 	}
 	if err := writeBatch(conn, b); err != nil {
-		// Drop the broken connection; one retry with a fresh dial.
+		// Drop the broken connection; one retry with a fresh dial. Receivers
+		// dedupe by (From, Seq), so resending a batch whose first write
+		// partially succeeded cannot double-deliver.
 		conn.Close()
 		delete(ep.conns, to)
 		conn, derr := net.Dial("tcp", ep.peerAddrs[to])
 		if derr != nil {
-			return fmt.Errorf("transport: redial worker %d: %w", to, derr)
+			return &transientSendError{fmt.Errorf("transport: redial worker %d: %w", to, derr)}
 		}
 		ep.conns[to] = conn
-		return writeBatch(conn, b)
+		if werr := writeBatch(conn, b); werr != nil {
+			return &transientSendError{fmt.Errorf("transport: resend to worker %d: %w", to, werr)}
+		}
 	}
 	return nil
 }

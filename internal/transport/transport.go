@@ -22,7 +22,15 @@ type Batch struct {
 	To        int32 // receiving worker
 	Superstep int32
 	Count     int32 // number of vertex messages in Payload
-	Payload   []byte
+	// Epoch is the sender's recovery epoch (incremented on every checkpoint
+	// rollback). Receivers drop batches from stale epochs so in-flight data
+	// from an aborted execution cannot pollute a replayed superstep.
+	Epoch int32
+	// Seq is a per-(sender,receiver) monotonic sequence number. Receivers
+	// drop batches whose Seq they have already seen, making retried sends
+	// (after a transient fault) safe against duplicate delivery.
+	Seq     int32
+	Payload []byte
 }
 
 // WireSize returns the encoded size of the batch in bytes, used for network
@@ -31,10 +39,32 @@ func (b *Batch) WireSize() int64 {
 	return int64(batchHeaderSize + len(b.Payload))
 }
 
-const batchHeaderSize = 4 * 5 // from, to, superstep, count, payload length
+const batchHeaderSize = 4 * 7 // from, to, superstep, count, epoch, seq, payload length
 
 // ErrClosed is returned by endpoints after Close.
 var ErrClosed = fmt.Errorf("transport: endpoint closed")
+
+// FaultFunc inspects an outgoing batch and may return a non-nil error to
+// inject a data-plane fault: the batch is NOT delivered and Send returns the
+// error. Injected errors should be transient (see transientSendError) so the
+// engine's retry policy resends the batch.
+type FaultFunc func(from, to, superstep int) error
+
+// FaultInjectable is implemented by networks supporting send-fault injection.
+type FaultInjectable interface {
+	// SetSendFault installs f on every endpoint (nil removes it). It must be
+	// called before traffic starts.
+	SetSendFault(f FaultFunc)
+}
+
+// transientSendError classifies socket-level send failures (dial/write to a
+// live peer) as retryable without importing the cloud package: it satisfies
+// the `Transient() bool` interface that cloud.IsTransient recognizes.
+type transientSendError struct{ err error }
+
+func (e *transientSendError) Error() string   { return e.err.Error() }
+func (e *transientSendError) Unwrap() error   { return e.err }
+func (e *transientSendError) Transient() bool { return true }
 
 // Endpoint is one worker's connection to the data plane.
 type Endpoint interface {
@@ -68,7 +98,9 @@ func writeBatch(w io.Writer, b *Batch) error {
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(b.To))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(b.Superstep))
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(b.Count))
-	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(b.Payload)))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(b.Epoch))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(b.Seq))
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(b.Payload)))
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
@@ -87,8 +119,10 @@ func readBatch(r io.Reader) (*Batch, error) {
 		To:        int32(binary.LittleEndian.Uint32(hdr[4:])),
 		Superstep: int32(binary.LittleEndian.Uint32(hdr[8:])),
 		Count:     int32(binary.LittleEndian.Uint32(hdr[12:])),
+		Epoch:     int32(binary.LittleEndian.Uint32(hdr[16:])),
+		Seq:       int32(binary.LittleEndian.Uint32(hdr[20:])),
 	}
-	n := binary.LittleEndian.Uint32(hdr[16:])
+	n := binary.LittleEndian.Uint32(hdr[24:])
 	if n > 1<<30 {
 		return nil, fmt.Errorf("transport: absurd payload length %d", n)
 	}

@@ -91,6 +91,32 @@ type (
 	Assignment = partition.Assignment
 )
 
+// Fault-tolerance and chaos-testing types. A FaultPlan declares seeded
+// fault probabilities plus scripted events; NewChaos arms it; JobSpec.Chaos
+// wires it into every substrate layer (blob store, queues, transport,
+// fabric). The engine's retry and checkpoint-rollback machinery absorbs
+// the injected faults: results match a failure-free run.
+type (
+	// FaultPlan declares seeded fault probabilities and scripted events.
+	FaultPlan = cloud.FaultPlan
+	// Chaos is an armed FaultPlan (see NewChaos, JobSpec.Chaos).
+	Chaos = cloud.Chaos
+	// FaultStats counts faults a Chaos actually injected (JobResult.Faults).
+	FaultStats = cloud.FaultStats
+	// RetryPolicy tunes transient-fault retry/backoff (JobSpec.Retry).
+	RetryPolicy = cloud.RetryPolicy
+	// VMRestart scripts one fabric VM restart (FaultPlan.VMRestarts).
+	VMRestart = cloud.VMRestart
+	// ConnDrop scripts one dropped data-plane connection (FaultPlan.ConnDrops).
+	ConnDrop = cloud.ConnDrop
+)
+
+// NewChaos arms a FaultPlan with its seeded per-category PRNG streams.
+func NewChaos(plan FaultPlan) *Chaos { return cloud.NewChaos(plan) }
+
+// ErrTransient classifies retryable substrate faults (match with errors.Is).
+var ErrTransient = cloud.ErrTransient
+
 // Run executes a BSP job (see core.Run).
 func Run[M any](spec JobSpec[M]) (*JobResult[M], error) { return core.Run(spec) }
 
