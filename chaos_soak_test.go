@@ -2,9 +2,12 @@ package pregelnet
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"pregelnet/internal/algorithms"
+	"pregelnet/internal/observe"
 	"pregelnet/internal/transport"
 )
 
@@ -38,6 +41,8 @@ func TestChaosSoakBCOverTCP(t *testing.T) {
 	}
 	defer network.Close()
 	spec.Network = network
+	tracer, recorder := NewTraceRecorder(1 << 17)
+	spec.Tracer = tracer
 	spec.Chaos = NewChaos(FaultPlan{
 		Seed:               2026,
 		BlobErrorProb:      1,
@@ -71,6 +76,60 @@ func TestChaosSoakBCOverTCP(t *testing.T) {
 	}
 	if res.DuplicatesDropped == 0 {
 		t.Error("DuplicatesDropped = 0, want > 0 (every check-in was duplicated)")
+	}
+	verifySoakTrace(t, recorder)
+}
+
+// verifySoakTrace checks that the chaos run's flight recorder round-trips
+// through the Chrome trace_event exporter with every fault-handling span
+// intact, and (when PREGELNET_TRACE_DIR is set, as in CI) leaves the file
+// behind as an inspectable artifact.
+func verifySoakTrace(t *testing.T, recorder *FlightRecorder) {
+	t.Helper()
+	events := recorder.Snapshot()
+
+	dir := os.Getenv("PREGELNET_TRACE_DIR")
+	if dir == "" {
+		dir = t.TempDir()
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "chaos-soak-bc-tcp.trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(f, events); err != nil {
+		t.Fatalf("writing chrome trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rt, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	decoded, err := observe.ReadChromeTrace(rt)
+	if err != nil {
+		t.Fatalf("trace file is not valid Chrome trace_event JSON: %v", err)
+	}
+	if len(decoded) != len(events) {
+		t.Errorf("trace round-trip lost events: wrote %d, read %d", len(events), len(decoded))
+	}
+	byKind := map[TraceKind]int{}
+	for _, e := range decoded {
+		byKind[e.Kind]++
+	}
+	for _, k := range []TraceKind{
+		observe.KindSuperstep, observe.KindBarrierCollect, observe.KindBarrierWait,
+		observe.KindRetry, observe.KindFault, observe.KindVMRestart,
+		observe.KindCheckpoint, observe.KindRollback,
+	} {
+		if byKind[k] == 0 {
+			t.Errorf("soak trace has no %q spans (have %v)", k, byKind)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pregelnet/internal/experiments"
+	"pregelnet/internal/observe"
 )
 
 func main() {
@@ -38,7 +39,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: experiments list")
-	fmt.Fprintln(os.Stderr, "       experiments run [-workers N] [-roots-wg N] [-roots-cp N] [-quick] <id>|all")
+	fmt.Fprintln(os.Stderr, "       experiments run [-workers N] [-roots-wg N] [-roots-cp N] [-quick] [-trace file] <id>|all")
 }
 
 func runCmd(args []string) {
@@ -47,6 +48,7 @@ func runCmd(args []string) {
 	rootsWG := fs.Int("roots-wg", 0, "sampled BC/APSP roots on WG' (default 28)")
 	rootsCP := fs.Int("roots-cp", 0, "sampled BC/APSP roots on CP' (default 20)")
 	quick := fs.Bool("quick", false, "reduced scale for a fast smoke run")
+	traceFile := fs.String("trace", "", "write a Chrome trace_event file covering every run (open in chrome://tracing or Perfetto)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -67,6 +69,10 @@ func runCmd(args []string) {
 	if *rootsCP > 0 {
 		cfg.RootsCP = *rootsCP
 	}
+	var recorder *observe.Recorder
+	if *traceFile != "" {
+		cfg.Tracer, recorder = observe.NewTraceRecorder(1 << 18)
+	}
 
 	id := fs.Arg(0)
 	var list []experiments.Experiment
@@ -84,10 +90,32 @@ func runCmd(args []string) {
 		start := time.Now()
 		rep, err := e.Run(cfg)
 		if err != nil {
+			// The flight recorder survives the failure: dump what we have
+			// before exiting so the fault can be inspected.
+			dumpTrace(*traceFile, recorder)
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 		rep.Render(os.Stdout)
 		fmt.Printf("(%s completed in %.1fs wall time)\n\n", e.ID, time.Since(start).Seconds())
 	}
+	dumpTrace(*traceFile, recorder)
+}
+
+func dumpTrace(path string, rec *observe.Recorder) {
+	if path == "" || rec == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = observe.WriteChromeTrace(f, rec.Snapshot())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: writing trace:", err)
+		return
+	}
+	fmt.Printf("trace: %d events -> %s\n", rec.Len(), path)
 }

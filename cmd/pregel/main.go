@@ -24,6 +24,7 @@ import (
 	"pregelnet/internal/core"
 	"pregelnet/internal/graph"
 	"pregelnet/internal/metrics"
+	"pregelnet/internal/observe"
 	"pregelnet/internal/partition"
 )
 
@@ -41,8 +42,29 @@ func main() {
 		memoryMiB   = flag.Int64("memory-mib", 0, "per-worker physical memory ceiling in MiB (0 = unlimited)")
 		showTop     = flag.Int("top", 10, "print the top-N result vertices")
 		stepsDetail = flag.Bool("steps", false, "print the per-superstep table")
+		traceFile   = flag.String("trace", "", "write a Chrome trace_event file of the run (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
+
+	// -trace records every engine span (supersteps, barriers, compute,
+	// flushes, faults) into a flight recorder and dumps it on exit.
+	var (
+		tracer   *observe.Tracer
+		recorder *observe.Recorder
+	)
+	if *traceFile != "" {
+		tracer, recorder = observe.NewTraceRecorder(1 << 18)
+		// Flush through fatal() too: the flight recorder's whole point is
+		// that the events leading up to a failure survive it.
+		flushTrace = func() {
+			if err := writeTrace(*traceFile, recorder); err != nil {
+				fmt.Fprintln(os.Stderr, "pregel: writing trace:", err)
+				return
+			}
+			fmt.Printf("trace: %d events -> %s\n", recorder.Len(), *traceFile)
+		}
+		defer flushTrace()
+	}
 
 	g, err := loadGraph(*graphName, *file)
 	if err != nil {
@@ -68,6 +90,7 @@ func main() {
 		spec := algorithms.PageRank{Iterations: *iterations, Damping: 0.85}.Spec(g, *workers)
 		spec.Assignment = assign
 		spec.CostModel = model
+		spec.Tracer = tracer
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
@@ -82,6 +105,7 @@ func main() {
 		spec := algorithms.BC(g, *workers, sched)
 		spec.Assignment = assign
 		spec.CostModel = model
+		spec.Tracer = tracer
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
@@ -96,6 +120,7 @@ func main() {
 		spec := algorithms.APSP(g, *workers, sched)
 		spec.Assignment = assign
 		spec.CostModel = model
+		spec.Tracer = tracer
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
@@ -106,6 +131,7 @@ func main() {
 		spec := algorithms.SSSP(g, *workers, 0)
 		spec.Assignment = assign
 		spec.CostModel = model
+		spec.Tracer = tracer
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
@@ -127,6 +153,7 @@ func main() {
 		spec := algorithms.WeightedSSSP(wg, *workers, 0)
 		spec.Assignment = assign
 		spec.CostModel = model
+		spec.Tracer = tracer
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
@@ -148,6 +175,7 @@ func main() {
 		spec := algorithms.WCC(g, *workers)
 		spec.Assignment = assign
 		spec.CostModel = model
+		spec.Tracer = tracer
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
@@ -163,6 +191,7 @@ func main() {
 		spec := algorithms.LPA(g, *workers, *iterations)
 		spec.Assignment = assign
 		spec.CostModel = model
+		spec.Tracer = tracer
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
@@ -272,7 +301,25 @@ func printTop(what string, scores []float64, n int) {
 
 type VertexID = graph.VertexID
 
+func writeTrace(path string, rec *observe.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := observe.WriteChromeTrace(f, rec.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// flushTrace dumps the flight recorder; set only when -trace is given.
+var flushTrace func()
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pregel:", err)
+	if flushTrace != nil {
+		flushTrace()
+	}
 	os.Exit(1)
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"sync/atomic"
+	"time"
 
 	"pregelnet"
 )
@@ -65,6 +66,10 @@ func main() {
 	// from under their consumers, and the fabric restarting a VM mid-job.
 	fmt.Println("\n-- chaos run: seeded faults across the whole substrate --")
 	chaotic := mkSpec()
+	// A flight recorder rides along: a bounded ring of structured engine
+	// events that survives whatever the chaos does to the job.
+	tracer, recorder := pregelnet.NewTraceRecorder(0)
+	chaotic.Tracer = tracer
 	chaotic.Chaos = pregelnet.NewChaos(pregelnet.FaultPlan{
 		Seed:               7,
 		BlobErrorProb:      1,
@@ -84,7 +89,33 @@ func main() {
 		f.BlobErrors, f.QueueDuplicates, f.LeaseExpiries, f.VMRestarts)
 	fmt.Printf("absorbed: %d retries, %d duplicate check-ins dropped, %d rollback(s)\n",
 		res.Retries, res.DuplicatesDropped, res.Recoveries)
+
+	// The recorder's tail shows what the engine was doing as the chaos hit:
+	// the injected faults, the retries absorbing them, and the rollback
+	// machinery replaying lost work.
+	tail := recorder.Tail(12)
+	fmt.Printf("\nflight recorder (last %d of %d events):\n", len(tail), recorder.Len())
+	for _, e := range tail {
+		fmt.Printf("  %s\n", formatEvent(e))
+	}
 	fmt.Println("\nverified: identical centrality scores under full-substrate chaos")
+}
+
+// formatEvent renders one flight-recorder event as a readable line.
+func formatEvent(e pregelnet.TraceEvent) string {
+	who := "manager"
+	if e.Worker >= 0 {
+		who = fmt.Sprintf("worker %d", e.Worker)
+	}
+	line := fmt.Sprintf("#%-5d %-9.3fms %-15s %-8s s%-3d", e.Seq,
+		float64(e.Start.Microseconds())/1000, e.Kind, who, e.Superstep)
+	if e.Dur > 0 {
+		line += fmt.Sprintf(" dur=%v", e.Dur.Round(time.Microsecond))
+	}
+	for _, a := range e.Attrs {
+		line += fmt.Sprintf(" %s=%v", a.Key, a.Value())
+	}
+	return line
 }
 
 func verify(want, got []float64) {

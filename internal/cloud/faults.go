@@ -121,6 +121,7 @@ type Chaos struct {
 	leaseRng *rand.Rand
 	sendRng  *rand.Rand
 	stats    FaultStats
+	observer func(kind, detail string)
 
 	firedRestarts map[VMRestart]bool
 	firedDrops    map[ConnDrop]bool
@@ -142,6 +143,27 @@ func NewChaos(plan FaultPlan) *Chaos {
 
 // Plan returns the plan this injector was built from.
 func (c *Chaos) Plan() FaultPlan { return c.plan }
+
+// SetObserver installs a callback invoked once per injected fault with the
+// fault category ("blob_error", "queue_duplicate", "lease_expiry",
+// "send_drop", "conn_drop", "vm_restart") and a human-readable detail. This
+// is how the engine's tracer sees chaos without cloud depending on it. The
+// callback runs under the injector's lock and must not call back into Chaos.
+func (c *Chaos) SetObserver(fn func(kind, detail string)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.observer = fn
+	c.mu.Unlock()
+}
+
+// observeLocked reports one injected fault to the observer, if any.
+func (c *Chaos) observeLocked(kind, detail string) {
+	if c.observer != nil {
+		c.observer(kind, detail)
+	}
+}
 
 // Stats returns a snapshot of the injected-fault counters.
 func (c *Chaos) Stats() FaultStats {
@@ -168,6 +190,7 @@ func (c *Chaos) BlobFault(op, container, name string) error {
 		return nil
 	}
 	c.stats.BlobErrors++
+	c.observeLocked("blob_error", fmt.Sprintf("%s %s/%s", op, container, name))
 	return &transientError{fmt.Sprintf("cloud: injected transient blob %s error on %q/%q", op, container, name)}
 }
 
@@ -186,6 +209,7 @@ func (c *Chaos) QueueDuplicate(queue string) bool {
 		return false
 	}
 	c.stats.QueueDuplicates++
+	c.observeLocked("queue_duplicate", queue)
 	return true
 }
 
@@ -204,6 +228,7 @@ func (c *Chaos) LeaseExpiresEarly(queue string) bool {
 		return false
 	}
 	c.stats.LeaseExpiries++
+	c.observeLocked("lease_expiry", queue)
 	return true
 }
 
@@ -220,6 +245,7 @@ func (c *Chaos) SendFault(from, to, superstep int) error {
 		if d.From == from && d.To == to && d.Superstep == superstep && !c.firedDrops[d] {
 			c.firedDrops[d] = true
 			c.stats.ConnDrops++
+			c.observeLocked("conn_drop", fmt.Sprintf("%d->%d s%d", from, to, superstep))
 			return &transientError{fmt.Sprintf("cloud: injected connection drop %d→%d at superstep %d", from, to, superstep)}
 		}
 	}
@@ -233,6 +259,7 @@ func (c *Chaos) SendFault(from, to, superstep int) error {
 		return nil
 	}
 	c.stats.SendDrops++
+	c.observeLocked("send_drop", fmt.Sprintf("%d->%d s%d", from, to, superstep))
 	return &transientError{fmt.Sprintf("cloud: injected transient send drop %d→%d at superstep %d", from, to, superstep)}
 }
 
@@ -249,6 +276,7 @@ func (c *Chaos) VMRestartAt(worker, superstep int) error {
 		if r.Worker == worker && r.Superstep == superstep && !c.firedRestarts[r] {
 			c.firedRestarts[r] = true
 			c.stats.VMRestarts++
+			c.observeLocked("vm_restart", fmt.Sprintf("worker %d s%d", worker, superstep))
 			return fmt.Errorf("cloud: injected fabric restart of worker %d's VM at superstep %d", worker, superstep)
 		}
 	}

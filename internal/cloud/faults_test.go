@@ -3,6 +3,7 @@ package cloud
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -287,4 +288,31 @@ func TestQueueChaosEarlyLeaseExpiry(t *testing.T) {
 	if err := q.Delete(second.ID); err != nil {
 		t.Errorf("Delete on the live re-lease failed: %v", err)
 	}
+}
+
+func TestChaosObserverSeesInjections(t *testing.T) {
+	c := NewChaos(FaultPlan{
+		Seed:               7,
+		QueueDuplicateProb: 1, MaxQueueDuplicates: 1,
+		VMRestarts: []VMRestart{{Worker: 2, Superstep: 3}},
+	})
+	var mu sync.Mutex
+	seen := map[string]int{}
+	c.SetObserver(func(kind, detail string) {
+		mu.Lock()
+		seen[kind]++
+		mu.Unlock()
+	})
+	if !c.QueueDuplicate("step-0") {
+		t.Fatal("expected duplicate injection")
+	}
+	c.QueueDuplicate("step-0") // capped: no injection, no observation
+	if err := c.VMRestartAt(2, 3); err == nil {
+		t.Fatal("expected scripted restart")
+	}
+	if seen["queue_duplicate"] != 1 || seen["vm_restart"] != 1 {
+		t.Errorf("observed = %v", seen)
+	}
+	var nilChaos *Chaos
+	nilChaos.SetObserver(func(string, string) {}) // must not panic
 }

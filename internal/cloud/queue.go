@@ -21,7 +21,29 @@ type QueueMessage struct {
 	Body         []byte
 	DequeueCount int
 
+	enqueued    time.Time
 	leaseExpiry time.Time
+}
+
+// QueueStats is a point-in-time snapshot of one queue's health, the raw
+// material for the /metrics depth and age gauges.
+type QueueStats struct {
+	// Name is the queue's name within its service.
+	Name string
+	// Depth is the number of currently visible (deliverable) messages.
+	Depth int
+	// Leased is the number of messages currently hidden by a lease.
+	Leased int
+	// OldestAge is the age of the oldest visible message (0 when empty) —
+	// a growing value means consumers are stalled.
+	OldestAge time.Duration
+	// Puts and Gets count successful enqueues (including chaos duplicates)
+	// and granted leases over the queue's lifetime.
+	Puts, Gets uint64
+	// Redeliveries counts messages whose visibility timeout lapsed and were
+	// returned to the visible set — each one is an at-least-once redelivery
+	// the consumer had to dedupe.
+	Redeliveries uint64
 }
 
 // Queue is a reliable in-memory queue with visibility-timeout semantics,
@@ -36,6 +58,8 @@ type Queue struct {
 	visible []*QueueMessage
 	leased  map[uint64]*QueueMessage
 	closed  bool
+
+	puts, gets, redeliveries uint64
 }
 
 // NewQueue creates an empty queue with the given name.
@@ -69,10 +93,12 @@ func (q *Queue) Put(body []byte) {
 	if q.chaos.QueueDuplicate(q.name) {
 		copies = 2
 	}
+	now := time.Now()
 	for i := 0; i < copies; i++ {
 		q.nextID++
-		msg := &QueueMessage{ID: q.nextID, Body: append([]byte(nil), body...)}
+		msg := &QueueMessage{ID: q.nextID, Body: append([]byte(nil), body...), enqueued: now}
 		q.visible = append(q.visible, msg)
+		q.puts++
 		q.cond.Signal()
 	}
 }
@@ -137,6 +163,7 @@ func (q *Queue) leaseLocked(visibility time.Duration) *QueueMessage {
 	msg.DequeueCount++
 	msg.leaseExpiry = time.Now().Add(visibility)
 	q.leased[msg.ID] = msg
+	q.gets++
 	return msg
 }
 
@@ -159,6 +186,7 @@ func (q *Queue) reclaimExpiredLocked(now time.Time) {
 		if now.After(msg.leaseExpiry) {
 			delete(q.leased, id)
 			q.visible = append(q.visible, msg)
+			q.redeliveries++
 			q.cond.Signal()
 		}
 	}
@@ -185,6 +213,25 @@ func (q *Queue) Len() int {
 	defer q.mu.Unlock()
 	q.reclaimExpiredLocked(time.Now())
 	return len(q.visible)
+}
+
+// Stats snapshots the queue's current depth, lease count, oldest visible
+// message age, and lifetime put/get/redelivery counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := time.Now()
+	q.reclaimExpiredLocked(now)
+	st := QueueStats{
+		Name: q.name, Depth: len(q.visible), Leased: len(q.leased),
+		Puts: q.puts, Gets: q.gets, Redeliveries: q.redeliveries,
+	}
+	for _, msg := range q.visible {
+		if age := now.Sub(msg.enqueued); age > st.OldestAge {
+			st.OldestAge = age
+		}
+	}
+	return st
 }
 
 // Close wakes all blocked consumers; subsequent Puts are dropped.
@@ -229,6 +276,22 @@ func (s *QueueService) Queue(name string) *Queue {
 		s.queues[name] = q
 	}
 	return q
+}
+
+// Stats snapshots every queue in the namespace, keyed by queue name. Safe to
+// call from a metrics scrape while a job is running.
+func (s *QueueService) Stats() map[string]QueueStats {
+	s.mu.Lock()
+	queues := make([]*Queue, 0, len(s.queues))
+	for _, q := range s.queues {
+		queues = append(queues, q)
+	}
+	s.mu.Unlock()
+	out := make(map[string]QueueStats, len(queues))
+	for _, q := range queues {
+		out[q.Name()] = q.Stats()
+	}
+	return out
 }
 
 // CloseAll closes every queue in the namespace.

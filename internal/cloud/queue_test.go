@@ -229,3 +229,60 @@ func TestQueueGetWaitRedeliversExpiredLease(t *testing.T) {
 		t.Errorf("dequeue count = %d, want 2", second.DequeueCount)
 	}
 }
+
+func TestQueueStats(t *testing.T) {
+	q := NewQueue("stats")
+	q.Put([]byte("a"))
+	q.Put([]byte("b"))
+	time.Sleep(2 * time.Millisecond)
+	st := q.Stats()
+	if st.Name != "stats" || st.Depth != 2 || st.Leased != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Puts != 2 || st.Gets != 0 {
+		t.Errorf("puts/gets = %d/%d", st.Puts, st.Gets)
+	}
+	if st.OldestAge <= 0 {
+		t.Error("oldest age should be positive with visible messages")
+	}
+
+	msg := q.Get(time.Minute)
+	st = q.Stats()
+	if st.Depth != 1 || st.Leased != 1 || st.Gets != 1 {
+		t.Errorf("after lease: %+v", st)
+	}
+	if err := q.Delete(msg.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Expire a lease and confirm it counts as a redelivery.
+	q.Get(time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	st = q.Stats()
+	if st.Redeliveries != 1 {
+		t.Errorf("redeliveries = %d, want 1", st.Redeliveries)
+	}
+	if st.Depth != 1 || st.Leased != 0 {
+		t.Errorf("after redelivery: %+v", st)
+	}
+}
+
+func TestQueueStatsEmptyQueue(t *testing.T) {
+	st := NewQueue("empty").Stats()
+	if st.Depth != 0 || st.OldestAge != 0 || st.Puts != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestQueueServiceStats(t *testing.T) {
+	s := NewQueueService()
+	s.Queue("a").Put([]byte("x"))
+	s.Queue("b")
+	stats := s.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d queues, want 2", len(stats))
+	}
+	if stats["a"].Depth != 1 || stats["b"].Depth != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}

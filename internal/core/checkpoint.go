@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"pregelnet/internal/cloud"
+	"pregelnet/internal/observe"
 )
 
 // Checkpointing and fault recovery — the Pregel feature the paper lists as
@@ -75,11 +76,16 @@ func (w *worker[M]) snapshot(store *cloud.BlobStore) error {
 	}
 	// Blob writes can fail transiently on a real cloud; retry with backoff
 	// before declaring the superstep failed.
+	span := w.tracer.Start(observe.KindCheckpoint, w.id, w.superstep)
 	name := checkpointBlob(w.superstep, w.id)
 	if err := w.retry.Do(func() error {
 		return store.Put(checkpointContainer, name, buf.Bytes())
 	}); err != nil {
+		span.End()
 		return fmt.Errorf("storing checkpoint: %w", err)
+	}
+	if span.Active() {
+		span.End(observe.Int("bytes", int64(buf.Len())))
 	}
 	return nil
 }
@@ -103,11 +109,22 @@ func (w *worker[M]) decodeChecked(enc []byte) (m M, err error) {
 // restore loads the snapshot taken before `superstep` and resets all
 // transient state (pending inboxes from the aborted execution are dropped).
 // epoch is the manager-assigned recovery generation for this rollback.
-func (w *worker[M]) restore(store *cloud.BlobStore, superstep int, epoch int32) error {
+func (w *worker[M]) restore(store *cloud.BlobStore, superstep int, epoch int32) (err error) {
 	ckpt, ok := w.program.(Checkpointable)
 	if !ok {
 		return fmt.Errorf("program %T does not implement core.Checkpointable", w.program)
 	}
+	span := w.tracer.Start(observe.KindRestore, w.id, superstep)
+	defer func() {
+		if !span.Active() {
+			return
+		}
+		if err != nil {
+			span.End(observe.Str("err", err.Error()))
+		} else {
+			span.End(observe.Int("epoch", int64(epoch)))
+		}
+	}()
 	var data []byte
 	name := checkpointBlob(superstep, w.id)
 	if err := w.retry.Do(func() error {

@@ -8,6 +8,7 @@ import (
 
 	"pregelnet/internal/cloud"
 	"pregelnet/internal/graph"
+	"pregelnet/internal/observe"
 	"pregelnet/internal/partition"
 	"pregelnet/internal/transport"
 )
@@ -100,6 +101,17 @@ type JobSpec[M any] struct {
 	// A worker that misses the deadline is treated as failed (straggler
 	// detection) and triggers checkpoint rollback instead of hanging the job.
 	BarrierTimeout time.Duration
+	// Tracer, when non-nil, receives structured trace events from every layer
+	// of the run: superstep and barrier spans, swath decisions, checkpoint and
+	// restore spans, retries, injected faults, VM restarts, and transport
+	// flushes. Attach a flight recorder (observe.NewTraceRecorder) for a
+	// bounded always-on black box, or a streaming sink for full traces. Nil
+	// disables tracing at (near) zero cost.
+	Tracer *observe.Tracer
+	// Metrics, when non-nil, receives live counters and histograms (retries,
+	// queue wait latency, batches/bytes sent, injected faults) suitable for
+	// Prometheus exposition while the job runs. Nil disables collection.
+	Metrics *observe.Metrics
 	// MasterCompute, if non-nil, runs on the manager after every superstep
 	// with the reduced aggregator values (GPS-style global computation). It
 	// may mutate the map (values are broadcast to vertices next superstep).
@@ -256,6 +268,10 @@ type JobResult[M any] struct {
 	VMRestarts int
 	// Faults reports the faults injected by JobSpec.Chaos, if set.
 	Faults *cloud.FaultStats
+	// QueueStats snapshots every control-plane queue (depth, lifetime puts
+	// and gets, visibility-timeout redeliveries) at job completion, keyed by
+	// queue name.
+	QueueStats map[string]cloud.QueueStats
 }
 
 // TotalMessages returns the total data messages exchanged over the job.

@@ -9,6 +9,7 @@ import (
 
 	"pregelnet/internal/cloud"
 	"pregelnet/internal/graph"
+	"pregelnet/internal/observe"
 )
 
 // manager coordinates supersteps: it posts step tokens to per-worker step
@@ -21,6 +22,7 @@ type manager[M any] struct {
 	barrierQ *cloud.Queue
 	fabric   *cloud.Fabric
 	aggOps   map[string]AggOp
+	ins      *jobInstruments
 	// dupsDropped counts duplicate/stale control-plane messages tolerated
 	// (at-least-once queue delivery makes them normal, not errors).
 	dupsDropped int64
@@ -55,6 +57,10 @@ func (e *runError) Unwrap() error { return e.Err }
 // (a timeline that may include re-executed supersteps after recoveries)
 // and the number of checkpoint rollbacks performed.
 func (m *manager[M]) run() (steps []StepStats, recoveries int, err error) {
+	if m.ins == nil {
+		m.ins = newJobInstruments(nil, nil)
+	}
+	tracer := m.ins.tracer
 	var prev *StepStats
 	prevAggs := map[string]float64{}
 	// Injection log for replay after recovery: the scheduler is consulted
@@ -76,6 +82,15 @@ func (m *manager[M]) run() (steps []StepStats, recoveries int, err error) {
 		}
 		recoveries++
 		target := lastCheckpoint
+		m.ins.rollbacks.Inc()
+		span := tracer.Start(observe.KindRollback, observe.ManagerWorker, superstep)
+		defer func() {
+			if span.Active() {
+				span.End(observe.Int("target", int64(target)),
+					observe.Int("recovery", int64(recoveries)),
+					observe.Str("cause", cause.Error()))
+			}
+		}()
 		for w := 0; w < m.spec.NumWorkers; w++ {
 			// The recovery count doubles as the epoch stamped on the restore
 			// token: workers adopt it for data-plane batches and use it to
@@ -107,6 +122,8 @@ func (m *manager[M]) run() (steps []StepStats, recoveries int, err error) {
 		} else {
 			if m.spec.Scheduler != nil {
 				injections = m.spec.Scheduler.NextSources(prev)
+				tracer.Emit(observe.KindSwath, observe.ManagerWorker, superstep,
+					observe.Int("injected", int64(len(injections))))
 			}
 			injectionLog[superstep] = injections
 			aggLog[superstep] = prevAggs
@@ -127,6 +144,9 @@ func (m *manager[M]) run() (steps []StepStats, recoveries int, err error) {
 		}
 
 		checkpoint := m.spec.CheckpointEvery > 0 && superstep%m.spec.CheckpointEvery == 0
+
+		m.ins.supersteps.Inc()
+		stepSpan := tracer.Start(observe.KindSuperstep, observe.ManagerWorker, superstep)
 
 		// Route injections to their owning workers and send step tokens.
 		perWorker := make([][]graph.VertexID, m.spec.NumWorkers)
@@ -149,6 +169,9 @@ func (m *manager[M]) run() (steps []StepStats, recoveries int, err error) {
 		// injection or anything the worker reports) trigger rollback.
 		stats, cerr := m.collectBarrier(superstep)
 		if cerr != nil {
+			if stepSpan.Active() {
+				stepSpan.End(observe.Str("err", cerr.Error()))
+			}
 			if rerr := rollback(superstep, cerr); rerr != nil {
 				m.halt()
 				return steps, recoveries, &runError{superstep, rerr}
@@ -178,6 +201,9 @@ func (m *manager[M]) run() (steps []StepStats, recoveries int, err error) {
 		}
 		simTotal, perWorkerSec, serr := m.spec.CostModel.SuperstepSeconds(usages)
 		if serr != nil {
+			if stepSpan.Active() {
+				stepSpan.End(observe.Str("err", serr.Error()))
+			}
 			if rerr := rollback(superstep, serr); rerr != nil {
 				m.halt()
 				return steps, recoveries, &runError{superstep, rerr}
@@ -190,6 +216,14 @@ func (m *manager[M]) run() (steps []StepStats, recoveries int, err error) {
 		stats.WorkerSimSeconds = perWorkerSec
 		stats.BarrierSimSeconds = m.spec.CostModel.BarrierSeconds(m.spec.NumWorkers)
 		m.fabric.Advance(simTotal)
+		if stepSpan.Active() {
+			stepSpan.End(
+				observe.Int("active", stats.ActiveVertices),
+				observe.Int("sent", stats.TotalSent()),
+				observe.Int("injected", int64(stats.Injected)),
+				observe.Int("retries", stats.Retries),
+				observe.Float("sim_seconds", simTotal))
+		}
 
 		stats.Aggregates = stats.aggPartial
 		prevAggs = stats.aggPartial
@@ -287,6 +321,8 @@ type collected struct {
 }
 
 func (m *manager[M]) collectBarrier(superstep int) (collected, error) {
+	span := m.ins.tracer.Start(observe.KindBarrierCollect, observe.ManagerWorker, superstep)
+	defer span.End()
 	n := m.spec.NumWorkers
 	c := collected{
 		StepStats: StepStats{
@@ -313,7 +349,9 @@ func (m *manager[M]) collectBarrier(superstep int) (collected, error) {
 			return c, fmt.Errorf("barrier timeout: straggler at superstep %d (%d/%d checked in within %v)",
 				superstep, got, n, m.spec.BarrierTimeout)
 		}
+		waitStart := time.Now()
 		lease := m.barrierQ.GetWait(m.spec.QueueVisibility, remaining)
+		m.ins.barrier.Observe(time.Since(waitStart).Seconds())
 		if lease == nil {
 			return c, fmt.Errorf("barrier timeout: straggler at superstep %d (%d/%d checked in within %v)",
 				superstep, got, n, m.spec.BarrierTimeout)

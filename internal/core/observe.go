@@ -1,0 +1,91 @@
+package core
+
+import (
+	"pregelnet/internal/observe"
+	"pregelnet/internal/transport"
+)
+
+// Observability glue: core is where the leaf observe package meets the
+// substrate layers that cannot depend on it. The engine adapts the transport
+// Observer and the chaos fault callback onto the job's tracer and metrics,
+// and caches metric handles once at job start so hot paths never touch the
+// registry.
+
+// jobInstruments bundles the metric handles one run updates. Handles from a
+// nil *observe.Metrics are unregistered but fully usable, so instrumented
+// code updates them unconditionally.
+type jobInstruments struct {
+	tracer *observe.Tracer
+
+	retries    *observe.Counter
+	batches    *observe.Counter
+	batchBytes *observe.Counter
+	reconnects *observe.Counter
+	faults     func(kind string) *observe.Counter
+	rollbacks  *observe.Counter
+	supersteps *observe.Counter
+	stepWait   *observe.Histogram // worker waiting on its step queue
+	barrier    *observe.Histogram // manager collecting one barrier
+}
+
+func newJobInstruments(tracer *observe.Tracer, m *observe.Metrics) *jobInstruments {
+	return &jobInstruments{
+		tracer: tracer,
+		retries: m.Counter("pregel_retries_total",
+			"Transient-fault retries across blob, queue, and transport operations."),
+		batches: m.Counter("pregel_batches_sent_total",
+			"Data-plane batches delivered (excluding sentinels)."),
+		batchBytes: m.Counter("pregel_batch_bytes_total",
+			"Serialized data-plane bytes delivered."),
+		reconnects: m.Counter("pregel_reconnects_total",
+			"Mid-superstep data-plane redials forced by send failures."),
+		faults: func(kind string) *observe.Counter {
+			return m.Counter("pregel_faults_injected_total",
+				"Faults injected by the chaos plan, by kind.",
+				observe.Label{Name: "kind", Value: kind})
+		},
+		rollbacks: m.Counter("pregel_rollbacks_total",
+			"Checkpoint rollbacks performed by the manager."),
+		supersteps: m.Counter("pregel_supersteps_total",
+			"Superstep executions, including post-recovery replays."),
+		stepWait: m.Histogram("pregel_queue_wait_seconds",
+			"Control-plane queue wait latency by queue class.", nil,
+			observe.Label{Name: "queue", Value: "step"}),
+		barrier: m.Histogram("pregel_queue_wait_seconds",
+			"Control-plane queue wait latency by queue class.", nil,
+			observe.Label{Name: "queue", Value: "barrier"}),
+	}
+}
+
+// transportObserver adapts transport telemetry onto the tracer and metrics.
+// BatchSent is the data plane's hottest callback, so tracing is gated on a
+// cached enabled flag and sentinel batches (msgs <= 0) never produce events.
+type transportObserver struct {
+	ins *jobInstruments
+}
+
+func (o *transportObserver) BatchSent(from, to, superstep, msgs int, wireBytes int64) {
+	o.ins.batches.Inc()
+	o.ins.batchBytes.Add(wireBytes)
+	if msgs > 0 && o.ins.tracer.Enabled() {
+		o.ins.tracer.Emit(observe.KindFlush, from, superstep,
+			observe.Int("to", int64(to)), observe.Int("msgs", int64(msgs)),
+			observe.Int("bytes", wireBytes))
+	}
+}
+
+func (o *transportObserver) Reconnect(from, to int) {
+	o.ins.reconnects.Inc()
+	o.ins.tracer.Emit(observe.KindReconnect, from, -1, observe.Int("to", int64(to)))
+}
+
+var _ transport.Observer = (*transportObserver)(nil)
+
+// chaosObserver returns the callback Chaos invokes per injected fault.
+func chaosObserver(ins *jobInstruments) func(kind, detail string) {
+	return func(kind, detail string) {
+		ins.faults(kind).Inc()
+		ins.tracer.Emit(observe.KindFault, observe.ManagerWorker, -1,
+			observe.Str("fault", kind), observe.Str("detail", detail))
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pregelnet/internal/cloud"
+	"pregelnet/internal/graph"
+	"pregelnet/internal/observe"
+)
+
+// TestTracedRunEmitsTaxonomy runs a checkpointed BFS under chaos with a
+// tracer and metrics attached and verifies that every layer reported: the
+// job span, superstep and barrier spans from the manager, compute and
+// barrier-wait spans from workers, checkpoint/restore/rollback from the
+// recovery machinery, and retry/fault/vm_restart from the chaos layer.
+func TestTracedRunEmitsTaxonomy(t *testing.T) {
+	g := graph.ErdosRenyi(300, 900, 17)
+	spec := ckptSpec(g, 4, 0)
+	spec.Chaos = cloud.NewChaos(cloud.FaultPlan{
+		Seed:          99,
+		BlobErrorProb: 1,
+		MaxBlobErrors: 2,
+		VMRestarts:    []cloud.VMRestart{{Worker: 1, Superstep: 3}},
+	})
+	tracer, rec := observe.NewTraceRecorder(1 << 16)
+	spec.Tracer = tracer
+	spec.Metrics = observe.NewMetrics()
+
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatalf("traced chaos run failed: %v", err)
+	}
+	checkCkptBFS(t, g, res, 0)
+
+	byKind := map[observe.Kind]int{}
+	for _, e := range rec.Snapshot() {
+		byKind[e.Kind]++
+	}
+	for _, k := range []observe.Kind{
+		observe.KindJob, observe.KindSuperstep, observe.KindBarrierCollect,
+		observe.KindCompute, observe.KindBarrierWait, observe.KindQueueWait,
+		observe.KindCheckpoint, observe.KindRestore, observe.KindRollback,
+		observe.KindRetry, observe.KindFault, observe.KindVMRestart,
+		observe.KindFlush,
+	} {
+		if byKind[k] == 0 {
+			t.Errorf("no %q events recorded (have %v)", k, byKind)
+		}
+	}
+	if byKind[observe.KindJob] != 1 {
+		t.Errorf("job spans = %d, want 1", byKind[observe.KindJob])
+	}
+	// Aborted supersteps (the one interrupted by the VM restart) also open a
+	// span, so the trace holds at least one span per completed superstep.
+	if got, want := byKind[observe.KindSuperstep], res.Supersteps; got < want {
+		t.Errorf("superstep spans = %d, want >= %d", got, want)
+	}
+	if byKind[observe.KindRollback] != res.Recoveries {
+		t.Errorf("rollback spans = %d, want %d", byKind[observe.KindRollback], res.Recoveries)
+	}
+
+	// The metrics registry must expose the engine families with live values.
+	var buf bytes.Buffer
+	spec.Metrics.WritePrometheus(&buf)
+	exp := buf.String()
+	for _, frag := range []string{
+		"pregel_supersteps_total", "pregel_retries_total",
+		"pregel_batches_sent_total", "pregel_rollbacks_total 1",
+		`pregel_faults_injected_total{kind="vm_restart"} 1`,
+		`pregel_queue_wait_seconds_bucket{queue="barrier",le="+Inf"}`,
+	} {
+		if !strings.Contains(exp, frag) {
+			t.Errorf("exposition missing %q:\n%s", frag, exp)
+		}
+	}
+
+	// Queue stats must surface the control-plane queues.
+	if res.QueueStats == nil {
+		t.Fatal("JobResult.QueueStats not populated")
+	}
+	barrier, ok := res.QueueStats["barrier"]
+	if !ok || barrier.Puts == 0 || barrier.Gets == 0 {
+		t.Errorf("barrier queue stats = %+v", barrier)
+	}
+	if _, ok := res.QueueStats["step-0"]; !ok {
+		t.Errorf("missing step-0 queue stats: %v", res.QueueStats)
+	}
+}
+
+// TestUntracedRunUnchanged guards the zero-value contract: a spec without
+// Tracer/Metrics runs exactly as before and reports no observability state.
+func TestUntracedRunUnchanged(t *testing.T) {
+	g := graph.ErdosRenyi(200, 600, 5)
+	spec := ckptSpec(g, 3, 0)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCkptBFS(t, g, res, 0)
+	if res.QueueStats == nil {
+		t.Error("QueueStats should be collected even without a tracer")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"pregelnet/internal/cloud"
 	"pregelnet/internal/graph"
+	"pregelnet/internal/observe"
 	"pregelnet/internal/transport"
 )
 
@@ -54,6 +55,18 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 	fabric := cloud.NewFabric()
 	vms := fabric.Acquire(s.CostModel.Spec, s.NumWorkers)
 
+	// Observability wiring: one instrument bundle per run, the transport
+	// observer adapting data-plane telemetry, and the chaos observer turning
+	// injected faults into trace events. All of it degrades to (near) no-ops
+	// when Tracer and Metrics are both nil.
+	ins := newJobInstruments(s.Tracer, s.Metrics)
+	if s.Tracer != nil || s.Metrics != nil {
+		if ob, ok := network.(transport.Observable); ok {
+			ob.SetObserver(&transportObserver{ins: ins})
+		}
+		s.Chaos.SetObserver(chaosObserver(ins))
+	}
+
 	// Chaos wiring: the fault plan reaches every substrate layer — queues
 	// (duplicates, early lease expiry), blob store (transient errors),
 	// transport (dropped connections), and the VM fabric (scripted restarts,
@@ -82,6 +95,20 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 			return nil
 		}
 	}
+	// Trace every VM loss the engine acts on (chaos-scripted or a test's own
+	// injector) as a vm_restart event on the failed worker's track.
+	if s.Tracer != nil && s.FailureInjector != nil {
+		injector := s.FailureInjector
+		tracer := s.Tracer
+		s.FailureInjector = func(worker, superstep int) error {
+			err := injector(worker, superstep)
+			if err != nil {
+				tracer.Emit(observe.KindVMRestart, worker, superstep,
+					observe.Str("err", err.Error()))
+			}
+			return err
+		}
+	}
 
 	workers := make([]*worker[M], s.NumWorkers)
 	for w := 0; w < s.NumWorkers; w++ {
@@ -89,7 +116,7 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 		if err != nil {
 			return nil, err
 		}
-		workers[w] = newWorker(&s, w, owned[w], perWorkerIndex[w], ep, s.AggregatorOps)
+		workers[w] = newWorker(&s, w, owned[w], perWorkerIndex[w], ep, s.AggregatorOps, ins)
 	}
 
 	mgr := &manager[M]{
@@ -98,6 +125,7 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 		barrierQ: s.Queues.Queue("barrier"),
 		fabric:   fabric,
 		aggOps:   s.AggregatorOps,
+		ins:      ins,
 	}
 	for w := 0; w < s.NumWorkers; w++ {
 		mgr.stepQs[w] = s.Queues.Queue(fmt.Sprintf("step-%d", w))
@@ -109,6 +137,7 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 			return nil, fmt.Errorf("core: CheckpointEvery set but program %T does not implement Checkpointable", workers[0].program)
 		}
 	}
+	jobSpan := s.Tracer.Start(observe.KindJob, observe.ManagerWorker, -1)
 	var wg sync.WaitGroup
 	for _, w := range workers {
 		wg.Add(1)
@@ -144,9 +173,21 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 		result.DuplicatesDropped += steps[i].DuplicatesDropped
 	}
 	result.VMRestarts = fabric.Restarts()
+	result.QueueStats = s.Queues.Stats()
 	if s.Chaos != nil {
 		fs := s.Chaos.Stats()
 		result.Faults = &fs
+	}
+	if jobSpan.Active() {
+		jobEnd := []observe.Attr{
+			observe.Int("supersteps", int64(result.Supersteps)),
+			observe.Int("recoveries", int64(result.Recoveries)),
+			observe.Int("retries", result.Retries),
+		}
+		if runErr != nil {
+			jobEnd = append(jobEnd, observe.Str("err", runErr.Error()))
+		}
+		jobSpan.End(jobEnd...)
 	}
 	if runErr != nil {
 		return result, runErr

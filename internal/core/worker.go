@@ -10,6 +10,7 @@ import (
 
 	"pregelnet/internal/cloud"
 	"pregelnet/internal/graph"
+	"pregelnet/internal/observe"
 	"pregelnet/internal/partition"
 	"pregelnet/internal/transport"
 )
@@ -92,6 +93,9 @@ type worker[M any] struct {
 	ckptStore  *cloud.BlobStore
 	failInject func(worker, superstep int) error
 
+	tracer *observe.Tracer
+	ins    *jobInstruments
+
 	// Robustness state (chaos substrate).
 	retry          cloud.RetryPolicy // retries transient faults; counts into statRetries
 	visibility     time.Duration     // control-plane lease visibility
@@ -133,7 +137,8 @@ type worker[M any] struct {
 }
 
 func newWorker[M any](spec *JobSpec[M], id int, owned []graph.VertexID,
-	globalToLocal []int32, ep transport.Endpoint, aggOps map[string]AggOp) *worker[M] {
+	globalToLocal []int32, ep transport.Endpoint, aggOps map[string]AggOp,
+	ins *jobInstruments) *worker[M] {
 	w := &worker[M]{
 		id:             id,
 		numWorkers:     spec.NumWorkers,
@@ -165,10 +170,20 @@ func newWorker[M any](spec *JobSpec[M], id int, owned []graph.VertexID,
 	w.sentinelCond = sync.NewCond(&w.sentinelMu)
 	w.ckptStore = spec.CheckpointStore
 	w.failInject = spec.FailureInjector
+	if ins == nil {
+		ins = newJobInstruments(nil, nil)
+	}
+	w.tracer = spec.Tracer
+	w.ins = ins
 	w.retry = spec.Retry
 	userOnRetry := spec.Retry.OnRetry
 	w.retry.OnRetry = func(attempt int, err error) {
 		w.statRetries.Add(1)
+		w.ins.retries.Inc()
+		if w.tracer.Enabled() {
+			w.tracer.Emit(observe.KindRetry, w.id, w.superstep,
+				observe.Int("attempt", int64(attempt)), observe.Str("err", err.Error()))
+		}
 		if userOnRetry != nil {
 			userOnRetry(attempt, err)
 		}
@@ -198,7 +213,11 @@ func (w *worker[M]) aggOp(name string) AggOp {
 func (w *worker[M]) run() {
 	go w.receiveLoop()
 	for {
+		waitSpan := w.tracer.Start(observe.KindQueueWait, w.id, w.doneThrough+1)
+		waitStart := time.Now()
 		lease := w.stepQ.GetWait(w.visibility, queueMaxWait)
+		w.ins.stepWait.Observe(time.Since(waitStart).Seconds())
+		waitSpan.End()
 		if lease == nil {
 			return // queues closed: job torn down
 		}
@@ -283,6 +302,7 @@ func (w *worker[M]) runSuperstep(tok *stepToken) {
 	}
 
 	// Parallel compute across cores.
+	computeSpan := w.tracer.Start(observe.KindCompute, w.id, w.superstep)
 	var wg sync.WaitGroup
 	p := w.parallel
 	if p > len(active) && len(active) > 0 {
@@ -306,9 +326,16 @@ func (w *worker[M]) runSuperstep(tok *stepToken) {
 	wg.Wait()
 	select {
 	case err := <-errCh:
+		computeSpan.End()
 		w.checkIn(barrierMsg{Worker: w.id, Superstep: w.superstep, Err: err.Error()})
 		return
 	default:
+	}
+	if computeSpan.Active() {
+		computeSpan.End(
+			observe.Int("active", int64(len(active))),
+			observe.Int("sent", w.statSentLocal.Load()+w.statSentRemote.Load()),
+			observe.Int("bytes_out", w.statBytesOut.Load()))
 	}
 
 	// All compute done and buffers flushed: notify peers and wait until
@@ -321,10 +348,13 @@ func (w *worker[M]) runSuperstep(tok *stepToken) {
 		w.checkIn(barrierMsg{Worker: w.id, Superstep: w.superstep, Err: err.Error()})
 		return
 	}
+	barrierSpan := w.tracer.Start(observe.KindBarrierWait, w.id, w.superstep)
 	if err := w.awaitSentinels(); err != nil {
+		barrierSpan.End()
 		w.checkIn(barrierMsg{Worker: w.id, Superstep: w.superstep, Err: err.Error()})
 		return
 	}
+	barrierSpan.End()
 
 	// Memory accounting: messages held for this step + messages buffered for
 	// the next + program state (paper §IV: buffered messages dominate).

@@ -22,18 +22,18 @@ func TestDebugElasticSteps(t *testing.T) {
 	mkSched := func() core.SwathScheduler {
 		return core.NewSwathRunner(roots, core.StaticSizer(swathSize), core.StaticNInitiator(6))
 	}
-	probe, err := runBC(g, cfg.Workers, mkSched(), hugeMemoryModel(), nil)
+	probe, err := runBC(g, cfg.Workers, mkSched(), hugeMemoryModel(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	phys := int64(1.5 * float64(probe.PeakMemory()))
 	t.Logf("probe peak=%d phys=%d", probe.PeakMemory(), phys)
 	model := scaledModel(phys)
-	low, err := runBC(g, cfg.Workers/2, mkSched(), model, nil)
+	low, err := runBC(g, cfg.Workers/2, mkSched(), model, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	high, err := runBC(g, cfg.Workers, mkSched(), model, nil)
+	high, err := runBC(g, cfg.Workers, mkSched(), model, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

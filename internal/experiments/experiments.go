@@ -18,6 +18,7 @@ import (
 	"pregelnet/internal/core"
 	"pregelnet/internal/graph"
 	"pregelnet/internal/metrics"
+	"pregelnet/internal/observe"
 	"pregelnet/internal/partition"
 )
 
@@ -35,6 +36,11 @@ type Config struct {
 	RootsCP int
 	// PageRankIterations matches the paper's 30.
 	PageRankIterations int
+	// Tracer, when set, records structured engine events (superstep,
+	// barrier, compute, swath spans) for every run an experiment performs;
+	// cmd/experiments -trace wires it to a flight recorder and dumps a
+	// Chrome trace_event file. Nil costs nothing.
+	Tracer *observe.Tracer
 }
 
 // DefaultConfig returns the standard experiment scale.
@@ -183,10 +189,11 @@ func hugeMemoryModel() cloud.CostModel {
 
 // runBC runs betweenness centrality and fails loudly on engine errors.
 func runBC(g *graph.Graph, workers int, sched core.SwathScheduler,
-	model cloud.CostModel, assign partition.Assignment) (*core.JobResult[algorithms.BCMsg], error) {
+	model cloud.CostModel, assign partition.Assignment, tr *observe.Tracer) (*core.JobResult[algorithms.BCMsg], error) {
 	spec := algorithms.BC(g, workers, sched)
 	spec.CostModel = model
 	spec.Assignment = assign
+	spec.Tracer = tr
 	return core.Run(spec)
 }
 
@@ -195,7 +202,7 @@ func runBC(g *graph.Graph, workers int, sched core.SwathScheduler,
 // their physical memory ceilings from this, mirroring how the paper's
 // baseline is "the largest swath size we could successfully complete".
 func calibrateBCMemory(g *graph.Graph, workers, roots int) (int64, error) {
-	res, err := runBC(g, workers, core.NewAllAtOnce(experimentRoots(g, roots)), hugeMemoryModel(), nil)
+	res, err := runBC(g, workers, core.NewAllAtOnce(experimentRoots(g, roots)), hugeMemoryModel(), nil, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -214,6 +221,7 @@ type bcSwathEnvironment struct {
 	target   int64
 	model    cloud.CostModel
 	peakFull int64 // probe peak of the full single swath
+	tracer   *observe.Tracer
 }
 
 func newBCSwathEnvironment(cfg Config, g *graph.Graph) (*bcSwathEnvironment, error) {
@@ -234,6 +242,7 @@ func newBCSwathEnvironment(cfg Config, g *graph.Graph) (*bcSwathEnvironment, err
 		target:   phys * 6 / 7, // the paper's 6 GB target on 7 GB VMs
 		model:    scaledModel(phys),
 		peakFull: peak,
+		tracer:   cfg.Tracer,
 	}
 	return env, nil
 }
@@ -241,13 +250,13 @@ func newBCSwathEnvironment(cfg Config, g *graph.Graph) (*bcSwathEnvironment, err
 // runBaseline executes the paper's baseline: the whole root set as one
 // swath, spilling into virtual memory.
 func (env *bcSwathEnvironment) runBaseline() (*core.JobResult[algorithms.BCMsg], error) {
-	return runBC(env.g, env.workers, core.NewAllAtOnce(env.roots), env.model, nil)
+	return runBC(env.g, env.workers, core.NewAllAtOnce(env.roots), env.model, nil, env.tracer)
 }
 
 // runWith executes the root set under a sizer+initiator pair.
 func (env *bcSwathEnvironment) runWith(sizer core.SwathSizer, init core.SwathInitiator,
 	workers int) (*core.JobResult[algorithms.BCMsg], error) {
-	return runBC(env.g, workers, core.NewSwathRunner(env.roots, sizer, init), env.model, nil)
+	return runBC(env.g, workers, core.NewSwathRunner(env.roots, sizer, init), env.model, nil, env.tracer)
 }
 
 func (env *bcSwathEnvironment) adaptiveSizer() core.SwathSizer {

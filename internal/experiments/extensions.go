@@ -52,7 +52,7 @@ func ExtBuffering(cfg Config) (*Report, error) {
 
 		diskModel := env.model
 		diskModel.DiskBuffering = true
-		disk, err := runBC(env.g, env.workers, core.NewAllAtOnce(env.roots), diskModel, nil)
+		disk, err := runBC(env.g, env.workers, core.NewAllAtOnce(env.roots), diskModel, nil, env.tracer)
 		if err != nil {
 			return nil, err
 		}

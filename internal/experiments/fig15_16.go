@@ -24,7 +24,7 @@ func elasticProfile(cfg Config, g *graph.Graph) (*elastic.Profile, error) {
 	}
 
 	// Probe with 8 workers and no ceiling to find the peak footprint.
-	probe, err := runBC(g, cfg.Workers, mkSched(), hugeMemoryModel(), nil)
+	probe, err := runBC(g, cfg.Workers, mkSched(), hugeMemoryModel(), nil, cfg.Tracer)
 	if err != nil {
 		return nil, err
 	}
@@ -34,11 +34,11 @@ func elasticProfile(cfg Config, g *graph.Graph) (*elastic.Profile, error) {
 	// limit) — the oscillation Fig 15 shows.
 	model := scaledModel(int64(1.7 * float64(probe.PeakMemory())))
 
-	low, err := runBC(g, cfg.Workers/2, mkSched(), model, nil)
+	low, err := runBC(g, cfg.Workers/2, mkSched(), model, nil, cfg.Tracer)
 	if err != nil {
 		return nil, fmt.Errorf("4-worker run on %s: %w", g.Name(), err)
 	}
-	high, err := runBC(g, cfg.Workers, mkSched(), model, nil)
+	high, err := runBC(g, cfg.Workers, mkSched(), model, nil, cfg.Tracer)
 	if err != nil {
 		return nil, fmt.Errorf("8-worker run on %s: %w", g.Name(), err)
 	}

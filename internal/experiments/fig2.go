@@ -33,6 +33,7 @@ func Fig2(cfg Config) (*Report, error) {
 		// PageRank runs to completion (30 iterations).
 		prSpec := algorithms.PageRank{Iterations: cfg.PageRankIterations, Damping: 0.85}.Spec(g, cfg.Workers)
 		prSpec.CostModel = model
+		prSpec.Tracer = cfg.Tracer
 		pr, err := core.Run(prSpec)
 		if err != nil {
 			return nil, err
@@ -44,7 +45,7 @@ func Fig2(cfg Config) (*Report, error) {
 		// real runs; sequential initiation for a clean per-root cost.
 		bcRes, err := runBC(g, cfg.Workers,
 			core.NewSwathRunner(roots, core.StaticSizer(initialProbeSize(len(roots))), core.SequentialInitiator{}),
-			model, nil)
+			model, nil, cfg.Tracer)
 		if err != nil {
 			return nil, err
 		}
@@ -56,6 +57,7 @@ func Fig2(cfg Config) (*Report, error) {
 		apspSpec := algorithms.APSP(g, cfg.Workers,
 			core.NewSwathRunner(roots, core.StaticSizer(initialProbeSize(len(roots))), core.SequentialInitiator{}))
 		apspSpec.CostModel = model
+		apspSpec.Tracer = cfg.Tracer
 		apspRes, err := core.Run(apspSpec)
 		if err != nil {
 			return nil, err
@@ -70,6 +72,7 @@ func Fig2(cfg Config) (*Report, error) {
 	lj := graph.DatasetLJ()
 	prSpec := algorithms.PageRank{Iterations: cfg.PageRankIterations, Damping: 0.85}.Spec(lj, cfg.Workers)
 	prSpec.CostModel = model
+	prSpec.Tracer = cfg.Tracer
 	pr, err := core.Run(prSpec)
 	if err != nil {
 		return nil, err

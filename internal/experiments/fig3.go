@@ -23,18 +23,20 @@ func Fig3(cfg Config) (*Report, error) {
 	const swathSize = 7 // the paper's "single swath of seven vertices"
 	roots := algorithms.Sources(g, swathSize)
 
-	bcRes, err := runBC(g, cfg.Workers, core.NewAllAtOnce(roots), model, nil)
+	bcRes, err := runBC(g, cfg.Workers, core.NewAllAtOnce(roots), model, nil, cfg.Tracer)
 	if err != nil {
 		return nil, err
 	}
 	apspSpec := algorithms.APSP(g, cfg.Workers, core.NewAllAtOnce(roots))
 	apspSpec.CostModel = model
+	apspSpec.Tracer = cfg.Tracer
 	apspRes, err := core.Run(apspSpec)
 	if err != nil {
 		return nil, err
 	}
 	prSpec := algorithms.PageRank{Iterations: cfg.PageRankIterations, Damping: 0.85}.Spec(g, cfg.Workers)
 	prSpec.CostModel = model
+	prSpec.Tracer = cfg.Tracer
 	prRes, err := core.Run(prSpec)
 	if err != nil {
 		return nil, err

@@ -42,13 +42,14 @@ func Fig8(cfg Config) (*Report, error) {
 					spec := algorithms.PageRank{Iterations: cfg.PageRankIterations, Damping: 0.85}.Spec(g, cfg.Workers)
 					spec.CostModel = model
 					spec.Assignment = assign
+					spec.Tracer = cfg.Tracer
 					res, err := core.Run(spec)
 					if err != nil {
 						return nil, err
 					}
 					sim, remoteFrac = res.SimSeconds, remoteFraction(res.Steps)
 				case "BC":
-					res, err := runBC(g, cfg.Workers, core.NewAllAtOnce(roots), model, assign)
+					res, err := runBC(g, cfg.Workers, core.NewAllAtOnce(roots), model, assign, cfg.Tracer)
 					if err != nil {
 						return nil, err
 					}
@@ -57,6 +58,7 @@ func Fig8(cfg Config) (*Report, error) {
 					spec := algorithms.APSP(g, cfg.Workers, core.NewAllAtOnce(roots))
 					spec.CostModel = model
 					spec.Assignment = assign
+					spec.Tracer = cfg.Tracer
 					res, err := core.Run(spec)
 					if err != nil {
 						return nil, err

@@ -28,7 +28,7 @@ func Fig9And12(cfg Config) (*Report, error) {
 	for _, g := range []*graph.Graph{graph.DatasetWG(), graph.DatasetCP()} {
 		roots := experimentRoots(g, cfg.rootsFor(g))
 		for _, p := range partitioners {
-			res, err := runBC(g, cfg.Workers, core.NewAllAtOnce(roots), model, p.Partition(g, cfg.Workers))
+			res, err := runBC(g, cfg.Workers, core.NewAllAtOnce(roots), model, p.Partition(g, cfg.Workers), cfg.Tracer)
 			if err != nil {
 				return nil, err
 			}
@@ -63,7 +63,7 @@ func Fig10Through14(cfg Config) (*Report, error) {
 	for _, g := range []*graph.Graph{graph.DatasetWG(), graph.DatasetCP()} {
 		roots := experimentRoots(g, cfg.rootsFor(g))
 		for _, p := range []partition.Partitioner{partition.Hash{}, partition.NewMultilevel()} {
-			res, err := runBC(g, cfg.Workers, core.NewAllAtOnce(roots), model, p.Partition(g, cfg.Workers))
+			res, err := runBC(g, cfg.Workers, core.NewAllAtOnce(roots), model, p.Partition(g, cfg.Workers), cfg.Tracer)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -127,11 +128,103 @@ func TestSparkline(t *testing.T) {
 	if len([]rune(s)) != 3 {
 		t.Errorf("sparkline runes = %q", s)
 	}
-	if Sparkline(Series{}) != "" {
-		t.Error("empty series should render empty")
+	if Sparkline(Series{}) != "-" {
+		t.Error(`empty series should render "-"`)
 	}
 	// All zeros should not panic or index out of range.
 	if z := Sparkline(Series{Values: []float64{0, 0}}); len([]rune(z)) != 2 {
 		t.Errorf("zeros = %q", z)
+	}
+}
+
+func TestSparklineNonFinite(t *testing.T) {
+	// NaN/Inf samples render as '-' and are excluded from the scale: the
+	// finite samples must still span the block range.
+	s := Sparkline(Series{Values: []float64{1, math.NaN(), math.Inf(1), 10, math.Inf(-1)}})
+	r := []rune(s)
+	if len(r) != 5 {
+		t.Fatalf("sparkline = %q", s)
+	}
+	if r[1] != '-' || r[2] != '-' || r[4] != '-' {
+		t.Errorf("non-finite cells = %q, want '-'", s)
+	}
+	if r[3] != '█' {
+		t.Errorf("finite max cell = %q, want full block", string(r[3]))
+	}
+	// A series that is entirely non-finite must not panic and renders all '-'.
+	if all := Sparkline(Series{Values: []float64{math.NaN(), math.Inf(1)}}); all != "--" {
+		t.Errorf("all non-finite = %q", all)
+	}
+}
+
+func TestFormatValueNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := formatValue(v); got != "-" {
+			t.Errorf("formatValue(%v) = %q, want -", v, got)
+		}
+	}
+	if got := formatValue(2.5); got != "2.5" {
+		t.Errorf("formatValue(2.5) = %q", got)
+	}
+}
+
+func TestEmptyStepsEdgeCases(t *testing.T) {
+	// Every extractor and aggregate must tolerate a run with no supersteps.
+	if s := MessagesPerStep(nil); len(s.Values) != 0 {
+		t.Errorf("messages = %v", s.Values)
+	}
+	if b := ComputeBreakdown(nil); b.TotalSeconds != 0 || b.Utilization != 0 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	if r := ImbalanceRatio(nil, 3); r != 0 {
+		t.Errorf("imbalance of empty run = %v", r)
+	}
+	tab := SeriesTable("empty", MessagesPerStep(nil))
+	if len(tab.Rows) != 0 {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestZeroWorkerSimSeconds(t *testing.T) {
+	// A superstep with no per-worker timings (zero-length WorkerSimSeconds)
+	// must not divide by zero anywhere.
+	steps := []core.StepStats{{Superstep: 0, SimSeconds: 1.0}}
+	b := ComputeBreakdown(steps)
+	if b.ActiveSeconds != 0 || b.WaitSeconds != 1.0 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	u := UtilizationPerStep(steps)
+	if len(u.Values) != 1 || math.IsNaN(u.Values[0]) {
+		t.Errorf("utilization = %v", u.Values)
+	}
+	// And a step with zero-length WorkerSent rows must not break the
+	// imbalance statistic.
+	if r := ImbalanceRatio(steps, 1); r != 0 {
+		t.Errorf("imbalance = %v", r)
+	}
+}
+
+func TestWindowLargerThanRun(t *testing.T) {
+	steps := fakeSteps()
+	ids, matrix := WorkerMessageMatrix(steps, len(steps)+10)
+	if len(ids) != len(steps) || len(matrix) != len(steps) {
+		t.Errorf("window clamp: ids=%v rows=%d", ids, len(matrix))
+	}
+	if r := ImbalanceRatio(steps, 100); r < 1.3 || r > 1.4 {
+		t.Errorf("imbalance over clamped window = %v", r)
+	}
+}
+
+func TestRenderCSVEmptyTable(t *testing.T) {
+	var sb strings.Builder
+	(&Table{}).RenderCSV(&sb)
+	if sb.Len() != 0 {
+		t.Errorf("empty table CSV = %q, want nothing", sb.String())
+	}
+	// Headers but no rows still writes the header line.
+	sb.Reset()
+	(&Table{Headers: []string{"a", "b"}}).RenderCSV(&sb)
+	if sb.String() != "a,b\n" {
+		t.Errorf("header-only CSV = %q", sb.String())
 	}
 }

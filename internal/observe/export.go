@@ -1,0 +1,293 @@
+package observe
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// Exporters: JSONL (one self-describing event per line, greppable and
+// streamable) and the Chrome trace_event format (open the file directly in
+// chrome://tracing or https://ui.perfetto.dev). Both formats round-trip
+// through their readers, which the exporter tests rely on.
+
+// jsonEvent is the wire form of an Event for the JSONL format.
+type jsonEvent struct {
+	Seq       uint64         `json:"seq"`
+	Kind      Kind           `json:"kind"`
+	Worker    int            `json:"worker"`
+	Superstep int            `json:"superstep"`
+	StartNs   int64          `json:"startNs"`
+	DurNs     int64          `json:"durNs,omitempty"`
+	Attrs     map[string]any `json:"attrs,omitempty"`
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value()
+	}
+	return m
+}
+
+// attrsFromMap rebuilds typed attrs from decoded JSON, sorted by key so the
+// result is deterministic (JSON objects are unordered).
+func attrsFromMap(m map[string]any) ([]Attr, error) {
+	if len(m) == 0 {
+		return nil, nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	attrs := make([]Attr, 0, len(keys))
+	for _, k := range keys {
+		switch v := m[k].(type) {
+		case string:
+			attrs = append(attrs, Str(k, v))
+		case json.Number:
+			if i, err := v.Int64(); err == nil {
+				attrs = append(attrs, Int(k, i))
+			} else if f, err := v.Float64(); err == nil {
+				attrs = append(attrs, Float(k, f))
+			} else {
+				return nil, fmt.Errorf("observe: attr %q: bad number %q", k, v)
+			}
+		case float64:
+			if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+				attrs = append(attrs, Int(k, int64(v)))
+			} else {
+				attrs = append(attrs, Float(k, v))
+			}
+		default:
+			return nil, fmt.Errorf("observe: attr %q: unsupported type %T", k, v)
+		}
+	}
+	return attrs, nil
+}
+
+// WriteJSONL writes events one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		e := &events[i]
+		if err := enc.Encode(jsonEvent{
+			Seq: e.Seq, Kind: e.Kind, Worker: e.Worker, Superstep: e.Superstep,
+			StartNs: int64(e.Start), DurNs: int64(e.Dur), Attrs: attrMap(e.Attrs),
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace back into events.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var out []Event
+	for {
+		var je struct {
+			Seq       uint64         `json:"seq"`
+			Kind      Kind           `json:"kind"`
+			Worker    int            `json:"worker"`
+			Superstep int            `json:"superstep"`
+			StartNs   int64          `json:"startNs"`
+			DurNs     int64          `json:"durNs"`
+			Attrs     map[string]any `json:"attrs"`
+		}
+		if err := dec.Decode(&je); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("observe: jsonl event %d: %w", len(out), err)
+		}
+		attrs, err := attrsFromMap(je.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Event{
+			Seq: je.Seq, Kind: je.Kind, Worker: je.Worker, Superstep: je.Superstep,
+			Start: time.Duration(je.StartNs), Dur: time.Duration(je.DurNs), Attrs: attrs,
+		})
+	}
+}
+
+// JSONLSink streams every committed event to w as it happens — attach it to
+// a tracer alongside the flight recorder when a full (unbounded) trace file
+// is wanted. Write errors are remembered and reported by Err; a tracing
+// failure must never fail the traced job.
+type JSONLSink struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink creates a streaming JSONL sink over w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write implements Sink (called under the tracer's lock).
+func (s *JSONLSink) Write(e Event) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(jsonEvent{
+		Seq: e.Seq, Kind: e.Kind, Worker: e.Worker, Superstep: e.Superstep,
+		StartNs: int64(e.Start), DurNs: int64(e.Dur), Attrs: attrMap(e.Attrs),
+	})
+}
+
+// Flush drains buffered lines to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error { return s.err }
+
+// chromeEvent is one entry of the Chrome trace_event format's traceEvents
+// array. Timestamps are microseconds (fractional for sub-µs precision).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// chromeTID maps a worker ID to a Chrome thread ID: tid 0 is the manager
+// track, tid w+1 is worker w's track.
+func chromeTID(worker int) int { return worker + 1 }
+
+// WriteChromeTrace writes events in the Chrome trace_event JSON format.
+// Spans become complete ("X") events and instants become instant ("i")
+// events; the manager renders as tid 0 and worker w as tid w+1, so a run
+// opens in chrome://tracing or Perfetto as one swimlane per worker with
+// superstep/barrier/checkpoint spans nested naturally.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	trace := chromeTrace{DisplayTimeUnit: "ms",
+		TraceEvents: make([]chromeEvent, 0, len(events))}
+	for i := range events {
+		e := &events[i]
+		args := attrMap(e.Attrs)
+		if args == nil {
+			args = make(map[string]any, 2)
+		}
+		args["seq"] = e.Seq
+		args["superstep"] = e.Superstep
+		ce := chromeEvent{
+			Name: string(e.Kind), Cat: string(e.Kind),
+			PID: 1, TID: chromeTID(e.Worker),
+			TS:   float64(e.Start) / float64(time.Microsecond),
+			Args: args,
+		}
+		if e.Dur > 0 {
+			ce.Phase = "X"
+			ce.Dur = float64(e.Dur) / float64(time.Microsecond)
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		trace.TraceEvents = append(trace.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&trace)
+}
+
+// ReadChromeTrace parses a Chrome trace_event file produced by
+// WriteChromeTrace back into events (timestamps round to the nearest
+// nanosecond). Events from other producers are accepted as long as they
+// carry the "X" or "i" phase.
+func ReadChromeTrace(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var trace struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Cat   string         `json:"cat"`
+			Phase string         `json:"ph"`
+			TID   int            `json:"tid"`
+			TS    json.Number    `json:"ts"`
+			Dur   json.Number    `json:"dur"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := dec.Decode(&trace); err != nil {
+		return nil, fmt.Errorf("observe: chrome trace: %w", err)
+	}
+	micros := func(n json.Number) (time.Duration, error) {
+		if n == "" {
+			return 0, nil
+		}
+		f, err := n.Float64()
+		if err != nil {
+			return 0, err
+		}
+		return time.Duration(math.Round(f * float64(time.Microsecond))), nil
+	}
+	out := make([]Event, 0, len(trace.TraceEvents))
+	for i, ce := range trace.TraceEvents {
+		if ce.Phase != "X" && ce.Phase != "i" {
+			continue
+		}
+		start, err := micros(ce.TS)
+		if err != nil {
+			return nil, fmt.Errorf("observe: chrome event %d: bad ts: %w", i, err)
+		}
+		dur, err := micros(ce.Dur)
+		if err != nil {
+			return nil, fmt.Errorf("observe: chrome event %d: bad dur: %w", i, err)
+		}
+		e := Event{
+			Kind: Kind(ce.Cat), Worker: ce.TID - 1, Superstep: -1,
+			Start: start, Dur: dur,
+		}
+		args := ce.Args
+		if v, ok := args["seq"]; ok {
+			if n, ok := v.(json.Number); ok {
+				if s, err := n.Int64(); err == nil {
+					e.Seq = uint64(s)
+				}
+			}
+			delete(args, "seq")
+		}
+		if v, ok := args["superstep"]; ok {
+			if n, ok := v.(json.Number); ok {
+				if s, err := n.Int64(); err == nil {
+					e.Superstep = int(s)
+				}
+			}
+			delete(args, "superstep")
+		}
+		attrs, err := attrsFromMap(args)
+		if err != nil {
+			return nil, fmt.Errorf("observe: chrome event %d: %w", i, err)
+		}
+		e.Attrs = attrs
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,246 @@
+package observe
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixtureEvents is a small trace exercising spans, instants, attrs of all
+// three types, the manager track, and negative supersteps.
+func fixtureEvents() []Event {
+	return []Event{
+		{Seq: 1, Kind: KindJob, Worker: ManagerWorker, Superstep: -1,
+			Start: 0, Dur: 5 * time.Millisecond,
+			Attrs: []Attr{Str("algo", "bc"), Int("workers", 4)}},
+		{Seq: 2, Kind: KindSuperstep, Worker: ManagerWorker, Superstep: 0,
+			Start: 10 * time.Microsecond, Dur: 1500 * time.Microsecond,
+			Attrs: []Attr{Int("active", 100)}},
+		{Seq: 3, Kind: KindFault, Worker: 2, Superstep: 3,
+			Start: 42 * time.Microsecond,
+			Attrs: []Attr{Str("fault", "queue_duplicate")}},
+		{Seq: 4, Kind: KindCompute, Worker: 1, Superstep: 3,
+			Start: 77 * time.Microsecond, Dur: 99 * time.Microsecond,
+			Attrs: []Attr{Float("ratio", 1.25)}},
+	}
+}
+
+func TestJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, fixtureEvents()); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`{"seq":1,"kind":"job","worker":-1,"superstep":-1,"startNs":0,"durNs":5000000,"attrs":{"algo":"bc","workers":4}}`,
+		`{"seq":2,"kind":"superstep","worker":-1,"superstep":0,"startNs":10000,"durNs":1500000,"attrs":{"active":100}}`,
+		`{"seq":3,"kind":"fault","worker":2,"superstep":3,"startNs":42000,"attrs":{"fault":"queue_duplicate"}}`,
+		`{"seq":4,"kind":"compute","worker":1,"superstep":3,"startNs":77000,"durNs":99000,"attrs":{"ratio":1.25}}`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("golden mismatch:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := fixtureEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, events)
+	}
+}
+
+func TestJSONLSinkStreams(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := NewTracer(sink)
+	tr.Emit(KindRetry, 0, 1, Str("err", "transient"))
+	sp := tr.Start(KindCheckpoint, 3, 4)
+	sp.End(Int("bytes", 1024))
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("streamed %d events, want 2", len(events))
+	}
+	if events[0].Kind != KindRetry || events[1].Kind != KindCheckpoint {
+		t.Errorf("kinds = %s, %s", events[0].Kind, events[1].Kind)
+	}
+	if events[1].Dur <= 0 {
+		t.Error("span event lost its duration")
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	events := fixtureEvents()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the file should open in chrome://tracing — complete events use
+	// phase X, instants use phase i with thread scope.
+	s := buf.String()
+	for _, frag := range []string{`"displayTimeUnit":"ms"`, `"ph":"X"`, `"ph":"i"`, `"s":"t"`, `"pid":1`} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("chrome trace missing %s", frag)
+		}
+	}
+	got, err := ReadChromeTrace(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, events)
+	}
+}
+
+func TestChromeTraceTIDMapping(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Kind: KindSuperstep, Worker: ManagerWorker, Superstep: 0, Dur: time.Millisecond},
+		{Seq: 2, Kind: KindCompute, Worker: 3, Superstep: 0, Dur: time.Millisecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"tid":0`) {
+		t.Error("manager should render on tid 0")
+	}
+	if !strings.Contains(s, `"tid":4`) {
+		t.Error("worker 3 should render on tid 4")
+	}
+}
+
+func TestChromeTraceSkipsForeignPhases(t *testing.T) {
+	in := `{"traceEvents":[
+		{"name":"meta","ph":"M","pid":1,"tid":0},
+		{"name":"compute","cat":"compute","ph":"X","pid":1,"tid":1,"ts":1,"dur":2,"args":{"seq":7,"superstep":2}}
+	]}`
+	got, err := ReadChromeTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("parsed %d events, want 1 (metadata skipped)", len(got))
+	}
+	e := got[0]
+	if e.Seq != 7 || e.Superstep != 2 || e.Worker != 0 || e.Kind != KindCompute {
+		t.Errorf("event = %+v", e)
+	}
+	if e.Start != time.Microsecond || e.Dur != 2*time.Microsecond {
+		t.Errorf("times = %v/%v", e.Start, e.Dur)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("pregel_retries_total", "Transient-fault retries.",
+		Label{"worker", "0"}).Add(3)
+	m.Counter("pregel_retries_total", "Transient-fault retries.",
+		Label{"worker", "1"}).Inc()
+	g := m.Gauge("pregel_queue_depth", "Visible messages per queue.",
+		Label{"queue", "barrier"})
+	g.Set(4)
+	g.Add(-1)
+	h := m.Histogram("pregel_barrier_seconds", "Barrier collect latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	m.WritePrometheus(&buf)
+	want := strings.Join([]string{
+		"# HELP pregel_barrier_seconds Barrier collect latency.",
+		"# TYPE pregel_barrier_seconds histogram",
+		`pregel_barrier_seconds_bucket{le="0.01"} 1`,
+		`pregel_barrier_seconds_bucket{le="0.1"} 2`,
+		`pregel_barrier_seconds_bucket{le="+Inf"} 3`,
+		"pregel_barrier_seconds_sum 5.055",
+		"pregel_barrier_seconds_count 3",
+		"# HELP pregel_queue_depth Visible messages per queue.",
+		"# TYPE pregel_queue_depth gauge",
+		`pregel_queue_depth{queue="barrier"} 3`,
+		"# HELP pregel_retries_total Transient-fault retries.",
+		"# TYPE pregel_retries_total counter",
+		`pregel_retries_total{worker="0"} 3`,
+		`pregel_retries_total{worker="1"} 1`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestMetricsHistogramLabelMerge(t *testing.T) {
+	m := NewMetrics()
+	m.Histogram("lat", "", []float64{1}, Label{"class", "step"}).Observe(0.5)
+	var buf bytes.Buffer
+	m.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `lat_bucket{class="step",le="1"} 1`) {
+		t.Errorf("le label not merged into signature:\n%s", buf.String())
+	}
+}
+
+func TestMetricsSameHandleReturned(t *testing.T) {
+	m := NewMetrics()
+	a := m.Counter("c", "", Label{"x", "1"})
+	b := m.Counter("c", "", Label{"x", "1"})
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("handles not shared")
+	}
+}
+
+func TestMetricsTypeClashPanics(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("clash", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("type clash did not panic")
+		}
+	}()
+	m.Gauge("clash", "")
+}
+
+func TestNilMetricsAreInert(t *testing.T) {
+	var m *Metrics
+	m.Counter("c", "").Inc()
+	m.Gauge("g", "").Set(2)
+	m.Histogram("h", "", nil).Observe(1)
+	var buf bytes.Buffer
+	m.WritePrometheus(&buf)
+	if buf.Len() != 0 {
+		t.Errorf("nil registry exposed %q", buf.String())
+	}
+}
+
+func TestFormatFloatSpecials(t *testing.T) {
+	m := NewMetrics()
+	m.Gauge("weird", "").Set(0)
+	cases := map[float64]string{
+		0: "0", 1.5: "1.5", -2: "-2",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatFloat(float64(1e21)); got != "1e+21" {
+		t.Errorf("formatFloat(1e21) = %q", got)
+	}
+}

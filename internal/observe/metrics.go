@@ -1,0 +1,265 @@
+package observe
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a minimal Prometheus-compatible registry: counters, gauges, and
+// histograms with labels, rendered in the text exposition format for a
+// GET /metrics endpoint. Handles are get-or-create (the same name+labels
+// returns the same instrument) and cheap enough to update from the engine's
+// per-superstep paths.
+//
+// Nil-safety mirrors Tracer: every method on a nil *Metrics returns a
+// usable-but-unregistered instrument, so instrumented code can cache handles
+// once at job start and update them unconditionally.
+type Metrics struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// Label is one metric label pair.
+type Label struct{ Name, Value string }
+
+// family is all series of one metric name.
+type family struct {
+	name, help, typ string
+	series          map[string]instrument // key = rendered label signature
+}
+
+type instrument interface {
+	// expose writes the series lines for the given family name and label
+	// signature (already formatted as `{a="b",...}` or "").
+	expose(w io.Writer, name, sig string)
+}
+
+// DefLatencyBuckets are histogram buckets suited to the engine's queue and
+// barrier latencies: 10µs to 10s, decades.
+var DefLatencyBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{families: make(map[string]*family)}
+}
+
+// signature renders labels canonically (sorted by name).
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// get returns the instrument for name+labels, creating it with mk on first
+// use. A type clash (same name registered with a different metric type)
+// panics: it is a programming error that would corrupt the exposition.
+func (m *Metrics) get(name, help, typ string, labels []Label, mk func() instrument) instrument {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]instrument)}
+		m.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("observe: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	sig := signature(labels)
+	inst, ok := f.series[sig]
+	if !ok {
+		inst = mk()
+		f.series[sig] = inst
+	}
+	return inst
+}
+
+// Counter returns the counter for name+labels (creating it on first use).
+func (m *Metrics) Counter(name, help string, labels ...Label) *Counter {
+	if m == nil {
+		return &Counter{}
+	}
+	return m.get(name, help, "counter", labels, func() instrument { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge for name+labels (creating it on first use).
+func (m *Metrics) Gauge(name, help string, labels ...Label) *Gauge {
+	if m == nil {
+		return &Gauge{}
+	}
+	return m.get(name, help, "gauge", labels, func() instrument { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram for name+labels (creating it on first
+// use with the given bucket upper bounds; nil means DefLatencyBuckets).
+func (m *Metrics) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	if m == nil {
+		return newHistogram(buckets)
+	}
+	return m.get(name, help, "histogram", labels, func() instrument {
+		return newHistogram(buckets)
+	}).(*Histogram)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, families and series in sorted order so output is deterministic.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.families))
+	for n := range m.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := m.families[n]
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		sigs := make([]string, 0, len(f.series))
+		for s := range f.series {
+			sigs = append(sigs, s)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			f.series[sig].expose(w, f.name, sig)
+		}
+	}
+	m.mu.Unlock()
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) expose(w io.Writer, name, sig string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, sig, c.v.Load())
+}
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) expose(w io.Writer, name, sig string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, sig, formatFloat(g.Value()))
+}
+
+// Histogram is a cumulative-bucket distribution metric.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // per-bucket (non-cumulative); +Inf bucket is implicit
+	inf    uint64
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	placed := false
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf++
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+func (h *Histogram) expose(w io.Writer, name, sig string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Bucket lines need the le label merged into the signature.
+	merge := func(le string) string {
+		if sig == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return sig[:len(sig)-1] + fmt.Sprintf(",le=%q", le) + "}"
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, merge(formatFloat(b)), cum)
+	}
+	cum += h.inf
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, merge("+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, sig, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, sig, h.count)
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest
+// round-trippable representation; NaN/Inf spelled out).
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+}

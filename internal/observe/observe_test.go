@@ -1,0 +1,160 @@
+package observe
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectSink buffers events for assertions.
+type collectSink struct{ events []Event }
+
+func (c *collectSink) Write(e Event) { c.events = append(c.events, e) }
+
+func TestTracerSequencesAndTimestamps(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracer(sink)
+	tr.Emit(KindSwath, ManagerWorker, 0, Int("injected", 5))
+	sp := tr.Start(KindSuperstep, ManagerWorker, 0)
+	time.Sleep(time.Millisecond)
+	sp.End(Int("sent", 42))
+	tr.Emit(KindRetry, 2, 1, Str("err", "boom"), Int("attempt", 3))
+
+	if len(sink.events) != 3 {
+		t.Fatalf("events = %d, want 3", len(sink.events))
+	}
+	for i, e := range sink.events {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d seq = %d", i, e.Seq)
+		}
+	}
+	if sink.events[0].Dur != 0 {
+		t.Error("instant event has nonzero duration")
+	}
+	span := sink.events[1]
+	if span.Kind != KindSuperstep || span.Dur < time.Millisecond {
+		t.Errorf("span = %+v, want superstep with dur >= 1ms", span)
+	}
+	if v, ok := span.Attr("sent"); !ok || v.(int64) != 42 {
+		t.Errorf("span attr sent = %v, %v", v, ok)
+	}
+	retry := sink.events[2]
+	if retry.Worker != 2 || retry.Superstep != 1 {
+		t.Errorf("retry event coords = %d/%d", retry.Worker, retry.Superstep)
+	}
+	if v, _ := retry.Attr("err"); v != "boom" {
+		t.Errorf("retry err attr = %v", v)
+	}
+	if _, ok := retry.Attr("missing"); ok {
+		t.Error("missing attr reported present")
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.Emit(KindFault, 0, 0, Str("x", "y")) // must not panic
+	sp := tr.Start(KindCompute, 1, 2)
+	if sp.Active() {
+		t.Error("span from nil tracer reports active")
+	}
+	sp.End(Int("a", 1))
+}
+
+func TestTracerConcurrentEmitters(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracer(sink)
+	var wg sync.WaitGroup
+	const n, per = 8, 100
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Emit(KindFlush, w, i, Int("bytes", int64(i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(sink.events) != n*per {
+		t.Fatalf("events = %d, want %d", len(sink.events), n*per)
+	}
+	seen := make(map[uint64]bool, n*per)
+	for _, e := range sink.events {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	rec := NewRecorder(4)
+	tr := NewTracer(rec)
+	for i := 0; i < 10; i++ {
+		tr.Emit(KindSuperstep, ManagerWorker, i)
+	}
+	if rec.Len() != 4 {
+		t.Fatalf("len = %d, want 4", rec.Len())
+	}
+	if rec.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", rec.Dropped())
+	}
+	snap := rec.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot = %d events", len(snap))
+	}
+	for i, e := range snap {
+		if e.Superstep != i+6 {
+			t.Errorf("snapshot[%d].Superstep = %d, want %d (oldest-first)", i, e.Superstep, i+6)
+		}
+	}
+	tail := rec.Tail(2)
+	if len(tail) != 2 || tail[1].Superstep != 9 {
+		t.Errorf("tail = %+v", tail)
+	}
+	if got := rec.Tail(99); len(got) != 4 {
+		t.Errorf("oversized tail = %d events", len(got))
+	}
+}
+
+func TestRecorderPartialFill(t *testing.T) {
+	rec := NewRecorder(100)
+	tr := NewTracer(rec)
+	tr.Emit(KindJob, ManagerWorker, -1)
+	tr.Emit(KindSuperstep, ManagerWorker, 0)
+	if rec.Len() != 2 || rec.Dropped() != 0 {
+		t.Fatalf("len/dropped = %d/%d", rec.Len(), rec.Dropped())
+	}
+	snap := rec.Snapshot()
+	if len(snap) != 2 || snap[0].Kind != KindJob {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if NewRecorder(0).buf == nil {
+		t.Error("capacity <= 0 should fall back to the default")
+	}
+}
+
+// BenchmarkSpanDisabled measures the per-span cost with tracing off — the
+// engine's hot paths pay this on every superstep, so it must be a couple of
+// nil checks and no allocation.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(KindCompute, 0, i)
+		sp.End()
+	}
+}
+
+// BenchmarkSpanRecorded measures the enabled path into a flight recorder.
+func BenchmarkSpanRecorded(b *testing.B) {
+	tr, _ := NewTraceRecorder(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(KindCompute, 0, i)
+		sp.End(Int("sent", int64(i)))
+	}
+}

@@ -1,0 +1,87 @@
+package observe
+
+import "sync"
+
+// Recorder is the flight recorder: a bounded ring buffer of the most recent
+// trace events. Because it lives outside the job (the caller owns it and
+// hands the tracer to JobSpec), its contents survive job failure — after a
+// rollback, a barrier timeout, or an aborted run, the tail holds the events
+// leading up to the problem, like a crashed aircraft's black box.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	full    bool
+	dropped uint64
+}
+
+// DefaultRecorderCapacity is the flight-recorder size used when callers do
+// not choose one: enough for thousands of supersteps of manager events plus
+// the hot tail of worker events.
+const DefaultRecorderCapacity = 8192
+
+// NewRecorder creates a recorder keeping the most recent `capacity` events
+// (DefaultRecorderCapacity if capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCapacity
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Write implements Sink. When the ring is full the oldest event is evicted
+// and counted into Dropped.
+func (r *Recorder) Write(e Event) {
+	r.mu.Lock()
+	if r.full {
+		r.dropped++
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of events currently held.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Dropped returns how many events were evicted to make room.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Snapshot returns the recorded events oldest-first. It is safe to call
+// while the job is still running (the returned slice is a copy).
+func (r *Recorder) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Tail returns the most recent n events oldest-first (all of them if fewer
+// are held) — the forensic view printed after a failure.
+func (r *Recorder) Tail(n int) []Event {
+	events := r.Snapshot()
+	if n < len(events) {
+		events = events[len(events)-n:]
+	}
+	return events
+}

@@ -16,6 +16,7 @@ type ChannelNetwork struct {
 
 	faultMu sync.RWMutex
 	fault   FaultFunc
+	obs     Observer
 }
 
 // SetSendFault implements FaultInjectable.
@@ -25,10 +26,18 @@ func (cn *ChannelNetwork) SetSendFault(f FaultFunc) {
 	cn.faultMu.Unlock()
 }
 
-func (cn *ChannelNetwork) sendFault() FaultFunc {
+// SetObserver implements Observable. The channel transport has no sockets,
+// so only BatchSent fires (a Reconnect cannot happen in-process).
+func (cn *ChannelNetwork) SetObserver(o Observer) {
+	cn.faultMu.Lock()
+	cn.obs = o
+	cn.faultMu.Unlock()
+}
+
+func (cn *ChannelNetwork) sendFault() (FaultFunc, Observer) {
 	cn.faultMu.RLock()
 	defer cn.faultMu.RUnlock()
-	return cn.fault
+	return cn.fault, cn.obs
 }
 
 // NewChannelNetwork creates a data plane for n workers with the given inbox
@@ -79,7 +88,8 @@ func (ep *channelEndpoint) Send(b *Batch) error {
 	if int(b.To) < 0 || int(b.To) >= len(ep.net.endpoints) {
 		return fmt.Errorf("transport: send to unknown worker %d", b.To)
 	}
-	if f := ep.net.sendFault(); f != nil {
+	f, obs := ep.net.sendFault()
+	if f != nil {
 		if err := f(int(b.From), int(b.To), int(b.Superstep)); err != nil {
 			return err // injected fault: batch not delivered
 		}
@@ -89,6 +99,9 @@ func (ep *channelEndpoint) Send(b *Batch) error {
 	case <-dst.done:
 		return ErrClosed
 	case dst.inbox <- b:
+		if obs != nil {
+			obs.BatchSent(int(b.From), int(b.To), int(b.Superstep), int(b.Count), b.WireSize())
+		}
 		return nil
 	}
 }

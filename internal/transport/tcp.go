@@ -27,6 +27,15 @@ func (tn *TCPNetwork) SetSendFault(f FaultFunc) {
 	}
 }
 
+// SetObserver implements Observable.
+func (tn *TCPNetwork) SetObserver(o Observer) {
+	for _, ep := range tn.endpoints {
+		ep.faultMu.Lock()
+		ep.obs = o
+		ep.faultMu.Unlock()
+	}
+}
+
 // NewTCPNetwork starts listeners for n workers on loopback and returns the
 // connected network. Addresses are chosen by the kernel; use Addr to
 // retrieve them.
@@ -95,6 +104,7 @@ type tcpEndpoint struct {
 
 	faultMu sync.RWMutex
 	fault   FaultFunc
+	obs     Observer
 }
 
 func (ep *tcpEndpoint) acceptLoop() {
@@ -133,7 +143,7 @@ func (ep *tcpEndpoint) Send(b *Batch) error {
 		return fmt.Errorf("transport: send to unknown worker %d", b.To)
 	}
 	ep.faultMu.RLock()
-	fault := ep.fault
+	fault, obs := ep.fault, ep.obs
 	ep.faultMu.RUnlock()
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
@@ -167,10 +177,16 @@ func (ep *tcpEndpoint) Send(b *Batch) error {
 		if derr != nil {
 			return &transientSendError{fmt.Errorf("transport: redial worker %d: %w", to, derr)}
 		}
+		if obs != nil {
+			obs.Reconnect(int(b.From), to)
+		}
 		ep.conns[to] = conn
 		if werr := writeBatch(conn, b); werr != nil {
 			return &transientSendError{fmt.Errorf("transport: resend to worker %d: %w", to, werr)}
 		}
+	}
+	if obs != nil {
+		obs.BatchSent(int(b.From), to, int(b.Superstep), int(b.Count), b.WireSize())
 	}
 	return nil
 }

@@ -57,6 +57,23 @@ type FaultInjectable interface {
 	SetSendFault(f FaultFunc)
 }
 
+// Observer receives data-plane telemetry: one BatchSent per successfully
+// delivered batch and one Reconnect per mid-superstep redial forced by a
+// send failure (the routine per-superstep socket re-establishment after
+// ResetPeers is not a Reconnect). Implementations must be safe for
+// concurrent use; the engine adapts this onto its tracer and metrics.
+type Observer interface {
+	BatchSent(from, to, superstep, msgs int, wireBytes int64)
+	Reconnect(from, to int)
+}
+
+// Observable is implemented by networks supporting telemetry observation.
+type Observable interface {
+	// SetObserver installs o on every endpoint (nil removes it). It must be
+	// called before traffic starts.
+	SetObserver(o Observer)
+}
+
 // transientSendError classifies socket-level send failures (dial/write to a
 // live peer) as retryable without importing the cloud package: it satisfies
 // the `Transient() bool` interface that cloud.IsTransient recognizes.

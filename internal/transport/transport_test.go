@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestBatchWireRoundTrip(t *testing.T) {
@@ -303,5 +304,96 @@ func TestChannelNetworkEndpointReuse(t *testing.T) {
 	}
 	if net.NumWorkers() != 2 {
 		t.Errorf("NumWorkers = %d", net.NumWorkers())
+	}
+}
+
+// countObserver tallies Observer callbacks for tests.
+type countObserver struct {
+	mu      sync.Mutex
+	batches int
+	msgs    int
+	bytes   int64
+	redials int
+}
+
+func (o *countObserver) BatchSent(from, to, superstep, msgs int, wireBytes int64) {
+	o.mu.Lock()
+	o.batches++
+	o.msgs += msgs
+	o.bytes += wireBytes
+	o.mu.Unlock()
+}
+
+func (o *countObserver) Reconnect(from, to int) {
+	o.mu.Lock()
+	o.redials++
+	o.mu.Unlock()
+}
+
+func TestChannelObserverCountsBatches(t *testing.T) {
+	net := NewChannelNetwork(2, 4)
+	defer net.Close()
+	obs := &countObserver{}
+	net.SetObserver(obs)
+	ep, _ := net.Endpoint(0)
+	b := &Batch{From: 0, To: 1, Superstep: 2, Count: 3, Payload: []byte("abc")}
+	if err := ep.Send(b); err != nil {
+		t.Fatal(err)
+	}
+	if obs.batches != 1 || obs.msgs != 3 || obs.bytes != b.WireSize() {
+		t.Errorf("observer = %+v", obs)
+	}
+}
+
+func TestChannelObserverSkipsFaultedSends(t *testing.T) {
+	net := NewChannelNetwork(2, 4)
+	defer net.Close()
+	obs := &countObserver{}
+	net.SetObserver(obs)
+	net.SetSendFault(func(from, to, superstep int) error {
+		return &transientSendError{fmt.Errorf("drop")}
+	})
+	ep, _ := net.Endpoint(0)
+	if err := ep.Send(&Batch{From: 0, To: 1}); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	if obs.batches != 0 {
+		t.Error("failed send must not count as a delivered batch")
+	}
+}
+
+func TestTCPObserverCountsReconnect(t *testing.T) {
+	net, err := NewTCPNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	obs := &countObserver{}
+	net.SetObserver(obs)
+	ep, _ := net.Endpoint(0)
+	if err := ep.Send(&Batch{From: 0, To: 1, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the cached socket from underneath the sender: the next Send must
+	// redial mid-superstep, which is exactly one observed Reconnect.
+	tep := ep.(*tcpEndpoint)
+	tep.mu.Lock()
+	for _, c := range tep.conns {
+		c.Close()
+	}
+	tep.mu.Unlock()
+	deadline := time.Now().Add(2 * time.Second)
+	for obs.redials == 0 && time.Now().Before(deadline) {
+		if err := ep.Send(&Batch{From: 0, To: 1, Payload: []byte("y")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if obs.redials == 0 {
+		t.Error("mid-superstep redial was not observed")
+	}
+	if obs.batches < 2 {
+		t.Errorf("batches = %d, want >= 2", obs.batches)
 	}
 }

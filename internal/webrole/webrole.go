@@ -18,6 +18,7 @@ import (
 	"pregelnet/internal/cloud"
 	"pregelnet/internal/core"
 	"pregelnet/internal/graph"
+	"pregelnet/internal/observe"
 	"pregelnet/internal/partition"
 )
 
@@ -78,22 +79,37 @@ type JobStatus struct {
 	State   JobState   `json:"state"`
 	Error   string     `json:"error,omitempty"`
 	Result  *Summary   `json:"result,omitempty"`
+
+	// recorder is the job's flight recorder, attached at submission so the
+	// trace endpoint works for queued, running, failed, and finished jobs
+	// alike; it survives job failure by construction.
+	recorder *observe.Recorder
+	// tracer feeds the recorder; handed to the job spec when the job runs.
+	tracer *observe.Tracer
+	// queues is the running job's control plane, sampled live by /metrics.
+	queues *cloud.QueueService
 }
 
 // Server is the web role. It runs jobs sequentially in the background (one
 // BSP job at a time, as a single manager VM would).
 type Server struct {
-	mu     sync.Mutex
-	jobs   map[int]*JobStatus
-	order  []int
-	nextID int
-	queue  chan int
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	jobs    map[int]*JobStatus
+	order   []int
+	nextID  int
+	queue   chan int
+	wg      sync.WaitGroup
+	metrics *observe.Metrics
+	running *JobStatus // job currently executing (its queues feed /metrics)
 }
 
 // NewServer starts the background job runner.
 func NewServer() *Server {
-	s := &Server{jobs: make(map[int]*JobStatus), queue: make(chan int, 128)}
+	s := &Server{
+		jobs:    make(map[int]*JobStatus),
+		queue:   make(chan int, 128),
+		metrics: observe.NewMetrics(),
+	}
 	s.wg.Add(1)
 	go s.runLoop()
 	return s
@@ -107,14 +123,20 @@ func (s *Server) Close() {
 
 // Handler returns the HTTP routes:
 //
-//	POST /jobs        submit a JobRequest, returns {"id": N}
-//	GET  /jobs        list all jobs
-//	GET  /jobs/{id}   poll one job
+//	POST /jobs             submit a JobRequest, returns {"id": N}
+//	GET  /jobs             list all jobs
+//	GET  /jobs/{id}        poll one job
+//	GET  /jobs/{id}/trace  dump the job's flight recorder (?format=jsonl|chrome)
+//	GET  /metrics          Prometheus text exposition
+//	GET  /healthz          liveness probe
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
 
@@ -128,10 +150,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	tracer, rec := observe.NewTraceRecorder(observe.DefaultRecorderCapacity)
 	s.mu.Lock()
 	id := s.nextID
 	s.nextID++
-	s.jobs[id] = &JobStatus{ID: id, Request: req, State: StateQueued}
+	s.jobs[id] = &JobStatus{ID: id, Request: req, State: StateQueued,
+		recorder: rec, tracer: tracer}
 	s.order = append(s.order, id)
 	s.mu.Unlock()
 	s.queue <- id
@@ -216,13 +240,17 @@ func validate(req *JobRequest) error {
 func (s *Server) runLoop() {
 	defer s.wg.Done()
 	for id := range s.queue {
+		queues := cloud.NewQueueService()
 		s.mu.Lock()
 		job := s.jobs[id]
 		job.State = StateRunning
+		job.queues = queues
+		s.running = job
 		req := job.Request
+		tracer := job.tracer
 		s.mu.Unlock()
 
-		summary, err := execute(req)
+		summary, err := execute(req, tracer, s.metrics, queues)
 		s.mu.Lock()
 		if err != nil {
 			job.State = StateFailed
@@ -231,11 +259,101 @@ func (s *Server) runLoop() {
 			job.State = StateDone
 			job.Result = summary
 		}
+		s.running = nil
 		s.mu.Unlock()
 	}
 }
 
-func execute(req JobRequest) (*Summary, error) {
+// handleHealthz is the liveness probe: the server answers as long as its
+// HTTP listener and mux are alive (jobs run on a separate goroutine).
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics serves the Prometheus text exposition. Engine counters and
+// histograms accumulate into the server-wide registry as jobs run; queue
+// depth, lease, age, and redelivery gauges are sampled at scrape time from
+// the currently running job's control plane.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	states := map[JobState]int{}
+	for _, job := range s.jobs {
+		states[job.State]++
+	}
+	var queues *cloud.QueueService
+	if s.running != nil {
+		queues = s.running.queues
+	}
+	s.mu.Unlock()
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed} {
+		s.metrics.Gauge("pregel_jobs", "Jobs by lifecycle state.",
+			observe.Label{Name: "state", Value: string(st)}).Set(float64(states[st]))
+	}
+	if queues != nil {
+		for name, qs := range queues.Stats() {
+			l := observe.Label{Name: "queue", Value: name}
+			s.metrics.Gauge("pregel_queue_depth",
+				"Visible messages in the queue.", l).Set(float64(qs.Depth))
+			s.metrics.Gauge("pregel_queue_leased",
+				"Messages hidden by an outstanding visibility lease.", l).Set(float64(qs.Leased))
+			s.metrics.Gauge("pregel_queue_oldest_age_seconds",
+				"Age of the oldest visible message.", l).Set(qs.OldestAge.Seconds())
+			s.metrics.Gauge("pregel_queue_redeliveries",
+				"Messages redelivered after a visibility-timeout expiry.", l).Set(float64(qs.Redeliveries))
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+// handleTrace dumps a job's flight recorder. It works for running jobs (the
+// recorder is a concurrent ring buffer) and for failed ones (the ring holds
+// the events leading up to the failure). ?format=chrome emits a Chrome
+// trace_event file loadable in chrome://tracing or Perfetto; the default is
+// one JSON event per line.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, "bad job id", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	var rec *observe.Recorder
+	if ok {
+		rec = job.recorder
+	}
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	var events []observe.Event
+	if rec != nil {
+		events = rec.Snapshot()
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = observe.WriteJSONL(w, events)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = observe.WriteChromeTrace(w, events)
+	default:
+		http.Error(w, "unknown format (want jsonl|chrome)", http.StatusBadRequest)
+	}
+}
+
+// instrument attaches the per-job tracer, the server-wide metrics registry,
+// and the job's dedicated queue namespace to a spec before core.Run.
+func instrument[M any](spec *core.JobSpec[M], tracer *observe.Tracer, metrics *observe.Metrics, queues *cloud.QueueService) {
+	spec.Tracer = tracer
+	spec.Metrics = metrics
+	spec.Queues = queues
+}
+
+func execute(req JobRequest, tracer *observe.Tracer, metrics *observe.Metrics, queues *cloud.QueueService) (*Summary, error) {
 	g := graph.Dataset(req.Graph)
 	assign := partition.ByName(req.Partitioner).Partition(g, req.Workers)
 	model := cloud.DefaultCostModel(cloud.LargeVM())
@@ -268,6 +386,7 @@ func execute(req JobRequest) (*Summary, error) {
 		spec := algorithms.PageRank{Iterations: req.Iterations, Damping: 0.85}.Spec(g, req.Workers)
 		spec.Assignment = assign
 		spec.CostModel = model
+		instrument(&spec, tracer, metrics, queues)
 		res, err := core.Run(spec)
 		if err != nil {
 			return nil, err
@@ -283,6 +402,7 @@ func execute(req JobRequest) (*Summary, error) {
 		spec := algorithms.BC(g, req.Workers, sched)
 		spec.Assignment = assign
 		spec.CostModel = model
+		instrument(&spec, tracer, metrics, queues)
 		res, err := core.Run(spec)
 		if err != nil {
 			return nil, err
@@ -298,6 +418,7 @@ func execute(req JobRequest) (*Summary, error) {
 		spec := algorithms.APSP(g, req.Workers, sched)
 		spec.Assignment = assign
 		spec.CostModel = model
+		instrument(&spec, tracer, metrics, queues)
 		res, err := core.Run(spec)
 		if err != nil {
 			return nil, err
@@ -309,6 +430,7 @@ func execute(req JobRequest) (*Summary, error) {
 		spec := algorithms.SSSP(g, req.Workers, 0)
 		spec.Assignment = assign
 		spec.CostModel = model
+		instrument(&spec, tracer, metrics, queues)
 		res, err := core.Run(spec)
 		if err != nil {
 			return nil, err
@@ -318,6 +440,7 @@ func execute(req JobRequest) (*Summary, error) {
 		spec := algorithms.WCC(g, req.Workers)
 		spec.Assignment = assign
 		spec.CostModel = model
+		instrument(&spec, tracer, metrics, queues)
 		res, err := core.Run(spec)
 		if err != nil {
 			return nil, err
@@ -334,6 +457,7 @@ func execute(req JobRequest) (*Summary, error) {
 		spec := algorithms.LPA(g, req.Workers, req.Iterations)
 		spec.Assignment = assign
 		spec.CostModel = model
+		instrument(&spec, tracer, metrics, queues)
 		res, err := core.Run(spec)
 		if err != nil {
 			return nil, err

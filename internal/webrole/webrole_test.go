@@ -4,10 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
+
+	"pregelnet/internal/observe"
 )
 
 func submit(t *testing.T, ts *httptest.Server, req JobRequest) int {
@@ -198,5 +202,121 @@ func TestFailedJobReportsError(t *testing.T) {
 	st := await(t, ts, id)
 	if st.State != StateFailed || st.Error == "" {
 		t.Errorf("state=%s err=%q, want failed with message", st.State, st.Error)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := submit(t, ts, JobRequest{Algorithm: "pagerank", Graph: "sd", Workers: 3, Iterations: 5})
+	if st := await(t, ts, id); st.State != StateDone {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	exp := string(body)
+	for _, frag := range []string{
+		"# TYPE pregel_jobs gauge",
+		`pregel_jobs{state="done"} 1`,
+		"# TYPE pregel_supersteps_total counter",
+		"pregel_batches_sent_total",
+		"pregel_queue_wait_seconds_bucket",
+	} {
+		if !strings.Contains(exp, frag) {
+			t.Errorf("exposition missing %q:\n%s", frag, exp)
+		}
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := submit(t, ts, JobRequest{Algorithm: "sssp", Graph: "sd", Workers: 2})
+	if st := await(t, ts, id); st.State != StateDone {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+
+	// Default format: JSONL, one event per line, readable by the exporter's
+	// own decoder, including the top-level job span.
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%d/trace", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := observe.ReadJSONL(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading jsonl trace: %v", err)
+	}
+	jobs := 0
+	for _, e := range events {
+		if e.Kind == observe.KindJob {
+			jobs++
+		}
+	}
+	if len(events) == 0 || jobs != 1 {
+		t.Errorf("jsonl trace: %d events, %d job spans", len(events), jobs)
+	}
+
+	// Chrome format round-trips through the trace_event decoder.
+	resp, err = http.Get(fmt.Sprintf("%s/jobs/%d/trace?format=chrome", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chromeEvents, err := observe.ReadChromeTrace(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading chrome trace: %v", err)
+	}
+	if len(chromeEvents) != len(events) {
+		t.Errorf("chrome trace has %d events, jsonl has %d", len(chromeEvents), len(events))
+	}
+
+	// Unknown format and unknown job are client errors.
+	resp, err = http.Get(fmt.Sprintf("%s/jobs/%d/trace?format=bogus", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus format status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/jobs/999/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job trace status = %d", resp.StatusCode)
 	}
 }

@@ -36,10 +36,13 @@
 package pregelnet
 
 import (
+	"io"
+
 	"pregelnet/internal/algorithms"
 	"pregelnet/internal/cloud"
 	"pregelnet/internal/core"
 	"pregelnet/internal/graph"
+	"pregelnet/internal/observe"
 	"pregelnet/internal/partition"
 )
 
@@ -113,6 +116,46 @@ type (
 
 // NewChaos arms a FaultPlan with its seeded per-category PRNG streams.
 func NewChaos(plan FaultPlan) *Chaos { return cloud.NewChaos(plan) }
+
+// Observability types. A Tracer on JobSpec.Tracer records typed engine spans
+// (supersteps, barriers, compute, checkpoints, faults...) into its sinks; a
+// FlightRecorder sink keeps the most recent events in a bounded ring that
+// survives job failure. A nil Tracer costs nothing on the hot path.
+type (
+	// Tracer is the structured event tracer (JobSpec.Tracer).
+	Tracer = observe.Tracer
+	// TraceEvent is one recorded span or instant.
+	TraceEvent = observe.Event
+	// TraceKind classifies a TraceEvent (superstep, barrier_wait, fault...).
+	TraceKind = observe.Kind
+	// FlightRecorder is a bounded in-memory ring of recent TraceEvents.
+	FlightRecorder = observe.Recorder
+	// EngineMetrics is a Prometheus-style metric registry (JobSpec.Metrics).
+	EngineMetrics = observe.Metrics
+)
+
+// NewTracer returns a Tracer fanning events out to the given sinks.
+func NewTracer(sinks ...observe.Sink) *Tracer { return observe.NewTracer(sinks...) }
+
+// NewTraceRecorder returns a Tracer wired to a fresh FlightRecorder keeping
+// the most recent `capacity` events (<=0 picks a sensible default).
+func NewTraceRecorder(capacity int) (*Tracer, *FlightRecorder) {
+	return observe.NewTraceRecorder(capacity)
+}
+
+// NewEngineMetrics returns an empty metric registry for JobSpec.Metrics.
+func NewEngineMetrics() *EngineMetrics { return observe.NewMetrics() }
+
+// WriteChromeTrace writes events as a Chrome trace_event file, loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return observe.WriteChromeTrace(w, events)
+}
+
+// WriteTraceJSONL writes events as one JSON object per line.
+func WriteTraceJSONL(w io.Writer, events []TraceEvent) error {
+	return observe.WriteJSONL(w, events)
+}
 
 // ErrTransient classifies retryable substrate faults (match with errors.Is).
 var ErrTransient = cloud.ErrTransient
