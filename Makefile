@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the allocation-counting suite (internal/bench) and merges the
+# results into BENCH_PR3.json under LABEL, so before/after pairs live in one
+# committed artifact. Override SAMPLES for noisier machines.
+LABEL ?= pr3
+SAMPLES ?= 3
+bench:
+	$(GO) run ./cmd/bench -label $(LABEL) -samples $(SAMPLES)
+
+# bench-smoke is the CI variant: one iteration of every benchmark, just to
+# prove they run, plus a single-sample suite pass emitting the JSON artifact.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/bench -label ci-smoke -samples 1 -out bench-ci.json

@@ -12,12 +12,22 @@ import (
 	"testing"
 
 	"pregelnet/internal/algorithms"
+	"pregelnet/internal/bench"
 	"pregelnet/internal/cloud"
 	"pregelnet/internal/core"
 	"pregelnet/internal/experiments"
 	"pregelnet/internal/graph"
 	"pregelnet/internal/partition"
 )
+
+// BenchmarkHotPath runs the shared allocation-counting suite (the same
+// definitions cmd/bench records into BENCH_PR3.json) under `go test -bench`,
+// so CI's bench smoke exercises the perf-trajectory benchmarks too.
+func BenchmarkHotPath(b *testing.B) {
+	for _, d := range bench.Defs() {
+		b.Run(d.Name, d.F)
+	}
+}
 
 // benchExperiment runs a registered experiment once per iteration and
 // reports its wall time; the experiment's own simulated-time results are the

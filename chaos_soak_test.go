@@ -125,8 +125,81 @@ func verifySoakTrace(t *testing.T, recorder *FlightRecorder) {
 	for _, k := range []TraceKind{
 		observe.KindSuperstep, observe.KindBarrierCollect, observe.KindBarrierWait,
 		observe.KindRetry, observe.KindFault, observe.KindVMRestart,
-		observe.KindCheckpoint, observe.KindRollback,
+		observe.KindCheckpoint, observe.KindRollback, observe.KindOutboxFlush,
 	} {
+		if byKind[k] == 0 {
+			t.Errorf("soak trace has no %q spans (have %v)", k, byKind)
+		}
+	}
+}
+
+// TestChaosSoakAsyncOutboxTCP drives the asynchronous send pipeline through
+// its worst case: depth-1 outboxes plus a tiny bulk-flush threshold keep the
+// per-destination queues permanently full, so every compute goroutine runs
+// the backpressure (stall) path, while scripted connection drops and
+// probabilistic send drops force mid-flight retries whose duplicate
+// deliveries the (From, Seq) dedup must absorb. The run must still produce
+// results identical to a failure-free one.
+func TestChaosSoakAsyncOutboxTCP(t *testing.T) {
+	g := GenerateErdosRenyi(120, 360, 43)
+	roots := FirstNSources(g, 10)
+
+	clean, err := Run(soakBCSpec(g, roots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BCScoresOf(clean, g.NumVertices())
+
+	spec := soakBCSpec(g, roots)
+	spec.OutboxDepth = 1
+	spec.FlushBytes = 256
+	network, err := transport.NewTCPNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer network.Close()
+	spec.Network = network
+	metrics := NewEngineMetrics()
+	spec.Metrics = metrics
+	tracer, recorder := NewTraceRecorder(1 << 17)
+	spec.Tracer = tracer
+	spec.Chaos = NewChaos(FaultPlan{
+		Seed:         7,
+		SendDropProb: 0.02,
+		MaxSendDrops: 8,
+		ConnDrops: []ConnDrop{
+			{From: 1, To: 2, Superstep: 1},
+			{From: 2, To: 0, Superstep: 3},
+		},
+	})
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatalf("chaos soak failed: %v", err)
+	}
+	got := BCScoresOf(res, g.NumVertices())
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6 {
+			t.Fatalf("vertex %d: score %v under chaos, %v clean", v, got[v], want[v])
+		}
+	}
+	if res.Faults == nil || res.Faults.ConnDrops != 2 {
+		t.Errorf("faults = %+v, want exactly 2 conn drops", res.Faults)
+	}
+	if res.Retries == 0 {
+		t.Error("Retries = 0, want > 0 (dropped sends must be retried through the outbox senders)")
+	}
+	// Depth-1 outboxes under a 256-byte flush threshold cannot keep up with
+	// compute: the backpressure path must have fired and been measured.
+	stalls := metrics.Counter("pregel_outbox_stalls_total",
+		"Batch enqueues that found a per-destination outbox full (compute blocked on the network).").Value()
+	if stalls == 0 {
+		t.Error("pregel_outbox_stalls_total = 0, want > 0 with depth-1 outboxes")
+	}
+	byKind := map[TraceKind]int{}
+	for _, e := range recorder.Snapshot() {
+		byKind[e.Kind]++
+	}
+	for _, k := range []TraceKind{observe.KindOutboxFlush, observe.KindSendStall} {
 		if byKind[k] == 0 {
 			t.Errorf("soak trace has no %q spans (have %v)", k, byKind)
 		}

@@ -1,0 +1,70 @@
+// Command bench runs the engine's allocation-counting benchmark suite
+// (internal/bench) outside `go test` and records the results as JSON, so the
+// repo carries a perf trajectory alongside the code.
+//
+// Usage:
+//
+//	go run ./cmd/bench                     # run, write BENCH_PR3.json under label "pr3"
+//	go run ./cmd/bench -label baseline     # record a baseline before a change
+//	go run ./cmd/bench -out results.json   # alternate output path
+//
+// The output file maps label -> suite results; re-running with a different
+// label merges into the existing file, so a before/after pair lives in one
+// committed artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pregelnet/internal/bench"
+)
+
+type suiteRun struct {
+	GeneratedAt string         `json:"generated_at"`
+	GoVersion   string         `json:"go_version,omitempty"`
+	Results     []bench.Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path (merged by label)")
+	label := flag.String("label", "pr3", "label for this run (e.g. baseline, pr3)")
+	samples := flag.Int("samples", 3, "independent samples per benchmark (fastest kept)")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "running %d benchmarks (label %q, best of %d)...\n",
+		len(bench.Defs()), *label, *samples)
+	start := time.Now()
+	results := bench.Run(*samples)
+	for _, r := range results {
+		fmt.Fprintf(os.Stderr, "  %-36s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Millisecond))
+
+	doc := map[string]suiteRun{}
+	if prev, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(prev, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: %s exists but is not mergeable (%v); overwriting\n", *out, err)
+			doc = map[string]suiteRun{}
+		}
+	}
+	doc[*label] = suiteRun{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Results:     results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (label %q)\n", *out, *label)
+}

@@ -1,0 +1,233 @@
+// Package bench defines the engine's allocation-counting benchmark suite as
+// plain functions over *testing.B, shared between the repo's `go test -bench`
+// harness and the cmd/bench runner that emits BENCH_PR3.json. Keeping both
+// entry points on one set of definitions means CI smoke runs and the
+// perf-trajectory artifact can never drift apart.
+//
+// The suite deliberately uses only the stable engine surface (JobSpec, Run,
+// the transports) so the same benchmark code compiles against any revision:
+// before/after comparisons measure the engine, not the benchmark.
+package bench
+
+import (
+	"testing"
+
+	"pregelnet/internal/algorithms"
+	"pregelnet/internal/core"
+	"pregelnet/internal/graph"
+	"pregelnet/internal/transport"
+)
+
+// Def is one named benchmark.
+type Def struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// Result is one benchmark outcome in BENCH_PR3.json.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Defs returns the benchmark suite. Each op is one full job run (or one
+// batch round-trip for the transport micro-benchmarks); superstep-normalized
+// numbers are derived from the "supersteps/op" extra metric.
+func Defs() []Def {
+	return []Def{
+		{"superstep/pagerank-channel", benchPageRankChannel},
+		{"superstep/bc-channel", benchBCChannel},
+		{"e2e/pagerank-tcp", benchPageRankTCP},
+		{"e2e/bc-tcp", benchBCTCP},
+		{"transport/tcp-batch-roundtrip", benchTCPBatchRoundTrip},
+		{"transport/channel-batch-roundtrip", benchChannelBatchRoundTrip},
+	}
+}
+
+// Run executes every benchmark with testing.Benchmark, taking `samples`
+// independent measurements and keeping the fastest (minimum wall time per
+// op — the standard estimator for the noise-free cost, since scheduler and
+// cache interference only ever add time). Allocation counts are stable
+// across samples; ns/op is what the repetition de-noises.
+func Run(samples int) []Result {
+	if samples < 1 {
+		samples = 1
+	}
+	defs := Defs()
+	out := make([]Result, 0, len(defs))
+	for _, d := range defs {
+		r := testing.Benchmark(d.F)
+		for s := 1; s < samples; s++ {
+			if c := testing.Benchmark(d.F); c.N > 0 &&
+				float64(c.T.Nanoseconds())/float64(c.N) < float64(r.T.Nanoseconds())/float64(r.N) {
+				r = c
+			}
+		}
+		res := Result{
+			Name:        d.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		// Normalize whole-job benches to per-superstep numbers so the
+		// perf trajectory tracks the unit the engine optimizes.
+		if steps, ok := r.Extra["supersteps/op"]; ok && steps > 0 {
+			res.Metrics["ns/superstep"] = res.NsPerOp / steps
+			res.Metrics["bytes/superstep"] = float64(res.BytesPerOp) / steps
+			res.Metrics["allocs/superstep"] = float64(res.AllocsPerOp) / steps
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// benchPageRankChannel measures a full PageRank job on SD' over the
+// in-process channel transport: the pure engine superstep hot path
+// (compute, combine, encode, deliver) without socket costs.
+func benchPageRankChannel(b *testing.B) {
+	g := graph.DatasetSD()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var steps int
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(algorithms.PageRank{Iterations: 10, Damping: 0.85}.Spec(g, 4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = res.Supersteps
+	}
+	b.ReportMetric(float64(steps), "supersteps/op")
+}
+
+// benchBCChannel measures a full BC job (8 roots, all at once) on SD' over
+// the channel transport: the message-heavy workload with per-root state.
+func benchBCChannel(b *testing.B) {
+	g := graph.DatasetSD()
+	roots := core.FirstNSources(g, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var steps int
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(algorithms.BC(g, 4, core.NewAllAtOnce(roots)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = res.Supersteps
+	}
+	b.ReportMetric(float64(steps), "supersteps/op")
+}
+
+// benchPageRankTCP measures the end-to-end PageRank job over real loopback
+// TCP sockets — the configuration the paper's data plane targets.
+func benchPageRankTCP(b *testing.B) {
+	g := graph.DatasetSD()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var steps int
+	for i := 0; i < b.N; i++ {
+		net, err := transport.NewTCPNetwork(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := algorithms.PageRank{Iterations: 10, Damping: 0.85}.Spec(g, 4)
+		spec.Network = net
+		res, err := core.Run(spec)
+		net.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = res.Supersteps
+	}
+	b.ReportMetric(float64(steps), "supersteps/op")
+}
+
+// benchBCTCP measures the end-to-end BC job over TCP.
+func benchBCTCP(b *testing.B) {
+	g := graph.DatasetSD()
+	roots := core.FirstNSources(g, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var steps int
+	for i := 0; i < b.N; i++ {
+		net, err := transport.NewTCPNetwork(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := algorithms.BC(g, 4, core.NewAllAtOnce(roots))
+		spec.Network = net
+		res, err := core.Run(spec)
+		net.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = res.Supersteps
+	}
+	b.ReportMetric(float64(steps), "supersteps/op")
+}
+
+// benchBatchRoundTrip pushes 4 KiB batches through a 2-worker network and
+// waits for each on the receive side: framing, syscall, and per-batch
+// allocation costs in isolation.
+func benchBatchRoundTrip(b *testing.B, network transport.Network, cleanup func()) {
+	defer cleanup()
+	sender, err := network.Endpoint(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	receiver, err := network.Endpoint(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const payloadSize = 4 << 10
+	recvd := make(chan int64, 256)
+	go func() {
+		for {
+			batch, err := receiver.Recv()
+			if err != nil {
+				close(recvd)
+				return
+			}
+			recvd <- batch.WireSize()
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload := make([]byte, payloadSize)
+		err := sender.Send(&transport.Batch{
+			From: 0, To: 1, Superstep: int32(i), Count: 64, Seq: int32(i + 1),
+			Payload: payload,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := <-recvd; !ok {
+			b.Fatal("receiver closed early")
+		}
+	}
+	b.SetBytes(payloadSize)
+}
+
+func benchTCPBatchRoundTrip(b *testing.B) {
+	net, err := transport.NewTCPNetwork(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBatchRoundTrip(b, net, func() { net.Close() })
+}
+
+func benchChannelBatchRoundTrip(b *testing.B) {
+	net := transport.NewChannelNetwork(2, 256)
+	benchBatchRoundTrip(b, net, func() { net.Close() })
+}

@@ -60,14 +60,29 @@ func (w *worker[M]) snapshot(store *cloud.BlobStore) error {
 		}
 	}
 	// Pending inbox: per local vertex, the messages to be processed in the
-	// superstep about to run.
-	for li := range w.inboxCur {
-		msgs := w.inboxCur[li]
-		writeU64(uint64(len(msgs)))
-		for _, m := range msgs {
-			enc := w.codec.Append(nil, m)
-			writeU64(uint64(len(enc)))
-			buf.Write(enc)
+	// superstep about to run. With a combiner the engine stores one combined
+	// slot per vertex; the blob format (count, then messages) is shared.
+	writeMsg := func(m M) {
+		enc := w.codec.Append(nil, m)
+		writeU64(uint64(len(enc)))
+		buf.Write(enc)
+	}
+	if w.combiner != nil {
+		for li := range w.owned {
+			if w.inboxHasCur[li] {
+				writeU64(1)
+				writeMsg(w.inboxOneCur[li])
+			} else {
+				writeU64(0)
+			}
+		}
+	} else {
+		for li := range w.inboxCur {
+			msgs := w.inboxCur[li]
+			writeU64(uint64(len(msgs)))
+			for _, m := range msgs {
+				writeMsg(m)
+			}
 		}
 	}
 	writeU64(uint64(w.inboxCurBytes))
@@ -134,6 +149,12 @@ func (w *worker[M]) restore(store *cloud.BlobStore, superstep int, epoch int32) 
 	}); err != nil {
 		return fmt.Errorf("loading checkpoint: %w", err)
 	}
+	// Quiesce the send pipeline: wait for every outbox's sender to finish (or
+	// abandon) the aborted execution's batches and discard any accumulated
+	// send error, so a stale failure cannot surface in the first replayed
+	// superstep and no sender stamps a pre-rollback batch after the epoch
+	// moves below.
+	w.drainOutboxes()
 	// Adopt the manager's recovery epoch FIRST: the receive loop is still
 	// running and may hold in-flight batches from the aborted execution; once
 	// the epoch moves they are dropped on arrival instead of polluting the
@@ -174,29 +195,53 @@ func (w *worker[M]) restore(store *cloud.BlobStore, superstep int, epoch int32) 
 			w.inboxLocks[i].Unlock()
 		}
 	}
-	for li := range w.inboxCur {
+	readMsg := func() (M, error) {
+		var zero M
+		size, err := readU64()
+		if err != nil {
+			return zero, err
+		}
+		if size > uint64(r.Len()) {
+			return zero, fmt.Errorf("corrupt checkpoint: message claims %d bytes, %d remain", size, r.Len())
+		}
+		enc := make([]byte, size)
+		if _, err := io.ReadFull(r, enc); err != nil {
+			return zero, err
+		}
+		return w.decodeChecked(enc)
+	}
+	for li := range w.owned {
 		count, err := readU64()
 		if err != nil {
 			unlockStripes()
 			return err
 		}
+		if w.combiner != nil {
+			// Combined mode holds at most one slot per vertex; a multi-message
+			// record (from a blob written without a combiner) is re-combined.
+			w.inboxHasCur[li] = false
+			var zero M
+			w.inboxOneCur[li] = zero
+			w.inboxOneNext[li] = zero
+			w.inboxHasNext[li] = false
+			for j := uint64(0); j < count; j++ {
+				m, derr := readMsg()
+				if derr != nil {
+					unlockStripes()
+					return derr
+				}
+				if w.inboxHasCur[li] {
+					w.inboxOneCur[li] = w.combiner.Combine(w.inboxOneCur[li], m)
+				} else {
+					w.inboxOneCur[li] = m
+					w.inboxHasCur[li] = true
+				}
+			}
+			continue
+		}
 		msgs := make([]M, 0, count)
 		for j := uint64(0); j < count; j++ {
-			size, err := readU64()
-			if err != nil {
-				unlockStripes()
-				return err
-			}
-			if size > uint64(r.Len()) {
-				unlockStripes()
-				return fmt.Errorf("corrupt checkpoint: message claims %d bytes, %d remain", size, r.Len())
-			}
-			enc := make([]byte, size)
-			if _, err := io.ReadFull(r, enc); err != nil {
-				unlockStripes()
-				return err
-			}
-			m, derr := w.decodeChecked(enc)
+			m, derr := readMsg()
 			if derr != nil {
 				unlockStripes()
 				return derr

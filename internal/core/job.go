@@ -63,6 +63,12 @@ type JobSpec[M any] struct {
 	MaxSupersteps int
 	// FlushBytes is the bulk-transfer buffer threshold (default 64 KiB).
 	FlushBytes int
+	// OutboxDepth bounds each per-destination sender queue, in batches
+	// (default 32). Compute goroutines enqueue encoded batches onto these
+	// queues and background senders ship them, overlapping compute with
+	// communication (the paper's background send threads); a full queue
+	// applies backpressure by blocking the enqueueing compute goroutine.
+	OutboxDepth int
 	// AggregatorOps overrides reduction ops for named aggregators; any
 	// unlisted name uses AggSum. Names ending in '*' register a prefix.
 	AggregatorOps map[string]AggOp
@@ -155,6 +161,9 @@ func (s *JobSpec[M]) withDefaults() (JobSpec[M], error) {
 	}
 	if spec.FlushBytes <= 0 {
 		spec.FlushBytes = 64 << 10
+	}
+	if spec.OutboxDepth <= 0 {
+		spec.OutboxDepth = 32
 	}
 	if spec.ComputeParallelism <= 0 {
 		spec.ComputeParallelism = spec.CostModel.Spec.Cores

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strconv"
+
 	"pregelnet/internal/observe"
 	"pregelnet/internal/transport"
 )
@@ -15,22 +17,38 @@ import (
 // nil *observe.Metrics are unregistered but fully usable, so instrumented
 // code updates them unconditionally.
 type jobInstruments struct {
-	tracer *observe.Tracer
+	tracer  *observe.Tracer
+	metrics *observe.Metrics // for per-worker series created at worker start
 
-	retries    *observe.Counter
-	batches    *observe.Counter
-	batchBytes *observe.Counter
-	reconnects *observe.Counter
-	faults     func(kind string) *observe.Counter
-	rollbacks  *observe.Counter
-	supersteps *observe.Counter
-	stepWait   *observe.Histogram // worker waiting on its step queue
-	barrier    *observe.Histogram // manager collecting one barrier
+	retries      *observe.Counter
+	batches      *observe.Counter
+	batchBytes   *observe.Counter
+	reconnects   *observe.Counter
+	faults       func(kind string) *observe.Counter
+	rollbacks    *observe.Counter
+	supersteps   *observe.Counter
+	stepWait     *observe.Histogram // worker waiting on its step queue
+	barrier      *observe.Histogram // manager collecting one barrier
+	outboxStalls *observe.Counter   // enqueues that found the outbox full
+	outboxStall  *observe.Histogram // time compute spent blocked on a full outbox
+}
+
+// outboxDepthGauge returns the per-worker gauge tracking queued batches
+// across that worker's outboxes, sampled at each flush.
+func (ins *jobInstruments) outboxDepthGauge(worker int) *observe.Gauge {
+	return ins.metrics.Gauge("pregel_outbox_depth",
+		"Batches queued in a worker's per-destination outboxes at flush time.",
+		observe.Label{Name: "worker", Value: strconv.Itoa(worker)})
 }
 
 func newJobInstruments(tracer *observe.Tracer, m *observe.Metrics) *jobInstruments {
 	return &jobInstruments{
-		tracer: tracer,
+		tracer:  tracer,
+		metrics: m,
+		outboxStalls: m.Counter("pregel_outbox_stalls_total",
+			"Batch enqueues that found a per-destination outbox full (compute blocked on the network)."),
+		outboxStall: m.Histogram("pregel_outbox_stall_seconds",
+			"Time compute goroutines spent blocked enqueueing onto a full outbox.", nil),
 		retries: m.Counter("pregel_retries_total",
 			"Transient-fault retries across blob, queue, and transport operations."),
 		batches: m.Counter("pregel_batches_sent_total",

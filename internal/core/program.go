@@ -15,6 +15,7 @@ package core
 
 import (
 	"pregelnet/internal/graph"
+	"pregelnet/internal/transport"
 )
 
 // Codec serializes messages of type M for remote delivery and for memory
@@ -23,7 +24,8 @@ type Codec[M any] interface {
 	// Append appends the encoded form of m to buf and returns the result.
 	Append(buf []byte, m M) []byte
 	// Decode reads one message from data, returning it and the number of
-	// bytes consumed.
+	// bytes consumed. The returned message must not retain (alias) data:
+	// payload buffers are recycled once a batch is decoded.
 	Decode(data []byte) (M, int)
 	// Size returns the encoded size of m in bytes (must equal what Append
 	// produces).
@@ -101,7 +103,6 @@ type Context[M any] struct {
 	outRemoteCnt   []int32
 	combineStage   []map[graph.VertexID]M // per dest worker when combining
 	aggs           map[string]float64
-	flushErr       error // first mid-step bulk-flush failure, surfaced at slice end
 	computeOps     int64
 	sentLocal      int64
 	sentRemote     int64
@@ -199,6 +200,11 @@ func (c *Context[M]) Agg(name string) (float64, bool) {
 func (c *Context[M]) encodeRemote(destWorker int, to graph.VertexID, m M) {
 	c.sentRemote++
 	buf := c.outRemoteBuf[destWorker]
+	if buf == nil {
+		// Staging buffers become batch payloads on flush and return to the
+		// shared pool once the receiver decodes them.
+		buf = transport.GetPayload(0)
+	}
 	buf = appendMsgHeader(buf, to, c.w.codec.Size(m))
 	buf = c.w.codec.Append(buf, m)
 	c.outRemoteBuf[destWorker] = buf

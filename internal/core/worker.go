@@ -64,6 +64,39 @@ type barrierMsg struct {
 	Restored    bool               `json:"restored,omitempty"`
 }
 
+// outboxItem is one unit of sender work: a batch to ship (epoch stamped at
+// enqueue, sequence stamped by the sender), and/or a flush request. When ack
+// is non-nil the sender, after shipping the batch (if any), replies with the
+// first send error accumulated since the previous flush and resets it.
+type outboxItem struct {
+	batch *transport.Batch
+	ack   chan error
+}
+
+// outbox is one destination's bounded send queue. Exactly one sender
+// goroutine drains it, which is what makes sender-side sequence stamping
+// race-free: the per-destination sequence has a single writer.
+type outbox struct {
+	ch  chan outboxItem
+	ack chan error // reusable flush ack (one flush in flight at a time)
+}
+
+// recvStream is one sender's receive-side ordering state. Per-connection TCP
+// ordering is not per-*pair* ordering: redials (every superstep via
+// ResetPeers, plus retry-after-failure) give the receiver several reader
+// goroutines funneling into one inbox, so a fresh connection's frames can
+// overtake the tail of a drained one. Batches are therefore processed
+// strictly in sequence order per sender — duplicates (Seq already processed)
+// are dropped, reordered frames are held in pending until the gap fills.
+// Streams are scoped to the recovery epoch: rollback abandons the old stream
+// entirely (senders restart at Seq 1), so a batch lost past retries in the
+// aborted execution cannot stall replay.
+type recvStream struct {
+	epoch   int32
+	next    int32 // next sequence to process (all below it are done)
+	pending map[int32]*transport.Batch
+}
+
 type worker[M any] struct {
 	id         int
 	numWorkers int
@@ -80,15 +113,35 @@ type worker[M any] struct {
 	halted        []bool
 	program       VertexProgram[M]
 
+	// Inboxes. With a combiner every vertex's pending messages collapse to a
+	// single combined slot, so the engine keeps one message + one present
+	// flag per vertex (no per-vertex slice churn). Without a combiner it
+	// keeps per-vertex slices whose backing arrays are recycled through
+	// striped free lists.
 	inboxCur      [][]M
-	inboxCurBytes int64
 	inboxNext     [][]M
+	inboxOneCur   []M
+	inboxOneNext  []M
+	inboxHasCur   []bool
+	inboxHasNext  []bool
+	msgFree       [inboxStripes][][]M // recycled []M backing arrays, by stripe
+	inboxCurBytes int64
 	inboxNextByts atomic.Int64
 	inboxLocks    [inboxStripes]sync.Mutex
 
 	endpoint transport.Endpoint
 	stepQ    *cloud.Queue
 	barrierQ *cloud.Queue
+
+	// Async data plane (paper §III background send threads): one bounded
+	// outbox + sender goroutine per remote destination. Compute goroutines
+	// enqueue encoded batches and never block on the network unless the
+	// outbox is full (backpressure). sendCopies records whether the endpoint
+	// copies payloads to the wire (TCP) — then the sender recycles the
+	// buffer after a successful Send; otherwise (in-process handoff) the
+	// receiver owns it.
+	outboxes   []*outbox
+	sendCopies bool
 
 	ckptStore  *cloud.BlobStore
 	failInject func(worker, superstep int) error
@@ -101,14 +154,22 @@ type worker[M any] struct {
 	visibility     time.Duration     // control-plane lease visibility
 	barrierTimeout time.Duration     // sentinel-wait deadline (straggler bound)
 	doneThrough    int               // highest superstep executed; duplicate step tokens ≤ this are skipped
-	epoch          atomic.Int32      // recovery epoch stamped on outgoing batches
-	sendSeq        []int32           // per-destination send sequence (guarded by sendMu)
-	lastSeq        []int32           // per-sender last received sequence (receive goroutine only)
+	epoch          atomic.Int32      // recovery epoch stamped on outgoing batches at enqueue
+	recvStreams    []recvStream      // per-sender ordered dedup state (receive goroutine only)
 	statRetries    atomic.Int64
 
-	superstep   int
-	prevAggs    map[string]float64
-	injectedSet map[int32]bool
+	superstep int
+	prevAggs  map[string]float64
+
+	// Injection set for the current superstep, as a reusable bitset guarded
+	// by hasInjected (most supersteps inject nothing, so the hot-path check
+	// is a single bool).
+	injectedBits []uint64
+	hasInjected  bool
+
+	// Reused per-superstep scratch.
+	activeBuf []int32
+	slots     []*Context[M] // per-compute-slot contexts, reused across supersteps
 
 	aggMu    sync.Mutex
 	stepAggs map[string]float64
@@ -132,8 +193,6 @@ type worker[M any] struct {
 	sentinelMu   sync.Mutex
 	sentinelCond *sync.Cond
 	sentinels    map[int]int
-
-	sendMu sync.Mutex // serializes endpoint.Send across compute goroutines
 }
 
 func newWorker[M any](spec *JobSpec[M], id int, owned []graph.VertexID,
@@ -152,8 +211,6 @@ func newWorker[M any](spec *JobSpec[M], id int, owned []graph.VertexID,
 		owned:          owned,
 		globalToLocal:  globalToLocal,
 		halted:         make([]bool, len(owned)),
-		inboxCur:       make([][]M, len(owned)),
-		inboxNext:      make([][]M, len(owned)),
 		endpoint:       ep,
 		stepQ:          spec.Queues.Queue(fmt.Sprintf("step-%d", id)),
 		barrierQ:       spec.Queues.Queue("barrier"),
@@ -164,8 +221,33 @@ func newWorker[M any](spec *JobSpec[M], id int, owned []graph.VertexID,
 		visibility:     spec.QueueVisibility,
 		barrierTimeout: spec.BarrierTimeout,
 		doneThrough:    -1,
-		sendSeq:        make([]int32, spec.NumWorkers),
-		lastSeq:        make([]int32, spec.NumWorkers),
+		recvStreams:    make([]recvStream, spec.NumWorkers),
+		injectedBits:   make([]uint64, (len(owned)+63)/64),
+	}
+	for i := range w.recvStreams {
+		w.recvStreams[i].next = 1 // senders stamp from 1 within each epoch
+	}
+	if w.combiner != nil {
+		w.inboxOneCur = make([]M, len(owned))
+		w.inboxOneNext = make([]M, len(owned))
+		w.inboxHasCur = make([]bool, len(owned))
+		w.inboxHasNext = make([]bool, len(owned))
+	} else {
+		w.inboxCur = make([][]M, len(owned))
+		w.inboxNext = make([][]M, len(owned))
+	}
+	w.outboxes = make([]*outbox, spec.NumWorkers)
+	for dest := range w.outboxes {
+		if dest == id {
+			continue
+		}
+		w.outboxes[dest] = &outbox{
+			ch:  make(chan outboxItem, spec.OutboxDepth),
+			ack: make(chan error, 1),
+		}
+	}
+	if sc, ok := ep.(transport.SendCopier); ok {
+		w.sendCopies = sc.SendCopiesPayload()
 	}
 	w.sentinelCond = sync.NewCond(&w.sentinelMu)
 	w.ckptStore = spec.CheckpointStore
@@ -212,6 +294,12 @@ func (w *worker[M]) aggOp(name string) AggOp {
 // manager never deadlocks.
 func (w *worker[M]) run() {
 	go w.receiveLoop()
+	for dest, ob := range w.outboxes {
+		if ob != nil {
+			go w.senderLoop(dest, ob)
+		}
+	}
+	defer w.closeOutboxes()
 	for {
 		waitSpan := w.tracer.Start(observe.KindQueueWait, w.id, w.doneThrough+1)
 		waitStart := time.Now()
@@ -281,8 +369,12 @@ func (w *worker[M]) runSuperstep(tok *stepToken) {
 	}
 
 	// Determine the active set: vertices with pending messages, vertices
-	// that did not vote to halt, and scheduler injections.
-	injected := make(map[int32]bool, len(tok.Injections))
+	// that did not vote to halt, and scheduler injections. The injection set
+	// is a reusable bitset; the active list a reusable slice.
+	if w.hasInjected {
+		clear(w.injectedBits)
+	}
+	w.hasInjected = len(tok.Injections) > 0
 	for _, v := range tok.Injections {
 		li := w.globalToLocal[v]
 		if li < 0 {
@@ -290,16 +382,16 @@ func (w *worker[M]) runSuperstep(tok *stepToken) {
 				Err: fmt.Sprintf("injection %d not owned by worker %d", v, w.id)})
 			return
 		}
-		injected[li] = true
+		w.injectedBits[li>>6] |= 1 << uint(li&63)
 	}
-	w.injectedSet = injected
-	active := make([]int32, 0, len(injected))
+	active := w.activeBuf[:0]
 	for i := range w.owned {
 		li := int32(i)
-		if len(w.inboxCur[li]) > 0 || !w.halted[li] || injected[li] {
+		if w.pendingMsgs(li) || !w.halted[li] || w.injectedThisStep(li) {
 			active = append(active, li)
 		}
 	}
+	w.activeBuf = active
 
 	// Parallel compute across cores.
 	computeSpan := w.tracer.Start(observe.KindCompute, w.id, w.superstep)
@@ -311,26 +403,17 @@ func (w *worker[M]) runSuperstep(tok *stepToken) {
 	if p < 1 {
 		p = 1
 	}
-	errCh := make(chan error, p)
 	for slot := 0; slot < p; slot++ {
 		lo := len(active) * slot / p
 		hi := len(active) * (slot + 1) / p
+		ctx := w.slotContext(slot)
 		wg.Add(1)
-		go func(vertices []int32) {
+		go func(ctx *Context[M], vertices []int32) {
 			defer wg.Done()
-			if err := w.computeSlice(vertices); err != nil {
-				errCh <- err
-			}
-		}(active[lo:hi])
+			w.computeSlice(ctx, vertices)
+		}(ctx, active[lo:hi])
 	}
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		computeSpan.End()
-		w.checkIn(barrierMsg{Worker: w.id, Superstep: w.superstep, Err: err.Error()})
-		return
-	default:
-	}
 	if computeSpan.Active() {
 		computeSpan.End(
 			observe.Int("active", int64(len(active))),
@@ -338,12 +421,13 @@ func (w *worker[M]) runSuperstep(tok *stepToken) {
 			observe.Int("bytes_out", w.statBytesOut.Load()))
 	}
 
-	// All compute done and buffers flushed: notify peers and wait until
-	// every peer's data for this superstep has arrived (BSP barrier
-	// condition 2: all messages delivered). The wait is bounded: a peer that
-	// never delivers (dropped connection past retries, stalled VM) must not
-	// hang this worker forever — the timeout surfaces as a failure the
-	// manager recovers from by rollback.
+	// All compute done: flush the outboxes (queued batches, then a sentinel
+	// per peer) and wait until every peer's data for this superstep has
+	// arrived (BSP barrier condition 2: all messages delivered). A send that
+	// failed past retries anywhere this superstep surfaces here. The sentinel
+	// wait is bounded: a peer that never delivers (dropped connection past
+	// retries, stalled VM) must not hang this worker forever — the timeout
+	// surfaces as a failure the manager recovers from by rollback.
 	if err := w.broadcastSentinels(); err != nil {
 		w.checkIn(barrierMsg{Worker: w.id, Superstep: w.superstep, Err: err.Error()})
 		return
@@ -365,12 +449,7 @@ func (w *worker[M]) runSuperstep(tok *stepToken) {
 	peakMem := w.inboxCurBytes + w.inboxNextByts.Load() + stateBytes
 
 	// Swap inboxes for the next superstep.
-	for i := range w.inboxCur {
-		w.inboxCur[i] = nil
-	}
-	w.inboxCur, w.inboxNext = w.inboxNext, w.inboxCur
-	w.inboxCurBytes = w.inboxNextByts.Load()
-	w.inboxNextByts.Store(0)
+	w.swapInboxes()
 
 	var activeAfter int64
 	for i := range w.halted {
@@ -418,22 +497,78 @@ func (w *worker[M]) runSuperstep(tok *stepToken) {
 	})
 }
 
-// computeSlice runs the user program over a contiguous slice of active
-// local vertices using one Context, then flushes its remote buffers.
-func (w *worker[M]) computeSlice(vertices []int32) error {
-	ctx := &Context[M]{
-		w:            w,
-		superstep:    w.superstep,
-		outRemoteBuf: make([][]byte, w.numWorkers),
-		outRemoteCnt: make([]int32, w.numWorkers),
-		aggs:         make(map[string]float64),
-	}
+// pendingMsgs reports whether local vertex li has messages for this step.
+func (w *worker[M]) pendingMsgs(li int32) bool {
 	if w.combiner != nil {
-		ctx.combineStage = make([]map[graph.VertexID]M, w.numWorkers)
+		return w.inboxHasCur[li]
 	}
+	return len(w.inboxCur[li]) > 0
+}
+
+// swapInboxes rotates next-step inboxes into place and clears the buffers
+// that will receive the following step's messages, reusing every backing
+// array.
+func (w *worker[M]) swapInboxes() {
+	if w.combiner != nil {
+		w.inboxOneCur, w.inboxOneNext = w.inboxOneNext, w.inboxOneCur
+		w.inboxHasCur, w.inboxHasNext = w.inboxHasNext, w.inboxHasCur
+		clear(w.inboxOneNext) // zero values: no stale references survive
+		clear(w.inboxHasNext)
+	} else {
+		for i := range w.inboxCur {
+			w.inboxCur[i] = nil
+		}
+		w.inboxCur, w.inboxNext = w.inboxNext, w.inboxCur
+	}
+	w.inboxCurBytes = w.inboxNextByts.Load()
+	w.inboxNextByts.Store(0)
+}
+
+// slotContext returns the reusable Context for a compute slot, reset for the
+// current superstep. Contexts, their staging buffers, and their combine maps
+// persist across supersteps so the compute hot path allocates only when a
+// buffer genuinely grows.
+func (w *worker[M]) slotContext(slot int) *Context[M] {
+	for len(w.slots) <= slot {
+		w.slots = append(w.slots, nil)
+	}
+	ctx := w.slots[slot]
+	if ctx == nil {
+		ctx = &Context[M]{
+			w:            w,
+			outRemoteBuf: make([][]byte, w.numWorkers),
+			outRemoteCnt: make([]int32, w.numWorkers),
+			aggs:         make(map[string]float64),
+		}
+		if w.combiner != nil {
+			ctx.combineStage = make([]map[graph.VertexID]M, w.numWorkers)
+		}
+		w.slots[slot] = ctx
+	}
+	ctx.superstep = w.superstep
+	ctx.computeOps = 0
+	ctx.sentLocal = 0
+	ctx.sentRemote = 0
+	ctx.remoteBytesOut = 0
+	clear(ctx.aggs)
+	return ctx
+}
+
+// computeSlice runs the user program over a contiguous slice of active
+// local vertices using one reusable Context, then flushes its remote
+// buffers into the outboxes.
+func (w *worker[M]) computeSlice(ctx *Context[M], vertices []int32) {
+	combined := w.combiner != nil
 	for _, li := range vertices {
-		msgs := w.inboxCur[li]
-		w.inboxCur[li] = nil
+		var msgs []M
+		if combined {
+			if w.inboxHasCur[li] {
+				msgs = w.inboxOneCur[li : li+1 : li+1]
+			}
+		} else {
+			msgs = w.inboxCur[li]
+			w.inboxCur[li] = nil
+		}
 		ctx.vertex = w.owned[li]
 		ctx.local = li
 		ctx.injected = w.injectedThisStep(li)
@@ -441,25 +576,26 @@ func (w *worker[M]) computeSlice(vertices []int32) error {
 		ctx.computeOps += int64(1 + len(msgs))
 		w.program.Compute(ctx, msgs)
 		w.halted[li] = ctx.halted
+		if !combined && msgs != nil {
+			w.recycleMsgs(li, msgs)
+		}
 	}
-	// Flush combiner stages into the wire buffers, then flush all buffers.
+	// Flush combiner stages into the wire buffers, then enqueue all buffers.
 	if ctx.combineStage != nil {
 		for dest, stage := range ctx.combineStage {
+			if len(stage) == 0 {
+				continue
+			}
 			for to, m := range stage {
 				ctx.encodeRemote(dest, to, m)
 			}
-			ctx.combineStage[dest] = nil
+			clear(stage) // keep the map, drop the entries
 		}
 	}
 	for dest := range ctx.outRemoteBuf {
 		if len(ctx.outRemoteBuf[dest]) > 0 {
-			if err := w.flushSlotBufferErr(ctx, dest); err != nil {
-				return err
-			}
+			w.flushSlotBuffer(ctx, dest)
 		}
-	}
-	if ctx.flushErr != nil {
-		return ctx.flushErr
 	}
 	// Merge per-slot counters.
 	w.statComputeOps.Add(ctx.computeOps)
@@ -467,88 +603,217 @@ func (w *worker[M]) computeSlice(vertices []int32) error {
 	w.statSentRemote.Add(ctx.sentRemote)
 	w.statBytesOut.Add(ctx.remoteBytesOut)
 	w.mergeAggs(ctx.aggs)
-	return nil
 }
 
-// injectedThisStep is threaded through a map rebuilt per superstep; to keep
-// the hot path branch-light the worker stores it in a field.
+// recycleMsgs returns a consumed inbox slice's backing array to its stripe's
+// free list for reuse by deliverLocal.
+func (w *worker[M]) recycleMsgs(li int32, msgs []M) {
+	clear(msgs) // drop message contents so pooled arrays pin no memory
+	stripe := int(li) % inboxStripes
+	lock := &w.inboxLocks[stripe]
+	lock.Lock()
+	w.msgFree[stripe] = append(w.msgFree[stripe], msgs[:0])
+	lock.Unlock()
+}
+
+// injectedThisStep tests the superstep's injection bitset; the common no-
+// injection superstep short-circuits on a single bool.
 func (w *worker[M]) injectedThisStep(li int32) bool {
-	return w.injectedSet != nil && w.injectedSet[li]
+	return w.hasInjected && w.injectedBits[li>>6]&(1<<uint(li&63)) != 0
 }
 
 // deliverLocal appends a message to a co-located vertex's next-step inbox.
 // Called concurrently from compute goroutines and the receive loop.
 func (w *worker[M]) deliverLocal(li int32, m M, size int64) {
-	lock := &w.inboxLocks[int(li)%inboxStripes]
+	stripe := int(li) % inboxStripes
+	lock := &w.inboxLocks[stripe]
 	lock.Lock()
-	if w.combiner != nil && len(w.inboxNext[li]) > 0 {
-		w.inboxNext[li][0] = w.combiner.Combine(w.inboxNext[li][0], m)
-	} else {
-		w.inboxNext[li] = append(w.inboxNext[li], m)
-		w.inboxNextByts.Add(size)
+	if w.combiner != nil {
+		if w.inboxHasNext[li] {
+			w.inboxOneNext[li] = w.combiner.Combine(w.inboxOneNext[li], m)
+		} else {
+			w.inboxOneNext[li] = m
+			w.inboxHasNext[li] = true
+			w.inboxNextByts.Add(size)
+		}
+		lock.Unlock()
+		return
 	}
+	next := w.inboxNext[li]
+	if next == nil {
+		if fl := w.msgFree[stripe]; len(fl) > 0 {
+			next = fl[len(fl)-1]
+			w.msgFree[stripe] = fl[:len(fl)-1]
+		}
+	}
+	w.inboxNext[li] = append(next, m)
+	w.inboxNextByts.Add(size)
 	lock.Unlock()
 }
 
-// flushSlotBuffer sends a slot's buffered batch for one destination worker
-// from the mid-step fast path. The first failure is recorded on the Context
-// and surfaced when the compute slice finishes, failing the superstep.
+// flushSlotBuffer hands a slot's staged batch for one destination to that
+// destination's outbox. Enqueueing cannot fail — send errors surface at the
+// superstep's flush-and-drain (broadcastSentinels) — but it can block when
+// the outbox is full, which is the data plane's backpressure.
 func (w *worker[M]) flushSlotBuffer(c *Context[M], dest int) {
-	if err := w.flushSlotBufferErr(c, dest); err != nil && c.flushErr == nil {
-		c.flushErr = err
-	}
-}
-
-func (w *worker[M]) flushSlotBufferErr(c *Context[M], dest int) error {
 	buf := c.outRemoteBuf[dest]
 	if len(buf) == 0 {
-		return nil
+		return
 	}
-	b := &transport.Batch{
-		From:      int32(w.id),
-		To:        int32(dest),
-		Superstep: int32(w.superstep),
-		Count:     c.outRemoteCnt[dest],
-		Payload:   buf,
-	}
+	b := transport.GetBatch()
+	b.From = int32(w.id)
+	b.To = int32(dest)
+	b.Superstep = int32(w.superstep)
+	b.Count = c.outRemoteCnt[dest]
+	b.Payload = buf
 	c.outRemoteBuf[dest] = nil
 	c.outRemoteCnt[dest] = 0
 	c.remoteBytesOut += b.WireSize()
 	w.peersContacted[dest].Store(true)
-	return w.sendBatch(b)
+	w.enqueueBatch(b)
 }
 
-// sendBatch stamps a batch with the worker's recovery epoch and the next
-// per-destination sequence number, then sends it, retrying transient
-// data-plane faults (dropped/stalled connections) with backoff. Receivers
-// dedupe by (From, Seq), so a retry can never double-deliver.
-func (w *worker[M]) sendBatch(b *transport.Batch) error {
-	w.sendMu.Lock()
-	defer w.sendMu.Unlock()
-	w.sendSeq[b.To]++
-	b.Seq = w.sendSeq[b.To]
+// enqueueBatch stamps a batch with the worker's recovery epoch and queues it
+// on the destination's outbox. The fast path is a non-blocking channel send;
+// when the outbox is full the stall is measured and traced before blocking
+// (backpressure on compute is a signal worth seeing).
+func (w *worker[M]) enqueueBatch(b *transport.Batch) {
 	b.Epoch = w.epoch.Load()
-	return w.retry.Do(func() error { return w.endpoint.Send(b) })
+	ob := w.outboxes[b.To]
+	select {
+	case ob.ch <- outboxItem{batch: b}:
+		return
+	default:
+	}
+	w.ins.outboxStalls.Inc()
+	stallSpan := w.tracer.Start(observe.KindSendStall, w.id, w.superstep)
+	to := int64(b.To) // b's ownership transfers on the send below
+	start := time.Now()
+	ob.ch <- outboxItem{batch: b}
+	w.ins.outboxStall.Observe(time.Since(start).Seconds())
+	if stallSpan.Active() {
+		stallSpan.End(observe.Int("to", to))
+	}
 }
 
-// broadcastSentinels tells every peer this worker is done sending for the
-// current superstep. Sentinels are zero-payload batches with Count == -1.
-func (w *worker[M]) broadcastSentinels() error {
-	for dest := 0; dest < w.numWorkers; dest++ {
-		if dest == w.id {
-			continue
+// senderLoop is one destination's background send thread (paper §III). It
+// owns the per-destination sequence counter, so stamping needs no lock, and
+// (From, Seq) stays monotonic on the wire within an epoch: receivers process
+// each sender's batches in sequence order (see recvStream). The sequence
+// restarts at 1 whenever the batch epoch changes — the outboxes are drained
+// before a restore bumps the epoch, so the transition is clean. A send that
+// fails past retries is remembered and reported at the next flush;
+// subsequent batches in the same cycle are discarded (the superstep is
+// already lost) so compute never deadlocks behind a dead peer.
+func (w *worker[M]) senderLoop(dest int, ob *outbox) {
+	var seq, epoch int32
+	var pendingErr error
+	for item := range ob.ch {
+		if b := item.batch; b != nil {
+			if pendingErr == nil {
+				if b.Epoch != epoch {
+					epoch, seq = b.Epoch, 0
+				}
+				seq++
+				b.Seq = seq
+				err := w.retry.Do(func() error { return w.endpoint.Send(b) })
+				if err != nil {
+					pendingErr = err
+					w.releaseUnsent(b)
+				} else if w.sendCopies {
+					// Endpoint copied the payload to the wire: the buffer and
+					// the batch struct are dead here; recycle both. (With the
+					// in-process transport the receiver owns them now.)
+					transport.PutPayload(b.Payload)
+					b.Payload = nil
+					transport.PutBatch(b)
+				}
+			} else {
+				w.releaseUnsent(b)
+			}
 		}
-		b := &transport.Batch{
-			From:      int32(w.id),
-			To:        int32(dest),
-			Superstep: int32(w.superstep),
-			Count:     -1,
-		}
-		if err := w.sendBatch(b); err != nil {
-			return err
+		if item.ack != nil {
+			item.ack <- pendingErr
+			pendingErr = nil
 		}
 	}
-	return nil
+}
+
+// releaseUnsent recycles a batch that was never handed off to the transport.
+func (w *worker[M]) releaseUnsent(b *transport.Batch) {
+	if b.Payload != nil {
+		transport.PutPayload(b.Payload)
+		b.Payload = nil
+	}
+	transport.PutBatch(b)
+}
+
+// broadcastSentinels flushes and drains every outbox: each peer receives all
+// queued data batches followed by a zero-payload sentinel (Count == -1)
+// marking this worker done sending for the superstep. All outboxes flush
+// concurrently; the call returns the first send failure of the whole
+// superstep (mid-step enqueued batches included), if any.
+func (w *worker[M]) broadcastSentinels() error {
+	if w.numWorkers == 1 {
+		return nil
+	}
+	span := w.tracer.Start(observe.KindOutboxFlush, w.id, w.superstep)
+	depth := 0
+	for dest, ob := range w.outboxes {
+		if ob == nil {
+			continue
+		}
+		depth += len(ob.ch)
+		b := transport.GetBatch()
+		b.From = int32(w.id)
+		b.To = int32(dest)
+		b.Superstep = int32(w.superstep)
+		b.Count = -1
+		b.Epoch = w.epoch.Load()
+		ob.ch <- outboxItem{batch: b, ack: ob.ack}
+	}
+	w.ins.outboxDepthGauge(w.id).Set(float64(depth))
+	var firstErr error
+	for _, ob := range w.outboxes {
+		if ob == nil {
+			continue
+		}
+		if err := <-ob.ack; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if span.Active() {
+		span.End(observe.Int("queued", int64(depth)))
+	}
+	return firstErr
+}
+
+// drainOutboxes waits for every outbox to empty, discarding any send errors
+// accumulated by an aborted execution. Called before a checkpoint restore so
+// (a) no sender is still shipping pre-rollback batches when the epoch moves
+// and (b) a stale send failure cannot poison the first replayed superstep.
+func (w *worker[M]) drainOutboxes() {
+	for _, ob := range w.outboxes {
+		if ob != nil {
+			ob.ch <- outboxItem{ack: ob.ack}
+		}
+	}
+	for _, ob := range w.outboxes {
+		if ob != nil {
+			<-ob.ack
+		}
+	}
+}
+
+// closeOutboxes shuts down the sender goroutines. Remaining queued batches
+// are still attempted (they fail fast once the endpoint closes) and then
+// released.
+func (w *worker[M]) closeOutboxes() {
+	for _, ob := range w.outboxes {
+		if ob != nil {
+			close(ob.ch)
+		}
+	}
 }
 
 // awaitSentinels blocks until all peers have finished sending for the
@@ -581,58 +846,110 @@ func (w *worker[M]) awaitSentinels() error {
 	return nil
 }
 
-// receiveLoop is the worker's background receive thread (paper §III): it
-// deserializes incoming batches and routes messages to target vertices'
-// next-superstep inboxes.
+// receiveLoop is the worker's background receive thread (paper §III). Each
+// incoming batch passes the stale-epoch filter (in-flight data from an
+// aborted execution must not leak into replayed supersteps — it would
+// double-deliver messages or prematurely satisfy a sentinel wait), then its
+// sender's ordered stream: batches are processed strictly in sequence order,
+// which both drops retry duplicates and re-orders frames that overtook each
+// other across a connection redial. In-order processing also guarantees a
+// sentinel is seen only after every data batch it fences.
 func (w *worker[M]) receiveLoop() {
 	for {
 		b, err := w.endpoint.Recv()
 		if err != nil {
 			return // endpoint closed
 		}
-		// Duplicate suppression: a sender may retry a batch after a transient
-		// fault whose first attempt was actually delivered. Sequence numbers
-		// are monotonic per sender, so anything at or below the last seen
-		// sequence is a duplicate.
-		if b.Seq != 0 {
-			if b.Seq <= w.lastSeq[b.From] {
-				continue
-			}
-			w.lastSeq[b.From] = b.Seq
-		}
-		// Stale-epoch suppression: after a checkpoint rollback all workers
-		// advance their recovery epoch in lockstep; batches still in flight
-		// from the aborted execution carry the old epoch and must not leak
-		// into replayed supersteps (they would double-deliver messages or
-		// prematurely satisfy a sentinel wait).
-		if b.Epoch != w.epoch.Load() {
+		cur := w.epoch.Load()
+		if b.Epoch != cur {
+			w.releaseRecv(b) // dead stream from before a rollback
 			continue
 		}
-		if b.Count < 0 { // sentinel
-			w.sentinelMu.Lock()
-			w.sentinels[int(b.Superstep)]++
-			w.sentinelCond.Broadcast()
-			w.sentinelMu.Unlock()
+		if b.Seq == 0 {
+			// Unsequenced: the engine always stamps, but raw transport users
+			// (tests, tools) may not — process immediately, no ordering.
+			w.processBatch(b)
 			continue
 		}
-		w.recvMu.Lock()
-		w.recvBytes[int(b.Superstep)] += b.WireSize()
-		w.recvMsgs[int(b.Superstep)] += int64(b.Count)
-		w.recvMu.Unlock()
-		data := b.Payload
-		for len(data) >= msgWireOverhead {
-			to, size := readMsgHeader(data)
-			data = data[msgWireOverhead:]
-			m, n := w.codec.Decode(data[:size])
-			_ = n
-			data = data[size:]
-			li := w.globalToLocal[to]
-			if li < 0 {
-				continue // misrouted: drop (cannot happen with valid assignment)
+		st := &w.recvStreams[b.From]
+		if st.epoch != cur {
+			// First batch of a new epoch from this sender: abandon the old
+			// stream, pending stragglers included.
+			st.epoch = cur
+			st.next = 1
+			for s, p := range st.pending {
+				delete(st.pending, s)
+				w.releaseRecv(p)
 			}
-			w.deliverLocal(li, m, int64(size+msgWireOverhead))
+		}
+		switch {
+		case b.Seq < st.next: // duplicate of a processed batch (retried send)
+			w.releaseRecv(b)
+		case b.Seq > st.next: // overtook the gap: hold until it fills
+			if st.pending == nil {
+				st.pending = make(map[int32]*transport.Batch)
+			}
+			if _, dup := st.pending[b.Seq]; dup {
+				w.releaseRecv(b)
+			} else {
+				st.pending[b.Seq] = b
+			}
+		default:
+			w.processBatch(b)
+			st.next++
+			for {
+				p, ok := st.pending[st.next]
+				if !ok {
+					break
+				}
+				delete(st.pending, st.next)
+				w.processBatch(p)
+				st.next++
+			}
 		}
 	}
+}
+
+// processBatch consumes one in-order batch: sentinels bump the barrier
+// count, data batches are decoded into next-superstep inboxes, and the
+// batch's pooled payload and struct are recycled.
+func (w *worker[M]) processBatch(b *transport.Batch) {
+	if b.Count < 0 { // sentinel
+		w.sentinelMu.Lock()
+		w.sentinels[int(b.Superstep)]++
+		w.sentinelCond.Broadcast()
+		w.sentinelMu.Unlock()
+		transport.PutBatch(b)
+		return
+	}
+	w.recvMu.Lock()
+	w.recvBytes[int(b.Superstep)] += b.WireSize()
+	w.recvMsgs[int(b.Superstep)] += int64(b.Count)
+	w.recvMu.Unlock()
+	data := b.Payload
+	for len(data) >= msgWireOverhead {
+		to, size := readMsgHeader(data)
+		data = data[msgWireOverhead:]
+		m, _ := w.codec.Decode(data[:size])
+		data = data[size:]
+		li := w.globalToLocal[to]
+		if li < 0 {
+			continue // misrouted: drop (cannot happen with valid assignment)
+		}
+		w.deliverLocal(li, m, int64(size+msgWireOverhead))
+	}
+	w.releaseRecv(b)
+}
+
+// releaseRecv recycles a fully consumed incoming batch. The receiver is the
+// final owner on every transport: TCP batches were allocated by the framing
+// reader, in-process batches were handed off by the sending worker.
+func (w *worker[M]) releaseRecv(b *transport.Batch) {
+	if b.Payload != nil {
+		transport.PutPayload(b.Payload)
+		b.Payload = nil
+	}
+	transport.PutBatch(b)
 }
 
 func (w *worker[M]) resetStepCounters() {

@@ -57,6 +57,12 @@ const (
 	KindReconnect Kind = "reconnect"
 	// KindQueueWait spans a blocking control-plane queue Get.
 	KindQueueWait Kind = "queue_wait"
+	// KindSendStall spans a compute goroutine blocked enqueueing a batch onto
+	// a full per-destination outbox (data-plane backpressure).
+	KindSendStall Kind = "send_stall"
+	// KindOutboxFlush spans a worker's end-of-superstep flush-and-drain of
+	// all per-destination outboxes (sentinel broadcast included).
+	KindOutboxFlush Kind = "outbox_flush"
 )
 
 // ManagerWorker is the Worker value for manager/job-level events.

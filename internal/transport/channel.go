@@ -95,12 +95,16 @@ func (ep *channelEndpoint) Send(b *Batch) error {
 		}
 	}
 	dst := ep.net.endpoints[b.To]
+	// Capture observer fields before the handoff: ownership of b (and its
+	// pooled payload) transfers to the receiver the moment it lands in the
+	// inbox, so touching it afterwards would race with recycling.
+	from, to, superstep, count, wire := int(b.From), int(b.To), int(b.Superstep), int(b.Count), b.WireSize()
 	select {
 	case <-dst.done:
 		return ErrClosed
 	case dst.inbox <- b:
 		if obs != nil {
-			obs.BatchSent(int(b.From), int(b.To), int(b.Superstep), int(b.Count), b.WireSize())
+			obs.BatchSent(from, to, superstep, count, wire)
 		}
 		return nil
 	}

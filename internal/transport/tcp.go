@@ -119,8 +119,9 @@ func (ep *tcpEndpoint) acceptLoop() {
 
 func (ep *tcpEndpoint) readLoop(conn net.Conn) {
 	defer conn.Close()
+	var hdr [batchHeaderSize]byte // per-connection scratch: zero allocs per frame
 	for {
-		b, err := readBatch(conn)
+		b, err := readBatch(conn, hdr[:])
 		if err != nil {
 			return // peer closed or reset
 		}
@@ -190,6 +191,10 @@ func (ep *tcpEndpoint) Send(b *Batch) error {
 	}
 	return nil
 }
+
+// SendCopiesPayload implements SendCopier: Send serializes the payload onto
+// the socket, so the caller may recycle the buffer after a successful Send.
+func (ep *tcpEndpoint) SendCopiesPayload() bool { return true }
 
 func (ep *tcpEndpoint) Recv() (*Batch, error) {
 	select {

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Batch is a bulk transfer of serialized vertex messages from one worker to
@@ -108,9 +109,84 @@ type Network interface {
 	Close() error
 }
 
-// writeBatch frames and writes a batch to w.
-func writeBatch(w io.Writer, b *Batch) error {
-	hdr := make([]byte, batchHeaderSize)
+// Payload buffer recycling. Batch payloads are the data plane's dominant
+// allocation: every outgoing bulk transfer serializes into one and every
+// incoming TCP batch deserializes from one, at up to FlushBytes apiece,
+// thousands of times per job. The pool turns that churn into reuse. The
+// ownership contract: GetPayload hands the caller an exclusive buffer;
+// whoever consumes the batch last (the receiver after decoding, or a sender
+// whose endpoint copies payloads to the wire — see SendCopier) returns it
+// with PutPayload. Returning a buffer that is still referenced elsewhere is
+// a use-after-free-style bug, so only clear owners may recycle.
+
+// maxPooledPayload bounds the buffers the pool retains; anything larger
+// (oversized one-off transfers) is left to the garbage collector so a single
+// huge batch cannot pin memory for the rest of the process.
+const maxPooledPayload = 1 << 20
+
+var payloadPool sync.Pool // holds *[]byte with len 0
+
+// GetPayload returns a payload buffer of length n, reusing pooled capacity
+// when available.
+func GetPayload(n int) []byte {
+	if v := payloadPool.Get(); v != nil {
+		p := *(v.(*[]byte))
+		if cap(p) >= n {
+			return p[:n]
+		}
+	}
+	c := n
+	if c < 1024 {
+		c = 1024
+	}
+	return make([]byte, n, c)
+}
+
+// PutPayload recycles a buffer obtained from GetPayload (or any buffer the
+// caller exclusively owns). The buffer must not be used after the call.
+func PutPayload(p []byte) {
+	if cap(p) == 0 || cap(p) > maxPooledPayload {
+		return
+	}
+	p = p[:0]
+	payloadPool.Put(&p)
+}
+
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// GetBatch returns a zeroed Batch from the pool. Pair with PutBatch at the
+// point the batch is fully consumed (same ownership rules as payloads).
+func GetBatch() *Batch {
+	return batchPool.Get().(*Batch)
+}
+
+// PutBatch recycles a batch. The payload is NOT recycled (it may have been
+// handed off separately); callers recycle it with PutPayload when they own it.
+func PutBatch(b *Batch) {
+	*b = Batch{}
+	batchPool.Put(b)
+}
+
+// SendCopier is implemented by endpoints whose Send copies b.Payload to the
+// wire before returning (TCP): after a successful Send the caller still owns
+// the buffer and may recycle it with PutPayload. Endpoints without this
+// capability (the in-process channel transport) hand the payload off to the
+// receiver by reference, so only the receiver may recycle it.
+type SendCopier interface {
+	SendCopiesPayload() bool
+}
+
+// coalesceLimit is the largest payload writeBatch copies into its frame
+// buffer to ship header+payload as one Write (one syscall). Larger payloads
+// amortize a second write fine and would bloat the frame-buffer pool.
+const coalesceLimit = 256 << 10
+
+var frameBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4<<10)
+	return &b
+}}
+
+func putHeader(hdr []byte, b *Batch) {
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(b.From))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(b.To))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(b.Superstep))
@@ -118,34 +194,58 @@ func writeBatch(w io.Writer, b *Batch) error {
 	binary.LittleEndian.PutUint32(hdr[16:], uint32(b.Epoch))
 	binary.LittleEndian.PutUint32(hdr[20:], uint32(b.Seq))
 	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(b.Payload)))
-	if _, err := w.Write(hdr); err != nil {
-		return err
+}
+
+// writeBatch frames and writes a batch to w. Header and payload go out as a
+// single Write (one syscall on a socket) via a pooled frame buffer; only
+// payloads past coalesceLimit fall back to a second Write.
+func writeBatch(w io.Writer, b *Batch) error {
+	bufp := frameBufPool.Get().(*[]byte)
+	buf := (*bufp)[:batchHeaderSize]
+	putHeader(buf, b)
+	var err error
+	if len(b.Payload) <= coalesceLimit {
+		buf = append(buf, b.Payload...)
+		_, err = w.Write(buf)
+	} else {
+		if _, err = w.Write(buf); err == nil {
+			_, err = w.Write(b.Payload)
+		}
 	}
-	_, err := w.Write(b.Payload)
+	*bufp = buf[:0]
+	frameBufPool.Put(bufp)
 	return err
 }
 
-// readBatch reads one framed batch from r.
-func readBatch(r io.Reader) (*Batch, error) {
-	hdr := make([]byte, batchHeaderSize)
+// readBatch reads one framed batch from r into hdr (a caller-owned scratch
+// buffer of at least batchHeaderSize bytes, reused across calls). The
+// returned batch's payload comes from the payload pool; the consumer must
+// PutPayload it once decoded.
+func readBatch(r io.Reader, hdr []byte) (*Batch, error) {
+	hdr = hdr[:batchHeaderSize]
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
-	b := &Batch{
-		From:      int32(binary.LittleEndian.Uint32(hdr[0:])),
-		To:        int32(binary.LittleEndian.Uint32(hdr[4:])),
-		Superstep: int32(binary.LittleEndian.Uint32(hdr[8:])),
-		Count:     int32(binary.LittleEndian.Uint32(hdr[12:])),
-		Epoch:     int32(binary.LittleEndian.Uint32(hdr[16:])),
-		Seq:       int32(binary.LittleEndian.Uint32(hdr[20:])),
-	}
+	b := GetBatch()
+	b.From = int32(binary.LittleEndian.Uint32(hdr[0:]))
+	b.To = int32(binary.LittleEndian.Uint32(hdr[4:]))
+	b.Superstep = int32(binary.LittleEndian.Uint32(hdr[8:]))
+	b.Count = int32(binary.LittleEndian.Uint32(hdr[12:]))
+	b.Epoch = int32(binary.LittleEndian.Uint32(hdr[16:]))
+	b.Seq = int32(binary.LittleEndian.Uint32(hdr[20:]))
 	n := binary.LittleEndian.Uint32(hdr[24:])
 	if n > 1<<30 {
+		PutBatch(b)
 		return nil, fmt.Errorf("transport: absurd payload length %d", n)
 	}
-	b.Payload = make([]byte, n)
-	if _, err := io.ReadFull(r, b.Payload); err != nil {
-		return nil, err
+	if n > 0 {
+		b.Payload = GetPayload(int(n))
+		if _, err := io.ReadFull(r, b.Payload); err != nil {
+			PutPayload(b.Payload)
+			b.Payload = nil
+			PutBatch(b)
+			return nil, err
+		}
 	}
 	return b, nil
 }
