@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke
+.PHONY: build test race vet lint vetcheck test-invariants bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,32 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the full static gauntlet: stock go vet, the pregelvet suite
+# (internal/analysis — pool ownership, epoch stamping, transient-error
+# classification, nil-safe observability, lock order, compute determinism),
+# and, when present on PATH, staticcheck and govulncheck. The optional tools
+# are best-effort so the target works in hermetic environments.
+lint: vet
+	$(GO) run ./cmd/pregelvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "lint: govulncheck not installed, skipping"; fi
+
+# vetcheck proves the vettool protocol end to end: build the pregelvet
+# binary and drive it through `go vet -vettool`, the way editors and CI
+# integrations consume it.
+vetcheck:
+	$(GO) build -o bin/pregelvet ./cmd/pregelvet
+	$(GO) vet -vettool=$(CURDIR)/bin/pregelvet ./...
+
+# test-invariants compiles in the runtime assertions (double-put canaries in
+# the transport pool, receive-stream ordering checks) and runs the suite
+# under the race detector — the configuration the chaos soak is meant to
+# shake bugs out of.
+test-invariants:
+	$(GO) test -race -tags pregel_invariants -timeout 45m ./...
 
 # bench runs the allocation-counting suite (internal/bench) and merges the
 # results into BENCH_PR3.json under LABEL, so before/after pairs live in one

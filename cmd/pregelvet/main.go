@@ -1,0 +1,248 @@
+// Command pregelvet runs the pregelnet static-analysis suite
+// (internal/analysis): poolleak, epochstamp, transienterr, tracenil,
+// lockorder, nondeterminism.
+//
+// It runs in two modes:
+//
+// Standalone, over package patterns (defaults to ./... in the current
+// module):
+//
+//	pregelvet [-analyzers=name,name] [packages]
+//
+// As a vet tool, speaking the cmd/go unit-checking protocol, so findings
+// surface through the standard toolchain entry point:
+//
+//	go build -o pregelvet ./cmd/pregelvet
+//	go vet -vettool=$(pwd)/pregelvet ./...
+//
+// In both modes diagnostics print as file:line:col: analyzer: message, and
+// the exit status is nonzero iff there are findings (1 standalone, 2 as a
+// vet tool, matching each caller's convention).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pregelnet/internal/analysis"
+)
+
+func main() {
+	// The vet protocol probes the tool before handing it work: -V=full asks
+	// for a version line to key the build cache, -flags asks which vet flags
+	// the tool accepts (none), and the real invocation is a single *.cfg
+	// argument. Handle those shapes before standalone flag parsing.
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && (args[0] == "-V=full" || args[0] == "--V=full"):
+		// cmd/go keys its vet cache on this line; a "devel" version must
+		// carry a buildID, so hash the executable the way x/tools does.
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pregelvet:", err)
+			os.Exit(1)
+		}
+		data, err := os.ReadFile(exe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pregelvet:", err)
+			os.Exit(1)
+		}
+		h := sha256.Sum256(data)
+		fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+			filepath.Base(os.Args[0]), string(h[:4]))
+		return
+	case len(args) == 1 && (args[0] == "-flags" || args[0] == "--flags"):
+		fmt.Println("[]")
+		return
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(vetToolMode(args[0]))
+	}
+	os.Exit(standaloneMode(args))
+}
+
+func standaloneMode(args []string) int {
+	fs := flag.NewFlagSet("pregelvet", flag.ExitOnError)
+	names := fs.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	dir := fs.String("C", ".", "change to `dir` (a directory inside the target module) before loading")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: pregelvet [flags] [packages]\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers := analysis.All
+	if *names != "" {
+		var err error
+		if analyzers, err = analysis.ByName(*names); err != nil {
+			fmt.Fprintln(os.Stderr, "pregelvet:", err)
+			return 1
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	abs, err := filepath.Abs(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pregelvet:", err)
+		return 1
+	}
+	units, err := analysis.NewLoader(abs).Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pregelvet:", err)
+		return 1
+	}
+	diags := analysis.RunAnalyzers(units, analyzers)
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", relPos(d.Pos, abs), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relPos shortens a diagnostic position to be relative to base when possible.
+func relPos(pos token.Position, base string) string {
+	if rel, err := filepath.Rel(base, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		pos.Filename = rel
+	}
+	return pos.String()
+}
+
+// vetConfig is the JSON unit description cmd/go hands a vet tool: one
+// package's files plus the compiler-generated export data of every
+// dependency, so the unit typechecks without loading source transitively.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func vetToolMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pregelvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "pregelvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go reads the "vetx" facts file after every run; pregelvet keeps no
+	// cross-package facts, so an empty file satisfies the protocol.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "pregelvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "pregelvet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	var typeErr error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, os.Getenv("GOARCH")),
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	info := analysis.NewInfo()
+	pkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if typeErr != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "pregelvet: typechecking %s: %v\n", cfg.ImportPath, typeErr)
+		return 1
+	}
+
+	unit := &analysis.Unit{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}
+	diags := analysis.RunAnalyzers([]*analysis.Unit{unit}, analysis.All)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,204 @@
+// Package analysis implements pregelvet, a suite of static analyzers that
+// mechanically enforce this codebase's cross-cutting invariants: the
+// transport pool's GetPayload/PutPayload ownership contract, recovery-epoch
+// stamping at enqueue time, ErrTransient classification on retry paths, the
+// nil-safe observability facade, consistent mutex acquisition order, and
+// determinism of replayed superstep compute.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Reportf, analysistest-style fixtures) but is built
+// entirely on the standard library's go/ast and go/types, with package
+// loading driven by `go list -deps -json` and from-source typechecking —
+// the build environment pins its dependency set, so the suite must be
+// self-contained.
+//
+// Suppression: a diagnostic is suppressed by a directive comment on the
+// flagged line or the line directly above it:
+//
+//	//pregelvet:ignore <name>[,<name>...] [reason]
+//	//pregelvet:ignore all [reason]
+//	//lint:ignore pregelvet-<name> [reason]   (staticcheck-style alias)
+//
+// Individual analyzers document additional, more precise directives
+// (//pregelvet:terminal, //pregelvet:retrypath, //pregelvet:allow).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. Run inspects a Pass (one
+// package) and reports diagnostics through it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run performs the check on one package.
+	Run func(*Pass)
+}
+
+// A Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass presents one typechecked package to one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags   *[]Diagnostic
+	ignores map[int][]string // file-base-offset line -> suppressed analyzer names
+}
+
+// Reportf records a diagnostic at pos unless an ignore directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, name := range p.ignores[lineKey(position.Filename, line)] {
+			if name == "all" || name == p.Analyzer.Name {
+				return
+			}
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// CommentDirectives returns every directive comment (//pregelvet:... or
+// //lint:ignore ...) in the pass's files keyed by position, for analyzers
+// that define their own directives.
+func (p *Pass) CommentDirectives() map[token.Position]string {
+	out := make(map[token.Position]string)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if strings.HasPrefix(text, "pregelvet:") || strings.HasPrefix(text, "lint:ignore") {
+					out[p.Fset.Position(c.Pos())] = text
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lineKey folds filename+line into a map key without allocating a struct
+// per lookup in the common same-file case.
+func lineKey(filename string, line int) int {
+	h := 0
+	for i := 0; i < len(filename); i++ {
+		h = h*131 + int(filename[i])
+	}
+	return h*1_000_003 + line
+}
+
+// collectIgnores scans a file's comments for suppression directives.
+func collectIgnores(fset *token.FileSet, f *ast.File, into map[int][]string) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			var names string
+			switch {
+			case strings.HasPrefix(text, "pregelvet:ignore"):
+				names = strings.TrimSpace(strings.TrimPrefix(text, "pregelvet:ignore"))
+			case strings.HasPrefix(text, "lint:ignore pregelvet-"):
+				names = strings.TrimSpace(strings.TrimPrefix(text, "lint:ignore pregelvet-"))
+			default:
+				continue
+			}
+			if i := strings.IndexAny(names, " \t"); i >= 0 {
+				names = names[:i] // rest of the line is the human reason
+			}
+			if names == "" {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			key := lineKey(pos.Filename, pos.Line)
+			into[key] = append(into[key], strings.Split(names, ",")...)
+		}
+	}
+}
+
+// All is the full pregelvet suite, in reporting order.
+var All = []*Analyzer{
+	PoolLeak,
+	EpochStamp,
+	TransientErr,
+	TraceNil,
+	LockOrder,
+	NonDeterminism,
+}
+
+// ByName returns the analyzers with the given comma-separated names.
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+next:
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		for _, a := range All {
+			if a.Name == name {
+				out = append(out, a)
+				continue next
+			}
+		}
+		return nil, fmt.Errorf("unknown analyzer %q", name)
+	}
+	return out, nil
+}
+
+// RunAnalyzers applies each analyzer to each unit and returns all
+// diagnostics sorted by file position.
+func RunAnalyzers(units []*Unit, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, u := range units {
+		ignores := make(map[int][]string)
+		for _, f := range u.Files {
+			collectIgnores(u.Fset, f, ignores)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      u.Fset,
+				Files:     u.Files,
+				Pkg:       u.Pkg,
+				TypesInfo: u.Info,
+				diags:     &diags,
+				ignores:   ignores,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

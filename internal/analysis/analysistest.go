@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Fixture harness, modeled on golang.org/x/tools/go/analysis/analysistest:
+// each analyzer has a directory of Go files under testdata/<name> whose
+// offending lines carry `// want "regexp"` comments. The harness typechecks
+// the fixture (resolving stub packages from testdata/src and the standard
+// library through the loader), runs the analyzer, and requires an exact
+// match between diagnostics and want annotations — a missing diagnostic and
+// an unexpected one are both failures, so every analyzer keeps at least one
+// firing and one passing case honest.
+
+// stubPrefix marks fixture imports resolved from testdata/src instead of
+// the module or standard library.
+const stubPrefix = "pregelvetstub/"
+
+// FixtureResult reports the mismatches from one fixture run, empty on
+// success. Returned rather than asserted so the _test files stay trivial.
+type FixtureResult struct {
+	// Unmatched diagnostics: reported but no want comment matched.
+	Unexpected []Diagnostic
+	// Unmatched wants, as "file:line: pattern".
+	Missing []string
+}
+
+// RunFixture loads testdata/<fixture>, applies the analyzer, and matches
+// diagnostics against want comments. The loader is shared across calls so
+// the standard library typechecks once per test binary.
+func RunFixture(l *Loader, a *Analyzer, fixtureDir string) (*FixtureResult, error) {
+	fixtureFiles, err := parseDir(l, fixtureDir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve imports depth-first: stubs parse from testdata/src (recorded
+	// post-order, dependencies first), everything else is standard library.
+	var stdPaths []string
+	type stub struct {
+		path  string
+		files []*ast.File
+	}
+	var stubOrder []stub
+	seenStubs := map[string]bool{}
+	var resolve func(files []*ast.File) error
+	resolve = func(files []*ast.File) error {
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				path, _ := strconv.Unquote(imp.Path.Value)
+				if !strings.HasPrefix(path, stubPrefix) {
+					stdPaths = append(stdPaths, path)
+					continue
+				}
+				if seenStubs[path] || l.Typed(path) != nil {
+					continue
+				}
+				seenStubs[path] = true
+				stubDir := filepath.Join(filepath.Dir(fixtureDir), "src", filepath.FromSlash(path))
+				stubFiles, err := parseDir(l, stubDir)
+				if err != nil {
+					return fmt.Errorf("stub %s: %w", path, err)
+				}
+				if err := resolve(stubFiles); err != nil {
+					return err
+				}
+				stubOrder = append(stubOrder, stub{path, stubFiles})
+			}
+		}
+		return nil
+	}
+	if err := resolve(fixtureFiles); err != nil {
+		return nil, err
+	}
+	if len(stdPaths) > 0 {
+		sort.Strings(stdPaths)
+		stdPaths = uniq(stdPaths)
+		if _, err := l.Load(stdPaths...); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range stubOrder {
+		if _, err := l.TypecheckFiles(s.path, s.files); err != nil {
+			return nil, err
+		}
+	}
+
+	unit, err := l.TypecheckFiles("fixture/"+filepath.Base(fixtureDir), fixtureFiles)
+	if err != nil {
+		return nil, err
+	}
+	diags := RunAnalyzers([]*Unit{unit}, []*Analyzer{a})
+	return matchWants(l, fixtureFiles, diags)
+}
+
+// parseDir parses every .go file in dir into the loader's FileSet.
+func parseDir(l *Loader, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// matchWants pairs diagnostics with want annotations line by line.
+func matchWants(l *Loader, files []*ast.File, diags []Diagnostic) (*FixtureResult, error) {
+	type wantKey struct {
+		file string
+		line int
+	}
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := l.Fset.Position(c.Pos())
+				for _, quoted := range splitQuoted(m[1]) {
+					pattern, err := strconv.Unquote(quoted)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %s: %v", pos, quoted, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					key := wantKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	res := &FixtureResult{}
+	for _, d := range diags {
+		key := wantKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[key] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[key][i] = nil // consume
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			res.Unexpected = append(res.Unexpected, d)
+		}
+	}
+	var keys []wantKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, re := range wants[k] {
+			if re != nil {
+				res.Missing = append(res.Missing,
+					fmt.Sprintf("%s:%d: expected diagnostic matching %q", k.file, k.line, re))
+			}
+		}
+	}
+	return res, nil
+}
+
+// splitQuoted extracts the double-quoted segments of a want comment tail.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexByte(s, '"')
+		if start < 0 {
+			return out
+		}
+		rest := s[start+1:]
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[start:start+end+2])
+		s = rest[end+1:]
+	}
+}
+
+func uniq(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

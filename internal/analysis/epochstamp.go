@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EpochStamp enforces recovery-epoch stamping: a transport.Batch headed for
+// the wire must carry the sender's recovery epoch, or receivers cannot
+// reject stale in-flight data after a checkpoint rollback (the silent
+// corruption mode the chaos soak exists to catch). Two construction shapes
+// are checked in every package except transport itself (the wire layer
+// decodes epochs, it does not originate them):
+//
+//   - composite literals transport.Batch{...} that omit the Epoch field and
+//     are never followed by an explicit `.Epoch =` assignment on the same
+//     variable in the same function, and
+//   - batches built field-by-field from transport.GetBatch() (From/To
+//     assigned) that are passed directly to a Send method without an Epoch
+//     assignment in between. Handing the batch to an intermediary (the
+//     engine's enqueue path, which stamps at enqueue time) is trusted.
+//
+// Suppress deliberately epoch-free batches (raw transport tools) with
+// //pregelvet:ignore epochstamp.
+var EpochStamp = &Analyzer{
+	Name: "epochstamp",
+	Doc:  "batches must be stamped with the recovery epoch before they reach Send",
+	Run:  runEpochStamp,
+}
+
+func runEpochStamp(pass *Pass) {
+	if pkgHasSuffix(pass.Pkg, "transport") {
+		return
+	}
+	info := pass.TypesInfo
+	for _, scope := range funcScopes(pass.Files) {
+		// Every `x.Epoch = ...` target object in this scope.
+		stamped := make(map[types.Object]bool)
+		inspectSkipFuncLit(scope.body, func(n ast.Node) {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return
+			}
+			for _, lhs := range as.Lhs {
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "Epoch" {
+					if base, ok := sel.X.(*ast.Ident); ok {
+						if obj := objOfIdent(info, base); obj != nil {
+							stamped[obj] = true
+						}
+					}
+				}
+			}
+		})
+
+		inspectSkipFuncLit(scope.body, func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkBatchLiteral(pass, info, n, stamped, scope)
+			case *ast.CallExpr:
+				checkUnstampedSend(pass, info, n, stamped)
+			}
+		})
+	}
+}
+
+// checkBatchLiteral flags transport.Batch{...} literals missing Epoch.
+func checkBatchLiteral(pass *Pass, info *types.Info, lit *ast.CompositeLit, stamped map[types.Object]bool, scope funcScope) {
+	tv, ok := info.Types[lit]
+	if !ok || !namedIn(tv.Type, "transport", "Batch") {
+		return
+	}
+	if len(lit.Elts) > 0 {
+		if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+			return // positional literal sets every field, Epoch included
+		}
+	}
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Epoch" {
+				return
+			}
+		}
+	}
+	// A literal assigned to a variable that is later stamped is fine.
+	if parents := parentMap(scope.body); true {
+		for p := parents[lit]; p != nil; p = parents[p] {
+			if as, ok := p.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := objOfIdent(info, id); obj != nil && stamped[obj] {
+							return
+						}
+					}
+				}
+			}
+		}
+	}
+	pass.Reportf(lit.Pos(),
+		"transport.Batch constructed without Epoch: receivers cannot drop this batch after a rollback; stamp the recovery epoch at enqueue time")
+}
+
+// checkUnstampedSend flags Send(batchVar) where batchVar came from
+// transport.GetBatch() in this scope, was built up (From/To assigned) but
+// never Epoch-stamped.
+func checkUnstampedSend(pass *Pass, info *types.Info, call *ast.CallExpr, stamped map[types.Object]bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Send" || len(call.Args) != 1 {
+		return
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := objOfIdent(info, arg)
+	if obj == nil || stamped[obj] {
+		return
+	}
+	if !namedIn(obj.Type(), "transport", "Batch") {
+		return
+	}
+	// Only batches assembled locally are checked; a batch received as a
+	// parameter or from a queue was stamped by its producer.
+	if !assembledFromGetBatch(pass, info, obj) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"batch %s is sent without a recovery-epoch stamp; assign Epoch before Send or route through the stamping enqueue path", arg.Name)
+}
+
+// assembledFromGetBatch reports whether obj is initialized from
+// transport.GetBatch() somewhere in the package (local construction rather
+// than pass-through).
+func assembledFromGetBatch(pass *Pass, info *types.Info, obj types.Object) bool {
+	found := false
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || found {
+				return !found
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || objOfIdent(info, id) != obj || i >= len(as.Rhs) {
+					continue
+				}
+				if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+					if isPkgFunc(calleeFunc(info, call), "transport", "GetBatch") {
+						found = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return found
+}

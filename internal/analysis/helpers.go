@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Shared AST/type utilities for the analyzers.
+
+// pkgHasSuffix reports whether pkg's import path is exactly suffix or ends
+// in "/"+suffix, so analyzers match both the real module packages
+// (pregelnet/internal/transport) and test-fixture stubs (.../transport).
+func pkgHasSuffix(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// calleeFunc resolves a call expression's static callee (package function or
+// method), or nil for calls through function values, builtins, and
+// conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the named function/method in a package
+// whose path matches pkgSuffix (see pkgHasSuffix).
+func isPkgFunc(fn *types.Func, pkgSuffix, name string) bool {
+	return fn != nil && fn.Name() == name && pkgHasSuffix(fn.Pkg(), pkgSuffix)
+}
+
+// namedIn reports whether t (after stripping pointers) is the named type
+// name in a package matching pkgSuffix.
+func namedIn(t types.Type, pkgSuffix, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && pkgHasSuffix(obj.Pkg(), pkgSuffix)
+}
+
+// funcScope is one function-shaped body: a declaration or a literal.
+// Literals are separate scopes — analyses that track state linearly through
+// a body (lock sets, pool ownership) must not leak it into closures that
+// run at another time.
+type funcScope struct {
+	name string
+	decl *ast.FuncDecl // nil for literals
+	body *ast.BlockStmt
+}
+
+// funcScopes yields every function body in the files: declarations and all
+// function literals, each as its own scope.
+func funcScopes(files []*ast.File) []funcScope {
+	var scopes []funcScope
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scopes = append(scopes, funcScope{name: fd.Name.Name, decl: fd, body: fd.Body})
+			inspectSkipFuncLit(fd.Body, func(n ast.Node) {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					scopes = append(scopes, funcScope{name: fd.Name.Name + ".func", body: lit.Body})
+					collectNestedLits(lit.Body, fd.Name.Name, &scopes)
+				}
+			})
+		}
+	}
+	return scopes
+}
+
+func collectNestedLits(body *ast.BlockStmt, base string, scopes *[]funcScope) {
+	inspectSkipFuncLit(body, func(n ast.Node) {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			*scopes = append(*scopes, funcScope{name: base + ".func", body: lit.Body})
+			collectNestedLits(lit.Body, base, scopes)
+		}
+	})
+}
+
+// inspectSkipFuncLit walks body visiting every node except the interiors of
+// nested function literals (the literal node itself is visited).
+func inspectSkipFuncLit(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n != body {
+			if _, ok := n.(*ast.FuncLit); ok {
+				visit(n)
+				return false
+			}
+		}
+		visit(n)
+		return true
+	})
+}
+
+// parentMap maps each node in root to its parent, for ancestor walks.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// ancestorPath returns the chain of ancestors from n (exclusive) to the
+// root, innermost first.
+func ancestorPath(n ast.Node, parents map[ast.Node]ast.Node) []ast.Node {
+	var path []ast.Node
+	for p := parents[n]; p != nil; p = parents[p] {
+		path = append(path, p)
+	}
+	return path
+}
+
+// branchDiverged reports whether a and b sit in different arms of the same
+// branching statement (select/switch clauses, or the then/else halves of an
+// if): execution of one implies the other did not run in that instance.
+func branchDiverged(a, b ast.Node, parents map[ast.Node]ast.Node) bool {
+	pathA := ancestorPath(a, parents)
+	inA := make(map[ast.Node]ast.Node) // ancestor -> child of that ancestor on a's path
+	child := a
+	for _, anc := range pathA {
+		inA[anc] = child
+		child = anc
+	}
+	child = b
+	for p := parents[b]; p != nil; p = parents[p] {
+		if childA, shared := inA[p]; shared {
+			// p is the lowest common ancestor; diverged if it branches and
+			// the two paths enter through different children.
+			if childA == child {
+				return false
+			}
+			switch p.(type) {
+			case *ast.SelectStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.IfStmt:
+				return true
+			case *ast.BlockStmt:
+				// Switch and select arms hang off the statement's body block:
+				// the LCA of two different clauses is the block, not the
+				// switch/select node itself.
+				if isBranchClause(childA) && isBranchClause(child) {
+					return true
+				}
+			}
+			return false
+		}
+		child = p
+	}
+	return false
+}
+
+// isBranchClause reports whether n is one arm of a switch or select.
+func isBranchClause(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.CaseClause, *ast.CommClause:
+		return true
+	}
+	return false
+}
+
+// stmtLists yields every statement list in body (blocks plus switch/select
+// clause bodies) for straight-line sequential scans.
+func stmtLists(body *ast.BlockStmt, visit func([]ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			visit(n.List)
+		case *ast.CaseClause:
+			visit(n.Body)
+		case *ast.CommClause:
+			visit(n.Body)
+		case *ast.FuncLit:
+			return false // separate scope
+		}
+		return true
+	})
+}
+
+// objOfIdent resolves the object an identifier defines or uses.
+func objOfIdent(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// usesOf collects every identifier inside root (excluding nested function
+// literals when skipLits) that refers to obj.
+func usesOf(root ast.Node, info *types.Info, obj types.Object) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(root, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objOfIdent(info, id) == obj {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}

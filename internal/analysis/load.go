@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package loading. The analyzers need fully typechecked syntax for every
+// package in the module, which golang.org/x/tools/go/packages would normally
+// provide; this loader reproduces the minimal subset on the standard
+// library: `go list -deps -json` enumerates the import graph in dependency
+// order, and each package (standard library included) is typechecked from
+// source with go/types. CGO_ENABLED=0 keeps the file sets pure Go. A full
+// module load typechecks in a few seconds and needs no network.
+
+// A Unit is one typechecked package ready for analysis.
+type Unit struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// A Loader typechecks packages on demand and caches results, so fixture
+// tests can seed the standard library once and repo runs can load ./... in
+// one shot. Methods are not safe for concurrent use.
+type Loader struct {
+	// Dir is the directory `go list` runs in (the module root).
+	Dir string
+	// Fset positions every file loaded through this loader.
+	Fset *token.FileSet
+
+	typed map[string]*types.Package
+	// syntax and type info retained for non-standard packages only, so Load
+	// can hand them back as units; the standard library keeps just the
+	// *types.Package it exports.
+	parsedFiles map[string][]*ast.File
+	parsedInfo  map[string]*types.Info
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:         dir,
+		Fset:        token.NewFileSet(),
+		typed:       make(map[string]*types.Package),
+		parsedFiles: make(map[string][]*ast.File),
+		parsedInfo:  make(map[string]*types.Info),
+	}
+}
+
+// Typed returns the cached typechecked package for an import path, or nil.
+func (l *Loader) Typed(path string) *types.Package { return l.typed[path] }
+
+// Importer returns a types.Importer resolving against the loader's cache,
+// including the standard library's vendored import paths.
+func (l *Loader) Importer() types.Importer {
+	return importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if p, ok := l.typed[path]; ok {
+			return p, nil
+		}
+		// Standard-library packages import their vendored copies of
+		// golang.org/x/... by unvendored path.
+		if p, ok := l.typed["vendor/"+path]; ok {
+			return p, nil
+		}
+		return nil, fmt.Errorf("package %q not loaded", path)
+	})
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Load lists patterns with their full dependency graph, typechecks
+// everything not already cached, and returns units for the non-standard
+// (module-local) packages, in dependency order.
+func (l *Loader) Load(patterns ...string) ([]*Unit, error) {
+	args := append([]string{"list", "-deps", "-e",
+		"-json=ImportPath,Dir,GoFiles,Standard,Incomplete,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var order []*listPackage
+	for dec.More() {
+		p := new(listPackage)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		order = append(order, p)
+	}
+	var units []*Unit
+	for _, p := range order {
+		if p.ImportPath == "unsafe" {
+			continue
+		}
+		if _, done := l.typed[p.ImportPath]; !done {
+			if err := l.typecheck(p); err != nil {
+				return nil, err
+			}
+		}
+		if !p.Standard {
+			units = append(units, l.unitFor(p))
+		}
+	}
+	return units, nil
+}
+
+func (l *Loader) unitFor(p *listPackage) *Unit {
+	return &Unit{
+		ImportPath: p.ImportPath,
+		Dir:        p.Dir,
+		Fset:       l.Fset,
+		Files:      l.parsedFiles[p.ImportPath],
+		Pkg:        l.typed[p.ImportPath],
+		Info:       l.parsedInfo[p.ImportPath],
+	}
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// TypecheckFiles typechecks already-parsed files (positioned in l.Fset) as
+// one package under importPath, resolving imports through the loader's
+// cache, and registers the result so later packages can import it. Used by
+// the fixture test harness for packages that live outside any module
+// (testdata stubs and fixtures).
+func (l *Loader) TypecheckFiles(importPath string, files []*ast.File) (*Unit, error) {
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l.Importer(),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if len(typeErrs) < 8 {
+				typeErrs = append(typeErrs, err.Error())
+			}
+		},
+	}
+	info := NewInfo()
+	pkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("typechecking %s:\n  %s", importPath, strings.Join(typeErrs, "\n  "))
+	}
+	l.typed[importPath] = pkg
+	return &Unit{ImportPath: importPath, Fset: l.Fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+func (l *Loader) typecheck(p *listPackage) error {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(p.Dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %v", p.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l.Importer(),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if len(typeErrs) < 8 {
+				typeErrs = append(typeErrs, err.Error())
+			}
+		},
+	}
+	info := NewInfo()
+	pkg, _ := conf.Check(p.ImportPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return fmt.Errorf("typechecking %s:\n  %s", p.ImportPath, strings.Join(typeErrs, "\n  "))
+	}
+	l.typed[p.ImportPath] = pkg
+	if !p.Standard {
+		l.parsedFiles[p.ImportPath] = files
+		l.parsedInfo[p.ImportPath] = info
+	}
+	return nil
+}

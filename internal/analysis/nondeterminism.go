@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NonDeterminism bans wall-clock and PRNG calls from superstep compute
+// paths. Recovery replays supersteps from a checkpoint; a vertex program
+// that consults time.Now or math/rand computes different messages on replay
+// than it did originally, so the replayed execution diverges from the one
+// the checkpoint fenced — the corruption is silent and only surfaces as
+// "results differ under faults". Two scopes are compute paths:
+//
+//   - everything in a package whose import path ends in /algorithms (the
+//     vertex program library), and
+//   - any method named Compute in any package (the Program contract).
+//
+// A function that needs randomness deterministically (seeded per vertex and
+// superstep) or timing for non-semantic telemetry can opt out with
+// //pregelvet:allow nondeterminism in its doc comment, or per line with
+// //pregelvet:ignore nondeterminism.
+var NonDeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "no time.Now/math/rand in superstep compute paths (replay determinism)",
+	Run:  runNonDeterminism,
+}
+
+const allowDirective = "pregelvet:allow nondeterminism"
+
+func runNonDeterminism(pass *Pass) {
+	wholePkg := pkgHasSuffix(pass.Pkg, "algorithms")
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !wholePkg && (fd.Recv == nil || fd.Name.Name != "Compute") {
+				continue
+			}
+			if hasDirective(fd.Doc, allowDirective) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				pkgPath := fn.Pkg().Path()
+				switch {
+				case pkgPath == "time" && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"):
+				case pkgPath == "math/rand" || pkgPath == "math/rand/v2" ||
+					strings.HasSuffix(pkgPath, "/math/rand"):
+				default:
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"%s.%s in a superstep compute path: replayed supersteps diverge after recovery; derive values from (superstep, vertex) state or annotate //pregelvet:allow nondeterminism",
+					pkgPath, fn.Name())
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolLeak enforces the transport pool's ownership contract: every buffer or
+// batch acquired from the pool (transport.GetPayload, transport.GetBatch,
+// and batch-producing reads like Endpoint.Recv) must, in the acquiring
+// function, either be released (PutPayload/PutBatch) or ownership-
+// transferred — passed to another function, sent on a channel, stored into a
+// longer-lived structure, or returned. It also flags the two easy ways to
+// get the contract wrong:
+//
+//   - a return statement reachable while an acquired value is still owned
+//     and unreleased (the classic missed-Put on an early exit), and
+//   - touching a value after handing it back to the pool (retained-after-put
+//     aliasing), detected over straight-line statement sequences.
+//
+// The check is intraprocedural and heuristic: any call argument position
+// counts as an ownership transfer (the callee is presumed a documented
+// owner), and branch-sensitivity is limited to "different arms of the same
+// select/switch/if cannot both have executed". Suppress a deliberate
+// violation with //pregelvet:ignore poolleak.
+var PoolLeak = &Analyzer{
+	Name: "poolleak",
+	Doc:  "transport pool buffers must be released or ownership-transferred on every path",
+	Run:  runPoolLeak,
+}
+
+// isPoolAcquire reports whether call yields pooled transport memory: the
+// pool getters themselves, or any transport-package call whose first result
+// is a *Batch (framing reads, Endpoint.Recv) — those hand the receiver a
+// pooled batch it must consume.
+func isPoolAcquire(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if isPkgFunc(fn, "transport", "GetPayload") || isPkgFunc(fn, "transport", "GetBatch") {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return pkgHasSuffix(fn.Pkg(), "transport") && namedIn(sig.Results().At(0).Type(), "transport", "Batch")
+}
+
+// isPoolRelease reports whether fn is one of the pool's release entry
+// points.
+func isPoolRelease(fn *types.Func) bool {
+	return isPkgFunc(fn, "transport", "PutPayload") || isPkgFunc(fn, "transport", "PutBatch")
+}
+
+// acquisition is one tracked pool acquisition within a function scope.
+type acquisition struct {
+	call *ast.CallExpr
+	obj  types.Object // the local variable holding the pooled value
+	err  types.Object // the error twin from `b, err := ...`, or nil
+}
+
+func runPoolLeak(pass *Pass) {
+	for _, scope := range funcScopes(pass.Files) {
+		runPoolLeakScope(pass, scope)
+		runRetainedAfterPut(pass, scope)
+	}
+}
+
+func runPoolLeakScope(pass *Pass, scope funcScope) {
+	info := pass.TypesInfo
+	var acqs []acquisition
+	inspectSkipFuncLit(scope.body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isPoolAcquire(info, call) {
+			return
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := objOfIdent(info, id)
+		if obj == nil {
+			return
+		}
+		a := acquisition{call: call, obj: obj}
+		if len(as.Lhs) == 2 { // b, err := ...
+			if errID, ok := as.Lhs[1].(*ast.Ident); ok {
+				a.err = objOfIdent(info, errID)
+			}
+		}
+		acqs = append(acqs, a)
+	})
+	if len(acqs) == 0 {
+		return
+	}
+
+	parents := parentMap(scope.body)
+	var returns []*ast.ReturnStmt
+	ast.Inspect(scope.body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, r)
+		}
+		return true
+	})
+
+	for _, a := range acqs {
+		var transfers []*ast.Ident
+		for _, use := range usesOf(scope.body, info, a.obj) {
+			if use.Pos() <= a.call.End() && use.Pos() >= a.call.Pos() {
+				continue
+			}
+			if isTransferUse(use, parents) {
+				transfers = append(transfers, use)
+			}
+		}
+		if len(transfers) == 0 {
+			pass.Reportf(a.call.Pos(),
+				"%s acquired from the transport pool is never released (PutPayload/PutBatch) or transferred; pooled memory leaks",
+				a.obj.Name())
+			continue
+		}
+		// Early-exit check: every return after the acquisition needs a
+		// transfer that already happened on its path.
+		for _, r := range returns {
+			if r.Pos() <= a.call.End() {
+				continue
+			}
+			if returnExempt(r, a, parents, info) {
+				continue
+			}
+			dominated := false
+			for _, u := range transfers {
+				if u.Pos() < r.Pos() && !branchDiverged(u, r, parents) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				pass.Reportf(r.Pos(),
+					"return while %s (acquired from the transport pool at line %d) is unreleased on this path",
+					a.obj.Name(), pass.Fset.Position(a.call.Pos()).Line)
+			}
+		}
+	}
+}
+
+// returnExempt reports whether a return statement is excused from the
+// early-exit check: it returns the value itself, or it sits in the standard
+// `v, err := acquire(); if err != nil { return ... }` guard where the
+// convention is that v is nil/empty on error.
+func returnExempt(r *ast.ReturnStmt, a acquisition, parents map[ast.Node]ast.Node, info *types.Info) bool {
+	returnsValue := false
+	ast.Inspect(r, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objOfIdent(info, id) == a.obj {
+			returnsValue = true
+		}
+		return true
+	})
+	if returnsValue {
+		return true
+	}
+	if a.err == nil {
+		return false
+	}
+	for p := parents[r]; p != nil; p = parents[p] {
+		if ifStmt, ok := p.(*ast.IfStmt); ok {
+			usesErr := false
+			ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && objOfIdent(info, id) == a.err {
+					usesErr = true
+				}
+				return true
+			})
+			if usesErr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isTransferUse classifies one identifier use: does it release the value or
+// move its ownership somewhere this analysis cannot see (and therefore
+// trusts)?
+func isTransferUse(use *ast.Ident, parents map[ast.Node]ast.Node) bool {
+	child := ast.Node(use)
+	for p := parents[use]; p != nil; p = parents[p] {
+		switch pn := p.(type) {
+		case *ast.CallExpr:
+			if pn.Fun != child { // an argument, not the callee expression
+				return true
+			}
+		case *ast.SendStmt:
+			if pn.Value == child {
+				return true
+			}
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.FuncLit:
+			// Returned, stored in a literal, or captured by a closure.
+			return true
+		case *ast.UnaryExpr:
+			if pn.Op == token.AND {
+				return true
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range pn.Rhs {
+				if containsNode(rhs, child) {
+					return true // aliased or stored; the new holder owns it
+				}
+			}
+			return false
+		case *ast.SelectorExpr:
+			if pn.X == child {
+				child = p
+				continue // b.Payload passed along still moves b's memory
+			}
+			return false
+		case ast.Stmt:
+			return false
+		}
+		child = p
+	}
+	return false
+}
+
+// containsNode reports whether target is within root.
+func containsNode(root, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// putKey identifies what a Put call released: a plain variable, or one
+// field of a variable (b.Payload).
+type putKey struct {
+	obj   types.Object
+	field string // empty for the whole variable
+}
+
+// runRetainedAfterPut scans straight-line statement sequences for uses of a
+// value after the statement that returned it to the pool.
+func runRetainedAfterPut(pass *Pass, scope funcScope) {
+	info := pass.TypesInfo
+	stmtLists(scope.body, func(list []ast.Stmt) {
+		for i, stmt := range list {
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok || !isPoolRelease(calleeFunc(info, call)) || len(call.Args) != 1 {
+				continue
+			}
+			key, ok := putKeyOf(info, call.Args[0])
+			if !ok {
+				continue
+			}
+			scanAfterPut(pass, info, call, key, list[i+1:])
+		}
+	})
+}
+
+func putKeyOf(info *types.Info, arg ast.Expr) (putKey, bool) {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		if obj := objOfIdent(info, e); obj != nil {
+			return putKey{obj: obj}, true
+		}
+	case *ast.SelectorExpr:
+		if base, ok := e.X.(*ast.Ident); ok {
+			if obj := objOfIdent(info, base); obj != nil {
+				return putKey{obj: obj, field: e.Sel.Name}, true
+			}
+		}
+	}
+	return putKey{}, false
+}
+
+func scanAfterPut(pass *Pass, info *types.Info, put *ast.CallExpr, key putKey, rest []ast.Stmt) {
+	fnName := "PutPayload"
+	if fn := calleeFunc(info, put); fn != nil {
+		fnName = fn.Name()
+	}
+	for _, stmt := range rest {
+		// A reassignment of exactly the released variable/field re-arms it.
+		if as, ok := stmt.(*ast.AssignStmt); ok {
+			rearmed := false
+			for _, lhs := range as.Lhs {
+				if k, ok := putKeyOf(info, lhs); ok && k.obj == key.obj &&
+					(k.field == key.field || k.field == "") {
+					rearmed = true
+				}
+			}
+			if rearmed {
+				return
+			}
+		}
+		var bad ast.Node
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if bad != nil {
+				return false
+			}
+			if key.field == "" {
+				if id, ok := n.(*ast.Ident); ok && objOfIdent(info, id) == key.obj {
+					bad = id
+				}
+				return true
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == key.field {
+				if base, ok := sel.X.(*ast.Ident); ok && objOfIdent(info, base) == key.obj {
+					bad = sel
+				}
+			}
+			return true
+		})
+		if bad != nil {
+			what := key.obj.Name()
+			if key.field != "" {
+				what += "." + key.field
+			}
+			pass.Reportf(bad.Pos(),
+				"%s is used after %s returned it to the pool (use-after-free once another goroutine reuses the buffer)",
+				what, fnName)
+			return // one report per put site keeps the signal clean
+		}
+	}
+}

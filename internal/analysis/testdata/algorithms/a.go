@@ -1,0 +1,22 @@
+// Fixture for the nondeterminism analyzer's package-wide mode: anything in
+// an .../algorithms package is a compute path, including free functions.
+package algorithms
+
+import "time"
+
+func tieBreak(a, b int64) int64 {
+	if a == b {
+		return time.Now().UnixNano() // want "time.Now"
+	}
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func deterministicTieBreak(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

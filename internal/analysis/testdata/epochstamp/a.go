@@ -1,0 +1,55 @@
+// Fixture for the epochstamp analyzer: batches reaching Send with and
+// without a recovery-epoch stamp.
+package epochstamp
+
+import "pregelvetstub/transport"
+
+func literalMissing(ep transport.Endpoint) error {
+	b := &transport.Batch{From: 1, To: 2} // want "without Epoch"
+	return ep.Send(b)
+}
+
+func literalStamped(ep transport.Endpoint, epoch int32) error {
+	b := &transport.Batch{From: 1, To: 2, Epoch: epoch}
+	return ep.Send(b)
+}
+
+func literalStampedLater(ep transport.Endpoint, epoch int32) error {
+	b := &transport.Batch{From: 1, To: 2}
+	b.Epoch = epoch
+	return ep.Send(b)
+}
+
+func literalPositional(ep transport.Endpoint) error {
+	b := &transport.Batch{1, 2, 0, 0, 3, 1, nil}
+	return ep.Send(b)
+}
+
+func pooledUnstamped(ep transport.Endpoint) error {
+	b := transport.GetBatch()
+	b.From = 1
+	b.To = 2
+	return ep.Send(b) // want "without a recovery-epoch stamp"
+}
+
+func pooledStamped(ep transport.Endpoint, epoch int32) error {
+	b := transport.GetBatch()
+	b.From = 1
+	b.To = 2
+	b.Epoch = epoch
+	return ep.Send(b)
+}
+
+// pooledHandoff mirrors the engine's enqueue path: handing the batch to an
+// intermediary that stamps at enqueue time is the trusted pattern.
+func pooledHandoff(enqueue func(*transport.Batch)) {
+	b := transport.GetBatch()
+	b.From = 1
+	enqueue(b)
+}
+
+func ignored(ep transport.Endpoint) error {
+	b := transport.GetBatch()
+	b.From = 1
+	return ep.Send(b) //pregelvet:ignore epochstamp raw transport tool, no engine epochs
+}

@@ -1,0 +1,89 @@
+// Fixture for the lockorder analyzer: inconsistent acquisition orders,
+// nested self-acquisition, and the clean patterns that must stay silent.
+package lockorder
+
+import "sync"
+
+type engine struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (e *engine) abOrder() {
+	e.a.Lock()
+	e.b.Lock() // want "inconsistent lock order"
+	e.b.Unlock()
+	e.a.Unlock()
+}
+
+func (e *engine) baOrder() {
+	e.b.Lock()
+	e.a.Lock()
+	e.a.Unlock()
+	e.b.Unlock()
+}
+
+type nested struct {
+	mu sync.Mutex
+}
+
+func (n *nested) doubleLock() {
+	n.mu.Lock()
+	n.mu.Lock() // want "self-deadlock"
+	n.mu.Unlock()
+	n.mu.Unlock()
+}
+
+type clean struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func (c *clean) first() {
+	c.x.Lock()
+	c.y.Lock()
+	c.y.Unlock()
+	c.x.Unlock()
+}
+
+func (c *clean) second() {
+	c.x.Lock()
+	defer c.x.Unlock()
+	c.y.Lock()
+	defer c.y.Unlock()
+}
+
+// sequential acquisition (no overlap) in the opposite order is fine.
+func (c *clean) sequential() {
+	c.y.Lock()
+	c.y.Unlock()
+	c.x.Lock()
+	c.x.Unlock()
+}
+
+type striped struct {
+	locks [4]sync.Mutex
+	state sync.RWMutex
+}
+
+// aliased stripe locks resolve to one structural identity; taking a stripe
+// then the state lock is one consistent order.
+func (s *striped) stripeThenState(i int) {
+	l := &s.locks[i]
+	l.Lock()
+	s.state.RLock()
+	s.state.RUnlock()
+	l.Unlock()
+}
+
+// a callback does not inherit its creator's held locks: the literal locking
+// s.state is a separate scope, not a state->locks edge... and the
+// stripeThenState order above stays the only edge between these locks.
+func (s *striped) callbackScope(run func(func())) {
+	s.state.RLock()
+	defer s.state.RUnlock()
+	run(func() {
+		s.locks[0].Lock()
+		s.locks[0].Unlock()
+	})
+}

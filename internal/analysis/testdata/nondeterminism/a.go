@@ -1,0 +1,59 @@
+// Fixture for the nondeterminism analyzer: wall-clock and PRNG calls inside
+// Compute methods, which must replay identically across recovery epochs.
+package nondeterminism
+
+import (
+	"math/rand"
+	"time"
+)
+
+type vertex struct {
+	value float64
+	last  time.Time
+}
+
+func (v *vertex) Compute(step int) {
+	v.last = time.Now()      // want "time.Now"
+	v.value = rand.Float64() // want "math/rand.Float64"
+}
+
+type elapsedVertex struct {
+	start time.Time
+}
+
+func (v *elapsedVertex) Compute(step int) float64 {
+	return time.Since(v.start).Seconds() // want "time.Since"
+}
+
+// seededVertex draws from an explicitly seeded source, which is still
+// math/rand and still flagged: determinism requires deriving values from
+// (vertex id, superstep), not any PRNG stream shared across goroutines.
+type seededVertex struct {
+	rng *rand.Rand
+}
+
+func (v *seededVertex) Compute(step int) float64 {
+	return v.rng.Float64() // want "math/rand"
+}
+
+type cleanVertex struct {
+	value float64
+}
+
+func (v *cleanVertex) Compute(step int) {
+	v.value = float64(step) * 0.85
+}
+
+type debugClock struct{}
+
+// Compute opts out: a debug-only vertex may sample wall clocks.
+//
+//pregelvet:allow nondeterminism
+func (debugClock) Compute(step int) int64 {
+	return time.Now().UnixNano()
+}
+
+// free helpers are not compute paths; only Compute methods are fenced here.
+func helperOutsideCompute() time.Time {
+	return time.Now()
+}

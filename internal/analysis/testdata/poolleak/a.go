@@ -1,0 +1,109 @@
+// Fixture for the poolleak analyzer: pool acquisitions that leak, escape
+// correctly, or touch memory after returning it.
+package poolleak
+
+import (
+	"pregelvetstub/transport"
+)
+
+func leakNever() {
+	b := transport.GetBatch() // want "never released"
+	b.From = 1
+}
+
+func leakPayload() {
+	p := transport.GetPayload(64) // want "never released"
+	p[0] = 1
+}
+
+func okRelease() {
+	b := transport.GetBatch()
+	b.From = 1
+	transport.PutBatch(b)
+}
+
+func okTransferCall(send func(*transport.Batch)) {
+	b := transport.GetBatch()
+	send(b)
+}
+
+func okTransferChan(ch chan *transport.Batch) {
+	b := transport.GetBatch()
+	ch <- b
+}
+
+func okTransferStore(out map[int]*transport.Batch) {
+	b := transport.GetBatch()
+	out[0] = b
+}
+
+func okTransferReturn() *transport.Batch {
+	b := transport.GetBatch()
+	b.From = 2
+	return b
+}
+
+func earlyReturnLeak(ch chan *transport.Batch, done chan struct{}) {
+	for {
+		b, err := transport.ReadBatch()
+		if err != nil {
+			return
+		}
+		select {
+		case ch <- b:
+		case <-done:
+			return // want "unreleased on this path"
+		}
+	}
+}
+
+func okEarlyReturn(ch chan *transport.Batch, done chan struct{}) {
+	for {
+		b, err := transport.ReadBatch()
+		if err != nil {
+			return
+		}
+		select {
+		case ch <- b:
+		case <-done:
+			transport.PutBatch(b)
+			return
+		}
+	}
+}
+
+func retainedAfterPut() int32 {
+	b := transport.GetBatch()
+	b.From = 7
+	transport.PutBatch(b)
+	return b.From // want "after PutBatch"
+}
+
+func payloadAfterPut() byte {
+	p := transport.GetPayload(8)
+	transport.PutPayload(p)
+	return p[0] // want "after PutPayload"
+}
+
+func fieldAfterPut(b *transport.Batch) int {
+	transport.PutPayload(b.Payload)
+	return len(b.Payload) // want "after PutPayload"
+}
+
+func okFieldRearm(b *transport.Batch) {
+	transport.PutPayload(b.Payload)
+	b.Payload = nil
+	transport.PutBatch(b)
+}
+
+func okRearm() []byte {
+	p := transport.GetPayload(8)
+	transport.PutPayload(p)
+	p = transport.GetPayload(4)
+	return p
+}
+
+func okIgnored() {
+	b := transport.GetBatch() //pregelvet:ignore poolleak a raw tool may own a batch for its whole lifetime
+	b.From = 1
+}

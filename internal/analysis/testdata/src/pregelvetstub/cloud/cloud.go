@@ -1,0 +1,17 @@
+// Package cloud is a fixture stub for the transienterr analyzer: the
+// transient-error marker and the retry helper whose closures count as retry
+// paths.
+package cloud
+
+import "errors"
+
+// ErrTransient mirrors the retryable-fault marker.
+var ErrTransient = errors.New("cloud: transient error")
+
+// RetryPolicy mirrors the retry helper; function literals passed to Do are
+// retry paths.
+type RetryPolicy struct {
+	MaxAttempts int
+}
+
+func (p RetryPolicy) Do(op func() error) error { return op() }

@@ -1,0 +1,33 @@
+// Package observe is a fixture stub for the tracenil analyzer: nil-safe
+// facade methods plus one exported field (the real package keeps its fields
+// unexported precisely so the facade cannot be bypassed; the stub exposes
+// one to prove the analyzer would catch it).
+package observe
+
+// Tracer mirrors the nil-safe tracer facade.
+type Tracer struct {
+	Sinks []func()
+}
+
+func (t *Tracer) Enabled() bool { return t != nil }
+
+func (t *Tracer) Emit(kind string) {
+	if t == nil {
+		return
+	}
+	for _, s := range t.Sinks {
+		s()
+	}
+}
+
+// Metrics mirrors the nil-safe metrics registry facade.
+type Metrics struct{}
+
+func (m *Metrics) Enabled() bool { return m != nil }
+
+func (m *Metrics) Counter(name string) int {
+	if m == nil {
+		return 0
+	}
+	return len(name)
+}

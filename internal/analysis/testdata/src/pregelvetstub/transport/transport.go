@@ -1,0 +1,32 @@
+// Package transport is a fixture stub mirroring the shapes pregelvet's
+// analyzers key on: the pooled Batch/payload contract and the Endpoint
+// surface. Matching is by package-path suffix, so this stub exercises the
+// same code paths as the real pregelnet/internal/transport.
+package transport
+
+// Batch mirrors the wire batch: Epoch is the recovery-epoch stamp the
+// epochstamp analyzer enforces.
+type Batch struct {
+	From      int32
+	To        int32
+	Superstep int32
+	Count     int32
+	Epoch     int32
+	Seq       int32
+	Payload   []byte
+}
+
+func GetPayload(n int) []byte { return make([]byte, n) }
+func PutPayload(p []byte)     {}
+func GetBatch() *Batch        { return new(Batch) }
+func PutBatch(b *Batch)       {}
+
+// Endpoint mirrors the data-plane endpoint surface.
+type Endpoint interface {
+	Send(b *Batch) error
+	Recv() (*Batch, error)
+}
+
+// ReadBatch mirrors the framing reader: its first result is a pooled batch
+// the caller must consume (poolleak treats it as an acquisition).
+func ReadBatch() (*Batch, error) { return GetBatch(), nil }

@@ -1,0 +1,42 @@
+// Fixture for the tracenil analyzer: raw nil comparisons and field access
+// on the observability facade.
+package tracenil
+
+import "pregelvetstub/observe"
+
+type server struct {
+	tracer  *observe.Tracer
+	metrics *observe.Metrics
+}
+
+func (s *server) handle() {
+	if s.tracer != nil { // want "raw nil comparison"
+		s.tracer.Emit("span")
+	}
+	if nil == s.tracer { // want "raw nil comparison"
+		return
+	}
+	if s.metrics == nil { // want "raw nil comparison"
+		return
+	}
+}
+
+func (s *server) facade() {
+	if s.tracer.Enabled() {
+		s.tracer.Emit("span")
+	}
+	s.metrics.Counter("requests")
+	if s.metrics.Enabled() {
+		s.metrics.Counter("enabled")
+	}
+}
+
+func (s *server) fieldAccess() int {
+	return len(s.tracer.Sinks) // want "direct field access"
+}
+
+func (s *server) ignored() {
+	if s.tracer != nil { //pregelvet:ignore tracenil wiring code compares before choosing a default
+		return
+	}
+}

@@ -1,0 +1,76 @@
+// Fixture for the transienterr analyzer: fresh errors on retry paths must
+// wrap their cause or be declared terminal.
+package transienterr
+
+import (
+	"errors"
+	"fmt"
+
+	"pregelvetstub/cloud"
+)
+
+//pregelvet:retrypath
+func sendAnnotated(fail bool) error {
+	if fail {
+		return errors.New("socket reset") // want "fresh unclassified error"
+	}
+	return nil
+}
+
+//pregelvet:retrypath
+func sendUnwrappedErrorf(to int, fail bool) error {
+	if fail {
+		return fmt.Errorf("send to %d failed", to) // want "fresh unclassified error"
+	}
+	return nil
+}
+
+//pregelvet:retrypath
+func sendWrapped(cause error) error {
+	if cause != nil {
+		return fmt.Errorf("send: %w", cause)
+	}
+	return nil
+}
+
+//pregelvet:retrypath
+func sendFlowThrough(op func() error) error {
+	return op()
+}
+
+//pregelvet:retrypath
+func sendTerminal(to int) error {
+	if to < 0 {
+		//pregelvet:terminal out-of-range peer is a caller bug, never retryable
+		return fmt.Errorf("unknown worker %d", to)
+	}
+	return nil
+}
+
+//pregelvet:retrypath
+func sendTransientWrap(fail bool) error {
+	if fail {
+		return fmt.Errorf("lease lost: %w", cloud.ErrTransient)
+	}
+	return nil
+}
+
+func retryClosure(p cloud.RetryPolicy, op func() error) error {
+	return p.Do(func() error {
+		if err := op(); err != nil {
+			return fmt.Errorf("attempt failed: %v", err) // want "fresh unclassified error"
+		}
+		return nil
+	})
+}
+
+func retryClosureClean(p cloud.RetryPolicy, op func() error) error {
+	return p.Do(func() error { return op() })
+}
+
+func unannotatedIsFree(fail bool) error {
+	if fail {
+		return errors.New("not a retry path")
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TraceNil enforces the nil-safe observability facade. Every method on
+// *observe.Tracer and *observe.Metrics is a no-op on a nil receiver — that
+// is the whole design: instrumented hot paths never branch on "is tracing
+// on". Code outside internal/observe therefore must not:
+//
+//   - compare a tracer or metrics pointer against nil (use Enabled(), or
+//     just call through — the facade absorbs nil), or
+//   - reach into exported fields of the observe types directly, bypassing
+//     the nil guard the methods provide.
+//
+// Raw nil comparisons are how gaps creep in: a `t != nil` branch copied
+// around three call sites becomes a forgotten one at the fourth, and the
+// fourth is the one that panics in a traced production run.
+var TraceNil = &Analyzer{
+	Name: "tracenil",
+	Doc:  "tracer/metrics access must go through the nil-safe facade",
+	Run:  runTraceNil,
+}
+
+func runTraceNil(pass *Pass) {
+	if pkgHasSuffix(pass.Pkg, "observe") {
+		return
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					other := n.X
+					if side == n.X {
+						other = n.Y
+					}
+					if !isNilExpr(info, other) {
+						continue
+					}
+					if name := observeFacadeType(info, side); name != "" {
+						pass.Reportf(n.Pos(),
+							"raw nil comparison of *observe.%s: use %s.Enabled() — the facade is nil-safe and ad-hoc nil checks drift out of sync",
+							name, exprText(side))
+					}
+				}
+			case *ast.SelectorExpr:
+				sel, ok := info.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if name := observeFacadeType(info, n.X); name != "" {
+					pass.Reportf(n.Pos(),
+						"direct field access on observe.%s bypasses the nil-safe facade; add or use a method on the observe type", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// observeFacadeType returns "Tracer" or "Metrics" when e's type is (a
+// pointer to) one of the observe facade types, else "".
+func observeFacadeType(info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	for _, name := range [...]string{"Tracer", "Metrics"} {
+		if namedIn(tv.Type, "observe", name) {
+			return name
+		}
+	}
+	return ""
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// exprText renders a short expression for diagnostics.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	default:
+		return "it"
+	}
+}

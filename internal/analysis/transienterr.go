@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// TransientErr enforces error classification on retry paths. The engine's
+// fault tolerance hinges on cloud.IsTransient: an error that should have
+// been retried but was not rolls a whole job back; an error minted fresh on
+// a retry path (errors.New / fmt.Errorf without %w) silently discards the
+// transient classification of its cause. Two contexts count as retry paths:
+//
+//   - function literals passed to cloud.RetryPolicy.Do, and
+//   - functions whose doc comment carries //pregelvet:retrypath (the
+//     substrate entry points the engine wraps in retries: transport Send,
+//     blob and queue operations).
+//
+// Inside a retry path, a return whose error operand is a fresh unwrapped
+// error is flagged unless the return line carries //pregelvet:terminal
+// (declaring the failure deliberately non-retryable) or a generic ignore
+// directive. Errors that flow through (identifiers, call results, %w wraps)
+// are trusted to carry their classification.
+var TransientErr = &Analyzer{
+	Name: "transienterr",
+	Doc:  "retry-path errors must preserve transient classification or be marked terminal",
+	Run:  runTransientErr,
+}
+
+const (
+	retryPathDirective = "pregelvet:retrypath"
+	terminalDirective  = "pregelvet:terminal"
+)
+
+func runTransientErr(pass *Pass) {
+	info := pass.TypesInfo
+	terminal := terminalLines(pass)
+
+	check := func(body *ast.BlockStmt) {
+		inspectSkipFuncLit(body, func(n ast.Node) {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return
+			}
+			for _, res := range ret.Results {
+				if !isErrorExpr(info, res) {
+					continue
+				}
+				call, ok := ast.Unparen(res).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				fn := calleeFunc(info, call)
+				switch {
+				case isPkgFunc(fn, "errors", "New"):
+				case isPkgFunc(fn, "fmt", "Errorf") && !errorfWraps(info, call):
+				default:
+					continue
+				}
+				line := pass.Fset.Position(ret.Pos()).Line
+				file := pass.Fset.Position(ret.Pos()).Filename
+				if terminal[file] != nil && (terminal[file][line] || terminal[file][line-1]) {
+					continue
+				}
+				pass.Reportf(res.Pos(),
+					"retry path returns a fresh unclassified error: wrap the cause with %%w so transient classification survives, or mark the return //pregelvet:terminal")
+			}
+		})
+	}
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasDirective(fd.Doc, retryPathDirective) {
+				check(fd.Body)
+			}
+			// Function literals handed straight to RetryPolicy.Do.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Name() != "Do" || !pkgHasSuffix(fn.Pkg(), "cloud") {
+					return true
+				}
+				for _, arg := range call.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						check(lit.Body)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// terminalLines maps file -> lines carrying the terminal directive.
+func terminalLines(pass *Pass) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for pos, text := range pass.CommentDirectives() {
+		if strings.HasPrefix(text, terminalDirective) {
+			if out[pos.Filename] == nil {
+				out[pos.Filename] = make(map[int]bool)
+			}
+			out[pos.Filename][pos.Line] = true
+		}
+	}
+	return out
+}
+
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorExpr reports whether e's static type is the error interface.
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.Identical(tv.Type, types.Universe.Lookup("error").Type())
+}
+
+// errorfWraps reports whether a fmt.Errorf call's constant format string
+// contains a %w verb.
+func errorfWraps(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false
+	}
+	return strings.Contains(constant.StringVal(tv.Value), "%w")
+}

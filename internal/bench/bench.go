@@ -205,6 +205,7 @@ func benchBatchRoundTrip(b *testing.B, network transport.Network, cleanup func()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		payload := make([]byte, payloadSize)
+		//pregelvet:ignore epochstamp raw wire benchmark, no recovery epochs in play
 		err := sender.Send(&transport.Batch{
 			From: 0, To: 1, Superstep: int32(i), Count: 64, Seq: int32(i + 1),
 			Payload: payload,

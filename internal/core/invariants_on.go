@@ -1,0 +1,59 @@
+//go:build pregel_invariants
+
+package core
+
+import (
+	"fmt"
+
+	"pregelnet/internal/transport"
+)
+
+// Runtime receive-path invariants, compiled in with -tags pregel_invariants.
+// They assert the two properties the ordered-stream machinery exists to
+// provide, so a regression (or a faulty transport) fails loudly at the
+// receive site instead of corrupting a superstep barrier:
+//
+//   - exactly-once sentinels: a sender's barrier sentinel for a given
+//     (epoch, superstep) is processed at most once — a duplicate means dedup
+//     let a retried frame through, which would release a barrier early;
+//   - stream monotonicity: after processing seq N, nothing ≤ N may still be
+//     held pending — a violation means a frame would be processed twice or
+//     dropped.
+//
+// State is touched only by the worker's single receive goroutine, so there
+// is no locking. Unsequenced sentinels (Seq 0, raw transport users) are
+// outside the ordering contract and are not tracked.
+
+type sentinelKey struct {
+	from  int32
+	step  int32
+	epoch int32
+}
+
+type recvInvariants struct {
+	seen map[sentinelKey]struct{}
+}
+
+func (inv *recvInvariants) noteSentinel(b *transport.Batch) {
+	if b.Seq == 0 {
+		return
+	}
+	k := sentinelKey{from: b.From, step: b.Superstep, epoch: b.Epoch}
+	if inv.seen == nil {
+		inv.seen = make(map[sentinelKey]struct{})
+	}
+	if _, dup := inv.seen[k]; dup {
+		panic(fmt.Sprintf("core: duplicate sentinel from worker %d for superstep %d (epoch %d): a retried frame slipped past stream dedup and would release a barrier early",
+			b.From, b.Superstep, b.Epoch))
+	}
+	inv.seen[k] = struct{}{}
+}
+
+func (inv *recvInvariants) checkStream(from, next int32, pending map[int32]*transport.Batch) {
+	for seq := range pending {
+		if seq <= next {
+			panic(fmt.Sprintf("core: receive stream from worker %d holds pending seq %d with next=%d: the gap-fill drain went backwards",
+				from, seq, next))
+		}
+	}
+}

@@ -60,7 +60,7 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 	// injected faults into trace events. All of it degrades to (near) no-ops
 	// when Tracer and Metrics are both nil.
 	ins := newJobInstruments(s.Tracer, s.Metrics)
-	if s.Tracer != nil || s.Metrics != nil {
+	if s.Tracer.Enabled() || s.Metrics.Enabled() {
 		if ob, ok := network.(transport.Observable); ok {
 			ob.SetObserver(&transportObserver{ins: ins})
 		}
@@ -97,7 +97,7 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 	}
 	// Trace every VM loss the engine acts on (chaos-scripted or a test's own
 	// injector) as a vm_restart event on the failed worker's track.
-	if s.Tracer != nil && s.FailureInjector != nil {
+	if s.Tracer.Enabled() && s.FailureInjector != nil {
 		injector := s.FailureInjector
 		tracer := s.Tracer
 		s.FailureInjector = func(worker, superstep int) error {

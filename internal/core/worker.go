@@ -156,6 +156,7 @@ type worker[M any] struct {
 	doneThrough    int               // highest superstep executed; duplicate step tokens ≤ this are skipped
 	epoch          atomic.Int32      // recovery epoch stamped on outgoing batches at enqueue
 	recvStreams    []recvStream      // per-sender ordered dedup state (receive goroutine only)
+	recvInv        recvInvariants    // receive-path assertions; empty unless built with pregel_invariants
 	statRetries    atomic.Int64
 
 	superstep int
@@ -871,7 +872,8 @@ func (w *worker[M]) receiveLoop() {
 			w.processBatch(b)
 			continue
 		}
-		st := &w.recvStreams[b.From]
+		from := b.From // processBatch recycles b; don't touch it afterwards
+		st := &w.recvStreams[from]
 		if st.epoch != cur {
 			// First batch of a new epoch from this sender: abandon the old
 			// stream, pending stragglers included.
@@ -906,6 +908,7 @@ func (w *worker[M]) receiveLoop() {
 				w.processBatch(p)
 				st.next++
 			}
+			w.recvInv.checkStream(from, st.next, st.pending)
 		}
 	}
 }
@@ -915,6 +918,7 @@ func (w *worker[M]) receiveLoop() {
 // batch's pooled payload and struct are recycled.
 func (w *worker[M]) processBatch(b *transport.Batch) {
 	if b.Count < 0 { // sentinel
+		w.recvInv.noteSentinel(b)
 		w.sentinelMu.Lock()
 		w.sentinels[int(b.Superstep)]++
 		w.sentinelCond.Broadcast()

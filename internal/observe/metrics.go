@@ -67,6 +67,11 @@ func signature(labels []Label) string {
 	return b.String()
 }
 
+// Enabled reports whether observations will actually be recorded, mirroring
+// Tracer.Enabled: callers gate optional wiring on the facade instead of
+// comparing the pointer to nil themselves.
+func (m *Metrics) Enabled() bool { return m != nil }
+
 // get returns the instrument for name+labels, creating it with mk on first
 // use. A type clash (same name registered with a different metric type)
 // panics: it is a programming error that would corrupt the exposition.

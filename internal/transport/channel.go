@@ -84,8 +84,14 @@ type channelEndpoint struct {
 	closeOnce sync.Once
 }
 
+// Send hands b to the destination inbox by reference. Like the TCP
+// endpoint's Send this sits under the engine's retry loop, so errors must
+// stay classified.
+//
+//pregelvet:retrypath
 func (ep *channelEndpoint) Send(b *Batch) error {
 	if int(b.To) < 0 || int(b.To) >= len(ep.net.endpoints) {
+		//pregelvet:terminal a peer id outside the cluster is a caller bug, never retryable
 		return fmt.Errorf("transport: send to unknown worker %d", b.To)
 	}
 	f, obs := ep.net.sendFault()

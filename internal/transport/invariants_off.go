@@ -1,0 +1,14 @@
+//go:build !pregel_invariants
+
+package transport
+
+// Default build: the pool's ownership invariants are enforced statically by
+// pregelvet (internal/analysis) and the hooks below compile to nothing. The
+// pregel_invariants build tag swaps in runtime detection of double-puts —
+// see invariants_on.go.
+
+func invariantPayloadGet(p []byte) {}
+func invariantPayloadPut(p []byte) {}
+func invariantBatchGet(b *Batch)   {}
+func invariantBatchPut(b *Batch)   {}
+func invariantBatchStamp(b *Batch) {}

@@ -1,0 +1,113 @@
+//go:build pregel_invariants
+
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"unsafe"
+)
+
+// Runtime pool invariants, compiled in with -tags pregel_invariants (the
+// chaos soak and race CI runs use it). The failure mode these catch —
+// returning the same buffer to the pool twice — is otherwise silent: two
+// goroutines each Get the "same" allocation and scribble over each other,
+// and the corruption surfaces far away as a garbled frame or a wrong
+// vertex value.
+//
+// Detection: on Put, the buffer's base address goes into a tracking set and
+// a canary word is written into the (now pool-owned, contents-free) memory;
+// on Get both are cleared. A second Put of a tracked address whose canary is
+// still intact can only be the same live buffer coming back twice, so it
+// panics at the offending call site. The canary guard matters: the pool may
+// drop entries under GC pressure and the allocator may hand the address to a
+// fresh object, so set membership alone would false-positive on stale
+// entries. A fresh object holding the exact canary word at the exact base
+// offset is not a realistic coincidence.
+
+// payloadCanary is the 8-byte pattern stamped at the base of pooled payload
+// buffers while the pool owns them.
+const payloadCanary uint64 = 0xA55A_C0DE_DEAD_50F7
+
+// batchCanary marks a pooled Batch via its Seq field (engine-stamped Seq
+// values start at 1 and stay far below this).
+const batchCanary int32 = -0x5EADBEE
+
+// maxTracked bounds each tracking set; beyond it new Puts go untracked
+// (detection degrades, memory stays bounded).
+const maxTracked = 1 << 16
+
+var invMu sync.Mutex
+var pooledPayloads = make(map[uintptr]struct{})
+var pooledBatches = make(map[uintptr]struct{})
+
+// invariantPayloadGet runs on every pooled buffer leaving the pool, before
+// any length check: even a buffer the pool is about to discard as too small
+// stops being pool-owned here.
+func invariantPayloadGet(p []byte) {
+	if cap(p) < 8 {
+		return
+	}
+	base := uintptr(unsafe.Pointer(&p[0]))
+	invMu.Lock()
+	delete(pooledPayloads, base)
+	invMu.Unlock()
+	binary.LittleEndian.PutUint64(p[:8], 0)
+}
+
+func invariantPayloadPut(p []byte) {
+	if cap(p) < 8 {
+		return
+	}
+	p = p[:cap(p)]
+	base := uintptr(unsafe.Pointer(&p[0]))
+	invMu.Lock()
+	_, tracked := pooledPayloads[base]
+	if tracked && binary.LittleEndian.Uint64(p[:8]) == payloadCanary {
+		invMu.Unlock()
+		panic(fmt.Sprintf("transport: double PutPayload of buffer %#x (cap %d): pooled memory returned twice corrupts a concurrent owner", base, cap(p)))
+	}
+	if len(pooledPayloads) < maxTracked {
+		pooledPayloads[base] = struct{}{}
+	}
+	invMu.Unlock()
+	binary.LittleEndian.PutUint64(p[:8], payloadCanary)
+}
+
+// invariantBatchGet restores the zeroed contract GetBatch promises: pooled
+// batches carry the canary in Seq while pool-owned.
+func invariantBatchGet(b *Batch) {
+	base := uintptr(unsafe.Pointer(b))
+	invMu.Lock()
+	delete(pooledBatches, base)
+	invMu.Unlock()
+	if b.Seq == batchCanary {
+		b.Seq = 0
+	}
+}
+
+// invariantBatchPut runs at the top of PutBatch, before the struct is
+// zeroed: a pool-resident batch still carries the canary in Seq at that
+// point, so a second Put of the same live pointer is caught here.
+func invariantBatchPut(b *Batch) {
+	base := uintptr(unsafe.Pointer(b))
+	invMu.Lock()
+	_, tracked := pooledBatches[base]
+	invMu.Unlock()
+	if tracked && b.Seq == batchCanary {
+		panic(fmt.Sprintf("transport: double PutBatch of %p: pooled batch returned twice corrupts a concurrent owner", b))
+	}
+}
+
+// invariantBatchStamp runs after the zeroing: it marks the batch as
+// pool-owned (tracking set + canary in Seq) for the next Put to test.
+func invariantBatchStamp(b *Batch) {
+	base := uintptr(unsafe.Pointer(b))
+	invMu.Lock()
+	if len(pooledBatches) < maxTracked {
+		pooledBatches[base] = struct{}{}
+	}
+	invMu.Unlock()
+	b.Seq = batchCanary
+}

@@ -1,0 +1,60 @@
+//go:build pregel_invariants
+
+package transport
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests only exist under -tags pregel_invariants; the default build
+// compiles the hooks away and double-puts go (deliberately) undetected.
+
+func mustPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected a panic containing %q, got none", substr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not contain %q", r, substr)
+		}
+	}()
+	f()
+}
+
+func TestDoublePutPayloadPanics(t *testing.T) {
+	p := GetPayload(256)
+	PutPayload(p)
+	mustPanic(t, "double PutPayload", func() { PutPayload(p) })
+}
+
+func TestDoublePutBatchPanics(t *testing.T) {
+	b := GetBatch()
+	PutBatch(b)
+	mustPanic(t, "double PutBatch", func() { PutBatch(b) })
+}
+
+func TestPayloadRoundTripStaysClean(t *testing.T) {
+	// Get → Put → Get → Put of the same buffer is the normal lifecycle and
+	// must not trip the canary.
+	p := GetPayload(64)
+	PutPayload(p)
+	q := GetPayload(64)
+	PutPayload(q)
+}
+
+func TestBatchCanaryInvisibleToCallers(t *testing.T) {
+	b := GetBatch()
+	if b.Seq != 0 {
+		t.Fatalf("GetBatch returned Seq=%d, want zeroed batch", b.Seq)
+	}
+	PutBatch(b)
+	c := GetBatch()
+	if c.Seq != 0 {
+		t.Fatalf("recycled batch has Seq=%d, want zeroed batch", c.Seq)
+	}
+	PutBatch(c)
+}

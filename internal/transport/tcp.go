@@ -128,11 +128,20 @@ func (ep *tcpEndpoint) readLoop(conn net.Conn) {
 		select {
 		case ep.inbox <- b:
 		case <-ep.done:
+			// Endpoint closed with a frame in hand: nobody will consume this
+			// batch, so recycle its pooled memory here instead of leaking it.
+			PutPayload(b.Payload)
+			PutBatch(b)
 			return
 		}
 	}
 }
 
+// Send writes b to the peer socket, dialing (and redialing once on a broken
+// connection) as needed. The engine's sender loop retries Sends, so every
+// error out of here must carry its retryability classification.
+//
+//pregelvet:retrypath
 func (ep *tcpEndpoint) Send(b *Batch) error {
 	select {
 	case <-ep.done:
@@ -141,6 +150,7 @@ func (ep *tcpEndpoint) Send(b *Batch) error {
 	}
 	to := int(b.To)
 	if to < 0 || to >= len(ep.peerAddrs) {
+		//pregelvet:terminal a peer id outside the cluster is a caller bug, never retryable
 		return fmt.Errorf("transport: send to unknown worker %d", b.To)
 	}
 	ep.faultMu.RLock()

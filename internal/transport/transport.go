@@ -131,6 +131,7 @@ var payloadPool sync.Pool // holds *[]byte with len 0
 func GetPayload(n int) []byte {
 	if v := payloadPool.Get(); v != nil {
 		p := *(v.(*[]byte))
+		invariantPayloadGet(p[:cap(p)])
 		if cap(p) >= n {
 			return p[:n]
 		}
@@ -148,6 +149,7 @@ func PutPayload(p []byte) {
 	if cap(p) == 0 || cap(p) > maxPooledPayload {
 		return
 	}
+	invariantPayloadPut(p[:cap(p)])
 	p = p[:0]
 	payloadPool.Put(&p)
 }
@@ -157,13 +159,17 @@ var batchPool = sync.Pool{New: func() any { return new(Batch) }}
 // GetBatch returns a zeroed Batch from the pool. Pair with PutBatch at the
 // point the batch is fully consumed (same ownership rules as payloads).
 func GetBatch() *Batch {
-	return batchPool.Get().(*Batch)
+	b := batchPool.Get().(*Batch)
+	invariantBatchGet(b)
+	return b
 }
 
 // PutBatch recycles a batch. The payload is NOT recycled (it may have been
 // handed off separately); callers recycle it with PutPayload when they own it.
 func PutBatch(b *Batch) {
+	invariantBatchPut(b) // double-put check must precede the zeroing below
 	*b = Batch{}
+	invariantBatchStamp(b)
 	batchPool.Put(b)
 }
 
