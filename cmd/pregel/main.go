@@ -22,6 +22,7 @@ import (
 	"pregelnet/internal/algorithms"
 	"pregelnet/internal/cloud"
 	"pregelnet/internal/core"
+	"pregelnet/internal/elastic"
 	"pregelnet/internal/graph"
 	"pregelnet/internal/metrics"
 	"pregelnet/internal/observe"
@@ -43,6 +44,8 @@ func main() {
 		showTop     = flag.Int("top", 10, "print the top-N result vertices")
 		stepsDetail = flag.Bool("steps", false, "print the per-superstep table")
 		traceFile   = flag.String("trace", "", "write a Chrome trace_event file of the run (open in chrome://tracing or Perfetto)")
+		elasticHigh = flag.Int("elastic-high", 0, "live elastic scaling: scale between -workers and this count at superstep barriers (0 = off)")
+		elasticFrac = flag.Float64("elastic-threshold", 0.5, "scale out when active vertices exceed this fraction of the peak (with -elastic-high)")
 	)
 	flag.Parse()
 
@@ -85,17 +88,32 @@ func main() {
 		model.Spec = model.Spec.WithMemory(*memoryMiB << 20)
 	}
 
+	// -elastic-high enables live elastic scaling: the job starts at -workers
+	// and the threshold controller may resize it at any superstep barrier.
+	var elasticCtrl core.ElasticController
+	if *elasticHigh > 0 {
+		ctrl, err := elastic.NewLiveController(*workers, *elasticHigh,
+			elastic.ThresholdPolicy{Fraction: *elasticFrac})
+		if err != nil {
+			fatal(err)
+		}
+		elasticCtrl = ctrl
+		fmt.Printf("elastic: live threshold scaling %d <-> %d workers at %.0f%% of peak active\n",
+			*workers, *elasticHigh, 100**elasticFrac)
+	}
+
 	switch *algo {
 	case "pagerank":
 		spec := algorithms.PageRank{Iterations: *iterations, Damping: 0.85}.Spec(g, *workers)
 		spec.Assignment = assign
 		spec.CostModel = model
 		spec.Tracer = tracer
+		applyElastic(&spec, elasticCtrl)
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
 		}
-		report(res.Steps, res.SimSeconds, res.CostDollars, *stepsDetail)
+		report(res.Steps, res.SimSeconds, res.CostDollars, res.VMSeconds, res.ScaleEvents, *stepsDetail)
 		printTop("rank", algorithms.Ranks(res, g.NumVertices()), *showTop)
 	case "bc":
 		sched, err := buildScheduler(g, *roots, *swath, *initiate, model)
@@ -106,11 +124,12 @@ func main() {
 		spec.Assignment = assign
 		spec.CostModel = model
 		spec.Tracer = tracer
+		applyElastic(&spec, elasticCtrl)
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
 		}
-		report(res.Steps, res.SimSeconds, res.CostDollars, *stepsDetail)
+		report(res.Steps, res.SimSeconds, res.CostDollars, res.VMSeconds, res.ScaleEvents, *stepsDetail)
 		printTop("betweenness", algorithms.BCScores(res, g.NumVertices()), *showTop)
 	case "apsp":
 		sched, err := buildScheduler(g, *roots, *swath, *initiate, model)
@@ -121,22 +140,24 @@ func main() {
 		spec.Assignment = assign
 		spec.CostModel = model
 		spec.Tracer = tracer
+		applyElastic(&spec, elasticCtrl)
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
 		}
-		report(res.Steps, res.SimSeconds, res.CostDollars, *stepsDetail)
+		report(res.Steps, res.SimSeconds, res.CostDollars, res.VMSeconds, res.ScaleEvents, *stepsDetail)
 		fmt.Printf("computed distances from %d roots\n", *roots)
 	case "sssp":
 		spec := algorithms.SSSP(g, *workers, 0)
 		spec.Assignment = assign
 		spec.CostModel = model
 		spec.Tracer = tracer
+		applyElastic(&spec, elasticCtrl)
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
 		}
-		report(res.Steps, res.SimSeconds, res.CostDollars, *stepsDetail)
+		report(res.Steps, res.SimSeconds, res.CostDollars, res.VMSeconds, res.ScaleEvents, *stepsDetail)
 		dist := algorithms.SSSPDistances(res, g.NumVertices())
 		reach, maxd := 0, int32(0)
 		for _, d := range dist {
@@ -154,11 +175,12 @@ func main() {
 		spec.Assignment = assign
 		spec.CostModel = model
 		spec.Tracer = tracer
+		applyElastic(&spec, elasticCtrl)
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
 		}
-		report(res.Steps, res.SimSeconds, res.CostDollars, *stepsDetail)
+		report(res.Steps, res.SimSeconds, res.CostDollars, res.VMSeconds, res.ScaleEvents, *stepsDetail)
 		dist := algorithms.WeightedDistances(res, g.NumVertices())
 		reach := 0
 		maxd := 0.0
@@ -176,11 +198,12 @@ func main() {
 		spec.Assignment = assign
 		spec.CostModel = model
 		spec.Tracer = tracer
+		applyElastic(&spec, elasticCtrl)
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
 		}
-		report(res.Steps, res.SimSeconds, res.CostDollars, *stepsDetail)
+		report(res.Steps, res.SimSeconds, res.CostDollars, res.VMSeconds, res.ScaleEvents, *stepsDetail)
 		labels := algorithms.WCCLabels(res, g.NumVertices())
 		comps := map[int32]int{}
 		for _, l := range labels {
@@ -192,11 +215,12 @@ func main() {
 		spec.Assignment = assign
 		spec.CostModel = model
 		spec.Tracer = tracer
+		applyElastic(&spec, elasticCtrl)
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
 		}
-		report(res.Steps, res.SimSeconds, res.CostDollars, *stepsDetail)
+		report(res.Steps, res.SimSeconds, res.CostDollars, res.VMSeconds, res.ScaleEvents, *stepsDetail)
 		labels := algorithms.LPALabels(res, g.NumVertices())
 		comms := map[int32]int{}
 		for _, l := range labels {
@@ -262,13 +286,32 @@ func buildScheduler(g *graph.Graph, roots int, swath, initiate string, model clo
 	return core.NewSwathRunner(sources, sizer, init), nil
 }
 
-func report(steps []core.StepStats, simSec, cost float64, detail bool) {
+// applyElastic wires the live controller (if any) into a spec; resizes need
+// checkpoints to roll back failed migrations, so default them on.
+func applyElastic[M any](spec *core.JobSpec[M], ctrl core.ElasticController) {
+	if ctrl == nil {
+		return
+	}
+	spec.ElasticController = ctrl
+	if spec.CheckpointEvery <= 0 {
+		spec.CheckpointEvery = 4
+	}
+}
+
+func report(steps []core.StepStats, simSec, cost, vmSec float64, scales []core.ScaleEvent, detail bool) {
 	var msgs int64
 	for i := range steps {
 		msgs += steps[i].TotalSent()
 	}
 	fmt.Printf("completed in %d supersteps, %d messages, %.2f simulated seconds, $%.4f simulated cost\n",
 		len(steps), msgs, simSec, cost)
+	if len(scales) > 0 {
+		fmt.Printf("elastic: %d resize(s), %.1f VM-seconds billed\n", len(scales), vmSec)
+		for _, ev := range scales {
+			fmt.Printf("  superstep %3d: %d -> %d workers (%d bytes migrated, +%.2fs)\n",
+				ev.Superstep, ev.FromWorkers, ev.ToWorkers, ev.MigratedBytes, ev.SimSeconds)
+		}
+	}
 	fmt.Printf("messages/superstep: %s\n", metrics.Sparkline(metrics.MessagesPerStep(steps)))
 	if detail {
 		metrics.SeriesTable("per-superstep",

@@ -1,11 +1,13 @@
 package pregelnet
 
 import (
+	"pregelnet/internal/core"
 	"pregelnet/internal/elastic"
 	"pregelnet/internal/transport"
 )
 
-// Elastic-scaling analysis (paper §VIII) and data-plane transports.
+// Elastic-scaling analysis (paper §VIII), live elastic scaling, and
+// data-plane transports.
 
 type (
 	// ElasticProfile pairs two runs of the same job at different fixed
@@ -15,9 +17,35 @@ type (
 	ScalingPolicy = elastic.Policy
 	// ScalingEstimate is a policy's projected runtime and VM-second cost.
 	ScalingEstimate = elastic.Estimate
+	// ElasticController decides, at every superstep barrier, the worker
+	// count for the next superstep (JobSpec.ElasticController). See
+	// LiveScaling / LiveThresholdScaling for policy-driven controllers.
+	ElasticController = core.ElasticController
+	// ElasticControllerFunc adapts a function to ElasticController.
+	ElasticControllerFunc = core.ElasticControllerFunc
+	// ScaleEvent records one live resize performed at a superstep barrier
+	// (JobResult.ScaleEvents).
+	ScaleEvent = core.ScaleEvent
 	// Network is a data plane connecting BSP workers.
 	Network = transport.Network
 )
+
+// LiveScaling adapts an offline ScalingPolicy to a live ElasticController:
+// the policy is consulted at every superstep barrier with a profile grown
+// from the run's own per-superstep stats, and its choice (clamped to the
+// low/high pair) becomes the worker count for the next superstep. Set the
+// result on JobSpec.ElasticController; the vertex program must implement
+// core.Migratable (all built-in algorithms do).
+func LiveScaling(low, high int, policy ScalingPolicy) (ElasticController, error) {
+	return elastic.NewLiveController(low, high, policy)
+}
+
+// LiveThresholdScaling runs the paper's §VIII dynamic heuristic live: scale
+// out to `high` workers when a superstep's active vertices exceed fraction
+// of the peak seen so far, scale in to `low` otherwise (the paper uses 0.5).
+func LiveThresholdScaling(low, high int, fraction float64) (ElasticController, error) {
+	return elastic.NewLiveController(low, high, elastic.ThresholdPolicy{Fraction: fraction})
+}
 
 // NewElasticProfile builds a profile from per-superstep stats of a low- and
 // a high-worker-count run of the same job.

@@ -1,0 +1,240 @@
+package pregelnet
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pregelnet/internal/algorithms"
+	"pregelnet/internal/observe"
+	"pregelnet/internal/transport"
+)
+
+// Live elastic-scaling determinism tests: a job whose worker count changes
+// mid-run under a threshold controller must produce the same results as
+// fixed-worker runs at either count (small FP tolerance: combine order is
+// arrival-order dependent), on both the in-process channel data plane and
+// real TCP sockets, and even with a VM restart scripted into the migration.
+
+func mustLiveThreshold(t *testing.T, low, high int) ElasticController {
+	t.Helper()
+	ctrl, err := LiveThresholdScaling(low, high, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
+}
+
+// requireResized asserts the run actually changed its worker count mid-job:
+// scale events were recorded and the per-superstep timeline spans more than
+// one worker count.
+func requireResized(t *testing.T, stats []StepStats, scales []ScaleEvent) {
+	t.Helper()
+	if len(scales) == 0 {
+		t.Fatal("no scale events: the controller never resized the job")
+	}
+	counts := map[int]bool{}
+	for i := range stats {
+		counts[stats[i].Workers] = true
+	}
+	if len(counts) < 2 {
+		t.Errorf("worker-count timeline %v never changed despite %d scale events", counts, len(scales))
+	}
+}
+
+func TestLiveScalingBCMatchesFixedWorkers(t *testing.T) {
+	g := GenerateErdosRenyi(120, 360, 41)
+	opt := BCOptions{Roots: 10}
+
+	low, err := BetweennessCentrality(g, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := BetweennessCentrality(g, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elastic := opt
+	elastic.Elastic = mustLiveThreshold(t, 2, 5)
+	live, err := BetweennessCentrality(g, 2, elastic)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for v := range low.Scores {
+		if math.Abs(live.Scores[v]-low.Scores[v]) > 1e-6 {
+			t.Fatalf("vertex %d: score %v live, %v fixed-low", v, live.Scores[v], low.Scores[v])
+		}
+		if math.Abs(live.Scores[v]-high.Scores[v]) > 1e-6 {
+			t.Fatalf("vertex %d: score %v live, %v fixed-high", v, live.Scores[v], high.Scores[v])
+		}
+	}
+	requireResized(t, live.Stats, live.ScaleEvents)
+	// VM-seconds must include the resize charges. (At this toy scale the
+	// migration overhead can outweigh the scale-in savings; the actual
+	// cheaper-than-fixed-high comparison is the fig16live experiment, which
+	// runs at dataset scale.)
+	if live.VMSec <= 0 {
+		t.Errorf("VMSec = %g, want > 0", live.VMSec)
+	}
+}
+
+func TestLiveScalingPageRankMatchesFixed(t *testing.T) {
+	g := GenerateBarabasiAlbert(200, 3, 9)
+	mk := func(workers int, ctrl ElasticController) JobSpec[float64] {
+		spec := algorithms.PageRank{Iterations: 10, Damping: 0.85}.Spec(g, workers)
+		if ctrl != nil {
+			spec.ElasticController = ctrl
+			spec.CheckpointEvery = 2
+		}
+		return spec
+	}
+
+	fixed, err := Run(mk(5, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.Ranks(fixed, g.NumVertices())
+
+	// Every PageRank superstep keeps all vertices active, so the threshold
+	// controller scales out at the first barrier and stays high.
+	live, err := Run(mk(2, mustLiveThreshold(t, 2, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := algorithms.Ranks(live, g.NumVertices())
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("vertex %d: rank %v live, %v fixed", v, got[v], want[v])
+		}
+	}
+	requireResized(t, live.Steps, live.ScaleEvents)
+}
+
+func TestLiveScalingBCOverTCP(t *testing.T) {
+	g := GenerateErdosRenyi(120, 360, 41)
+	roots := FirstNSources(g, 10)
+
+	clean, err := Run(soakBCSpec(g, roots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BCScoresOf(clean, g.NumVertices())
+
+	spec := BCSpec(g, 2, AllSourcesAtOnce(roots))
+	spec.CheckpointEvery = 3
+	spec.ElasticController = mustLiveThreshold(t, 2, 5)
+	network, err := transport.NewTCPNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer network.Close()
+	spec.Network = network
+	// Resizes rebuild the data plane: each post-resize segment gets a fresh
+	// loopback TCP network sized for the new worker count (closed by the
+	// engine when the segment ends).
+	spec.NetworkFactory = func(n int) (transport.Network, error) {
+		return transport.NewTCPNetwork(n)
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := BCScoresOf(res, g.NumVertices())
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6 {
+			t.Fatalf("vertex %d: score %v live over TCP, %v fixed", v, got[v], want[v])
+		}
+	}
+	requireResized(t, res.Steps, res.ScaleEvents)
+}
+
+// TestChaosSoakElasticResizeTCP is the resize soak: live threshold scaling
+// over real TCP sockets while a seeded fault plan restarts a VM and injects
+// transient substrate errors. The scripted restart lands on the superstep
+// where the first migration resumes, so the engine must roll the failed
+// resize back to a checkpoint at the old worker count, recover, and resize
+// again later — and still match the failure-free fixed-worker scores.
+func TestChaosSoakElasticResizeTCP(t *testing.T) {
+	g := GenerateErdosRenyi(120, 360, 41)
+	roots := FirstNSources(g, 10)
+
+	clean, err := Run(soakBCSpec(g, roots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BCScoresOf(clean, g.NumVertices())
+
+	spec := BCSpec(g, 2, AllSourcesAtOnce(roots))
+	spec.CheckpointEvery = 3
+	spec.ElasticController = mustLiveThreshold(t, 2, 5)
+	network, err := transport.NewTCPNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer network.Close()
+	spec.Network = network
+	spec.NetworkFactory = func(n int) (transport.Network, error) {
+		return transport.NewTCPNetwork(n)
+	}
+	tracer, recorder := NewTraceRecorder(1 << 17)
+	spec.Tracer = tracer
+	spec.Chaos = NewChaos(FaultPlan{
+		Seed:               2027,
+		BlobErrorProb:      1,
+		MaxBlobErrors:      3,
+		QueueDuplicateProb: 0.5,
+		LeaseExpiryProb:    0.25,
+		MaxLeaseExpiries:   6,
+		VMRestarts:         []VMRestart{{Worker: 1, Superstep: 1}},
+	})
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatalf("elastic resize soak failed: %v", err)
+	}
+	got := BCScoresOf(res, g.NumVertices())
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6 {
+			t.Fatalf("vertex %d: score %v under elastic chaos, %v clean", v, got[v], want[v])
+		}
+	}
+	if res.Recoveries < 1 {
+		t.Errorf("recoveries = %d, want >= 1 (scripted VM restart)", res.Recoveries)
+	}
+	requireResized(t, res.Steps, res.ScaleEvents)
+
+	// The flight recorder must carry the elastic span kinds, and the trace
+	// must survive the Chrome exporter round-trip (left as a CI artifact
+	// when PREGELNET_TRACE_DIR is set, like the other soaks).
+	events := recorder.Snapshot()
+	dir := os.Getenv("PREGELNET_TRACE_DIR")
+	if dir == "" {
+		dir = t.TempDir()
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "chaos-soak-elastic-resize-tcp.trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(f, events); err != nil {
+		t.Fatalf("writing chrome trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	byKind := map[TraceKind]int{}
+	for _, e := range events {
+		byKind[e.Kind]++
+	}
+	for _, k := range []TraceKind{
+		observe.KindScaleOut, observe.KindMigrate, observe.KindVMRestart,
+		observe.KindCheckpoint, observe.KindRollback,
+	} {
+		if byKind[k] == 0 {
+			t.Errorf("resize soak trace has no %q spans (have %v)", k, byKind)
+		}
+	}
+}

@@ -9,8 +9,12 @@ import (
 	"pregelnet/internal/core"
 )
 
-// Checkpoint support (core.Checkpointable) for every built-in vertex
-// program, enabling the engine's fault recovery for real workloads.
+// Checkpoint and migration support for every built-in vertex program. Each
+// program serializes per vertex (core.Migratable: SnapshotVertex /
+// RestoreVertex, used by live elastic resizes to repartition state onto a
+// new worker layout), and the whole-partition Snapshot/Restore pair
+// (core.Checkpointable, used by fault recovery) is the concatenation of the
+// per-vertex records — one format, two granularities.
 
 func writeU64(w io.Writer, v uint64) error {
 	var b [8]byte
@@ -34,267 +38,318 @@ func readF64(r io.Reader) (float64, error) {
 	return math.Float64frombits(u), err
 }
 
-// Snapshot implements core.Checkpointable.
-func (p *pageRankProgram) Snapshot(w io.Writer) error {
+// snapshotAll loops a per-vertex writer over the partition through one
+// buffered writer; restoreAll is its inverse.
+func snapshotAll(w io.Writer, n int, vertex func(li int32, w io.Writer) error) error {
 	bw := bufio.NewWriter(w)
-	for _, r := range p.ranks {
-		if err := writeF64(bw, r); err != nil {
+	for li := 0; li < n; li++ {
+		if err := vertex(int32(li), bw); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// Restore implements core.Checkpointable.
-func (p *pageRankProgram) Restore(r io.Reader) error {
+func restoreAll(r io.Reader, n int, vertex func(li int32, r io.Reader) error) error {
 	br := bufio.NewReader(r)
-	for i := range p.ranks {
-		v, err := readF64(br)
-		if err != nil {
+	for li := 0; li < n; li++ {
+		if err := vertex(int32(li), br); err != nil {
 			return err
 		}
-		p.ranks[i] = v
 	}
+	return nil
+}
+
+// SnapshotVertex implements core.Migratable.
+func (p *pageRankProgram) SnapshotVertex(li int32, w io.Writer) error {
+	return writeF64(w, p.ranks[li])
+}
+
+// RestoreVertex implements core.Migratable.
+func (p *pageRankProgram) RestoreVertex(li int32, r io.Reader) error {
+	v, err := readF64(r)
+	if err != nil {
+		return err
+	}
+	p.ranks[li] = v
+	return nil
+}
+
+// Snapshot implements core.Checkpointable.
+func (p *pageRankProgram) Snapshot(w io.Writer) error {
+	return snapshotAll(w, len(p.ranks), p.SnapshotVertex)
+}
+
+// Restore implements core.Checkpointable.
+func (p *pageRankProgram) Restore(r io.Reader) error {
+	return restoreAll(r, len(p.ranks), p.RestoreVertex)
+}
+
+// SnapshotVertex implements core.Migratable.
+func (p *ssspProgram) SnapshotVertex(li int32, w io.Writer) error {
+	return writeU64(w, uint64(uint32(p.dist[li])))
+}
+
+// RestoreVertex implements core.Migratable.
+func (p *ssspProgram) RestoreVertex(li int32, r io.Reader) error {
+	v, err := readU64(r)
+	if err != nil {
+		return err
+	}
+	p.dist[li] = int32(uint32(v))
 	return nil
 }
 
 // Snapshot implements core.Checkpointable.
 func (p *ssspProgram) Snapshot(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	for _, d := range p.dist {
-		if err := writeU64(bw, uint64(uint32(d))); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return snapshotAll(w, len(p.dist), p.SnapshotVertex)
 }
 
 // Restore implements core.Checkpointable.
 func (p *ssspProgram) Restore(r io.Reader) error {
-	br := bufio.NewReader(r)
-	for i := range p.dist {
-		v, err := readU64(br)
-		if err != nil {
-			return err
-		}
-		p.dist[i] = int32(uint32(v))
+	return restoreAll(r, len(p.dist), p.RestoreVertex)
+}
+
+// SnapshotVertex implements core.Migratable.
+func (p *wccProgram) SnapshotVertex(li int32, w io.Writer) error {
+	return writeU64(w, uint64(uint32(p.label[li])))
+}
+
+// RestoreVertex implements core.Migratable.
+func (p *wccProgram) RestoreVertex(li int32, r io.Reader) error {
+	v, err := readU64(r)
+	if err != nil {
+		return err
 	}
+	p.label[li] = int32(uint32(v))
 	return nil
 }
 
 // Snapshot implements core.Checkpointable.
 func (p *wccProgram) Snapshot(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	for _, l := range p.label {
-		if err := writeU64(bw, uint64(uint32(l))); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return snapshotAll(w, len(p.label), p.SnapshotVertex)
 }
 
 // Restore implements core.Checkpointable.
 func (p *wccProgram) Restore(r io.Reader) error {
-	br := bufio.NewReader(r)
-	for i := range p.label {
-		v, err := readU64(br)
-		if err != nil {
-			return err
-		}
-		p.label[i] = int32(uint32(v))
+	return restoreAll(r, len(p.label), p.RestoreVertex)
+}
+
+// SnapshotVertex implements core.Migratable.
+func (p *lpaProgram) SnapshotVertex(li int32, w io.Writer) error {
+	return writeU64(w, uint64(uint32(p.label[li])))
+}
+
+// RestoreVertex implements core.Migratable.
+func (p *lpaProgram) RestoreVertex(li int32, r io.Reader) error {
+	v, err := readU64(r)
+	if err != nil {
+		return err
 	}
+	p.label[li] = int32(uint32(v))
 	return nil
 }
 
 // Snapshot implements core.Checkpointable.
 func (p *lpaProgram) Snapshot(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	for _, l := range p.label {
-		if err := writeU64(bw, uint64(uint32(l))); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return snapshotAll(w, len(p.label), p.SnapshotVertex)
 }
 
 // Restore implements core.Checkpointable.
 func (p *lpaProgram) Restore(r io.Reader) error {
-	br := bufio.NewReader(r)
-	for i := range p.label {
-		v, err := readU64(br)
+	return restoreAll(r, len(p.label), p.RestoreVertex)
+}
+
+// SnapshotVertex implements core.Migratable.
+func (p *apspProgram) SnapshotVertex(li int32, w io.Writer) error {
+	dists := p.dists[li]
+	if err := writeU64(w, uint64(len(dists))); err != nil {
+		return err
+	}
+	for root, d := range dists {
+		if err := writeU64(w, uint64(root)); err != nil {
+			return err
+		}
+		if err := writeU64(w, uint64(uint32(d))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreVertex implements core.Migratable. The vertex's previous state (if
+// any) is replaced and the program's state-byte meter adjusted accordingly.
+func (p *apspProgram) RestoreVertex(li int32, r io.Reader) error {
+	n, err := readU64(r)
+	if err != nil {
+		return err
+	}
+	if old := p.dists[li]; old != nil {
+		p.stateBytes.Add(-int64(16 * len(old)))
+	}
+	if n == 0 {
+		p.dists[li] = nil
+		return nil
+	}
+	m := make(map[uint32]int32, n)
+	for j := uint64(0); j < n; j++ {
+		root, err := readU64(r)
 		if err != nil {
 			return err
 		}
-		p.label[i] = int32(uint32(v))
+		d, err := readU64(r)
+		if err != nil {
+			return err
+		}
+		m[uint32(root)] = int32(uint32(d))
 	}
+	p.dists[li] = m
+	p.stateBytes.Add(int64(16 * n))
 	return nil
 }
 
 // Snapshot implements core.Checkpointable.
 func (p *apspProgram) Snapshot(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	for _, dists := range p.dists {
-		if err := writeU64(bw, uint64(len(dists))); err != nil {
-			return err
-		}
-		for root, d := range dists {
-			if err := writeU64(bw, uint64(root)); err != nil {
-				return err
-			}
-			if err := writeU64(bw, uint64(uint32(d))); err != nil {
-				return err
-			}
-		}
-	}
-	return bw.Flush()
+	return snapshotAll(w, len(p.dists), p.SnapshotVertex)
 }
 
 // Restore implements core.Checkpointable.
 func (p *apspProgram) Restore(r io.Reader) error {
-	br := bufio.NewReader(r)
 	p.stateBytes.Store(0)
 	for li := range p.dists {
-		n, err := readU64(br)
-		if err != nil {
+		p.dists[li] = nil
+	}
+	return restoreAll(r, len(p.dists), p.RestoreVertex)
+}
+
+// SnapshotVertex implements core.Migratable. BC's per-vertex traversal
+// state (distance, sigma, delta, predecessor lists, ack/backward counters)
+// is fully serialized so an in-flight multi-root computation can resume.
+func (p *bcProgram) SnapshotVertex(li int32, w io.Writer) error {
+	if err := writeF64(w, p.scores[li]); err != nil {
+		return err
+	}
+	states := p.states[li]
+	if err := writeU64(w, uint64(len(states))); err != nil {
+		return err
+	}
+	for root, st := range states {
+		if err := writeU64(w, uint64(root)); err != nil {
 			return err
 		}
-		if n == 0 {
-			p.dists[li] = nil
-			continue
-		}
-		m := make(map[uint32]int32, n)
-		for j := uint64(0); j < n; j++ {
-			root, err := readU64(br)
-			if err != nil {
+		for _, v := range []uint64{uint64(uint32(st.dist)), uint64(uint32(st.discovered)),
+			uint64(uint32(st.succ)), uint64(uint32(st.back))} {
+			if err := writeU64(w, v); err != nil {
 				return err
 			}
-			d, err := readU64(br)
-			if err != nil {
+		}
+		if err := writeF64(w, st.sigma); err != nil {
+			return err
+		}
+		if err := writeF64(w, st.delta); err != nil {
+			return err
+		}
+		if err := writeU64(w, uint64(len(st.preds))); err != nil {
+			return err
+		}
+		for _, pred := range st.preds {
+			if err := writeU64(w, uint64(pred)); err != nil {
 				return err
 			}
-			m[uint32(root)] = int32(uint32(d))
 		}
-		p.dists[li] = m
-		p.stateBytes.Add(int64(16 * n))
 	}
 	return nil
 }
 
-// Snapshot implements core.Checkpointable. BC's per-vertex traversal state
-// (distance, sigma, delta, predecessor lists, ack/backward counters) is
-// fully serialized so an in-flight multi-root computation can resume.
-func (p *bcProgram) Snapshot(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	for li := range p.scores {
-		if err := writeF64(bw, p.scores[li]); err != nil {
-			return err
-		}
-		states := p.states[li]
-		if err := writeU64(bw, uint64(len(states))); err != nil {
-			return err
-		}
-		for root, st := range states {
-			if err := writeU64(bw, uint64(root)); err != nil {
-				return err
-			}
-			for _, v := range []uint64{uint64(uint32(st.dist)), uint64(uint32(st.discovered)),
-				uint64(uint32(st.succ)), uint64(uint32(st.back))} {
-				if err := writeU64(bw, v); err != nil {
-					return err
-				}
-			}
-			if err := writeF64(bw, st.sigma); err != nil {
-				return err
-			}
-			if err := writeF64(bw, st.delta); err != nil {
-				return err
-			}
-			if err := writeU64(bw, uint64(len(st.preds))); err != nil {
-				return err
-			}
-			for _, pred := range st.preds {
-				if err := writeU64(bw, uint64(pred)); err != nil {
-					return err
-				}
-			}
+// RestoreVertex implements core.Migratable.
+func (p *bcProgram) RestoreVertex(li int32, r io.Reader) error {
+	score, err := readF64(r)
+	if err != nil {
+		return err
+	}
+	p.scores[li] = score
+	n, err := readU64(r)
+	if err != nil {
+		return err
+	}
+	if old := p.states[li]; old != nil {
+		for _, st := range old {
+			p.stateBytes.Add(-st.bytes)
 		}
 	}
-	return bw.Flush()
+	if n == 0 {
+		p.states[li] = nil
+		return nil
+	}
+	states := make(map[uint32]*bcRootState, n)
+	for j := uint64(0); j < n; j++ {
+		root, err := readU64(r)
+		if err != nil {
+			return err
+		}
+		var ints [4]uint64
+		for k := range ints {
+			if ints[k], err = readU64(r); err != nil {
+				return err
+			}
+		}
+		sigma, err := readF64(r)
+		if err != nil {
+			return err
+		}
+		delta, err := readF64(r)
+		if err != nil {
+			return err
+		}
+		nPreds, err := readU64(r)
+		if err != nil {
+			return err
+		}
+		st := &bcRootState{
+			dist:       int32(uint32(ints[0])),
+			discovered: int32(uint32(ints[1])),
+			succ:       int32(uint32(ints[2])),
+			back:       int32(uint32(ints[3])),
+			sigma:      sigma,
+			delta:      delta,
+			preds:      make([]uint32, nPreds),
+			bytes:      bcStateBaseBytes + int64(8*nPreds),
+		}
+		for k := range st.preds {
+			pred, err := readU64(r)
+			if err != nil {
+				return err
+			}
+			st.preds[k] = uint32(pred)
+		}
+		states[uint32(root)] = st
+		p.stateBytes.Add(st.bytes)
+	}
+	p.states[li] = states
+	return nil
+}
+
+// Snapshot implements core.Checkpointable.
+func (p *bcProgram) Snapshot(w io.Writer) error {
+	return snapshotAll(w, len(p.scores), p.SnapshotVertex)
 }
 
 // Restore implements core.Checkpointable.
 func (p *bcProgram) Restore(r io.Reader) error {
-	br := bufio.NewReader(r)
 	p.stateBytes.Store(0)
-	for li := range p.scores {
-		score, err := readF64(br)
-		if err != nil {
-			return err
-		}
-		p.scores[li] = score
-		n, err := readU64(br)
-		if err != nil {
-			return err
-		}
-		if n == 0 {
-			p.states[li] = nil
-			continue
-		}
-		states := make(map[uint32]*bcRootState, n)
-		for j := uint64(0); j < n; j++ {
-			root, err := readU64(br)
-			if err != nil {
-				return err
-			}
-			var ints [4]uint64
-			for k := range ints {
-				if ints[k], err = readU64(br); err != nil {
-					return err
-				}
-			}
-			sigma, err := readF64(br)
-			if err != nil {
-				return err
-			}
-			delta, err := readF64(br)
-			if err != nil {
-				return err
-			}
-			nPreds, err := readU64(br)
-			if err != nil {
-				return err
-			}
-			st := &bcRootState{
-				dist:       int32(uint32(ints[0])),
-				discovered: int32(uint32(ints[1])),
-				succ:       int32(uint32(ints[2])),
-				back:       int32(uint32(ints[3])),
-				sigma:      sigma,
-				delta:      delta,
-				preds:      make([]uint32, nPreds),
-				bytes:      bcStateBaseBytes + int64(8*nPreds),
-			}
-			for k := range st.preds {
-				pred, err := readU64(br)
-				if err != nil {
-					return err
-				}
-				st.preds[k] = uint32(pred)
-			}
-			states[uint32(root)] = st
-			p.stateBytes.Add(st.bytes)
-		}
-		p.states[li] = states
+	for li := range p.states {
+		p.states[li] = nil
 	}
-	return nil
+	return restoreAll(r, len(p.scores), p.RestoreVertex)
 }
 
-// Compile-time checks that every program stays Checkpointable.
+// Compile-time checks that every program stays migratable (which embeds
+// Checkpointable).
 var (
-	_ core.Checkpointable = (*pageRankProgram)(nil)
-	_ core.Checkpointable = (*ssspProgram)(nil)
-	_ core.Checkpointable = (*wccProgram)(nil)
-	_ core.Checkpointable = (*lpaProgram)(nil)
-	_ core.Checkpointable = (*apspProgram)(nil)
-	_ core.Checkpointable = (*bcProgram)(nil)
+	_ core.Migratable = (*pageRankProgram)(nil)
+	_ core.Migratable = (*ssspProgram)(nil)
+	_ core.Migratable = (*wccProgram)(nil)
+	_ core.Migratable = (*lpaProgram)(nil)
+	_ core.Migratable = (*apspProgram)(nil)
+	_ core.Migratable = (*bcProgram)(nil)
 )

@@ -77,6 +77,13 @@ type CostModel struct {
 	// DiskOverheadFactor is that multiplicative overhead (default 3 when
 	// DiskBuffering is set and the field is zero).
 	DiskOverheadFactor float64
+	// VMAcquireSeconds is the simulated provisioning latency of one
+	// scale-out during live elastic scaling: the time between asking the
+	// fabric for more instances and the new workers being ready, during
+	// which every running VM keeps billing. Scaled alongside the other
+	// control-plane analogs (real Azure provisioning is minutes against
+	// supersteps of tens of seconds).
+	VMAcquireSeconds float64
 }
 
 // DefaultCostModel returns the model used throughout the experiments:
@@ -90,7 +97,42 @@ func DefaultCostModel(spec VMSpec) CostModel {
 		ConnectSetupSec:     0.0002,
 		ThrashMaxFactor:     8,
 		RestartLimitFactor:  1.6,
+		VMAcquireSeconds:    0.05,
 	}
+}
+
+// MigrationSeconds converts one phase of a live resize's state transfer
+// into simulated seconds: the `workers` VMs of that layout stream their
+// disjoint partition slices through the blob store concurrently, each at
+// its own NIC bandwidth, so the phase costs bytes/workers/bandwidth —
+// the same per-worker-parallel network model supersteps are priced under.
+func (m CostModel) MigrationSeconds(bytes int64, workers int) float64 {
+	if bytes <= 0 || workers < 1 || m.Spec.NetworkBps <= 0 {
+		return 0
+	}
+	return float64(bytes) / float64(workers) / m.Spec.NetworkBps
+}
+
+// ResizePhases prices one live resize as its two billing phases. The
+// write phase is billed to the old layout's VMs: they snapshot their
+// vertex state to the blob store, overlapped with provisioning latency on
+// scale-out (the new instances boot while the old workers write, and only
+// start billing once ready). The read phase is billed to the new layout's
+// VMs as they stream the state back in.
+func (m CostModel) ResizePhases(fromWorkers, toWorkers int, migratedBytes int64) (writeSec, readSec float64) {
+	writeSec = m.MigrationSeconds(migratedBytes, fromWorkers)
+	readSec = m.MigrationSeconds(migratedBytes, toWorkers)
+	if toWorkers > fromWorkers && m.VMAcquireSeconds > writeSec {
+		writeSec = m.VMAcquireSeconds
+	}
+	return writeSec, readSec
+}
+
+// ResizeSeconds is the total wall-clock window one live resize adds to the
+// job: write-out (overlapped with any provisioning) plus read-in.
+func (m CostModel) ResizeSeconds(fromWorkers, toWorkers int, migratedBytes int64) float64 {
+	w, r := m.ResizePhases(fromWorkers, toWorkers, migratedBytes)
+	return w + r
 }
 
 // ErrMemoryBlowout is returned when a worker's memory footprint exceeds the

@@ -123,6 +123,31 @@ type JobSpec[M any] struct {
 	// may mutate the map (values are broadcast to vertices next superstep).
 	// Returning ErrHaltJob stops the job cleanly; any other error aborts it.
 	MasterCompute func(superstep int, aggs map[string]float64) error
+	// ElasticController, when non-nil, enables live elastic scaling: the
+	// manager consults it after every superstep barrier with the completed
+	// superstep's stats, and a different worker count triggers a resize —
+	// vertex state is migrated through the blob store to a re-partitioned
+	// layout, the data plane is rebuilt for the new count under a fresh
+	// epoch, and the job resumes, with provisioning latency and migration
+	// bytes charged to the simulated bill. Requires the vertex program to
+	// implement Migratable. Use elastic.NewLiveController (or the pregel
+	// facade) to adapt a scaling policy.
+	ElasticController ElasticController
+	// NetworkFactory builds the data plane for a given worker count; live
+	// resizes close the old network and invoke it for the new count. Nil
+	// defaults to fresh in-process channel networks. Required when
+	// ElasticController is combined with a custom Network (the initial
+	// segment still uses Network if both are set).
+	NetworkFactory func(numWorkers int) (transport.Network, error)
+	// Repartitioner chooses vertex placement for the new worker count at
+	// each live resize (default partition.Hash).
+	Repartitioner partition.Partitioner
+
+	// segment is the zero-based resize generation, advanced by Run at each
+	// live resize. Each segment gets fresh control queues (see
+	// stepQueueName/barrierQueueName) so stale or duplicated tokens from a
+	// torn-down segment cannot reach its successor.
+	segment int
 }
 
 // ErrHaltJob is returned by a MasterCompute hook to stop the job cleanly
@@ -185,6 +210,23 @@ func (s *JobSpec[M]) withDefaults() (JobSpec[M], error) {
 			spec.MaxRecoveries = 3
 		}
 	}
+	if spec.ElasticController != nil {
+		if spec.Network != nil && spec.NetworkFactory == nil {
+			return spec, fmt.Errorf("core: ElasticController with a custom Network requires a NetworkFactory to rebuild it after a resize")
+		}
+		if spec.Repartitioner == nil {
+			spec.Repartitioner = partition.Hash{}
+		}
+		// Migration blobs live in the checkpoint store.
+		if spec.CheckpointStore == nil {
+			spec.CheckpointStore = cloud.NewBlobStore()
+		}
+	}
+	if spec.NetworkFactory == nil {
+		spec.NetworkFactory = func(n int) (transport.Network, error) {
+			return transport.NewChannelNetwork(n, 1024), nil
+		}
+	}
 	return spec, nil
 }
 
@@ -193,6 +235,9 @@ func (s *JobSpec[M]) withDefaults() (JobSpec[M], error) {
 // Figs 3, 5, 7, 9-15.
 type StepStats struct {
 	Superstep int
+	// Workers is the worker count that executed this superstep; it changes
+	// mid-job under live elastic scaling (JobSpec.ElasticController).
+	Workers int
 	// ActiveVertices is the number of vertices computed this superstep.
 	ActiveVertices int64
 	// ActiveAfter is the number of vertices that had not voted to halt by
@@ -268,6 +313,10 @@ type JobResult[M any] struct {
 	Supersteps int
 	// Recoveries counts checkpoint rollbacks performed.
 	Recoveries int
+	// ScaleEvents records live elastic resizes in order (empty without an
+	// ElasticController). Their SimSeconds are included in the job's
+	// SimSeconds total.
+	ScaleEvents []ScaleEvent
 	// Retries is the total transient-fault retries across all supersteps.
 	Retries int64
 	// DuplicatesDropped is the total duplicate/stale control-plane messages

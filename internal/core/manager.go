@@ -53,97 +53,54 @@ func (e *runError) Error() string {
 
 func (e *runError) Unwrap() error { return e.Err }
 
-// run drives the job to completion and returns the per-superstep stats
-// (a timeline that may include re-executed supersteps after recoveries)
-// and the number of checkpoint rollbacks performed.
-func (m *manager[M]) run() (steps []StepStats, recoveries int, err error) {
+// run drives the job forward from js until completion, a fatal error, or a
+// live resize decision. On resize it returns the request; Run migrates
+// state, rebuilds the worker set, and re-enters run (through a fresh
+// manager) with the same jobState. The returned timeline lives in js.steps
+// and may include re-executed supersteps after recoveries.
+func (m *manager[M]) run(js *jobState) (*resizeRequest, error) {
 	if m.ins == nil {
 		m.ins = newJobInstruments(nil, nil)
 	}
 	tracer := m.ins.tracer
-	var prev *StepStats
-	prevAggs := map[string]float64{}
-	// Injection log for replay after recovery: the scheduler is consulted
-	// exactly once per superstep number; re-executed supersteps reuse the
-	// recorded decision so scheduler state stays consistent.
-	injectionLog := make(map[int][]graph.VertexID)
-	aggLog := make(map[int]map[string]float64) // broadcast values per superstep
-	statsBySuperstep := make(map[int]StepStats)
-	scheduledThrough := -1
-	lastCheckpoint := -1
-
-	// rollback rolls every worker back to the last checkpoint.
-	rollback := func(superstep int, cause error) error {
-		if m.spec.CheckpointEvery <= 0 || lastCheckpoint < 0 {
-			return cause
-		}
-		if recoveries >= m.spec.MaxRecoveries {
-			return fmt.Errorf("giving up after %d recoveries: %w", recoveries, cause)
-		}
-		recoveries++
-		target := lastCheckpoint
-		m.ins.rollbacks.Inc()
-		span := tracer.Start(observe.KindRollback, observe.ManagerWorker, superstep)
-		defer func() {
-			if span.Active() {
-				span.End(observe.Int("target", int64(target)),
-					observe.Int("recovery", int64(recoveries)),
-					observe.Str("cause", cause.Error()))
-			}
-		}()
-		for w := 0; w < m.spec.NumWorkers; w++ {
-			// The recovery count doubles as the epoch stamped on the restore
-			// token: workers adopt it for data-plane batches and use it to
-			// drop duplicate deliveries of this token.
-			body, merr := json.Marshal(stepToken{RestoreTo: &target, Epoch: recoveries})
-			if merr != nil {
-				return merr
-			}
-			m.stepQs[w].Put(body)
-		}
-		if aerr := m.collectRestoreAcks(target); aerr != nil {
-			return fmt.Errorf("recovery to superstep %d failed: %w (original: %v)", target, aerr, cause)
-		}
-		return nil
-	}
-
-	superstep := 0
 	for {
+		superstep := js.superstep
 		if superstep >= m.spec.MaxSupersteps {
 			m.halt()
-			return steps, recoveries, &runError{superstep, fmt.Errorf("exceeded MaxSupersteps=%d", m.spec.MaxSupersteps)}
+			return nil, &runError{superstep, fmt.Errorf("exceeded MaxSupersteps=%d", m.spec.MaxSupersteps)}
 		}
 		// Ask the scheduler what to inject before this superstep — unless
 		// this superstep is a post-recovery replay, which reuses the log.
 		var injections []graph.VertexID
-		if superstep <= scheduledThrough {
-			injections = injectionLog[superstep]
-			prevAggs = aggLog[superstep]
+		if superstep <= js.scheduledThrough {
+			injections = js.injectionLog[superstep]
+			js.prevAggs = js.aggLog[superstep]
 		} else {
 			if m.spec.Scheduler != nil {
-				injections = m.spec.Scheduler.NextSources(prev)
+				injections = m.spec.Scheduler.NextSources(js.prev)
 				tracer.Emit(observe.KindSwath, observe.ManagerWorker, superstep,
 					observe.Int("injected", int64(len(injections))))
 			}
-			injectionLog[superstep] = injections
-			aggLog[superstep] = prevAggs
-			scheduledThrough = superstep
+			js.injectionLog[superstep] = injections
+			js.aggLog[superstep] = js.prevAggs
+			js.scheduledThrough = superstep
 		}
 		// Halt detection: nothing active, nothing in flight, nothing left to
 		// inject. At superstep 0 there must be some source of activation.
 		if superstep == 0 {
 			if !m.spec.ActivateAll && len(injections) == 0 && m.spec.Scheduler == nil {
 				m.halt()
-				return steps, recoveries, &runError{0, fmt.Errorf("no initial activation: set ActivateAll or a Scheduler")}
+				return nil, &runError{0, fmt.Errorf("no initial activation: set ActivateAll or a Scheduler")}
 			}
 		} else if len(injections) == 0 &&
-			prev.ActiveAfter == 0 && prev.TotalSent() == 0 &&
+			js.prev.ActiveAfter == 0 && js.prev.TotalSent() == 0 &&
 			(m.spec.Scheduler == nil || m.spec.Scheduler.Done()) {
 			m.halt()
-			return steps, recoveries, nil
+			return nil, nil
 		}
 
-		checkpoint := m.spec.CheckpointEvery > 0 && superstep%m.spec.CheckpointEvery == 0
+		checkpoint := m.spec.CheckpointEvery > 0 &&
+			(superstep%m.spec.CheckpointEvery == 0 || js.forceCheckpoint)
 
 		m.ins.supersteps.Inc()
 		stepSpan := tracer.Start(observe.KindSuperstep, observe.ManagerWorker, superstep)
@@ -156,11 +113,11 @@ func (m *manager[M]) run() (steps []StepStats, recoveries int, err error) {
 		}
 		for w := 0; w < m.spec.NumWorkers; w++ {
 			tok := stepToken{Superstep: superstep, Injections: perWorker[w],
-				Aggregates: prevAggs, Checkpoint: checkpoint}
+				Aggregates: js.prevAggs, Checkpoint: checkpoint}
 			body, merr := json.Marshal(tok)
 			if merr != nil {
 				m.halt()
-				return steps, recoveries, &runError{superstep, merr}
+				return nil, &runError{superstep, merr}
 			}
 			m.stepQs[w].Put(body)
 		}
@@ -172,16 +129,15 @@ func (m *manager[M]) run() (steps []StepStats, recoveries int, err error) {
 			if stepSpan.Active() {
 				stepSpan.End(observe.Str("err", cerr.Error()))
 			}
-			if rerr := rollback(superstep, cerr); rerr != nil {
+			if rerr := m.rollback(js, superstep, cerr); rerr != nil {
 				m.halt()
-				return steps, recoveries, &runError{superstep, rerr}
+				return nil, &runError{superstep, rerr}
 			}
-			prev = restorePrev(statsBySuperstep, lastCheckpoint)
-			superstep = lastCheckpoint
 			continue
 		}
 		if checkpoint {
-			lastCheckpoint = superstep
+			js.lastCheckpoint = superstep
+			js.forceCheckpoint = false
 		}
 		stats.Injected = len(injections)
 
@@ -204,12 +160,10 @@ func (m *manager[M]) run() (steps []StepStats, recoveries int, err error) {
 			if stepSpan.Active() {
 				stepSpan.End(observe.Str("err", serr.Error()))
 			}
-			if rerr := rollback(superstep, serr); rerr != nil {
+			if rerr := m.rollback(js, superstep, serr); rerr != nil {
 				m.halt()
-				return steps, recoveries, &runError{superstep, rerr}
+				return nil, &runError{superstep, rerr}
 			}
-			prev = restorePrev(statsBySuperstep, lastCheckpoint)
-			superstep = lastCheckpoint
 			continue
 		}
 		stats.SimSeconds = simTotal
@@ -226,27 +180,193 @@ func (m *manager[M]) run() (steps []StepStats, recoveries int, err error) {
 		}
 
 		stats.Aggregates = stats.aggPartial
-		prevAggs = stats.aggPartial
-		if prevAggs == nil {
-			prevAggs = map[string]float64{}
+		js.prevAggs = stats.aggPartial
+		if js.prevAggs == nil {
+			js.prevAggs = map[string]float64{}
 		}
 		// GPS-style master compute: global logic over the reduced
 		// aggregators, optionally mutating what gets broadcast.
 		if m.spec.MasterCompute != nil {
-			if hookErr := m.spec.MasterCompute(superstep, prevAggs); hookErr != nil {
-				steps = append(steps, stats.StepStats)
+			if hookErr := m.spec.MasterCompute(superstep, js.prevAggs); hookErr != nil {
+				js.steps = append(js.steps, stats.StepStats)
 				m.halt()
 				if errors.Is(hookErr, ErrHaltJob) {
-					return steps, recoveries, nil
+					return nil, nil
 				}
-				return steps, recoveries, &runError{superstep, hookErr}
+				return nil, &runError{superstep, hookErr}
 			}
 		}
-		steps = append(steps, stats.StepStats)
-		statsBySuperstep[superstep] = stats.StepStats
-		prev = &steps[len(steps)-1]
-		superstep++
+		js.steps = append(js.steps, stats.StepStats)
+		js.statsBySuperstep[superstep] = stats.StepStats
+		js.prev = &js.steps[len(js.steps)-1]
+		js.superstep = superstep + 1
+
+		// Live elastic consult: with the barrier complete and the superstep
+		// priced, ask the controller whether the next superstep should run
+		// at a different worker count.
+		if m.spec.ElasticController != nil {
+			req, elErr := m.maybeResize(js)
+			if elErr != nil {
+				m.halt()
+				return nil, &runError{superstep, elErr}
+			}
+			if req != nil {
+				return req, nil
+			}
+		}
 	}
+}
+
+// rollback rolls every worker back to the last checkpoint and rewinds the
+// jobState cursor for replay. Returns the (possibly wrapped) cause when
+// recovery is impossible or fails.
+func (m *manager[M]) rollback(js *jobState, superstep int, cause error) error {
+	if m.spec.CheckpointEvery <= 0 || js.lastCheckpoint < 0 {
+		return cause
+	}
+	if js.recoveries >= m.spec.MaxRecoveries {
+		return fmt.Errorf("giving up after %d recoveries: %w", js.recoveries, cause)
+	}
+	js.recoveries++
+	// Bump the job-wide data-plane epoch (shared with live resizes, so it
+	// is strictly monotonic across rollbacks and rebuilds alike): workers
+	// adopt it for outgoing batches and use it to drop duplicate deliveries
+	// of this restore token.
+	js.epoch++
+	target := js.lastCheckpoint
+	m.ins.rollbacks.Inc()
+	span := m.ins.tracer.Start(observe.KindRollback, observe.ManagerWorker, superstep)
+	defer func() {
+		if span.Active() {
+			span.End(observe.Int("target", int64(target)),
+				observe.Int("recovery", int64(js.recoveries)),
+				observe.Str("cause", cause.Error()))
+		}
+	}()
+	for w := 0; w < m.spec.NumWorkers; w++ {
+		body, merr := json.Marshal(stepToken{RestoreTo: &target, Epoch: js.epoch})
+		if merr != nil {
+			return merr
+		}
+		m.stepQs[w].Put(body)
+	}
+	if aerr := m.collectRestoreAcks(target); aerr != nil {
+		return fmt.Errorf("recovery to superstep %d failed: %w (original: %v)", target, aerr, cause)
+	}
+	js.superstep = target
+	js.prev = restorePrev(js.statsBySuperstep, target)
+	return nil
+}
+
+// maybeResize consults the elastic controller with the just-completed
+// superstep's stats. When the (clamped) target differs from the current
+// worker count it runs the barrier-resize protocol: migrate tokens to
+// every worker, one migration ack each, then halt the segment and hand the
+// resize request to Run. A failed migration (e.g. a VM restart scripted
+// mid-resize) is absorbed by ordinary checkpoint rollback — the segment
+// continues at the old count and the controller is asked again at the next
+// barrier.
+func (m *manager[M]) maybeResize(js *jobState) (*resizeRequest, error) {
+	prev := js.prev
+	// Don't resize a job that is about to halt: the next loop iteration
+	// would stop before running a superstep at the new count, paying
+	// migration for nothing.
+	if prev.ActiveAfter == 0 && prev.TotalSent() == 0 &&
+		(m.spec.Scheduler == nil || m.spec.Scheduler.Done()) {
+		return nil, nil
+	}
+	target := clampWorkerTarget(
+		m.spec.ElasticController.Workers(prev, m.spec.NumWorkers),
+		m.spec.Graph.NumVertices())
+	if target == m.spec.NumWorkers {
+		return nil, nil
+	}
+	resume := js.superstep
+	kind := observe.KindScaleOut
+	counter := m.ins.scaleOuts
+	if target < m.spec.NumWorkers {
+		kind = observe.KindScaleIn
+		counter = m.ins.scaleIns
+	}
+	span := m.ins.tracer.Start(kind, observe.ManagerWorker, resume)
+	body, merr := json.Marshal(stepToken{Migrate: true, Superstep: resume})
+	if merr != nil {
+		span.End(observe.Str("err", merr.Error()))
+		return nil, merr
+	}
+	for w := 0; w < m.spec.NumWorkers; w++ {
+		m.stepQs[w].Put(body)
+	}
+	migrated, err := m.collectMigrateAcks(resume)
+	if err != nil {
+		if span.Active() {
+			span.End(observe.Str("err", err.Error()))
+		}
+		// The migration failed: recover like any worker failure and stay at
+		// the current count.
+		if rerr := m.rollback(js, resume, err); rerr != nil {
+			return nil, rerr
+		}
+		return nil, nil
+	}
+	counter.Inc()
+	if span.Active() {
+		span.End(observe.Int("from", int64(m.spec.NumWorkers)),
+			observe.Int("to", int64(target)),
+			observe.Int("bytes", migrated))
+	}
+	// Every worker's state is safely in the blob store; end the segment.
+	m.halt()
+	return &resizeRequest{
+		fromWorkers:   m.spec.NumWorkers,
+		toWorkers:     target,
+		resumeStep:    resume,
+		migratedBytes: migrated,
+	}, nil
+}
+
+// collectMigrateAcks waits for every worker to confirm writing its
+// migration blob for the resume superstep, returning the total bytes
+// written. Stale superstep check-ins and duplicated acks are drained and
+// ignored, mirroring collectRestoreAcks.
+func (m *manager[M]) collectMigrateAcks(resume int) (int64, error) {
+	n := m.spec.NumWorkers
+	seen := make([]bool, n)
+	var total int64
+	deadline := time.Now().Add(m.spec.BarrierTimeout)
+	for got := 0; got < n; {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return 0, fmt.Errorf("timeout waiting for migration acks (%d/%d)", got, n)
+		}
+		lease := m.barrierQ.GetWait(m.spec.QueueVisibility, remaining)
+		if lease == nil {
+			return 0, fmt.Errorf("timeout waiting for migration acks (%d/%d)", got, n)
+		}
+		var msg barrierMsg
+		err := json.Unmarshal(lease.Body, &msg)
+		_ = m.barrierQ.Delete(lease.ID)
+		if err != nil {
+			return 0, fmt.Errorf("bad migration ack: %v", err)
+		}
+		if msg.Worker < 0 || msg.Worker >= n {
+			return 0, fmt.Errorf("migration ack from unknown worker %d", msg.Worker)
+		}
+		if !msg.Migrated || msg.Superstep != resume || seen[msg.Worker] {
+			// Stale check-ins from the just-completed execution, restore
+			// acks from an earlier recovery, or duplicated migration acks:
+			// at-least-once leftovers, drained and ignored.
+			m.dupsDropped++
+			continue
+		}
+		if msg.Err != "" {
+			return 0, fmt.Errorf("worker %d migration failed: %s", msg.Worker, msg.Err)
+		}
+		seen[msg.Worker] = true
+		got++
+		total += msg.MigratedBytes
+	}
+	return total, nil
 }
 
 // restorePrev returns the stats preceding the checkpointed superstep, for
@@ -327,6 +447,7 @@ func (m *manager[M]) collectBarrier(superstep int) (collected, error) {
 	c := collected{
 		StepStats: StepStats{
 			Superstep:    superstep,
+			Workers:      n,
 			WorkerSent:   make([]int64, n),
 			WorkerMemory: make([]int64, n),
 			WorkerActive: make([]int64, n),
@@ -365,10 +486,11 @@ func (m *manager[M]) collectBarrier(superstep int) (collected, error) {
 		if msg.Worker < 0 || msg.Worker >= n {
 			return c, fmt.Errorf("barrier message from unknown worker %d", msg.Worker)
 		}
-		if msg.Restored || msg.Superstep != superstep || seen[msg.Worker] {
+		if msg.Restored || msg.Migrated || msg.Superstep != superstep || seen[msg.Worker] {
 			// At-least-once control plane: duplicate check-ins (redelivered
 			// barrier messages), stale check-ins from an aborted pre-rollback
-			// execution, and late restore acks are all expected under faults.
+			// execution, late restore acks, and migration acks from a resize
+			// attempt that was rolled back are all expected under faults.
 			// Dedupe by (worker, superstep) and drop the rest.
 			m.dupsDropped++
 			c.DuplicatesDropped++

@@ -31,6 +31,9 @@ type jobInstruments struct {
 	barrier      *observe.Histogram // manager collecting one barrier
 	outboxStalls *observe.Counter   // enqueues that found the outbox full
 	outboxStall  *observe.Histogram // time compute spent blocked on a full outbox
+	scaleOuts    *observe.Counter   // live elastic scale-out resizes
+	scaleIns     *observe.Counter   // live elastic scale-in resizes
+	workersGauge *observe.Gauge     // current worker count (moves at resizes)
 }
 
 // outboxDepthGauge returns the per-worker gauge tracking queued batches
@@ -72,6 +75,14 @@ func newJobInstruments(tracer *observe.Tracer, m *observe.Metrics) *jobInstrumen
 		barrier: m.Histogram("pregel_queue_wait_seconds",
 			"Control-plane queue wait latency by queue class.", nil,
 			observe.Label{Name: "queue", Value: "barrier"}),
+		scaleOuts: m.Counter("pregel_scale_events_total",
+			"Live elastic resizes performed at superstep barriers, by direction.",
+			observe.Label{Name: "direction", Value: "out"}),
+		scaleIns: m.Counter("pregel_scale_events_total",
+			"Live elastic resizes performed at superstep barriers, by direction.",
+			observe.Label{Name: "direction", Value: "in"}),
+		workersGauge: m.Gauge("pregel_workers",
+			"Partition workers currently deployed (changes under live elastic scaling)."),
 	}
 }
 

@@ -15,70 +15,44 @@ import (
 // fabric, wires the control plane (queues) and data plane (network), runs
 // one goroutine per partition worker plus the manager, and returns the
 // per-superstep statistics, simulated runtime, and simulated cost.
+//
+// With JobSpec.ElasticController set the job may span several *segments*,
+// each a stretch of supersteps at one worker count: when the controller
+// asks for a different count at a barrier, the current segment halts after
+// writing vertex-granular migration blobs, Run re-bills the fabric
+// (acquiring or releasing VMs and charging the provisioning + migration
+// window), repartitions the graph, rebuilds the workers and data plane
+// under a fresh epoch, adopts the migrated state, and resumes.
 func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 	s, err := spec.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 
-	// Build per-worker vertex lists and the global→local index.
-	n := s.Graph.NumVertices()
-	owned := make([][]graph.VertexID, s.NumWorkers)
-	globalToLocal := make([]int32, n)
-	for v := 0; v < n; v++ {
-		w := s.Assignment[v]
-		globalToLocal[v] = int32(len(owned[w]))
-		owned[w] = append(owned[w], graph.VertexID(v))
-	}
-	// Each worker needs its own global→local view: -1 for non-owned.
-	perWorkerIndex := make([][]int32, s.NumWorkers)
-	for w := range perWorkerIndex {
-		perWorkerIndex[w] = make([]int32, n)
-		for v := range perWorkerIndex[w] {
-			perWorkerIndex[w][v] = -1
-		}
-	}
-	for v := 0; v < n; v++ {
-		w := s.Assignment[v]
-		perWorkerIndex[w][v] = globalToLocal[v]
-	}
-
-	network := s.Network
-	if network == nil {
-		network = transport.NewChannelNetwork(s.NumWorkers, 1024)
-		defer network.Close()
-	}
-	if network.NumWorkers() < s.NumWorkers {
-		return nil, fmt.Errorf("core: network has %d endpoints, need %d", network.NumWorkers(), s.NumWorkers)
-	}
-
 	fabric := cloud.NewFabric()
 	vms := fabric.Acquire(s.CostModel.Spec, s.NumWorkers)
 
-	// Observability wiring: one instrument bundle per run, the transport
-	// observer adapting data-plane telemetry, and the chaos observer turning
-	// injected faults into trace events. All of it degrades to (near) no-ops
-	// when Tracer and Metrics are both nil.
+	// Observability wiring: one instrument bundle per run and the chaos
+	// observer turning injected faults into trace events. The per-network
+	// transport observer is wired per segment (the network is rebuilt at
+	// every resize). All of it degrades to (near) no-ops when Tracer and
+	// Metrics are both nil.
 	ins := newJobInstruments(s.Tracer, s.Metrics)
 	if s.Tracer.Enabled() || s.Metrics.Enabled() {
-		if ob, ok := network.(transport.Observable); ok {
-			ob.SetObserver(&transportObserver{ins: ins})
-		}
 		s.Chaos.SetObserver(chaosObserver(ins))
 	}
 
 	// Chaos wiring: the fault plan reaches every substrate layer — queues
 	// (duplicates, early lease expiry), blob store (transient errors),
-	// transport (dropped connections), and the VM fabric (scripted restarts,
-	// folded into the failure-injector path so they trigger checkpoint
-	// rollback exactly like a real fabric restart).
+	// transport (dropped connections, wired per segment), and the VM fabric
+	// (scripted restarts, folded into the failure-injector path so they
+	// trigger checkpoint rollback exactly like a real fabric restart). The
+	// injector closure reads the vms variable, which Run re-points at each
+	// resize while no workers are running.
 	if s.Chaos != nil {
 		s.Queues.SetChaos(s.Chaos)
 		if s.CheckpointStore != nil {
 			s.CheckpointStore.SetChaos(s.Chaos)
-		}
-		if fi, ok := network.(transport.FaultInjectable); ok {
-			fi.SetSendFault(s.Chaos.SendFault)
 		}
 		chaos := s.Chaos
 		userInjector := s.FailureInjector
@@ -110,67 +84,100 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 		}
 	}
 
-	workers := make([]*worker[M], s.NumWorkers)
-	for w := 0; w < s.NumWorkers; w++ {
-		ep, err := network.Endpoint(w)
-		if err != nil {
-			return nil, err
-		}
-		workers[w] = newWorker(&s, w, owned[w], perWorkerIndex[w], ep, s.AggregatorOps, ins)
-	}
-
-	mgr := &manager[M]{
-		spec:     &s,
-		stepQs:   make([]*cloud.Queue, s.NumWorkers),
-		barrierQ: s.Queues.Queue("barrier"),
-		fabric:   fabric,
-		aggOps:   s.AggregatorOps,
-		ins:      ins,
-	}
-	for w := 0; w < s.NumWorkers; w++ {
-		mgr.stepQs[w] = s.Queues.Queue(fmt.Sprintf("step-%d", w))
-	}
-
+	js := newJobState()
 	start := time.Now()
-	if s.CheckpointEvery > 0 {
-		if _, ok := workers[0].program.(Checkpointable); !ok {
-			return nil, fmt.Errorf("core: CheckpointEvery set but program %T does not implement Checkpointable", workers[0].program)
-		}
-	}
 	jobSpan := s.Tracer.Start(observe.KindJob, observe.ManagerWorker, -1)
-	var wg sync.WaitGroup
-	for _, w := range workers {
-		wg.Add(1)
-		go func(w *worker[M]) {
-			defer wg.Done()
-			w.run()
-		}(w)
+
+	var (
+		workers []*worker[M]
+		runErr  error
+		pending *resizeRequest // migrated state to adopt into the next segment
+	)
+	for {
+		var resize *resizeRequest
+		resize, workers, runErr = runSegment(&s, js, fabric, ins, pending)
+		if runErr != nil || resize == nil {
+			break
+		}
+		// New layout for the next segment, computed up front so the
+		// transition window can be priced on the state that actually
+		// changes owners.
+		newAssign := s.Repartitioner.Partition(s.Graph, resize.toWorkers)
+		if err := newAssign.Validate(resize.toWorkers); err != nil {
+			runErr = fmt.Errorf("core: repartition for %d workers: %w", resize.toWorkers, err)
+			break
+		}
+		// Bill the transition window in its two phases: the old layout's
+		// VMs pay through the state write-out (overlapped with
+		// provisioning on scale-out — the new instances boot while the
+		// old workers write, and only bill once ready); the new layout's
+		// VMs pay through the read-in. On scale-in the surplus instances
+		// release right after writing their state out. Only the state
+		// whose owner changes crosses the network: retained partitions
+		// stay in their worker's memory (the full blob write is the
+		// simulator's migration artifact, not billed traffic).
+		moved := movedStateBytes(resize.migratedBytes, s.Assignment, newAssign)
+		writeSec, readSec := s.CostModel.ResizePhases(resize.fromWorkers, resize.toWorkers, moved)
+		overhead := writeSec + readSec
+		fabric.Advance(writeSec)
+		if resize.toWorkers > resize.fromWorkers {
+			vms = append(vms, fabric.Acquire(s.CostModel.Spec, resize.toWorkers-resize.fromWorkers)...)
+		} else {
+			for _, vm := range vms[resize.toWorkers:] {
+				_ = fabric.Release(vm)
+			}
+			vms = vms[:resize.toWorkers]
+		}
+		fabric.Advance(readSec)
+		js.scaleEvents = append(js.scaleEvents, ScaleEvent{
+			Superstep:     resize.resumeStep,
+			FromWorkers:   resize.fromWorkers,
+			ToWorkers:     resize.toWorkers,
+			MigratedBytes: moved,
+			SimSeconds:    overhead,
+		})
+		// Switch to the new layout: advance the segment (fresh control
+		// queues) and the data-plane epoch (the rebuilt network's streams
+		// must never be confusable with the old segment's), and force a
+		// fresh checkpoint — the old layout's checkpoints cannot restore
+		// into the new partitioning.
+		s.NumWorkers = resize.toWorkers
+		s.Assignment = newAssign
+		s.segment++
+		js.epoch++
+		js.lastCheckpoint = -1
+		js.forceCheckpoint = s.CheckpointEvery > 0
+		pending = resize
 	}
-	steps, recoveries, runErr := mgr.run()
-	// Unblock any worker stuck waiting for tokens, then join.
-	s.Queues.CloseAll()
-	wg.Wait()
 	for _, vm := range vms {
 		_ = fabric.Release(vm)
 	}
+	if workers == nil {
+		return nil, runErr
+	}
 
 	result := &JobResult[M]{
-		Programs:    make([]VertexProgram[M], s.NumWorkers),
-		Owned:       owned,
-		Steps:       steps,
+		Programs:    make([]VertexProgram[M], len(workers)),
+		Owned:       make([][]graph.VertexID, len(workers)),
+		Steps:       js.steps,
 		WallSeconds: time.Since(start).Seconds(),
 		CostDollars: fabric.CostDollars(),
 		VMSeconds:   fabric.VMSeconds(),
-		Supersteps:  len(steps),
-		Recoveries:  recoveries,
+		Supersteps:  len(js.steps),
+		Recoveries:  js.recoveries,
+		ScaleEvents: js.scaleEvents,
 	}
 	for w := range workers {
 		result.Programs[w] = workers[w].program
+		result.Owned[w] = workers[w].owned
 	}
-	for i := range steps {
-		result.SimSeconds += steps[i].SimSeconds
-		result.Retries += steps[i].Retries
-		result.DuplicatesDropped += steps[i].DuplicatesDropped
+	for i := range js.steps {
+		result.SimSeconds += js.steps[i].SimSeconds
+		result.Retries += js.steps[i].Retries
+		result.DuplicatesDropped += js.steps[i].DuplicatesDropped
+	}
+	for i := range js.scaleEvents {
+		result.SimSeconds += js.scaleEvents[i].SimSeconds
 	}
 	result.VMRestarts = fabric.Restarts()
 	result.QueueStats = s.Queues.Stats()
@@ -183,6 +190,7 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 			observe.Int("supersteps", int64(result.Supersteps)),
 			observe.Int("recoveries", int64(result.Recoveries)),
 			observe.Int("retries", result.Retries),
+			observe.Int("scale_events", int64(len(result.ScaleEvents))),
 		}
 		if runErr != nil {
 			jobEnd = append(jobEnd, observe.Str("err", runErr.Error()))
@@ -193,4 +201,136 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 		return result, runErr
 	}
 	return result, nil
+}
+
+// runSegment builds the worker set for the spec's current segment
+// (assignment, worker count, queue names), optionally adopts migrated
+// vertex state from the previous segment, and drives the manager until the
+// job ends or the elastic controller requests another resize. It joins all
+// worker goroutines before returning; on the job-ending paths it closes the
+// control-plane queues first so stuck workers unblock.
+func runSegment[M any](s *JobSpec[M], js *jobState, fabric *cloud.Fabric,
+	ins *jobInstruments, adopt *resizeRequest) (*resizeRequest, []*worker[M], error) {
+	// Build per-worker vertex lists and the global→local index.
+	n := s.Graph.NumVertices()
+	owned := make([][]graph.VertexID, s.NumWorkers)
+	globalToLocal := make([]int32, n)
+	for v := 0; v < n; v++ {
+		w := s.Assignment[v]
+		globalToLocal[v] = int32(len(owned[w]))
+		owned[w] = append(owned[w], graph.VertexID(v))
+	}
+	// Each worker needs its own global→local view: -1 for non-owned.
+	perWorkerIndex := make([][]int32, s.NumWorkers)
+	for w := range perWorkerIndex {
+		perWorkerIndex[w] = make([]int32, n)
+		for v := range perWorkerIndex[w] {
+			perWorkerIndex[w][v] = -1
+		}
+	}
+	for v := 0; v < n; v++ {
+		w := s.Assignment[v]
+		perWorkerIndex[w][v] = globalToLocal[v]
+	}
+
+	// The data plane: the caller's Network for the initial segment if one
+	// was supplied, otherwise (and for every post-resize segment) a fresh
+	// build from the factory, owned and closed by this segment.
+	network := s.Network
+	ownNetwork := false
+	if network == nil || s.segment > 0 {
+		var err error
+		network, err = s.NetworkFactory(s.NumWorkers)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: building network for %d workers: %w", s.NumWorkers, err)
+		}
+		ownNetwork = true
+	}
+	closeNet := func() {
+		if ownNetwork {
+			network.Close()
+		}
+	}
+	if network.NumWorkers() < s.NumWorkers {
+		closeNet()
+		return nil, nil, fmt.Errorf("core: network has %d endpoints, need %d", network.NumWorkers(), s.NumWorkers)
+	}
+	if s.Tracer.Enabled() || s.Metrics.Enabled() {
+		if ob, ok := network.(transport.Observable); ok {
+			ob.SetObserver(&transportObserver{ins: ins})
+		}
+	}
+	if s.Chaos != nil {
+		if fi, ok := network.(transport.FaultInjectable); ok {
+			fi.SetSendFault(s.Chaos.SendFault)
+		}
+	}
+	ins.workersGauge.Set(float64(s.NumWorkers))
+
+	workers := make([]*worker[M], s.NumWorkers)
+	for w := 0; w < s.NumWorkers; w++ {
+		ep, err := network.Endpoint(w)
+		if err != nil {
+			closeNet()
+			return nil, nil, err
+		}
+		workers[w] = newWorker(s, w, owned[w], perWorkerIndex[w], ep, s.AggregatorOps, ins)
+	}
+	if s.CheckpointEvery > 0 {
+		if _, ok := workers[0].program.(Checkpointable); !ok {
+			closeNet()
+			return nil, nil, fmt.Errorf("core: CheckpointEvery set but program %T does not implement Checkpointable", workers[0].program)
+		}
+	}
+	if s.ElasticController != nil {
+		if _, ok := workers[0].program.(Migratable); !ok {
+			closeNet()
+			return nil, nil, fmt.Errorf("core: ElasticController set but program %T does not implement Migratable", workers[0].program)
+		}
+	}
+	if adopt != nil {
+		// Resumed segment: stamp the new epoch on every worker BEFORE any
+		// goroutine can send (receivers drop old-generation batches, and the
+		// resumed superstep's tokens must not look like duplicates), then
+		// install the migrated state under the new assignment.
+		for _, w := range workers {
+			w.epoch.Store(int32(js.epoch))
+			w.doneThrough = adopt.resumeStep - 1
+		}
+		if err := adoptMigrations(workers, s.CheckpointStore, s.Retry, adopt.resumeStep, adopt.fromWorkers); err != nil {
+			closeNet()
+			return nil, nil, fmt.Errorf("core: adopting migrated state: %w", err)
+		}
+	}
+
+	mgr := &manager[M]{
+		spec:     s,
+		stepQs:   make([]*cloud.Queue, s.NumWorkers),
+		barrierQ: s.Queues.Queue(barrierQueueName(s.segment)),
+		fabric:   fabric,
+		aggOps:   s.AggregatorOps,
+		ins:      ins,
+	}
+	for w := 0; w < s.NumWorkers; w++ {
+		mgr.stepQs[w] = s.Queues.Queue(stepQueueName(s.segment, w))
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker[M]) {
+			defer wg.Done()
+			w.run()
+		}(w)
+	}
+	resize, runErr := mgr.run(js)
+	if resize == nil {
+		// Job over (completed or failed): unblock any worker stuck waiting
+		// for tokens, then join. On the resize path the manager has already
+		// halted every worker and the queues stay open for the next segment.
+		s.Queues.CloseAll()
+	}
+	wg.Wait()
+	closeNet()
+	return resize, workers, runErr
 }

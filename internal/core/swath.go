@@ -113,6 +113,13 @@ func (r *SwathRunner) NextSources(prev *StepStats) []graph.VertexID {
 		}
 	}
 	if r.next >= len(r.sources) {
+		// All sources injected: once the final swath drains, flush its
+		// pending observation so History() covers every swath (without this
+		// the last window's size/peak-memory would be silently dropped from
+		// reports and sizer feedback).
+		if prev != nil && prev.ActiveVertices == 0 && prev.TotalSent() == 0 {
+			r.flushObservation()
+		}
 		return nil
 	}
 	if prev == nil {
@@ -125,14 +132,25 @@ func (r *SwathRunner) NextSources(prev *StepStats) []graph.VertexID {
 	return nil
 }
 
-func (r *SwathRunner) inject() []graph.VertexID {
-	if r.lastSize > 0 {
-		r.history = append(r.history, SwathObservation{
-			Size:       r.lastSize,
-			PeakMemory: r.peakMemWindow,
-			Supersteps: r.stepsSince,
-		})
+// flushObservation records the in-flight swath's window into history and
+// resets the window accumulators. No-op when no swath is pending.
+func (r *SwathRunner) flushObservation() {
+	if r.lastSize == 0 {
+		return
 	}
+	r.history = append(r.history, SwathObservation{
+		Size:       r.lastSize,
+		PeakMemory: r.peakMemWindow,
+		Supersteps: r.stepsSince,
+	})
+	r.lastSize = 0
+	r.peakMemWindow = 0
+	r.stepsSince = 0
+	r.msgWindow = r.msgWindow[:0]
+}
+
+func (r *SwathRunner) inject() []graph.VertexID {
+	r.flushObservation()
 	size := r.sizer.NextSize(r.history)
 	if size < 1 {
 		size = 1
@@ -165,7 +183,9 @@ type AdaptiveSizer struct {
 	// Initial is the first swath's size (a small safe probe).
 	Initial int
 	// TargetMemoryBytes is the per-worker memory ceiling to aim for (the
-	// paper uses 6 GB against 7 GB physical).
+	// paper uses 6 GB against 7 GB physical). Zero or negative means "no
+	// target": the sizer keeps the previous swath's size instead of scaling
+	// it (a zero target must not collapse every swath to size 1).
 	TargetMemoryBytes int64
 	// MaxGrowth bounds the growth factor per adjustment (default 2.0) so a
 	// low-memory observation cannot trigger a catastrophic overshoot.
@@ -184,7 +204,7 @@ func (a *AdaptiveSizer) NextSize(history []SwathObservation) int {
 	}
 	last := history[len(history)-1]
 	size := last.Size
-	if last.PeakMemory > 0 {
+	if a.TargetMemoryBytes > 0 && last.PeakMemory > 0 {
 		scaled := float64(size) * float64(a.TargetMemoryBytes) / float64(last.PeakMemory)
 		growth := a.MaxGrowth
 		if growth <= 0 {

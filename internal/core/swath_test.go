@@ -180,6 +180,55 @@ func TestSwathRunnerRecordsObservations(t *testing.T) {
 	}
 }
 
+func TestSwathRunnerRecordsFinalSwath(t *testing.T) {
+	// Regression: observations used to be appended only at the *next*
+	// inject(), so the last swath's window never reached History(). The
+	// runner must flush the pending observation when the run drains.
+	r := NewSwathRunner(srcs(6), StaticSizer(3), SequentialInitiator{})
+	r.NextSources(nil)               // swath 1
+	r.NextSources(stats(3, 10, 500)) // activity
+	r.NextSources(stats(0, 0, 900))  // quiesce → swath 2, records obs 1
+	r.NextSources(stats(3, 10, 700)) // final swath active
+	if !r.Done() {
+		t.Fatal("all sources injected; Done should be true")
+	}
+	r.NextSources(stats(0, 0, 400)) // final swath drains → obs 2 flushed
+	hist := r.History()
+	if len(hist) != 2 {
+		t.Fatalf("history len = %d, want 2 (final swath must be recorded)", len(hist))
+	}
+	if hist[0].Size != 3 || hist[0].PeakMemory != 900 || hist[0].Supersteps != 2 {
+		t.Errorf("observation 1 = %+v", hist[0])
+	}
+	if hist[1].Size != 3 || hist[1].PeakMemory != 700 || hist[1].Supersteps != 2 {
+		t.Errorf("final observation = %+v", hist[1])
+	}
+	// Further drained supersteps must not duplicate the flushed observation.
+	r.NextSources(stats(0, 0, 0))
+	if got := len(r.History()); got != 2 {
+		t.Errorf("history grew to %d after flush", got)
+	}
+}
+
+func TestAdaptiveSizerZeroTargetKeepsSize(t *testing.T) {
+	// Regression: TargetMemoryBytes == 0 scaled every subsequent swath to
+	// size*0/peak = 0 → clamped to 1, silently serializing the job. A zero
+	// or negative target must keep the previous swath's size.
+	a := &AdaptiveSizer{Initial: 4}
+	if got := a.NextSize([]SwathObservation{{Size: 4, PeakMemory: 2000}}); got != 4 {
+		t.Errorf("zero target: got %d, want previous size 4", got)
+	}
+	neg := &AdaptiveSizer{Initial: 4, TargetMemoryBytes: -5}
+	if got := neg.NextSize([]SwathObservation{{Size: 6, PeakMemory: 100}}); got != 6 {
+		t.Errorf("negative target: got %d, want previous size 6", got)
+	}
+	// MaxSize still applies without a target.
+	capped := &AdaptiveSizer{Initial: 4, MaxSize: 5}
+	if got := capped.NextSize([]SwathObservation{{Size: 9, PeakMemory: 100}}); got != 5 {
+		t.Errorf("max cap without target: got %d, want 5", got)
+	}
+}
+
 func TestFirstNSourcesClamps(t *testing.T) {
 	g := graph.Ring(4)
 	if got := FirstNSources(g, 10); len(got) != 4 {

@@ -34,12 +34,20 @@ type stepToken struct {
 	// RestoreTo, when non-nil, asks the worker to roll back to the snapshot
 	// taken before the given superstep instead of computing.
 	RestoreTo *int `json:"restore,omitempty"`
-	// Epoch is the recovery generation of a restore token (the manager's
-	// rollback count, starting at 1). Workers adopt it as their data-plane
-	// batch epoch and skip restore tokens for an epoch they have already
-	// restored, so at-least-once token delivery (duplicates, re-leases
-	// arriving after replay started) cannot roll state back mid-job.
+	// Epoch is the generation of a restore token: the job-wide data-plane
+	// epoch, bumped by every rollback and every live resize (strictly
+	// monotonic, starting at 1 for the first rollback). Workers adopt it as
+	// their batch epoch and skip restore tokens for an epoch they have
+	// already reached, so at-least-once token delivery (duplicates,
+	// re-leases arriving after replay started) cannot roll state back
+	// mid-job.
 	Epoch int `json:"epoch,omitempty"`
+	// Migrate asks the worker to write a vertex-granular migration blob of
+	// the state it would carry into Superstep (the live-resize protocol),
+	// ack it on the barrier queue, and keep serving tokens. The worker
+	// neither computes nor mutates state, so the request is idempotent
+	// under duplicate delivery.
+	Migrate bool `json:"mig,omitempty"`
 }
 
 // barrierMsg is the worker→manager check-in ending one superstep. It carries
@@ -62,6 +70,11 @@ type barrierMsg struct {
 	Retries     int64              `json:"rt,omitempty"`
 	Err         string             `json:"err,omitempty"`
 	Restored    bool               `json:"restored,omitempty"`
+	// Migrated marks this check-in as a live-resize migration ack for
+	// Superstep; MigratedBytes is the blob size written (for the resize
+	// cost model).
+	Migrated      bool  `json:"migrated,omitempty"`
+	MigratedBytes int64 `json:"migbytes,omitempty"`
 }
 
 // outboxItem is one unit of sender work: a batch to ship (epoch stamped at
@@ -213,8 +226,8 @@ func newWorker[M any](spec *JobSpec[M], id int, owned []graph.VertexID,
 		globalToLocal:  globalToLocal,
 		halted:         make([]bool, len(owned)),
 		endpoint:       ep,
-		stepQ:          spec.Queues.Queue(fmt.Sprintf("step-%d", id)),
-		barrierQ:       spec.Queues.Queue("barrier"),
+		stepQ:          spec.Queues.Queue(stepQueueName(spec.segment, id)),
+		barrierQ:       spec.Queues.Queue(barrierQueueName(spec.segment)),
 		peersContacted: make([]atomic.Bool, spec.NumWorkers),
 		sentinels:      make(map[int]int),
 		recvMsgs:       make(map[int]int64),
@@ -336,6 +349,29 @@ func (w *worker[M]) run() {
 				// Replayed supersteps start at RestoreTo; tokens for them must
 				// execute even though they were executed before the rollback.
 				w.doneThrough = *tok.RestoreTo - 1
+			}
+			w.checkIn(msg)
+			continue
+		}
+		if tok.Migrate {
+			// Live resize: snapshot the partition, vertex by vertex, for the
+			// new layout. The chaos hook is consulted first — a VM restart
+			// scripted for the resume superstep kills the migration, which
+			// the manager absorbs by rolling back to the last checkpoint and
+			// retrying the resize at a later barrier.
+			msg := barrierMsg{Worker: w.id, Superstep: tok.Superstep, Migrated: true}
+			if w.failInject != nil {
+				if err := w.failInject(w.id, tok.Superstep); err != nil {
+					msg.Err = err.Error()
+					w.checkIn(msg)
+					continue
+				}
+			}
+			n, err := w.writeMigration(w.ckptStore, tok.Superstep)
+			if err != nil {
+				msg.Err = err.Error()
+			} else {
+				msg.MigratedBytes = n
 			}
 			w.checkIn(msg)
 			continue

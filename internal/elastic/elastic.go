@@ -21,6 +21,13 @@ type Profile struct {
 	WorkersHigh int
 	Low         []core.StepStats // per-superstep stats at WorkersLow
 	High        []core.StepStats // per-superstep stats at WorkersHigh
+
+	// MaxActive memoization: maxActiveN entries of Low have been folded into
+	// maxActive. Incremental so a growing live profile stays O(1) amortized
+	// per superstep (recomputing the peak per superstep made policy
+	// evaluation O(steps²)).
+	maxActive  int64
+	maxActiveN int
 }
 
 // NewProfile validates and builds a profile. The runs must have executed the
@@ -70,15 +77,29 @@ func (p *Profile) ActivePerStep() []int64 {
 	return out
 }
 
-// MaxActive returns the peak active-vertex count across the run.
+// MaxActive returns the peak active-vertex count across the run. The peak is
+// folded incrementally: entries already scanned are never rescanned, so
+// per-superstep policy consults stay O(1) amortized even though live
+// profiles grow as the job runs.
 func (p *Profile) MaxActive() int64 {
-	var m int64
-	for _, a := range p.ActivePerStep() {
-		if a > m {
-			m = a
+	for ; p.maxActiveN < len(p.Low); p.maxActiveN++ {
+		if a := p.Low[p.maxActiveN].ActiveVertices; a > p.maxActive {
+			p.maxActive = a
 		}
 	}
-	return m
+	return p.maxActive
+}
+
+// ClampWorkers snaps a policy's worker choice onto the profile's two real
+// deployments: anything above the low count means "run high", everything
+// else means "run low". A buggy policy can therefore shift a superstep
+// between the two measured columns but can never be billed for a worker
+// count that was not actually profiled.
+func (p *Profile) ClampWorkers(w int) int {
+	if w > p.WorkersLow {
+		return p.WorkersHigh
+	}
+	return p.WorkersLow
 }
 
 // Policy chooses a worker count for each superstep.
@@ -143,18 +164,20 @@ type Estimate struct {
 
 // Evaluate projects a policy over the profile. Like the paper's analysis it
 // does not charge scaling overheads (ScaleChanges is reported so a reader
-// can judge how much overhead would matter).
+// can judge how much overhead would matter). Policy outputs are clamped to
+// the two profiled deployments — without the clamp, a policy returning any
+// other count would silently be timed as the low run while being billed
+// w × sec VM-seconds, an estimate for a deployment that never ran.
 func Evaluate(p *Profile, policy Policy) Estimate {
 	est := Estimate{Policy: policy.Name()}
 	prevWorkers := -1
 	for i := 0; i < p.Steps(); i++ {
-		w := policy.Workers(p, i)
+		w := p.ClampWorkers(policy.Workers(p, i))
 		var sec float64
-		switch w {
-		case p.WorkersHigh:
+		if w == p.WorkersHigh {
 			sec = p.High[i].SimSeconds
 			est.StepsAtHigh++
-		default:
+		} else {
 			sec = p.Low[i].SimSeconds
 		}
 		est.Seconds += sec

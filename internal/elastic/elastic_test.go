@@ -133,3 +133,64 @@ func TestMaxActive(t *testing.T) {
 		t.Errorf("max active = %d", p.MaxActive())
 	}
 }
+
+func TestMaxActiveMemoized(t *testing.T) {
+	// Regression: MaxActive used to rescan the whole run on every call,
+	// making per-superstep policy consults O(steps²). Scanned entries are
+	// now folded once — mutating one afterwards must not change the peak —
+	// while entries appended to a live (growing) profile still fold in.
+	p := fakeProfile(t)
+	if p.MaxActive() != 100 {
+		t.Fatalf("max active = %d", p.MaxActive())
+	}
+	p.Low[1].ActiveVertices = 5
+	if got := p.MaxActive(); got != 100 {
+		t.Errorf("memoized peak changed to %d after mutating a scanned entry", got)
+	}
+	p.Low = append(p.Low, core.StepStats{ActiveVertices: 250})
+	if got := p.MaxActive(); got != 250 {
+		t.Errorf("appended entry not folded in: peak = %d, want 250", got)
+	}
+}
+
+// bogusPolicy returns a fixed worker count that may match neither profiled
+// deployment — the kind of policy bug Evaluate must not turn into an
+// impossible estimate.
+type bogusPolicy int
+
+func (b bogusPolicy) Name() string              { return "bogus" }
+func (b bogusPolicy) Workers(*Profile, int) int { return int(b) }
+
+func TestEvaluateClampsBogusPolicyOutputs(t *testing.T) {
+	// Regression: a policy output outside {low, high} used to be timed as
+	// the low run while billed w × sec VM-seconds — an estimate for a
+	// deployment that never ran. Outputs are clamped onto the profiled
+	// deployments instead.
+	p := fakeProfile(t)
+	fixed4 := Evaluate(p, FixedPolicy(4))
+	fixed8 := Evaluate(p, FixedPolicy(8))
+
+	over := Evaluate(p, bogusPolicy(17)) // > high → billed and timed as high
+	if math.Abs(over.Seconds-fixed8.Seconds) > 1e-12 || math.Abs(over.VMSeconds-fixed8.VMSeconds) > 1e-12 {
+		t.Errorf("bogus(17): %+v, want the fixed-8 estimate %+v", over, fixed8)
+	}
+	under := Evaluate(p, bogusPolicy(0)) // < low → billed and timed as low
+	if math.Abs(under.Seconds-fixed4.Seconds) > 1e-12 || math.Abs(under.VMSeconds-fixed4.VMSeconds) > 1e-12 {
+		t.Errorf("bogus(0): %+v, want the fixed-4 estimate %+v", under, fixed4)
+	}
+	mid := Evaluate(p, bogusPolicy(6)) // between: exceeds low → treated as high
+	if math.Abs(mid.VMSeconds-fixed8.VMSeconds) > 1e-12 {
+		t.Errorf("bogus(6): VMSeconds %v, want fixed-8's %v", mid.VMSeconds, fixed8.VMSeconds)
+	}
+}
+
+func TestClampWorkers(t *testing.T) {
+	p := &Profile{WorkersLow: 4, WorkersHigh: 8}
+	for _, tc := range []struct{ in, want int }{
+		{-1, 4}, {0, 4}, {3, 4}, {4, 4}, {5, 8}, {8, 8}, {17, 8},
+	} {
+		if got := p.ClampWorkers(tc.in); got != tc.want {
+			t.Errorf("ClampWorkers(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -149,6 +149,7 @@ func All() []Experiment {
 		{"fig10_14", "Per-worker messages in peak supersteps (Figs 10, 11, 13, 14)", Fig10Through14},
 		{"fig15", "Per-superstep 8v4 speedup and active vertices (Fig 15)", Fig15},
 		{"fig16", "Elastic scaling: time and cost projections (Fig 16)", Fig16},
+		{"fig16live", "Elastic scaling: live resize at superstep barriers (Fig 16, measured)", Fig16Live},
 		{"ext_buffering", "Extension: disk vs memory buffering under pressure", ExtBuffering},
 		{"ext_partitioners", "Extension: partitioner sweep across datasets and k", ExtPartitioners},
 	}

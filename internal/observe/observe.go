@@ -60,6 +60,14 @@ const (
 	// KindSendStall spans a compute goroutine blocked enqueueing a batch onto
 	// a full per-destination outbox (data-plane backpressure).
 	KindSendStall Kind = "send_stall"
+	// KindScaleOut spans a live elastic scale-out at a superstep barrier:
+	// migrate tokens out through the last worker's migration ack.
+	KindScaleOut Kind = "scale_out"
+	// KindScaleIn spans a live elastic scale-in at a superstep barrier.
+	KindScaleIn Kind = "scale_in"
+	// KindMigrate spans one worker writing its migration blob during a live
+	// resize.
+	KindMigrate Kind = "migrate"
 	// KindOutboxFlush spans a worker's end-of-superstep flush-and-drain of
 	// all per-destination outboxes (sentinel broadcast included).
 	KindOutboxFlush Kind = "outbox_flush"

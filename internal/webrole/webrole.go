@@ -17,6 +17,7 @@ import (
 	"pregelnet/internal/algorithms"
 	"pregelnet/internal/cloud"
 	"pregelnet/internal/core"
+	"pregelnet/internal/elastic"
 	"pregelnet/internal/graph"
 	"pregelnet/internal/observe"
 	"pregelnet/internal/partition"
@@ -42,6 +43,13 @@ type JobRequest struct {
 	Initiate string `json:"initiate,omitempty"`
 	// MemoryMiB caps per-worker memory (0 = default spec).
 	MemoryMiB int64 `json:"memoryMiB,omitempty"`
+	// ElasticHigh enables live elastic scaling: the job starts at Workers
+	// and a threshold controller may resize it between Workers and
+	// ElasticHigh at any superstep barrier (0 = fixed worker count).
+	ElasticHigh int `json:"elasticHigh,omitempty"`
+	// ElasticThreshold is the scale-out trigger: fraction of the peak
+	// active-vertex count seen so far (default 0.5, the paper's §VIII value).
+	ElasticThreshold float64 `json:"elasticThreshold,omitempty"`
 }
 
 // JobState is a job's lifecycle phase.
@@ -57,13 +65,21 @@ const (
 
 // Summary is the completed-job report returned by the status endpoint.
 type Summary struct {
-	Supersteps  int         `json:"supersteps"`
-	Messages    int64       `json:"messages"`
-	SimSeconds  float64     `json:"simSeconds"`
-	CostDollars float64     `json:"costDollars"`
-	WallSeconds float64     `json:"wallSeconds"`
-	TopVertices []TopVertex `json:"topVertices,omitempty"`
-	Extra       string      `json:"extra,omitempty"`
+	Supersteps  int     `json:"supersteps"`
+	Messages    int64   `json:"messages"`
+	SimSeconds  float64 `json:"simSeconds"`
+	CostDollars float64 `json:"costDollars"`
+	WallSeconds float64 `json:"wallSeconds"`
+	// VMSeconds is the billed VM time (workers integrated over simulated
+	// time, including resize migration and acquisition charges).
+	VMSeconds float64 `json:"vmSeconds,omitempty"`
+	// FinalWorkers is the worker count at the last superstep; differs from
+	// the request's Workers only when live elastic scaling resized the job.
+	FinalWorkers int `json:"finalWorkers,omitempty"`
+	// ScaleEvents lists the live resizes performed at superstep barriers.
+	ScaleEvents []core.ScaleEvent `json:"scaleEvents,omitempty"`
+	TopVertices []TopVertex       `json:"topVertices,omitempty"`
+	Extra       string            `json:"extra,omitempty"`
 }
 
 // TopVertex is one row of a ranked result.
@@ -234,6 +250,17 @@ func validate(req *JobRequest) error {
 	if req.Initiate == "" {
 		req.Initiate = "dynamic"
 	}
+	if req.ElasticHigh != 0 {
+		if req.ElasticHigh <= req.Workers || req.ElasticHigh > 64 {
+			return fmt.Errorf("elasticHigh %d out of range (%d,64]", req.ElasticHigh, req.Workers)
+		}
+		if req.ElasticThreshold == 0 {
+			req.ElasticThreshold = 0.5
+		}
+		if req.ElasticThreshold < 0 || req.ElasticThreshold > 1 {
+			return fmt.Errorf("elasticThreshold %g out of range [0,1]", req.ElasticThreshold)
+		}
+	}
 	return nil
 }
 
@@ -346,11 +373,20 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 // instrument attaches the per-job tracer, the server-wide metrics registry,
-// and the job's dedicated queue namespace to a spec before core.Run.
-func instrument[M any](spec *core.JobSpec[M], tracer *observe.Tracer, metrics *observe.Metrics, queues *cloud.QueueService) {
+// and the job's dedicated queue namespace to a spec before core.Run, and
+// wires in the live elastic controller when the request asked for one.
+// Resizes need checkpoints to roll back failed migrations, so elastic jobs
+// get checkpointing defaulted on.
+func instrument[M any](spec *core.JobSpec[M], tracer *observe.Tracer, metrics *observe.Metrics, queues *cloud.QueueService, ctrl core.ElasticController) {
 	spec.Tracer = tracer
 	spec.Metrics = metrics
 	spec.Queues = queues
+	if ctrl != nil {
+		spec.ElasticController = ctrl
+		if spec.CheckpointEvery <= 0 {
+			spec.CheckpointEvery = 4
+		}
+	}
 }
 
 func execute(req JobRequest, tracer *observe.Tracer, metrics *observe.Metrics, queues *cloud.QueueService) (*Summary, error) {
@@ -359,6 +395,16 @@ func execute(req JobRequest, tracer *observe.Tracer, metrics *observe.Metrics, q
 	model := cloud.DefaultCostModel(cloud.LargeVM())
 	if req.MemoryMiB > 0 {
 		model.Spec = model.Spec.WithMemory(req.MemoryMiB << 20)
+	}
+
+	var elasticCtrl core.ElasticController
+	if req.ElasticHigh > 0 {
+		ctrl, err := elastic.NewLiveController(req.Workers, req.ElasticHigh,
+			elastic.ThresholdPolicy{Fraction: req.ElasticThreshold})
+		if err != nil {
+			return nil, err
+		}
+		elasticCtrl = ctrl
 	}
 
 	top := func(scores []float64, n int) []TopVertex {
@@ -372,13 +418,18 @@ func execute(req JobRequest, tracer *observe.Tracer, metrics *observe.Metrics, q
 		}
 		return tv[:n]
 	}
-	summarize := func(steps []core.StepStats, sim, cost, wall float64, sup int) *Summary {
+	summarize := func(steps []core.StepStats, sim, cost, wall float64, sup int, vmSec float64, scales []core.ScaleEvent) *Summary {
 		var msgs int64
+		finalWorkers := req.Workers
 		for i := range steps {
 			msgs += steps[i].TotalSent()
+			if steps[i].Workers > 0 {
+				finalWorkers = steps[i].Workers
+			}
 		}
 		return &Summary{Supersteps: sup, Messages: msgs, SimSeconds: sim,
-			CostDollars: cost, WallSeconds: wall}
+			CostDollars: cost, WallSeconds: wall, VMSeconds: vmSec,
+			FinalWorkers: finalWorkers, ScaleEvents: scales}
 	}
 
 	switch req.Algorithm {
@@ -386,12 +437,12 @@ func execute(req JobRequest, tracer *observe.Tracer, metrics *observe.Metrics, q
 		spec := algorithms.PageRank{Iterations: req.Iterations, Damping: 0.85}.Spec(g, req.Workers)
 		spec.Assignment = assign
 		spec.CostModel = model
-		instrument(&spec, tracer, metrics, queues)
+		instrument(&spec, tracer, metrics, queues, elasticCtrl)
 		res, err := core.Run(spec)
 		if err != nil {
 			return nil, err
 		}
-		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps)
+		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps, res.VMSeconds, res.ScaleEvents)
 		sum.TopVertices = top(algorithms.Ranks(res, g.NumVertices()), 10)
 		return sum, nil
 	case "bc":
@@ -402,12 +453,12 @@ func execute(req JobRequest, tracer *observe.Tracer, metrics *observe.Metrics, q
 		spec := algorithms.BC(g, req.Workers, sched)
 		spec.Assignment = assign
 		spec.CostModel = model
-		instrument(&spec, tracer, metrics, queues)
+		instrument(&spec, tracer, metrics, queues, elasticCtrl)
 		res, err := core.Run(spec)
 		if err != nil {
 			return nil, err
 		}
-		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps)
+		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps, res.VMSeconds, res.ScaleEvents)
 		sum.TopVertices = top(algorithms.BCScores(res, g.NumVertices()), 10)
 		return sum, nil
 	case "apsp":
@@ -418,29 +469,29 @@ func execute(req JobRequest, tracer *observe.Tracer, metrics *observe.Metrics, q
 		spec := algorithms.APSP(g, req.Workers, sched)
 		spec.Assignment = assign
 		spec.CostModel = model
-		instrument(&spec, tracer, metrics, queues)
+		instrument(&spec, tracer, metrics, queues, elasticCtrl)
 		res, err := core.Run(spec)
 		if err != nil {
 			return nil, err
 		}
-		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps)
+		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps, res.VMSeconds, res.ScaleEvents)
 		sum.Extra = fmt.Sprintf("distances computed from %d roots", req.Roots)
 		return sum, nil
 	case "sssp":
 		spec := algorithms.SSSP(g, req.Workers, 0)
 		spec.Assignment = assign
 		spec.CostModel = model
-		instrument(&spec, tracer, metrics, queues)
+		instrument(&spec, tracer, metrics, queues, elasticCtrl)
 		res, err := core.Run(spec)
 		if err != nil {
 			return nil, err
 		}
-		return summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps), nil
+		return summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps, res.VMSeconds, res.ScaleEvents), nil
 	case "wcc":
 		spec := algorithms.WCC(g, req.Workers)
 		spec.Assignment = assign
 		spec.CostModel = model
-		instrument(&spec, tracer, metrics, queues)
+		instrument(&spec, tracer, metrics, queues, elasticCtrl)
 		res, err := core.Run(spec)
 		if err != nil {
 			return nil, err
@@ -450,14 +501,14 @@ func execute(req JobRequest, tracer *observe.Tracer, metrics *observe.Metrics, q
 		for _, l := range labels {
 			comps[l] = true
 		}
-		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps)
+		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps, res.VMSeconds, res.ScaleEvents)
 		sum.Extra = fmt.Sprintf("%d connected components", len(comps))
 		return sum, nil
 	case "lpa":
 		spec := algorithms.LPA(g, req.Workers, req.Iterations)
 		spec.Assignment = assign
 		spec.CostModel = model
-		instrument(&spec, tracer, metrics, queues)
+		instrument(&spec, tracer, metrics, queues, elasticCtrl)
 		res, err := core.Run(spec)
 		if err != nil {
 			return nil, err
@@ -467,7 +518,7 @@ func execute(req JobRequest, tracer *observe.Tracer, metrics *observe.Metrics, q
 		for _, l := range labels {
 			comms[l] = true
 		}
-		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps)
+		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps, res.VMSeconds, res.ScaleEvents)
 		sum.Extra = fmt.Sprintf("%d communities", len(comms))
 		return sum, nil
 	}

@@ -320,3 +320,62 @@ func TestTraceEndpoint(t *testing.T) {
 		t.Errorf("missing job trace status = %d", resp.StatusCode)
 	}
 }
+
+func TestElasticJobScalesAndReports(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := submit(t, ts, JobRequest{
+		Algorithm: "bc", Graph: "sd", Workers: 2, Roots: 8,
+		Swath: "none", ElasticHigh: 5,
+	})
+	st := await(t, ts, id)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+	if len(st.Result.ScaleEvents) == 0 {
+		t.Fatalf("no scale events: %+v", st.Result)
+	}
+	for _, ev := range st.Result.ScaleEvents {
+		if ev.FromWorkers == ev.ToWorkers || ev.MigratedBytes <= 0 {
+			t.Errorf("bad scale event %+v", ev)
+		}
+	}
+	if st.Result.VMSeconds <= 0 {
+		t.Errorf("VMSeconds = %g, want > 0", st.Result.VMSeconds)
+	}
+	if st.Result.FinalWorkers != 2 && st.Result.FinalWorkers != 5 {
+		t.Errorf("FinalWorkers = %d, want 2 or 5", st.Result.FinalWorkers)
+	}
+	// The defaulted threshold must round-trip into the stored request.
+	if st.Request.ElasticThreshold != 0.5 {
+		t.Errorf("ElasticThreshold = %g, want defaulted 0.5", st.Request.ElasticThreshold)
+	}
+}
+
+func TestElasticValidation(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []JobRequest{
+		{Algorithm: "bc", Graph: "sd", Workers: 4, ElasticHigh: 4},   // high == low
+		{Algorithm: "bc", Graph: "sd", Workers: 4, ElasticHigh: 2},   // high < low
+		{Algorithm: "bc", Graph: "sd", Workers: 4, ElasticHigh: 100}, // over cap
+		{Algorithm: "bc", Graph: "sd", Workers: 2, ElasticHigh: 5, ElasticThreshold: 1.5},
+	}
+	for i, req := range cases {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status = %d, want 400", i, resp.StatusCode)
+		}
+	}
+}

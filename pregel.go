@@ -307,6 +307,15 @@ type BCOptions struct {
 	Assignment Assignment
 	// CostModel prices the run (zero value = default large VMs).
 	CostModel CostModel
+	// Elastic, when non-nil, enables live elastic scaling: the controller
+	// is consulted at every superstep barrier and may change the worker
+	// count mid-job (see LiveThresholdScaling). `workers` is the starting
+	// count. Checkpointing is enabled automatically (every 4 supersteps)
+	// unless CheckpointEvery is set.
+	Elastic ElasticController
+	// CheckpointEvery snapshots worker state every Nth superstep for fault
+	// recovery (0 = only the elastic default above).
+	CheckpointEvery int
 }
 
 // BCResult bundles BC output with run statistics.
@@ -317,6 +326,11 @@ type BCResult struct {
 	Stats  []StepStats
 	SimSec float64
 	CostUS float64
+	// VMSec is the pro-rata VM-seconds bill — under live elastic scaling
+	// this is what the dynamic policy is trying to shrink.
+	VMSec float64
+	// ScaleEvents records live resizes (empty without BCOptions.Elastic).
+	ScaleEvents []ScaleEvent
 }
 
 // BetweennessCentrality runs Brandes' algorithm from opt.Roots sources with
@@ -340,15 +354,24 @@ func BetweennessCentrality(g *Graph, workers int, opt BCOptions) (*BCResult, err
 	spec := algorithms.BC(g, workers, sched)
 	spec.Assignment = opt.Assignment
 	spec.CostModel = opt.CostModel
+	spec.CheckpointEvery = opt.CheckpointEvery
+	if opt.Elastic != nil {
+		spec.ElasticController = opt.Elastic
+		if spec.CheckpointEvery <= 0 {
+			spec.CheckpointEvery = 4
+		}
+	}
 	res, err := core.Run(spec)
 	if err != nil {
 		return nil, err
 	}
 	return &BCResult{
-		Scores: algorithms.BCScores(res, g.NumVertices()),
-		Stats:  res.Steps,
-		SimSec: res.SimSeconds,
-		CostUS: res.CostDollars,
+		Scores:      algorithms.BCScores(res, g.NumVertices()),
+		Stats:       res.Steps,
+		SimSec:      res.SimSeconds,
+		CostUS:      res.CostDollars,
+		VMSec:       res.VMSeconds,
+		ScaleEvents: res.ScaleEvents,
 	}, nil
 }
 
