@@ -313,5 +313,6 @@ func BenchmarkAblationDiskBuffering(b *testing.B) {
 	}
 }
 
+func BenchmarkFigConfined(b *testing.B)     { benchExperiment(b, "figconfined") }
 func BenchmarkExtBuffering(b *testing.B)    { benchExperiment(b, "ext_buffering") }
 func BenchmarkExtPartitioners(b *testing.B) { benchExperiment(b, "ext_partitioners") }

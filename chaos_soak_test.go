@@ -5,8 +5,10 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"pregelnet/internal/algorithms"
+	"pregelnet/internal/cloud"
 	"pregelnet/internal/observe"
 	"pregelnet/internal/transport"
 )
@@ -203,6 +205,156 @@ func TestChaosSoakAsyncOutboxTCP(t *testing.T) {
 		if byKind[k] == 0 {
 			t.Errorf("soak trace has no %q spans (have %v)", k, byKind)
 		}
+	}
+}
+
+// TestChaosSoakConfinedRecovery kills one worker's VM mid-job and requires
+// the recovery to stay confined: only the failed worker restores from the
+// checkpoint and re-executes, the survivors keep their live state and replay
+// logged messages into it, and the results still match a failure-free run
+// bit-for-bit over TCP.
+func TestChaosSoakConfinedRecovery(t *testing.T) {
+	g := GenerateErdosRenyi(120, 360, 41)
+	roots := FirstNSources(g, 10)
+
+	clean, err := Run(soakBCSpec(g, roots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BCScoresOf(clean, g.NumVertices())
+
+	spec := soakBCSpec(g, roots)
+	network, err := transport.NewTCPNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer network.Close()
+	spec.Network = network
+	spec.CheckpointStore = cloud.NewBlobStore()
+	tracer, recorder := NewTraceRecorder(1 << 17)
+	spec.Tracer = tracer
+	metrics := NewEngineMetrics()
+	spec.Metrics = metrics
+	spec.Chaos = NewChaos(FaultPlan{
+		Seed:       11,
+		VMRestarts: []VMRestart{{Worker: 1, Superstep: 4}},
+	})
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatalf("chaos soak failed: %v", err)
+	}
+	got := BCScoresOf(res, g.NumVertices())
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6 {
+			t.Fatalf("vertex %d: score %v under chaos, %v clean", v, got[v], want[v])
+		}
+	}
+	if res.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", res.Recoveries)
+	}
+	if len(res.RecoveryEvents) != 1 {
+		t.Fatalf("recovery events = %d, want 1", len(res.RecoveryEvents))
+	}
+	ev := res.RecoveryEvents[0]
+	if !ev.Confined {
+		t.Error("recovery fell back to a global rollback")
+	}
+	if len(ev.FailedWorkers) != 1 || ev.FailedWorkers[0] != 1 {
+		t.Errorf("failed workers = %v, want [1]", ev.FailedWorkers)
+	}
+	if ev.ReplayedMsgs == 0 {
+		t.Error("ReplayedMsgs = 0, want > 0 (survivors must replay logged traffic)")
+	}
+	if ev.RecoverySeconds <= 0 {
+		t.Errorf("RecoverySeconds = %v, want > 0", ev.RecoverySeconds)
+	}
+	// The defining property: survivors never restore. Every restore span in
+	// the trace must belong to the failed worker.
+	for _, e := range recorder.Snapshot() {
+		if e.Kind == observe.KindRestore && e.Worker != 1 {
+			t.Errorf("worker %d restored a checkpoint: confined recovery must not roll back survivors", e.Worker)
+		}
+	}
+	if n := metrics.Counter("pregel_recovery_confined_total",
+		"Recoveries handled confined: only the failed workers restored and re-executed.").Value(); n != 1 {
+		t.Errorf("pregel_recovery_confined_total = %v, want 1", n)
+	}
+	// The replay rounds re-executed work on the failed worker.
+	if res.Supersteps <= clean.Supersteps {
+		t.Errorf("chaos run executed %d supersteps, clean %d: replay must re-execute work",
+			res.Supersteps, clean.Supersteps)
+	}
+	// Checkpoint GC: once the job's last checkpoint committed, every
+	// superseded generation was deleted — the store holds exactly one
+	// superstep's worth of snapshot blobs.
+	gens := map[string]bool{}
+	for _, name := range spec.CheckpointStore.List("checkpoints") {
+		gens[name[:len("s00000000")]] = true
+	}
+	if len(gens) != 1 {
+		t.Errorf("checkpoint store holds %d generations %v, want 1 (GC at commit)",
+			len(gens), gens)
+	}
+}
+
+// TestChaosSoakTornCheckpoint scripts a VM dying mid-checkpoint-write: every
+// Put of worker 2's superstep-6 snapshot fails until the writer's retry
+// budget is exhausted. The attempted checkpoint never commits, so recovery
+// must restore from the previous complete checkpoint (superstep 3) — never
+// from the torn generation — and the rewrite after recovery succeeds.
+func TestChaosSoakTornCheckpoint(t *testing.T) {
+	g := GenerateErdosRenyi(120, 360, 41)
+	roots := FirstNSources(g, 10)
+
+	clean, err := Run(soakBCSpec(g, roots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BCScoresOf(clean, g.NumVertices())
+
+	spec := soakBCSpec(g, roots)
+	// The failed snapshot stalls the survivors' sentinel wait for a full
+	// barrier timeout; keep it short so the soak stays fast.
+	spec.BarrierTimeout = 2 * time.Second
+	tracer, recorder := NewTraceRecorder(1 << 17)
+	spec.Tracer = tracer
+	spec.Chaos = NewChaos(FaultPlan{
+		Seed:              17,
+		BlobWriteFails:    []BlobWriteFail{{Container: "checkpoints", Name: "s00000006-w0002"}},
+		MaxBlobWriteFails: 6, // = the retry budget: one whole attempt dies
+	})
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatalf("chaos soak failed: %v", err)
+	}
+	got := BCScoresOf(res, g.NumVertices())
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6 {
+			t.Fatalf("vertex %d: score %v under chaos, %v clean", v, got[v], want[v])
+		}
+	}
+	if res.Recoveries < 1 {
+		t.Fatalf("recoveries = %d, want >= 1 (torn checkpoint write)", res.Recoveries)
+	}
+	if res.Faults == nil || res.Faults.BlobErrors != 6 {
+		t.Errorf("faults = %+v, want exactly 6 scripted blob write failures", res.Faults)
+	}
+	// The torn generation must never be restored: every restore targets the
+	// last COMMITTED checkpoint (superstep 3), not the failed attempt at 6.
+	restores := 0
+	for _, e := range recorder.Snapshot() {
+		if e.Kind == observe.KindRestore {
+			restores++
+			if e.Superstep == 6 {
+				t.Error("a worker restored the torn superstep-6 checkpoint")
+			}
+			if e.Superstep != 3 {
+				t.Errorf("restore targeted superstep %d, want 3 (last committed)", e.Superstep)
+			}
+		}
+	}
+	if restores == 0 {
+		t.Error("no restore spans recorded")
 	}
 }
 

@@ -46,6 +46,9 @@ func main() {
 		traceFile   = flag.String("trace", "", "write a Chrome trace_event file of the run (open in chrome://tracing or Perfetto)")
 		elasticHigh = flag.Int("elastic-high", 0, "live elastic scaling: scale between -workers and this count at superstep barriers (0 = off)")
 		elasticFrac = flag.Float64("elastic-threshold", 0.5, "scale out when active vertices exceed this fraction of the peak (with -elastic-high)")
+		recovery    = flag.String("recovery", "confined", "worker-failure recovery: confined (failed workers only) | global (roll everyone back)")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "checkpoint every N supersteps (0 = no checkpoints; recovery needs them)")
+		msglogMiB   = flag.Int64("msglog-budget-mib", 0, "in-memory budget per worker for the confined-recovery message log, MiB (0 = default 8)")
 	)
 	flag.Parse()
 
@@ -109,6 +112,9 @@ func main() {
 		spec.CostModel = model
 		spec.Tracer = tracer
 		applyElastic(&spec, elasticCtrl)
+		if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
+			fatal(err)
+		}
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
@@ -125,6 +131,9 @@ func main() {
 		spec.CostModel = model
 		spec.Tracer = tracer
 		applyElastic(&spec, elasticCtrl)
+		if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
+			fatal(err)
+		}
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
@@ -141,6 +150,9 @@ func main() {
 		spec.CostModel = model
 		spec.Tracer = tracer
 		applyElastic(&spec, elasticCtrl)
+		if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
+			fatal(err)
+		}
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
@@ -153,6 +165,9 @@ func main() {
 		spec.CostModel = model
 		spec.Tracer = tracer
 		applyElastic(&spec, elasticCtrl)
+		if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
+			fatal(err)
+		}
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
@@ -176,6 +191,9 @@ func main() {
 		spec.CostModel = model
 		spec.Tracer = tracer
 		applyElastic(&spec, elasticCtrl)
+		if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
+			fatal(err)
+		}
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
@@ -199,6 +217,9 @@ func main() {
 		spec.CostModel = model
 		spec.Tracer = tracer
 		applyElastic(&spec, elasticCtrl)
+		if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
+			fatal(err)
+		}
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
@@ -216,6 +237,9 @@ func main() {
 		spec.CostModel = model
 		spec.Tracer = tracer
 		applyElastic(&spec, elasticCtrl)
+		if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
+			fatal(err)
+		}
 		res, err := core.Run(spec)
 		if err != nil {
 			fatal(err)
@@ -296,6 +320,28 @@ func applyElastic[M any](spec *core.JobSpec[M], ctrl core.ElasticController) {
 	if spec.CheckpointEvery <= 0 {
 		spec.CheckpointEvery = 4
 	}
+}
+
+// applyRecovery wires the fault-tolerance flags: checkpoint cadence, the
+// recovery mode (confined rolls back only the failed workers; global rolls
+// back everyone), and the sender-side message-log budget confined recovery
+// replays from.
+func applyRecovery[M any](spec *core.JobSpec[M], mode string, every int, budgetMiB int64) error {
+	switch mode {
+	case "confined":
+		spec.RecoveryMode = core.RecoverConfined
+	case "global":
+		spec.RecoveryMode = core.RecoverGlobal
+	default:
+		return fmt.Errorf("unknown -recovery mode %q (want confined or global)", mode)
+	}
+	if every > 0 {
+		spec.CheckpointEvery = every
+	}
+	if budgetMiB > 0 {
+		spec.MsgLogBudgetBytes = budgetMiB << 20
+	}
+	return nil
 }
 
 func report(steps []core.StepStats, simSec, cost, vmSec float64, scales []core.ScaleEvent, detail bool) {

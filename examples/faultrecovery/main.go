@@ -51,8 +51,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("recovered run    : %d superstep executions (%d re-executed after %d rollback), %.2f sim-s\n",
+	fmt.Printf("recovered run    : %d superstep executions (%d re-executed after %d recovery), %.2f sim-s\n",
 		recovered.Supersteps, recovered.Supersteps-clean.Supersteps, recovered.Recoveries, recovered.SimSeconds)
+	printRecoveries(recovered.RecoveryEvents)
 
 	a := pregelnet.BCScoresOf(clean, g.NumVertices())
 	b := pregelnet.BCScoresOf(recovered, g.NumVertices())
@@ -87,8 +88,9 @@ func main() {
 	f := res.Faults
 	fmt.Printf("injected: %d blob errors, %d queue duplicates, %d early lease expiries, %d VM restart(s)\n",
 		f.BlobErrors, f.QueueDuplicates, f.LeaseExpiries, f.VMRestarts)
-	fmt.Printf("absorbed: %d retries, %d duplicate check-ins dropped, %d rollback(s)\n",
+	fmt.Printf("absorbed: %d retries, %d duplicate check-ins dropped, %d recovery(ies)\n",
 		res.Retries, res.DuplicatesDropped, res.Recoveries)
+	printRecoveries(res.RecoveryEvents)
 
 	// The recorder's tail shows what the engine was doing as the chaos hit:
 	// the injected faults, the retries absorbing them, and the rollback
@@ -99,6 +101,24 @@ func main() {
 		fmt.Printf("  %s\n", formatEvent(e))
 	}
 	fmt.Println("\nverified: identical centrality scores under full-substrate chaos")
+}
+
+// printRecoveries details each recovery: confined (only the failed workers
+// restored; survivors replayed logged messages) or a global rollback.
+func printRecoveries(events []pregelnet.RecoveryEvent) {
+	for _, ev := range events {
+		if ev.Confined {
+			fmt.Printf("  recovery at s%d: CONFINED to workers %v — restored from checkpoint s%d, "+
+				"survivors replayed %d logged messages (%d bytes), %.2f duplicated worker-s\n",
+				ev.AtSuperstep, ev.FailedWorkers, ev.Checkpoint,
+				ev.ReplayedMsgs, ev.ReplayedBytes, ev.RecoverySeconds)
+		} else {
+			fmt.Printf("  recovery at s%d: GLOBAL rollback of workers %v to checkpoint s%d, "+
+				"%d supersteps re-executed by everyone, %.2f duplicated worker-s\n",
+				ev.AtSuperstep, ev.FailedWorkers, ev.Checkpoint,
+				ev.ReplaySupersteps, ev.RecoverySeconds)
+		}
+	}
 }
 
 // formatEvent renders one flight-recorder event as a readable line.

@@ -141,6 +141,7 @@ func collectIgnores(fset *token.FileSet, f *ast.File, into map[int][]string) {
 // All is the full pregelvet suite, in reporting order.
 var All = []*Analyzer{
 	PoolLeak,
+	MsgLog,
 	EpochStamp,
 	TransientErr,
 	TraceNil,

@@ -47,6 +47,7 @@ func runFixtureTest(t *testing.T, a *Analyzer, fixture string) {
 }
 
 func TestPoolLeak(t *testing.T)     { runFixtureTest(t, PoolLeak, "poolleak") }
+func TestMsgLog(t *testing.T)       { runFixtureTest(t, MsgLog, "msglog") }
 func TestEpochStamp(t *testing.T)   { runFixtureTest(t, EpochStamp, "epochstamp") }
 func TestTransientErr(t *testing.T) { runFixtureTest(t, TransientErr, "transienterr") }
 func TestTraceNil(t *testing.T)     { runFixtureTest(t, TraceNil, "tracenil") }

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MsgLog enforces the message log's replay ownership contract: the payload a
+// MessageLog.Replay callback receives is a view of log-owned memory (live
+// entries sit in pooled buffers the log recycles; spilled entries are
+// sliced out of a reloaded segment). The callback must copy the bytes it
+// forwards and must never hand the view to the transport pool. Flagged:
+//
+//   - transport.PutPayload(payload) on a Replay-callback parameter — the
+//     log still owns that buffer and will double-free or recycle it under a
+//     later Append;
+//   - storing the parameter directly into a Payload field (b.Payload =
+//     payload, or a Batch literal) — the batch outlives the callback, so
+//     the send pipeline would release log-owned memory to the pool.
+//
+// Copying is the sanctioned idiom: append(transport.GetPayload(len(p)),
+// p...). Suppress a deliberate violation with //pregelvet:ignore msglog.
+var MsgLog = &Analyzer{
+	Name: "msglog",
+	Doc:  "MessageLog.Replay callbacks receive log-owned payload views and must copy, never release or retain them",
+	Run:  runMsgLog,
+}
+
+func runMsgLog(pass *Pass) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isReplayCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				for _, param := range payloadParams(info, lit) {
+					checkReplayParam(pass, lit, param)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isReplayCall reports whether call invokes MessageLog.Replay from a
+// transport-suffixed package.
+func isReplayCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Replay" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return namedIn(sig.Recv().Type(), "transport", "MessageLog")
+}
+
+// payloadParams returns the []byte parameters of a callback literal — the
+// log-owned views whose ownership the contract restricts.
+func payloadParams(info *types.Info, lit *ast.FuncLit) []types.Object {
+	var out []types.Object
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			obj := objOfIdent(info, name)
+			if obj == nil {
+				continue
+			}
+			if slice, ok := obj.Type().Underlying().(*types.Slice); ok {
+				if basic, ok := slice.Elem().(*types.Basic); ok && basic.Kind() == types.Byte {
+					out = append(out, obj)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkReplayParam flags each use of the payload parameter that releases it
+// to the pool or stores the view into a Payload field.
+func checkReplayParam(pass *Pass, lit *ast.FuncLit, param types.Object) {
+	info := pass.TypesInfo
+	parents := parentMap(lit.Body)
+	for _, use := range usesOf(lit.Body, info, param) {
+		switch p := parents[use].(type) {
+		case *ast.CallExpr:
+			if len(p.Args) == 1 && ast.Unparen(p.Args[0]) == ast.Expr(use) &&
+				isPkgFunc(calleeFunc(info, p), "transport", "PutPayload") {
+				pass.Reportf(use.Pos(),
+					"%s is a log-owned view handed to a MessageLog.Replay callback; releasing it with PutPayload corrupts the log (copy the bytes instead)",
+					param.Name())
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range p.Rhs {
+				if ast.Unparen(rhs) != ast.Expr(use) || i >= len(p.Lhs) {
+					continue
+				}
+				if sel, ok := p.Lhs[i].(*ast.SelectorExpr); ok && sel.Sel.Name == "Payload" {
+					pass.Reportf(use.Pos(),
+						"%s is a log-owned view handed to a MessageLog.Replay callback; storing it into a Payload field retains log memory past the callback (copy into a fresh GetPayload buffer)",
+						param.Name())
+				}
+			}
+		case *ast.KeyValueExpr:
+			if key, ok := p.Key.(*ast.Ident); ok && key.Name == "Payload" && ast.Unparen(p.Value) == ast.Expr(use) {
+				pass.Reportf(use.Pos(),
+					"%s is a log-owned view handed to a MessageLog.Replay callback; a Batch literal retaining it outlives the callback (copy into a fresh GetPayload buffer)",
+					param.Name())
+			}
+		}
+	}
+}

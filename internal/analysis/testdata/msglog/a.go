@@ -1,0 +1,52 @@
+// Fixture for the msglog analyzer: Replay callbacks that release or retain
+// the log-owned payload view, and the sanctioned copy idiom.
+package msglog
+
+import (
+	"pregelvetstub/transport"
+)
+
+func releaseView(log *transport.MessageLog) error {
+	return log.Replay(3, func(dest int) bool { return true },
+		func(dest int, payload []byte, count int) error {
+			transport.PutPayload(payload) // want "releasing it with PutPayload"
+			return nil
+		})
+}
+
+func retainViewField(log *transport.MessageLog, send func(*transport.Batch) error) error {
+	return log.Replay(3, func(dest int) bool { return true },
+		func(dest int, payload []byte, count int) error {
+			b := transport.GetBatch()
+			b.Payload = payload // want "storing it into a Payload field"
+			return send(b)
+		})
+}
+
+func retainViewLiteral(log *transport.MessageLog, send func(*transport.Batch) error) error {
+	return log.Replay(3, func(dest int) bool { return true },
+		func(dest int, payload []byte, count int) error {
+			return send(&transport.Batch{Payload: payload}) // want "Batch literal retaining it"
+		})
+}
+
+func okCopy(log *transport.MessageLog, send func(*transport.Batch) error) error {
+	return log.Replay(3, func(dest int) bool { return true },
+		func(dest int, payload []byte, count int) error {
+			pl := transport.GetPayload(len(payload))
+			pl = append(pl, payload...)
+			b := transport.GetBatch()
+			b.Payload = pl
+			return send(b)
+		})
+}
+
+func okReadOnly(log *transport.MessageLog, sink func(byte)) error {
+	return log.Replay(3, func(dest int) bool { return true },
+		func(dest int, payload []byte, count int) error {
+			for _, c := range payload {
+				sink(c)
+			}
+			return nil
+		})
+}

@@ -30,3 +30,13 @@ type Endpoint interface {
 // ReadBatch mirrors the framing reader: its first result is a pooled batch
 // the caller must consume (poolleak treats it as an acquisition).
 func ReadBatch() (*Batch, error) { return GetBatch(), nil }
+
+// MessageLog mirrors the sender-side message log: Replay hands callbacks
+// log-owned payload views the msglog analyzer forbids releasing or
+// retaining.
+type MessageLog struct{}
+
+func (l *MessageLog) Replay(superstep int, want func(dest int) bool,
+	send func(dest int, payload []byte, count int) error) error {
+	return nil
+}

@@ -182,6 +182,34 @@ func (m CostModel) WorkerSeconds(u WorkerStepUsage) (seconds, thrash float64, er
 	return (compute+serialize+network)*thrash + setup, thrash, nil
 }
 
+// RecoverySeconds prices the duplicated work of one recovery superstep: the
+// summed active seconds of every participating worker plus the barrier
+// overhead of the participants. Recovery work is duplicated VM time — every
+// re-executing or replaying worker bills its seconds on top of the job's
+// critical path — so workers add instead of overlapping under the superstep
+// max. Workers with a zero usage did not participate (under confined
+// recovery only the failed partitions recompute and only senders with
+// logged traffic replay) and cost nothing.
+func (m CostModel) RecoverySeconds(usages []WorkerStepUsage) (float64, error) {
+	total := 0.0
+	participants := 0
+	for i, u := range usages {
+		if u == (WorkerStepUsage{}) {
+			continue
+		}
+		sec, _, err := m.WorkerSeconds(u)
+		if err != nil {
+			return 0, fmt.Errorf("worker %d: %w", i, err)
+		}
+		total += sec
+		participants++
+	}
+	if participants == 0 {
+		return 0, nil
+	}
+	return total + m.BarrierSeconds(participants), nil
+}
+
 // BarrierSeconds returns the per-superstep synchronization overhead for a
 // job with n workers: one step-token round trip plus draining n barrier
 // check-ins.

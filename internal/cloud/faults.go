@@ -84,12 +84,30 @@ type FaultPlan struct {
 	VMRestarts []VMRestart
 	// ConnDrops scripts one-shot data-plane connection drops.
 	ConnDrops []ConnDrop
+	// BlobWriteFails scripts Puts of the named blobs failing transiently,
+	// past any retry budget — a VM dying mid-write leaves the blob absent
+	// (or torn) no matter how often the writer retries. Exact
+	// container/name matches; reads are unaffected.
+	BlobWriteFails []BlobWriteFail
+	// MaxBlobWriteFails caps the scripted write failures (0 = every Put of
+	// a named blob fails forever). Setting it to the writer's retry budget
+	// models one torn write: the first attempt exhausts its retries and the
+	// rewrite after recovery succeeds.
+	MaxBlobWriteFails int64
+}
+
+// BlobWriteFail scripts one blob's writes failing persistently; see
+// FaultPlan.BlobWriteFails.
+type BlobWriteFail struct {
+	Container string
+	Name      string
 }
 
 // Enabled reports whether the plan injects any fault at all.
 func (p FaultPlan) Enabled() bool {
 	return p.BlobErrorProb > 0 || p.QueueDuplicateProb > 0 || p.LeaseExpiryProb > 0 ||
-		p.SendDropProb > 0 || len(p.VMRestarts) > 0 || len(p.ConnDrops) > 0
+		p.SendDropProb > 0 || len(p.VMRestarts) > 0 || len(p.ConnDrops) > 0 ||
+		len(p.BlobWriteFails) > 0
 }
 
 // FaultStats counts the faults a Chaos instance has injected.
@@ -123,8 +141,9 @@ type Chaos struct {
 	stats    FaultStats
 	observer func(kind, detail string)
 
-	firedRestarts map[VMRestart]bool
-	firedDrops    map[ConnDrop]bool
+	firedRestarts     map[VMRestart]bool
+	firedDrops        map[ConnDrop]bool
+	scriptedWriteFails int64
 }
 
 // NewChaos builds a fault injector from a plan. A nil *Chaos injects
@@ -178,11 +197,25 @@ func (c *Chaos) Stats() FaultStats {
 // BlobFault returns a transient error for the given blob operation with
 // probability BlobErrorProb, nil otherwise.
 func (c *Chaos) BlobFault(op, container, name string) error {
-	if c == nil || c.plan.BlobErrorProb <= 0 {
+	if c == nil || (c.plan.BlobErrorProb <= 0 && len(c.plan.BlobWriteFails) == 0) {
 		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if op == "put" &&
+		(c.plan.MaxBlobWriteFails <= 0 || c.scriptedWriteFails < c.plan.MaxBlobWriteFails) {
+		for _, f := range c.plan.BlobWriteFails {
+			if f.Container == container && f.Name == name {
+				c.scriptedWriteFails++
+				c.stats.BlobErrors++
+				c.observeLocked("blob_error", fmt.Sprintf("scripted %s %s/%s", op, container, name))
+				return &transientError{fmt.Sprintf("cloud: injected persistent blob write failure on %q/%q", container, name)}
+			}
+		}
+	}
+	if c.plan.BlobErrorProb <= 0 {
+		return nil
+	}
 	if c.plan.MaxBlobErrors > 0 && c.stats.BlobErrors >= c.plan.MaxBlobErrors {
 		return nil
 	}

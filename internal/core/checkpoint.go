@@ -155,6 +155,11 @@ func (w *worker[M]) restore(store *cloud.BlobStore, superstep int, epoch int32) 
 	// superstep and no sender stamps a pre-rollback batch after the epoch
 	// moves below.
 	w.drainOutboxes()
+	// The message log dies with the VM in the failure model this simulates, so
+	// a restored worker rebuilds it from the checkpoint forward. Setting the
+	// floor to the restore target also drops any surviving in-memory entries
+	// from the aborted execution.
+	w.msglog.Reset(superstep)
 	// Adopt the manager's recovery epoch FIRST: the receive loop is still
 	// running and may hold in-flight batches from the aborted execution; once
 	// the epoch moves they are dropped on arrival instead of polluting the

@@ -116,9 +116,53 @@ func TestRecoveryFromInjectedFailure(t *testing.T) {
 	if res.Recoveries != 1 {
 		t.Errorf("recoveries = %d, want 1", res.Recoveries)
 	}
-	// The timeline contains re-executed supersteps: superstep numbers fall
-	// back to the checkpoint after the failure (the failed superstep itself
-	// is not recorded, so the dip shows as a repeat or decrease).
+	// Confined recovery (the default) rewinds only the failed worker: the
+	// recorded timeline never dips because survivors keep executing forward
+	// and the replay rounds run outside the main superstep loop.
+	for i := 1; i < len(res.Steps); i++ {
+		if res.Steps[i].Superstep <= res.Steps[i-1].Superstep {
+			t.Errorf("timeline dipped at index %d (%d after %d): confined recovery must not rewind survivors",
+				i, res.Steps[i].Superstep, res.Steps[i-1].Superstep)
+		}
+	}
+	if len(res.RecoveryEvents) != 1 {
+		t.Fatalf("recovery events = %d, want 1", len(res.RecoveryEvents))
+	}
+	ev := res.RecoveryEvents[0]
+	if !ev.Confined {
+		t.Error("recovery was not confined")
+	}
+	if len(ev.FailedWorkers) != 1 || ev.FailedWorkers[0] != 2 {
+		t.Errorf("failed workers = %v, want [2]", ev.FailedWorkers)
+	}
+	if want := ev.AtSuperstep - ev.Checkpoint + 1; ev.ReplaySupersteps != want {
+		t.Errorf("replay supersteps = %d, want %d", ev.ReplaySupersteps, want)
+	}
+}
+
+func TestGlobalRecoveryFromInjectedFailure(t *testing.T) {
+	g := graph.ErdosRenyi(300, 900, 17)
+	spec := ckptSpec(g, 4, 0)
+	spec.RecoveryMode = RecoverGlobal
+	var failed atomic.Bool
+	spec.FailureInjector = func(worker, superstep int) error {
+		if worker == 2 && superstep == 5 && !failed.Swap(true) {
+			return errors.New("chaos: VM 2 lost at superstep 5")
+		}
+		return nil
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCkptBFS(t, g, res, 0)
+	if res.Recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1", res.Recoveries)
+	}
+	// A global rollback rewinds everyone: the timeline contains re-executed
+	// supersteps, so superstep numbers fall back to the checkpoint after the
+	// failure (the failed superstep itself is not recorded, so the dip shows
+	// as a repeat or decrease).
 	dipped := false
 	for i := 1; i < len(res.Steps); i++ {
 		if res.Steps[i].Superstep <= res.Steps[i-1].Superstep {
@@ -127,6 +171,9 @@ func TestRecoveryFromInjectedFailure(t *testing.T) {
 	}
 	if !dipped {
 		t.Error("expected the superstep timeline to roll back")
+	}
+	if len(res.RecoveryEvents) != 1 || res.RecoveryEvents[0].Confined {
+		t.Errorf("recovery events = %+v, want one global event", res.RecoveryEvents)
 	}
 }
 

@@ -98,6 +98,23 @@ type jobState struct {
 	// segment must establish a fresh recovery point immediately.
 	forceCheckpoint bool
 	scaleEvents     []ScaleEvent
+	// recoveryEvents records every recovery (confined or global) in order.
+	// Indices in openRecoveries mark global rollbacks still re-executing:
+	// the main loop accrues each re-executed superstep's cost into them
+	// until the superstep cursor passes the failure point again.
+	recoveryEvents []RecoveryEvent
+	openRecoveries []int
+	// ckptGens tracks checkpoint generations whose blobs may exist in the
+	// store (committed or attempted); committing a new generation deletes
+	// every superseded one. A generation is (superstep, worker count) — the
+	// count can differ across elastic segments.
+	ckptGens []ckptGen
+}
+
+// ckptGen identifies one checkpoint generation's blob set.
+type ckptGen struct {
+	step    int
+	workers int
 }
 
 func newJobState() *jobState {

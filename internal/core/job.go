@@ -84,6 +84,31 @@ type JobSpec[M any] struct {
 	// MaxRecoveries bounds rollback attempts before the job fails for good
 	// (default 3 when checkpointing is enabled).
 	MaxRecoveries int
+	// RecoveryMode selects the rollback strategy after a worker failure.
+	// RecoverConfined (the default) restores only the failed workers from the
+	// last checkpoint and re-executes the lost supersteps while survivors
+	// keep their live state and replay logged outbound traffic; RecoverGlobal
+	// forces the classic whole-job rollback. Confined recovery falls back to
+	// global automatically when it cannot apply (too many failures, no
+	// checkpoint, a survivor's log window insufficient, or a failure during
+	// the replay itself).
+	RecoveryMode RecoveryMode
+	// MsgLogBudgetBytes bounds the in-memory window of each worker's
+	// sender-side message log (confined recovery's replay source); closed
+	// supersteps beyond the budget spill to the checkpoint blob store.
+	// Default 8 MiB per worker.
+	MsgLogBudgetBytes int64
+	// ConfinedMaxFailed is the largest failed-worker set confined recovery
+	// will handle; larger failures roll back globally (replaying most of the
+	// cluster costs more than re-executing it). Default: half the workers,
+	// minimum 1.
+	ConfinedMaxFailed int
+	// RestoreAckTimeout bounds how long the manager waits for restore acks
+	// during a rollback (default: BarrierTimeout).
+	RestoreAckTimeout time.Duration
+	// MigrateAckTimeout bounds how long the manager waits for migration acks
+	// during a live resize (default: BarrierTimeout).
+	MigrateAckTimeout time.Duration
 	// FailureInjector is a test/chaos hook: if non-nil it is consulted once
 	// per worker per superstep (after the superstep's work completes); a
 	// non-nil error simulates that worker's VM failing, triggering recovery.
@@ -154,6 +179,47 @@ type JobSpec[M any] struct {
 // (e.g. a convergence test), mirroring GPS's master-driven termination.
 var ErrHaltJob = errors.New("core: job halted by master compute")
 
+// RecoveryMode selects the rollback strategy (see JobSpec.RecoveryMode).
+type RecoveryMode string
+
+const (
+	// RecoverConfined restores only the failed workers; survivors replay
+	// logged traffic (Pregel's confined recovery).
+	RecoverConfined RecoveryMode = "confined"
+	// RecoverGlobal rolls every worker back to the last checkpoint.
+	RecoverGlobal RecoveryMode = "global"
+)
+
+// RecoveryEvent records one checkpoint recovery performed during a job.
+type RecoveryEvent struct {
+	// AtSuperstep is the superstep whose barrier failed.
+	AtSuperstep int `json:"atSuperstep"`
+	// Checkpoint is the superstep restored from.
+	Checkpoint int `json:"checkpoint"`
+	// Confined reports whether only the failed workers were restored (true)
+	// or the whole job rolled back (false).
+	Confined bool `json:"confined"`
+	// FailedWorkers lists the workers that were restored (nil when a global
+	// rollback had no attributable failed set, e.g. a pricing blowout).
+	FailedWorkers []int `json:"failedWorkers,omitempty"`
+	// ReplaySupersteps is the number of supersteps re-executed before the
+	// failed superstep itself completed (Checkpoint..AtSuperstep-1).
+	ReplaySupersteps int `json:"replaySupersteps"`
+	// ReplayedMsgs / ReplayedBytes count logged messages survivors re-sent
+	// into the recovering workers (confined recovery only).
+	ReplayedMsgs  int64 `json:"replayedMsgs"`
+	ReplayedBytes int64 `json:"replayedBytes"`
+	// SimSeconds is the simulated wall-clock the recovery added to the job.
+	SimSeconds float64 `json:"simSeconds"`
+	// RecoverySeconds is the duplicated work the recovery billed: the SUM of
+	// participating workers' active seconds over the re-executed supersteps
+	// (cloud.CostModel.RecoverySeconds). Confined recovery charges only the
+	// failed partitions' compute plus replay traffic; a global rollback
+	// charges every worker's re-execution — the gap the EXPERIMENTS.md
+	// confined-recovery figure measures.
+	RecoverySeconds float64 `json:"recoverySeconds"`
+}
+
 func (s *JobSpec[M]) withDefaults() (JobSpec[M], error) {
 	spec := *s
 	if spec.Graph == nil {
@@ -209,6 +275,29 @@ func (s *JobSpec[M]) withDefaults() (JobSpec[M], error) {
 		if spec.MaxRecoveries <= 0 {
 			spec.MaxRecoveries = 3
 		}
+	}
+	switch spec.RecoveryMode {
+	case "":
+		spec.RecoveryMode = RecoverConfined
+	case RecoverConfined, RecoverGlobal:
+	default:
+		return spec, fmt.Errorf("core: unknown RecoveryMode %q (want %q or %q)",
+			spec.RecoveryMode, RecoverConfined, RecoverGlobal)
+	}
+	if spec.MsgLogBudgetBytes <= 0 {
+		spec.MsgLogBudgetBytes = 8 << 20
+	}
+	if spec.ConfinedMaxFailed <= 0 {
+		spec.ConfinedMaxFailed = spec.NumWorkers / 2
+		if spec.ConfinedMaxFailed < 1 {
+			spec.ConfinedMaxFailed = 1
+		}
+	}
+	if spec.RestoreAckTimeout <= 0 {
+		spec.RestoreAckTimeout = spec.BarrierTimeout
+	}
+	if spec.MigrateAckTimeout <= 0 {
+		spec.MigrateAckTimeout = spec.BarrierTimeout
 	}
 	if spec.ElasticController != nil {
 		if spec.Network != nil && spec.NetworkFactory == nil {
@@ -311,8 +400,12 @@ type JobResult[M any] struct {
 	// Supersteps is the number of superstep executions, including any
 	// re-executed after recoveries.
 	Supersteps int
-	// Recoveries counts checkpoint rollbacks performed.
+	// Recoveries counts checkpoint recoveries performed (confined or global).
 	Recoveries int
+	// RecoveryEvents details each recovery in order: whether it was confined
+	// to the failed workers or a global rollback, what was replayed, and what
+	// it cost. Empty on failure-free runs.
+	RecoveryEvents []RecoveryEvent
 	// ScaleEvents records live elastic resizes in order (empty without an
 	// ElasticController). Their SimSeconds are included in the job's
 	// SimSeconds total.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -101,6 +102,9 @@ func (m *manager[M]) run(js *jobState) (*resizeRequest, error) {
 
 		checkpoint := m.spec.CheckpointEvery > 0 &&
 			(superstep%m.spec.CheckpointEvery == 0 || js.forceCheckpoint)
+		if checkpoint {
+			m.noteCkptAttempt(js, superstep)
+		}
 
 		m.ins.supersteps.Inc()
 		stepSpan := tracer.Start(observe.KindSuperstep, observe.ManagerWorker, superstep)
@@ -113,7 +117,8 @@ func (m *manager[M]) run(js *jobState) (*resizeRequest, error) {
 		}
 		for w := 0; w < m.spec.NumWorkers; w++ {
 			tok := stepToken{Superstep: superstep, Injections: perWorker[w],
-				Aggregates: js.prevAggs, Checkpoint: checkpoint}
+				Aggregates: js.prevAggs, Checkpoint: checkpoint,
+				LastCkpt: js.lastCheckpoint}
 			body, merr := json.Marshal(tok)
 			if merr != nil {
 				m.halt()
@@ -123,19 +128,26 @@ func (m *manager[M]) run(js *jobState) (*resizeRequest, error) {
 		}
 
 		// Collect one barrier check-in per worker. Worker failures (chaos
-		// injection or anything the worker reports) trigger rollback.
-		stats, cerr := m.collectBarrier(superstep)
+		// injection or anything the worker reports) trigger recovery:
+		// confined when only the failed workers need rewinding, a global
+		// rollback otherwise. A successful confined recovery leaves `stats`
+		// holding the superstep's merged statistics, so execution falls
+		// through to commit the barrier as if it had never failed.
+		stats, cerr := m.collectBarrier(superstep, js.epoch)
 		if cerr != nil {
-			if stepSpan.Active() {
-				stepSpan.End(observe.Str("err", cerr.Error()))
+			if !m.confinedRecover(js, superstep, checkpoint, &stats, cerr) {
+				if stepSpan.Active() {
+					stepSpan.End(observe.Str("err", cerr.Error()))
+				}
+				if rerr := m.rollback(js, superstep, stats.failedWorkers, cerr); rerr != nil {
+					m.halt()
+					return nil, &runError{superstep, rerr}
+				}
+				continue
 			}
-			if rerr := m.rollback(js, superstep, cerr); rerr != nil {
-				m.halt()
-				return nil, &runError{superstep, rerr}
-			}
-			continue
 		}
 		if checkpoint {
+			m.gcCheckpoints(js, superstep)
 			js.lastCheckpoint = superstep
 			js.forceCheckpoint = false
 		}
@@ -160,7 +172,7 @@ func (m *manager[M]) run(js *jobState) (*resizeRequest, error) {
 			if stepSpan.Active() {
 				stepSpan.End(observe.Str("err", serr.Error()))
 			}
-			if rerr := m.rollback(js, superstep, serr); rerr != nil {
+			if rerr := m.rollback(js, superstep, nil, serr); rerr != nil {
 				m.halt()
 				return nil, &runError{superstep, rerr}
 			}
@@ -170,6 +182,7 @@ func (m *manager[M]) run(js *jobState) (*resizeRequest, error) {
 		stats.WorkerSimSeconds = perWorkerSec
 		stats.BarrierSimSeconds = m.spec.CostModel.BarrierSeconds(m.spec.NumWorkers)
 		m.fabric.Advance(simTotal)
+		m.accrueOpenRecoveries(js, superstep, simTotal, usages)
 		if stepSpan.Active() {
 			stepSpan.End(
 				observe.Int("active", stats.ActiveVertices),
@@ -218,9 +231,13 @@ func (m *manager[M]) run(js *jobState) (*resizeRequest, error) {
 }
 
 // rollback rolls every worker back to the last checkpoint and rewinds the
-// jobState cursor for replay. Returns the (possibly wrapped) cause when
-// recovery is impossible or fails.
-func (m *manager[M]) rollback(js *jobState, superstep int, cause error) error {
+// jobState cursor for replay — the global recovery path, used when confined
+// recovery is disabled, inapplicable (too many failures, no live survivor
+// state to replay from), or failed partway. failed names the workers whose
+// failure triggered it (nil when the cause is not worker-attributable, e.g.
+// a pricing error). Returns the (possibly wrapped) cause when recovery is
+// impossible or fails.
+func (m *manager[M]) rollback(js *jobState, superstep int, failed []int, cause error) error {
 	if m.spec.CheckpointEvery <= 0 || js.lastCheckpoint < 0 {
 		return cause
 	}
@@ -238,11 +255,16 @@ func (m *manager[M]) rollback(js *jobState, superstep int, cause error) error {
 	span := m.ins.tracer.Start(observe.KindRollback, observe.ManagerWorker, superstep)
 	defer func() {
 		if span.Active() {
-			span.End(observe.Int("target", int64(target)),
+			span.End(observe.Str("mode", "global"),
+				observe.Int("target", int64(target)),
 				observe.Int("recovery", int64(js.recoveries)),
 				observe.Str("cause", cause.Error()))
 		}
 	}()
+	everyone := make([]bool, m.spec.NumWorkers)
+	for i := range everyone {
+		everyone[i] = true
+	}
 	for w := 0; w < m.spec.NumWorkers; w++ {
 		body, merr := json.Marshal(stepToken{RestoreTo: &target, Epoch: js.epoch})
 		if merr != nil {
@@ -250,12 +272,325 @@ func (m *manager[M]) rollback(js *jobState, superstep int, cause error) error {
 		}
 		m.stepQs[w].Put(body)
 	}
-	if aerr := m.collectRestoreAcks(target); aerr != nil {
+	if aerr := m.collectRestoreAcks(target, js.epoch, everyone); aerr != nil {
 		return fmt.Errorf("recovery to superstep %d failed: %w (original: %v)", target, aerr, cause)
 	}
+	// Record the recovery and leave it open: the main loop accrues each
+	// re-executed superstep's duplicated cost into the event until the
+	// cursor passes the failure point again.
+	js.recoveryEvents = append(js.recoveryEvents, RecoveryEvent{
+		AtSuperstep:   superstep,
+		Checkpoint:    target,
+		Confined:      false,
+		FailedWorkers: append([]int(nil), failed...),
+	})
+	js.openRecoveries = append(js.openRecoveries, len(js.recoveryEvents)-1)
 	js.superstep = target
 	js.prev = restorePrev(js.statsBySuperstep, target)
 	return nil
+}
+
+// confinedRecover attempts Pregel-style confined recovery for a failed
+// barrier at superstep: only the workers in stats.failedWorkers restore
+// from the last checkpoint and re-execute the lost supersteps; every
+// survivor keeps its live state and replays its logged outbound messages
+// into the failed set. Returns true when the recovery completed — stats
+// then holds the superstep's merged statistics (survivors' originals plus
+// the failed workers' re-executions) and the caller commits the barrier as
+// if it had succeeded. Returns false when confined recovery is not
+// applicable or failed partway; falling back to a global rollback is safe
+// at any point because the fallback restores everyone under a fresh epoch.
+func (m *manager[M]) confinedRecover(js *jobState, superstep int, ckpt bool, stats *collected, cause error) bool {
+	failed := stats.failedWorkers
+	if m.spec.RecoveryMode != RecoverConfined ||
+		m.spec.CheckpointEvery <= 0 || js.lastCheckpoint < 0 ||
+		len(failed) == 0 || len(failed) > m.spec.ConfinedMaxFailed ||
+		len(failed) >= m.spec.NumWorkers ||
+		js.recoveries >= m.spec.MaxRecoveries {
+		return false
+	}
+	js.recoveries++
+	js.epoch++
+	target := js.lastCheckpoint
+	m.ins.rollbacks.Inc()
+	m.ins.confined.Inc()
+	ev := RecoveryEvent{
+		AtSuperstep:   superstep,
+		Checkpoint:    target,
+		Confined:      true,
+		FailedWorkers: append([]int(nil), failed...),
+	}
+	span := m.ins.tracer.Start(observe.KindRollback, observe.ManagerWorker, superstep)
+	err := m.runConfined(js, superstep, ckpt, stats, &ev)
+	if span.Active() {
+		attrs := []observe.Attr{
+			observe.Str("mode", "confined"),
+			observe.Int("target", int64(target)),
+			observe.Int("recovery", int64(js.recoveries)),
+			observe.Int("failed", int64(len(failed))),
+			observe.Str("cause", cause.Error()),
+		}
+		if err != nil {
+			attrs = append(attrs, observe.Str("err", err.Error()))
+		}
+		span.End(attrs...)
+	}
+	if err != nil {
+		return false
+	}
+	// Replay rounds span [checkpoint, failure] inclusive: the failed workers
+	// re-executed every one of them.
+	ev.ReplaySupersteps = superstep - target + 1
+	js.recoveryEvents = append(js.recoveryEvents, ev)
+	return true
+}
+
+// runConfined drives the confined-recovery protocol: restore tokens to the
+// failed workers only, then one replay round per lost superstep in which
+// the failed workers re-execute (suppressing deliveries to survivors, whose
+// inboxes already hold this traffic) and the survivors re-send their logged
+// outbound batches into the failed set. Replay rounds before the failure
+// superstep are priced and advance the fabric clock (wall-clock the job
+// would not have spent without the failure); the final round overlaps the
+// failed barrier the caller re-commits, so only its duplicated work accrues
+// to the event. Any error aborts the attempt — survivors were never rolled
+// back, so the caller's global fallback remains sound.
+func (m *manager[M]) runConfined(js *jobState, superstep int, ckpt bool, stats *collected, ev *RecoveryEvent) error {
+	n := m.spec.NumWorkers
+	target := ev.Checkpoint
+	failedSet := make([]bool, n)
+	for _, w := range ev.FailedWorkers {
+		failedSet[w] = true
+	}
+	for _, w := range ev.FailedWorkers {
+		body, merr := json.Marshal(stepToken{RestoreTo: &target, Epoch: js.epoch})
+		if merr != nil {
+			return merr
+		}
+		m.stepQs[w].Put(body)
+	}
+	if err := m.collectRestoreAcks(target, js.epoch, failedSet); err != nil {
+		return err
+	}
+	for s := target; s <= superstep; s++ {
+		// Re-route the recorded scheduler decisions for the failed workers;
+		// survivors already consumed theirs in the original execution.
+		perWorker := make([][]graph.VertexID, n)
+		for _, v := range js.injectionLog[s] {
+			wID := m.spec.Assignment[v]
+			if failedSet[wID] {
+				perWorker[wID] = append(perWorker[wID], v)
+			}
+		}
+		for w := 0; w < n; w++ {
+			tok := stepToken{
+				Superstep: s, Replay: true, Failed: ev.FailedWorkers,
+				Epoch: js.epoch, LastCkpt: target,
+				// Only the failure superstep's checkpoint needs rewriting (a
+				// snapshot at `target` already exists, and no checkpoint
+				// committed in between — `target` would have moved); survivors'
+				// snapshots for it were written before they checked in cleanly.
+				Checkpoint: ckpt && s == superstep && failedSet[w],
+			}
+			if failedSet[w] {
+				tok.Injections = perWorker[w]
+				tok.Aggregates = js.aggLog[s]
+			}
+			body, merr := json.Marshal(tok)
+			if merr != nil {
+				return merr
+			}
+			m.stepQs[w].Put(body)
+		}
+		m.ins.supersteps.Inc()
+		replaySpan := m.ins.tracer.Start(observe.KindSuperstep, observe.ManagerWorker, s)
+		final := stats
+		if s < superstep {
+			final = nil
+		}
+		usages, err := m.collectReplay(s, js.epoch, failedSet, ev, final)
+		if err != nil {
+			if replaySpan.Active() {
+				replaySpan.End(observe.Str("mode", "replay"), observe.Str("err", err.Error()))
+			}
+			return err
+		}
+		rec, rerr := m.spec.CostModel.RecoverySeconds(usages)
+		if rerr != nil {
+			if replaySpan.Active() {
+				replaySpan.End(observe.Str("mode", "replay"), observe.Str("err", rerr.Error()))
+			}
+			return rerr
+		}
+		ev.RecoverySeconds += rec
+		if s < superstep {
+			total, _, serr := m.spec.CostModel.SuperstepSeconds(usages)
+			if serr != nil {
+				if replaySpan.Active() {
+					replaySpan.End(observe.Str("mode", "replay"), observe.Str("err", serr.Error()))
+				}
+				return serr
+			}
+			m.fabric.Advance(total)
+			ev.SimSeconds += total
+		}
+		if replaySpan.Active() {
+			replaySpan.End(
+				observe.Str("mode", "replay"),
+				observe.Int("replayed_msgs", ev.ReplayedMsgs),
+				observe.Float("recovery_seconds", rec))
+		}
+	}
+	return nil
+}
+
+// collectReplay collects one replay round's n check-ins: a full
+// re-execution check-in from each failed worker and a Replayed ack
+// (carrying replayed message/byte counts) from each survivor, all under the
+// recovery epoch. It returns the round's per-worker usage — failed workers'
+// full usage, survivors' replay traffic only — and, when final is non-nil
+// (the failure superstep itself), merges the failed workers' fresh
+// statistics into it alongside the survivors' originals.
+func (m *manager[M]) collectReplay(s, epoch int, failedSet []bool, ev *RecoveryEvent, final *collected) ([]cloud.WorkerStepUsage, error) {
+	n := m.spec.NumWorkers
+	usages := make([]cloud.WorkerStepUsage, n)
+	seen := make([]bool, n)
+	deadline := time.Now().Add(m.spec.BarrierTimeout)
+	for got := 0; got < n; {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("replay superstep %d: timeout (%d/%d checked in): missing workers %v",
+				s, got, n, missingWorkers(nil, seen))
+		}
+		lease := m.barrierQ.GetWait(m.spec.QueueVisibility, remaining)
+		if lease == nil {
+			return nil, fmt.Errorf("replay superstep %d: timeout (%d/%d checked in): missing workers %v",
+				s, got, n, missingWorkers(nil, seen))
+		}
+		var msg barrierMsg
+		err := json.Unmarshal(lease.Body, &msg)
+		_ = m.barrierQ.Delete(lease.ID)
+		if err != nil {
+			return nil, fmt.Errorf("bad replay check-in: %v", err)
+		}
+		if msg.Worker < 0 || msg.Worker >= n {
+			return nil, fmt.Errorf("replay check-in from unknown worker %d", msg.Worker)
+		}
+		// A failed worker checks in with full re-execution stats (Replayed
+		// false); a survivor with a Replayed ack. Anything else — stale
+		// pre-recovery check-ins, redelivered acks from earlier rounds,
+		// re-acks for duplicated replay tokens — is at-least-once leftover.
+		if msg.Superstep != s || msg.Epoch != epoch || seen[msg.Worker] ||
+			msg.Restored || msg.Migrated || msg.Replayed == failedSet[msg.Worker] {
+			m.dupsDropped++
+			continue
+		}
+		if msg.Err != "" {
+			return nil, fmt.Errorf("worker %d: %s", msg.Worker, msg.Err)
+		}
+		seen[msg.Worker] = true
+		got++
+		w := msg.Worker
+		if failedSet[w] {
+			usages[w] = cloud.WorkerStepUsage{
+				ComputeOps:      msg.ComputeOps,
+				RemoteBytesOut:  msg.BytesOut,
+				RemoteBytesIn:   msg.BytesIn,
+				PeakMemoryBytes: msg.PeakMemory,
+				Peers:           msg.Peers,
+			}
+			if final != nil {
+				final.Retries += msg.Retries
+				m.mergeCheckIn(final, msg)
+			}
+		} else {
+			ev.ReplayedMsgs += msg.SentRemote
+			ev.ReplayedBytes += msg.BytesOut
+			if msg.BytesOut > 0 {
+				usages[w] = cloud.WorkerStepUsage{
+					RemoteBytesOut: msg.BytesOut,
+					Peers:          len(ev.FailedWorkers),
+				}
+			}
+		}
+	}
+	return usages, nil
+}
+
+// accrueOpenRecoveries charges a re-executed superstep to every global
+// recovery still replaying past its failure point. Confined recoveries
+// never appear here — their replay rounds are priced inside runConfined —
+// but a global rollback re-runs everything through the main loop, so its
+// duplicated cost is collected as the cursor passes back over
+// [checkpoint, failure].
+func (m *manager[M]) accrueOpenRecoveries(js *jobState, superstep int, simTotal float64, usages []cloud.WorkerStepUsage) {
+	if len(js.openRecoveries) == 0 {
+		return
+	}
+	rec, err := m.spec.CostModel.RecoverySeconds(usages)
+	if err != nil {
+		rec = 0 // unreachable: SuperstepSeconds already priced these usages
+	}
+	kept := js.openRecoveries[:0]
+	for _, idx := range js.openRecoveries {
+		ev := &js.recoveryEvents[idx]
+		if superstep <= ev.AtSuperstep {
+			ev.RecoverySeconds += rec
+			ev.SimSeconds += simTotal
+			ev.ReplaySupersteps++
+		}
+		if superstep < ev.AtSuperstep {
+			kept = append(kept, idx)
+		}
+	}
+	js.openRecoveries = kept
+}
+
+// noteCkptAttempt records that checkpoint blobs for superstep may now exist
+// under the current worker count, so a later commit can garbage-collect
+// them if they end up superseded (e.g. the attempt's barrier fails and the
+// job recovers past it, orphaning partial snapshots).
+func (m *manager[M]) noteCkptAttempt(js *jobState, superstep int) {
+	for _, g := range js.ckptGens {
+		if g.step == superstep && g.workers == m.spec.NumWorkers {
+			return
+		}
+	}
+	js.ckptGens = append(js.ckptGens, ckptGen{step: superstep, workers: m.spec.NumWorkers})
+}
+
+// gcCheckpoints deletes every checkpoint generation superseded by the one
+// just committed at superstep: once that barrier has succeeded, older
+// snapshots (and orphaned partial attempts) can never be restored again.
+// GC runs only at commit time, so a torn write of the NEW checkpoint can
+// never strand the job — the previous complete generation survives until
+// its successor is fully durable.
+func (m *manager[M]) gcCheckpoints(js *jobState, superstep int) {
+	if m.spec.CheckpointStore != nil {
+		for _, g := range js.ckptGens {
+			if g.step == superstep && g.workers == m.spec.NumWorkers {
+				continue
+			}
+			for w := 0; w < g.workers; w++ {
+				// Best-effort: a missing blob (torn write, never attempted by a
+				// failed worker) is already gone.
+				_ = m.spec.CheckpointStore.Delete(checkpointContainer, checkpointBlob(g.step, w))
+			}
+		}
+	}
+	js.ckptGens = js.ckptGens[:0]
+	js.ckptGens = append(js.ckptGens, ckptGen{step: superstep, workers: m.spec.NumWorkers})
+}
+
+// missingWorkers lists the wanted workers not yet seen (want nil = all).
+func missingWorkers(want, seen []bool) []int {
+	missing := []int{}
+	for w := range seen {
+		if (want == nil || want[w]) && !seen[w] {
+			missing = append(missing, w)
+		}
+	}
+	return missing
 }
 
 // maybeResize consults the elastic controller with the just-completed
@@ -297,14 +632,14 @@ func (m *manager[M]) maybeResize(js *jobState) (*resizeRequest, error) {
 	for w := 0; w < m.spec.NumWorkers; w++ {
 		m.stepQs[w].Put(body)
 	}
-	migrated, err := m.collectMigrateAcks(resume)
+	migrated, err := m.collectMigrateAcks(resume, js.epoch)
 	if err != nil {
 		if span.Active() {
 			span.End(observe.Str("err", err.Error()))
 		}
 		// The migration failed: recover like any worker failure and stay at
 		// the current count.
-		if rerr := m.rollback(js, resume, err); rerr != nil {
+		if rerr := m.rollback(js, resume, nil, err); rerr != nil {
 			return nil, rerr
 		}
 		return nil, nil
@@ -327,21 +662,25 @@ func (m *manager[M]) maybeResize(js *jobState) (*resizeRequest, error) {
 
 // collectMigrateAcks waits for every worker to confirm writing its
 // migration blob for the resume superstep, returning the total bytes
-// written. Stale superstep check-ins and duplicated acks are drained and
-// ignored, mirroring collectRestoreAcks.
-func (m *manager[M]) collectMigrateAcks(resume int) (int64, error) {
+// written. Stale superstep check-ins, acks from an abandoned resize attempt
+// before a recovery (wrong epoch), and duplicated acks are drained and
+// ignored, mirroring collectRestoreAcks. The deadline comes from
+// JobSpec.MigrateAckTimeout and the timeout error names the silent workers.
+func (m *manager[M]) collectMigrateAcks(resume, epoch int) (int64, error) {
 	n := m.spec.NumWorkers
 	seen := make([]bool, n)
 	var total int64
-	deadline := time.Now().Add(m.spec.BarrierTimeout)
+	deadline := time.Now().Add(m.spec.MigrateAckTimeout)
 	for got := 0; got < n; {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return 0, fmt.Errorf("timeout waiting for migration acks (%d/%d)", got, n)
+			return 0, fmt.Errorf("timeout waiting for migration acks (%d/%d): missing workers %v",
+				got, n, missingWorkers(nil, seen))
 		}
 		lease := m.barrierQ.GetWait(m.spec.QueueVisibility, remaining)
 		if lease == nil {
-			return 0, fmt.Errorf("timeout waiting for migration acks (%d/%d)", got, n)
+			return 0, fmt.Errorf("timeout waiting for migration acks (%d/%d): missing workers %v",
+				got, n, missingWorkers(nil, seen))
 		}
 		var msg barrierMsg
 		err := json.Unmarshal(lease.Body, &msg)
@@ -352,7 +691,7 @@ func (m *manager[M]) collectMigrateAcks(resume int) (int64, error) {
 		if msg.Worker < 0 || msg.Worker >= n {
 			return 0, fmt.Errorf("migration ack from unknown worker %d", msg.Worker)
 		}
-		if !msg.Migrated || msg.Superstep != resume || seen[msg.Worker] {
+		if !msg.Migrated || msg.Superstep != resume || msg.Epoch != epoch || seen[msg.Worker] {
 			// Stale check-ins from the just-completed execution, restore
 			// acks from an earlier recovery, or duplicated migration acks:
 			// at-least-once leftovers, drained and ignored.
@@ -381,24 +720,33 @@ func restorePrev(bySuper map[int]StepStats, checkpoint int) *StepStats {
 	return nil
 }
 
-// collectRestoreAcks waits for every worker to confirm a rollback. The
-// barrier queue may still hold duplicates and stale check-ins from the
-// aborted execution (at-least-once delivery, straggler check-ins arriving
-// after the rollback decision); those are drained and ignored — only a
-// restore ack for the wrong target, a failed restore, or running out of time
-// fails the recovery.
-func (m *manager[M]) collectRestoreAcks(target int) error {
-	n := m.spec.NumWorkers
-	seen := make([]bool, n)
-	deadline := time.Now().Add(m.spec.BarrierTimeout)
+// collectRestoreAcks waits for each wanted worker to confirm a rollback to
+// target under the given recovery epoch. The barrier queue may still hold
+// duplicates and stale check-ins from the aborted execution (at-least-once
+// delivery, straggler check-ins arriving after the rollback decision) and
+// acks from earlier recoveries to the same target; all of those fail the
+// epoch filter and are drained silently. Only a failed restore or running
+// out of time (JobSpec.RestoreAckTimeout) fails the recovery; the timeout
+// error names the workers that never acked.
+func (m *manager[M]) collectRestoreAcks(target, epoch int, want []bool) error {
+	n := 0
+	for _, w := range want {
+		if w {
+			n++
+		}
+	}
+	seen := make([]bool, len(want))
+	deadline := time.Now().Add(m.spec.RestoreAckTimeout)
 	for got := 0; got < n; {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return fmt.Errorf("timeout waiting for restore acks (%d/%d)", got, n)
+			return fmt.Errorf("timeout waiting for restore acks (%d/%d): missing workers %v",
+				got, n, missingWorkers(want, seen))
 		}
 		lease := m.barrierQ.GetWait(m.spec.QueueVisibility, remaining)
 		if lease == nil {
-			return fmt.Errorf("timeout waiting for restore acks (%d/%d)", got, n)
+			return fmt.Errorf("timeout waiting for restore acks (%d/%d): missing workers %v",
+				got, n, missingWorkers(want, seen))
 		}
 		var msg barrierMsg
 		err := json.Unmarshal(lease.Body, &msg)
@@ -406,18 +754,13 @@ func (m *manager[M]) collectRestoreAcks(target int) error {
 		if err != nil {
 			return fmt.Errorf("bad restore ack: %v", err)
 		}
-		if msg.Worker < 0 || msg.Worker >= n {
+		if msg.Worker < 0 || msg.Worker >= len(want) {
 			return fmt.Errorf("restore ack from unknown worker %d", msg.Worker)
 		}
-		if !msg.Restored {
-			// A stale superstep check-in from the aborted execution (e.g. a
-			// straggler that finished after the rollback decision). Ignore.
-			m.dupsDropped++
-			continue
-		}
-		if msg.Superstep != target || seen[msg.Worker] {
-			// Duplicate ack (redelivered message) or ack for an older
-			// recovery. Ignore.
+		if !msg.Restored || msg.Superstep != target || msg.Epoch != epoch ||
+			!want[msg.Worker] || seen[msg.Worker] {
+			// Stale superstep check-ins from the aborted execution, duplicated
+			// acks, and acks from an older recovery: ignore.
 			m.dupsDropped++
 			continue
 		}
@@ -438,9 +781,13 @@ type collected struct {
 	BytesInPerWorker    []int64
 	PeersPerWorker      []int
 	aggPartial          map[string]float64
+	// failedWorkers lists the workers that reported an error or never
+	// checked in before the barrier deadline, ascending — the candidate set
+	// for confined recovery.
+	failedWorkers []int
 }
 
-func (m *manager[M]) collectBarrier(superstep int) (collected, error) {
+func (m *manager[M]) collectBarrier(superstep, epoch int) (collected, error) {
 	span := m.ins.tracer.Start(observe.KindBarrierCollect, observe.ManagerWorker, superstep)
 	defer span.End()
 	n := m.spec.NumWorkers
@@ -467,6 +814,8 @@ func (m *manager[M]) collectBarrier(superstep int) (collected, error) {
 	for got := 0; got < n; {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
+			c.failedWorkers = append(c.failedWorkers, missingWorkers(nil, seen)...)
+			sort.Ints(c.failedWorkers)
 			return c, fmt.Errorf("barrier timeout: straggler at superstep %d (%d/%d checked in within %v)",
 				superstep, got, n, m.spec.BarrierTimeout)
 		}
@@ -474,6 +823,8 @@ func (m *manager[M]) collectBarrier(superstep int) (collected, error) {
 		lease := m.barrierQ.GetWait(m.spec.QueueVisibility, remaining)
 		m.ins.barrier.Observe(time.Since(waitStart).Seconds())
 		if lease == nil {
+			c.failedWorkers = append(c.failedWorkers, missingWorkers(nil, seen)...)
+			sort.Ints(c.failedWorkers)
 			return c, fmt.Errorf("barrier timeout: straggler at superstep %d (%d/%d checked in within %v)",
 				superstep, got, n, m.spec.BarrierTimeout)
 		}
@@ -486,12 +837,14 @@ func (m *manager[M]) collectBarrier(superstep int) (collected, error) {
 		if msg.Worker < 0 || msg.Worker >= n {
 			return c, fmt.Errorf("barrier message from unknown worker %d", msg.Worker)
 		}
-		if msg.Restored || msg.Migrated || msg.Superstep != superstep || seen[msg.Worker] {
+		if msg.Restored || msg.Migrated || msg.Replayed ||
+			msg.Superstep != superstep || msg.Epoch != epoch || seen[msg.Worker] {
 			// At-least-once control plane: duplicate check-ins (redelivered
-			// barrier messages), stale check-ins from an aborted pre-rollback
-			// execution, late restore acks, and migration acks from a resize
-			// attempt that was rolled back are all expected under faults.
-			// Dedupe by (worker, superstep) and drop the rest.
+			// barrier messages), stale check-ins from an aborted pre-recovery
+			// execution or epoch, late restore/replay acks, and migration
+			// acks from a resize attempt that was rolled back are all
+			// expected under faults. Dedupe by (worker, superstep, epoch)
+			// and drop the rest.
 			m.dupsDropped++
 			c.DuplicatesDropped++
 			continue
@@ -505,37 +858,48 @@ func (m *manager[M]) collectBarrier(superstep int) (collected, error) {
 			if workerErr == nil {
 				workerErr = fmt.Errorf("worker %d failed: %s", msg.Worker, msg.Err)
 			}
+			c.failedWorkers = append(c.failedWorkers, msg.Worker)
 			continue
 		}
-		w := msg.Worker
-		c.ActiveVertices += msg.Active
-		c.ActiveAfter += msg.ActiveAfter
-		c.SentLocal += msg.SentLocal
-		c.SentRemote += msg.SentRemote
-		c.RemoteBytes += msg.BytesOut
-		c.ComputeOps += msg.ComputeOps
-		c.WorkerSent[w] = msg.SentLocal + msg.SentRemote
-		c.WorkerMemory[w] = msg.PeakMemory
-		c.WorkerActive[w] = msg.Active
-		if msg.PeakMemory > c.PeakMemoryBytes {
-			c.PeakMemoryBytes = msg.PeakMemory
+		m.mergeCheckIn(&c, msg)
+	}
+	sort.Ints(c.failedWorkers)
+	return c, workerErr
+}
+
+// mergeCheckIn folds one clean worker check-in into the collected superstep
+// statistics. Used at normal barriers and again during confined recovery,
+// when a recovered worker's re-executed check-in stands in for the failed
+// original (re-execution is deterministic, so the merged totals match what
+// a failure-free superstep would have produced).
+func (m *manager[M]) mergeCheckIn(c *collected, msg barrierMsg) {
+	w := msg.Worker
+	c.ActiveVertices += msg.Active
+	c.ActiveAfter += msg.ActiveAfter
+	c.SentLocal += msg.SentLocal
+	c.SentRemote += msg.SentRemote
+	c.RemoteBytes += msg.BytesOut
+	c.ComputeOps += msg.ComputeOps
+	c.WorkerSent[w] = msg.SentLocal + msg.SentRemote
+	c.WorkerMemory[w] = msg.PeakMemory
+	c.WorkerActive[w] = msg.Active
+	if msg.PeakMemory > c.PeakMemoryBytes {
+		c.PeakMemoryBytes = msg.PeakMemory
+	}
+	c.ComputeOpsPerWorker[w] = msg.ComputeOps
+	c.BytesOutPerWorker[w] = msg.BytesOut
+	c.BytesInPerWorker[w] = msg.BytesIn
+	c.PeersPerWorker[w] = msg.Peers
+	for name, v := range msg.Aggregates {
+		if c.aggPartial == nil {
+			c.aggPartial = make(map[string]float64)
 		}
-		c.ComputeOpsPerWorker[w] = msg.ComputeOps
-		c.BytesOutPerWorker[w] = msg.BytesOut
-		c.BytesInPerWorker[w] = msg.BytesIn
-		c.PeersPerWorker[w] = msg.Peers
-		for name, v := range msg.Aggregates {
-			if c.aggPartial == nil {
-				c.aggPartial = make(map[string]float64)
-			}
-			if prevV, ok := c.aggPartial[name]; ok {
-				c.aggPartial[name] = m.aggOp(name).combine(prevV, v)
-			} else {
-				c.aggPartial[name] = v
-			}
+		if prevV, ok := c.aggPartial[name]; ok {
+			c.aggPartial[name] = m.aggOp(name).combine(prevV, v)
+		} else {
+			c.aggPartial[name] = v
 		}
 	}
-	return c, workerErr
 }
 
 // halt sends halt tokens so every worker exits cleanly.

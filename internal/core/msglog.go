@@ -1,0 +1,36 @@
+package core
+
+import "pregelnet/internal/cloud"
+
+// msglogContainer holds spilled message-log segments. Blobs are named by the
+// owning worker's prefix plus superstep, so segments from different workers
+// and elastic segments never collide.
+const msglogContainer = "msglog"
+
+// blobSpill adapts the cloud blob store to transport.SpillStore so the
+// message log can overflow its in-memory budget without transport importing
+// cloud. Put and Get retry transient faults under the worker's policy (spill
+// retries count into the worker's retry stats); Delete is best-effort at the
+// call sites, so it goes straight through.
+type blobSpill struct {
+	store *cloud.BlobStore
+	retry *cloud.RetryPolicy
+}
+
+func (s *blobSpill) Put(name string, data []byte) error {
+	return s.retry.Do(func() error { return s.store.Put(msglogContainer, name, data) })
+}
+
+func (s *blobSpill) Get(name string) ([]byte, error) {
+	var data []byte
+	err := s.retry.Do(func() error {
+		var e error
+		data, e = s.store.Get(msglogContainer, name)
+		return e
+	})
+	return data, err
+}
+
+func (s *blobSpill) Delete(name string) error {
+	return s.store.Delete(msglogContainer, name)
+}

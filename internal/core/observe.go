@@ -34,6 +34,15 @@ type jobInstruments struct {
 	scaleOuts    *observe.Counter   // live elastic scale-out resizes
 	scaleIns     *observe.Counter   // live elastic scale-in resizes
 	workersGauge *observe.Gauge     // current worker count (moves at resizes)
+	confined     *observe.Counter   // recoveries handled confined (failed workers only)
+}
+
+// msglogBytesGauge returns the per-worker gauge tracking the sender-side
+// message log's in-memory footprint, sampled at each superstep.
+func (ins *jobInstruments) msglogBytesGauge(worker int) *observe.Gauge {
+	return ins.metrics.Gauge("pregel_msglog_bytes",
+		"In-memory bytes retained by a worker's sender-side message log (spilled segments excluded).",
+		observe.Label{Name: "worker", Value: strconv.Itoa(worker)})
 }
 
 // outboxDepthGauge returns the per-worker gauge tracking queued batches
@@ -67,6 +76,8 @@ func newJobInstruments(tracer *observe.Tracer, m *observe.Metrics) *jobInstrumen
 		},
 		rollbacks: m.Counter("pregel_rollbacks_total",
 			"Checkpoint rollbacks performed by the manager."),
+		confined: m.Counter("pregel_recovery_confined_total",
+			"Recoveries handled confined: only the failed workers restored and re-executed."),
 		supersteps: m.Counter("pregel_supersteps_total",
 			"Superstep executions, including post-recovery replays."),
 		stepWait: m.Histogram("pregel_queue_wait_seconds",

@@ -157,15 +157,16 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 	}
 
 	result := &JobResult[M]{
-		Programs:    make([]VertexProgram[M], len(workers)),
-		Owned:       make([][]graph.VertexID, len(workers)),
-		Steps:       js.steps,
-		WallSeconds: time.Since(start).Seconds(),
-		CostDollars: fabric.CostDollars(),
-		VMSeconds:   fabric.VMSeconds(),
-		Supersteps:  len(js.steps),
-		Recoveries:  js.recoveries,
-		ScaleEvents: js.scaleEvents,
+		Programs:       make([]VertexProgram[M], len(workers)),
+		Owned:          make([][]graph.VertexID, len(workers)),
+		Steps:          js.steps,
+		WallSeconds:    time.Since(start).Seconds(),
+		CostDollars:    fabric.CostDollars(),
+		VMSeconds:      fabric.VMSeconds(),
+		Supersteps:     len(js.steps),
+		Recoveries:     js.recoveries,
+		ScaleEvents:    js.scaleEvents,
+		RecoveryEvents: js.recoveryEvents,
 	}
 	for w := range workers {
 		result.Programs[w] = workers[w].program
@@ -178,6 +179,15 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 	}
 	for i := range js.scaleEvents {
 		result.SimSeconds += js.scaleEvents[i].SimSeconds
+	}
+	// Confined recoveries run their replay rounds outside the main superstep
+	// loop, so their wall-clock and superstep executions are added here; a
+	// global rollback's re-executed supersteps already appear in js.steps.
+	for i := range js.recoveryEvents {
+		if js.recoveryEvents[i].Confined {
+			result.SimSeconds += js.recoveryEvents[i].SimSeconds
+			result.Supersteps += js.recoveryEvents[i].ReplaySupersteps
+		}
 	}
 	result.VMRestarts = fabric.Restarts()
 	result.QueueStats = s.Queues.Stats()

@@ -48,6 +48,16 @@ type stepToken struct {
 	// neither computes nor mutates state, so the request is idempotent
 	// under duplicate delivery.
 	Migrate bool `json:"mig,omitempty"`
+	// Replay marks a confined-recovery replay superstep: workers listed in
+	// Failed re-execute it (having restored from the checkpoint), everyone
+	// else replays its logged outbound batches into the failed set and
+	// suppresses compute.
+	Replay bool  `json:"replay,omitempty"`
+	Failed []int `json:"failed,omitempty"`
+	// LastCkpt is the most recent committed checkpoint superstep; workers
+	// truncate their sender-side message logs below it (traffic older than
+	// the checkpoint can never be replayed).
+	LastCkpt int `json:"lc,omitempty"`
 }
 
 // barrierMsg is the worker→manager check-in ending one superstep. It carries
@@ -75,6 +85,14 @@ type barrierMsg struct {
 	// cost model).
 	Migrated      bool  `json:"migrated,omitempty"`
 	MigratedBytes int64 `json:"migbytes,omitempty"`
+	// Replayed marks a confined-recovery replay ack from a survivor;
+	// SentRemote and BytesOut then carry the replayed message/byte counts.
+	Replayed bool `json:"replayed,omitempty"`
+	// Epoch is the worker's recovery epoch when it checked in. The manager
+	// drops check-ins from stale epochs, so a redelivered message from an
+	// aborted pre-recovery execution can never satisfy (or fail) a barrier
+	// being re-collected after the rollback.
+	Epoch int `json:"epoch,omitempty"`
 }
 
 // outboxItem is one unit of sender work: a batch to ship (epoch stamped at
@@ -155,6 +173,24 @@ type worker[M any] struct {
 	// receiver owns it.
 	outboxes   []*outbox
 	sendCopies bool
+
+	// msglog is the sender-side message log backing confined recovery: every
+	// data batch enqueued is copied into it, keyed by (superstep, dest), so
+	// this worker can replay a failed peer's lost inputs without recomputing.
+	// Nil when confined recovery is disabled.
+	msglog *transport.MessageLog
+	// replayFailed, non-nil only while re-executing a superstep during
+	// confined recovery, marks the workers being recovered: sends to anyone
+	// else (a survivor that kept its state) are logged but not delivered,
+	// and sentinels go only to the failed set. Set before compute goroutines
+	// start and cleared after the superstep completes, so no lock is needed.
+	replayFailed []bool
+	// replayEpoch/replayHandled dedupe replay tokens: re-sending logged
+	// batches for an already-handled (epoch, superstep) would double-deliver
+	// (fresh sequence numbers defeat receive-side dedup), so duplicates are
+	// only re-acked.
+	replayEpoch   int32
+	replayHandled int
 
 	ckptStore  *cloud.BlobStore
 	failInject func(worker, superstep int) error
@@ -266,6 +302,7 @@ func newWorker[M any](spec *JobSpec[M], id int, owned []graph.VertexID,
 	w.sentinelCond = sync.NewCond(&w.sentinelMu)
 	w.ckptStore = spec.CheckpointStore
 	w.failInject = spec.FailureInjector
+	w.replayHandled = -1
 	if ins == nil {
 		ins = newJobInstruments(nil, nil)
 	}
@@ -286,6 +323,11 @@ func newWorker[M any](spec *JobSpec[M], id int, owned []graph.VertexID,
 	}
 	for i := range w.halted {
 		w.halted[i] = !spec.ActivateAll
+	}
+	if spec.RecoveryMode == RecoverConfined && spec.CheckpointEvery > 0 && spec.CheckpointStore != nil {
+		w.msglog = transport.NewMessageLog(spec.MsgLogBudgetBytes,
+			&blobSpill{store: spec.CheckpointStore, retry: &w.retry},
+			fmt.Sprintf("seg%02d-w%04d", spec.segment, id))
 	}
 	w.program = spec.NewProgram(id, spec.Graph, owned)
 	return w
@@ -331,6 +373,9 @@ func (w *worker[M]) run() {
 			return
 		}
 		if tok.Halt {
+			// Release the message log (pooled buffers and spill blobs) before
+			// exiting: a segment teardown or job end must not leak either.
+			w.msglog.Reset(0)
 			w.endpoint.Close()
 			return
 		}
@@ -342,7 +387,10 @@ func (w *worker[M]) run() {
 				// state mid-job, so it is dropped.
 				continue
 			}
-			msg := barrierMsg{Worker: w.id, Superstep: *tok.RestoreTo, Restored: true}
+			// The ack carries the token's epoch explicitly (checkIn preserves
+			// it): on a FAILED restore the worker never adopted the new epoch,
+			// but the manager's restore-ack collector filters on it.
+			msg := barrierMsg{Worker: w.id, Superstep: *tok.RestoreTo, Restored: true, Epoch: tok.Epoch}
 			if err := w.restore(w.ckptStore, *tok.RestoreTo, int32(tok.Epoch)); err != nil {
 				msg.Err = err.Error()
 			} else {
@@ -376,6 +424,10 @@ func (w *worker[M]) run() {
 			w.checkIn(msg)
 			continue
 		}
+		if tok.Replay {
+			w.handleReplay(&tok)
+			continue
+		}
 		if tok.Superstep <= w.doneThrough {
 			// Duplicate delivery of a step token already executed (queue
 			// at-least-once semantics: a re-leased or duplicated message).
@@ -388,10 +440,136 @@ func (w *worker[M]) run() {
 	}
 }
 
+// handleReplay executes one confined-recovery replay superstep. A worker in
+// the token's failed set re-executes the superstep (it restored from the
+// checkpoint, so its state is rewound), with deliveries to survivors
+// suppressed; everyone else keeps its live state and replays the superstep's
+// logged outbound batches into the failed set only. Either way the worker
+// checks in on the barrier queue, and a handled (epoch, superstep) is only
+// re-acked on duplicate delivery.
+func (w *worker[M]) handleReplay(tok *stepToken) {
+	if int32(tok.Epoch) < w.epoch.Load() {
+		// Leftover token from a confined attempt that was abandoned for a
+		// global rollback (or any older recovery): replaying it now would
+		// stamp current-epoch batches with another epoch's traffic. Drop it;
+		// no collector is waiting on this epoch anymore.
+		return
+	}
+	if int32(tok.Epoch) == w.replayEpoch && tok.Superstep <= w.replayHandled {
+		w.checkIn(barrierMsg{Worker: w.id, Superstep: tok.Superstep, Replayed: true})
+		return
+	}
+	failed := make([]bool, w.numWorkers)
+	amFailed := false
+	for _, f := range tok.Failed {
+		if f >= 0 && f < len(failed) {
+			failed[f] = true
+			if f == w.id {
+				amFailed = true
+			}
+		}
+	}
+	if amFailed {
+		// Recovering worker: re-execute. doneThrough was rewound by the
+		// restore, so the ordinary superstep path runs; replayFailed gates
+		// deliveries (survivors already hold this superstep's traffic) and
+		// scopes the sentinel broadcast to the failed set.
+		w.replayFailed = failed
+		w.runSuperstep(tok)
+		w.replayFailed = nil
+		w.doneThrough = tok.Superstep
+		w.replayEpoch, w.replayHandled = int32(tok.Epoch), tok.Superstep
+		return
+	}
+	// Survivor: adopt the recovery epoch on the first replay token (after
+	// quiescing senders, so no pre-recovery batch is stamped with the new
+	// epoch), then re-send the logged batches for this superstep.
+	if int32(tok.Epoch) > w.epoch.Load() {
+		w.drainOutboxes()
+		w.epoch.Store(int32(tok.Epoch))
+	}
+	span := w.tracer.Start(observe.KindReplay, w.id, tok.Superstep)
+	msg := barrierMsg{Worker: w.id, Superstep: tok.Superstep, Replayed: true}
+	var replayMsgs, replayBytes int64
+	err := w.msglog.Replay(tok.Superstep,
+		func(dest int) bool { return failed[dest] && dest != w.id },
+		func(dest int, payload []byte, count int) error {
+			// The payload is log-owned: copy into a fresh pooled buffer the
+			// send pipeline may recycle, and never PutPayload the original.
+			cp := transport.GetPayload(len(payload))
+			copy(cp, payload)
+			b := transport.GetBatch()
+			b.From = int32(w.id)
+			b.To = int32(dest)
+			b.Superstep = int32(tok.Superstep)
+			b.Count = int32(count)
+			b.Epoch = w.epoch.Load()
+			b.Payload = cp
+			replayMsgs += int64(count)
+			replayBytes += b.WireSize()
+			// Enqueue directly (not enqueueBatch): replayed traffic must not
+			// be re-appended to the log. Blocking is fine — the sender drains.
+			w.outboxes[dest].ch <- outboxItem{batch: b}
+			return nil
+		})
+	if err == nil {
+		err = w.flushTo(failed, tok.Superstep)
+	}
+	if err != nil {
+		// A truncated log window or an undeliverable replay: report it so the
+		// manager falls back to global rollback.
+		msg.Err = err.Error()
+	} else {
+		msg.SentRemote = replayMsgs
+		msg.BytesOut = replayBytes
+	}
+	if span.Active() {
+		span.End(observe.Int("msgs", replayMsgs), observe.Int("bytes", replayBytes))
+	}
+	w.replayEpoch, w.replayHandled = int32(tok.Epoch), tok.Superstep
+	w.checkIn(msg)
+}
+
+// flushTo flushes the outboxes of the given destinations and fences each
+// with a sentinel for the superstep, returning the first send error. The
+// scoped counterpart of broadcastSentinels, used by survivors during replay
+// (a sentinel to a non-recovering peer would pollute its barrier counts).
+func (w *worker[M]) flushTo(targets []bool, superstep int) error {
+	epoch := w.epoch.Load()
+	for dest, ob := range w.outboxes {
+		if ob == nil || !targets[dest] {
+			continue
+		}
+		b := transport.GetBatch()
+		b.From = int32(w.id)
+		b.To = int32(dest)
+		b.Superstep = int32(superstep)
+		b.Count = -1
+		b.Epoch = epoch
+		ob.ch <- outboxItem{batch: b, ack: ob.ack}
+	}
+	var firstErr error
+	for dest, ob := range w.outboxes {
+		if ob == nil || !targets[dest] {
+			continue
+		}
+		if err := <-ob.ack; err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("replay flush to worker %d: %w", dest, err)
+		}
+	}
+	return firstErr
+}
+
 func (w *worker[M]) runSuperstep(tok *stepToken) {
 	w.superstep = tok.Superstep
 	w.prevAggs = tok.Aggregates
 	w.resetStepCounters()
+	// A committed checkpoint retires everything the message log holds below
+	// it: those supersteps' traffic is recoverable from the snapshot, never
+	// from replay.
+	if w.msglog != nil {
+		w.msglog.TruncateBelow(tok.LastCkpt)
+	}
 	if tok.Checkpoint {
 		if err := w.snapshot(w.ckptStore); err != nil {
 			w.checkIn(barrierMsg{Worker: w.id, Superstep: w.superstep, Err: err.Error()})
@@ -508,6 +686,9 @@ func (w *worker[M]) runSuperstep(tok *stepToken) {
 	delete(w.recvMsgs, w.superstep)
 	delete(w.recvBytes, w.superstep)
 	w.recvMu.Unlock()
+	if w.msglog != nil {
+		w.ins.msglogBytesGauge(w.id).Set(float64(w.msglog.Bytes()))
+	}
 	// Chaos hook: simulate this worker's VM failing after the superstep's
 	// work (all messages delivered, so peers are in a consistent state).
 	if w.failInject != nil {
@@ -716,6 +897,18 @@ func (w *worker[M]) flushSlotBuffer(c *Context[M], dest int) {
 // (backpressure on compute is a signal worth seeing).
 func (w *worker[M]) enqueueBatch(b *transport.Batch) {
 	b.Epoch = w.epoch.Load()
+	// Log the batch for confined recovery (Append copies; ownership of b and
+	// its payload is unchanged). Logging happens even for deliveries
+	// suppressed below, so a recovering worker's rebuilt log stays complete
+	// enough to survive a second failure.
+	w.msglog.Append(int(b.Superstep), int(b.To), b.Payload, int(b.Count))
+	if w.replayFailed != nil && !w.replayFailed[b.To] {
+		// Confined-recovery re-execution: the destination is a survivor that
+		// already processed this superstep's traffic in the original
+		// execution; delivering again would double-count messages.
+		w.releaseUnsent(b)
+		return
+	}
 	ob := w.outboxes[b.To]
 	select {
 	case ob.ch <- outboxItem{batch: b}:
@@ -801,6 +994,13 @@ func (w *worker[M]) broadcastSentinels() error {
 			continue
 		}
 		depth += len(ob.ch)
+		if w.replayFailed != nil && !w.replayFailed[dest] {
+			// Re-executing under confined recovery: survivors are not waiting
+			// at this superstep's barrier, so they get no sentinel — but the
+			// outbox is still flushed so any send error surfaces here.
+			ob.ch <- outboxItem{ack: ob.ack}
+			continue
+		}
 		b := transport.GetBatch()
 		b.From = int32(w.id)
 		b.To = int32(dest)
@@ -1003,6 +1203,9 @@ func (w *worker[M]) resetStepCounters() {
 }
 
 func (w *worker[M]) checkIn(msg barrierMsg) {
+	if msg.Epoch == 0 {
+		msg.Epoch = int(w.epoch.Load())
+	}
 	body, err := json.Marshal(msg)
 	if err != nil {
 		body = []byte(fmt.Sprintf(`{"w":%d,"s":%d,"err":"marshal: %v"}`, msg.Worker, msg.Superstep, err))

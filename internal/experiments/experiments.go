@@ -150,6 +150,7 @@ func All() []Experiment {
 		{"fig15", "Per-superstep 8v4 speedup and active vertices (Fig 15)", Fig15},
 		{"fig16", "Elastic scaling: time and cost projections (Fig 16)", Fig16},
 		{"fig16live", "Elastic scaling: live resize at superstep barriers (Fig 16, measured)", Fig16Live},
+		{"figconfined", "Confined vs global recovery: duplicated work on worker failure (extension)", FigConfined},
 		{"ext_buffering", "Extension: disk vs memory buffering under pressure", ExtBuffering},
 		{"ext_partitioners", "Extension: partitioner sweep across datasets and k", ExtPartitioners},
 	}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"pregelnet/internal/algorithms"
+	"pregelnet/internal/core"
+	"pregelnet/internal/graph"
+	"pregelnet/internal/metrics"
+)
+
+// FigConfined measures what a single worker failure costs under the two
+// recovery modes. A BC job checkpoints every 3 supersteps and loses one
+// worker's VM mid-run; the duplicated work the recovery performs is read
+// from the RecoveryEvent the engine records:
+//
+//   - global rollback re-executes the lost supersteps on EVERY worker, so
+//     its duplicated worker-seconds stay roughly constant as workers are
+//     added (n workers each redo 1/n of the graph);
+//   - confined recovery re-executes them on the failed worker only, while
+//     survivors replay logged messages (network cost, no compute), so its
+//     duplicated work shrinks as 1/n.
+//
+// The gap therefore grows with the worker count — the property that makes
+// confined recovery the right default on pay-per-use clouds, where every
+// re-executed worker-second is billed.
+func FigConfined(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	t := &metrics.Table{
+		Title: "Confined vs global recovery: duplicated work for one lost worker (BC, checkpoint every 3, failure at superstep 5)",
+		Headers: []string{"graph", "workers", "clean sim-s",
+			"recovery-s (global)", "recovery-s (confined)", "global/confined",
+			"replayed-MiB", "vm-s (global)", "vm-s (confined)"},
+	}
+	notes := []string{
+		"recovery-s = duplicated worker-seconds of the recovery (summed, not overlapped: every re-executing or replaying worker bills on top of the critical path)",
+		"global re-executes the lost supersteps on all n workers; confined re-executes them on the failed worker only while survivors replay logged traffic",
+	}
+	const failAt = 5
+	for _, g := range []*graph.Graph{graph.DatasetWG(), graph.DatasetCP()} {
+		roots := experimentRoots(g, cfg.rootsFor(g))
+		for _, workers := range []int{cfg.Workers / 2, cfg.Workers, cfg.Workers * 2} {
+			clean, err := runBCRecovery(g, workers, roots, "", 0)
+			if err != nil {
+				return nil, fmt.Errorf("clean run on %s x%d: %w", g.Name(), workers, err)
+			}
+			global, err := runBCRecovery(g, workers, roots, core.RecoverGlobal, failAt)
+			if err != nil {
+				return nil, fmt.Errorf("global-recovery run on %s x%d: %w", g.Name(), workers, err)
+			}
+			confined, err := runBCRecovery(g, workers, roots, core.RecoverConfined, failAt)
+			if err != nil {
+				return nil, fmt.Errorf("confined-recovery run on %s x%d: %w", g.Name(), workers, err)
+			}
+			gev, err := soleRecovery(global, false)
+			if err != nil {
+				return nil, fmt.Errorf("%s x%d: %w", g.Name(), workers, err)
+			}
+			cev, err := soleRecovery(confined, true)
+			if err != nil {
+				return nil, fmt.Errorf("%s x%d: %w", g.Name(), workers, err)
+			}
+			t.AddRow(g.Name(), fmt.Sprintf("%d", workers), fmtSeconds(clean.SimSeconds),
+				fmtSeconds(gev.RecoverySeconds), fmtSeconds(cev.RecoverySeconds),
+				fmtRatio(gev.RecoverySeconds/cev.RecoverySeconds),
+				fmtBytes(cev.ReplayedBytes),
+				fmtSeconds(global.VMSeconds), fmtSeconds(confined.VMSeconds))
+		}
+	}
+	return &Report{
+		ID:     "figconfined",
+		Title:  "Confined vs global recovery cost (extension)",
+		Tables: []*metrics.Table{t},
+		Notes:  notes,
+	}, nil
+}
+
+// runBCRecovery runs BC with checkpoints and, when mode is set, a one-shot
+// failure of worker 1 at the end of superstep failAt under that recovery
+// mode.
+func runBCRecovery(g *graph.Graph, workers int, roots []graph.VertexID,
+	mode core.RecoveryMode, failAt int) (*core.JobResult[algorithms.BCMsg], error) {
+	spec := algorithms.BC(g, workers, core.NewAllAtOnce(roots))
+	spec.CostModel = hugeMemoryModel()
+	spec.CheckpointEvery = 3
+	if mode != "" {
+		spec.RecoveryMode = mode
+		var fired atomic.Bool
+		spec.FailureInjector = func(worker, superstep int) error {
+			if worker == 1 && superstep == failAt && !fired.Swap(true) {
+				return errors.New("experiment: worker 1's VM lost")
+			}
+			return nil
+		}
+	}
+	return core.Run(spec)
+}
+
+// soleRecovery returns the run's single recovery event and checks it used
+// the expected mode.
+func soleRecovery(res *core.JobResult[algorithms.BCMsg], confined bool) (core.RecoveryEvent, error) {
+	if len(res.RecoveryEvents) != 1 {
+		return core.RecoveryEvent{}, fmt.Errorf("recorded %d recovery events, want 1", len(res.RecoveryEvents))
+	}
+	ev := res.RecoveryEvents[0]
+	if ev.Confined != confined {
+		return core.RecoveryEvent{}, fmt.Errorf("recovery confined=%v, want %v", ev.Confined, confined)
+	}
+	return ev, nil
+}

@@ -71,6 +71,9 @@ const (
 	// KindOutboxFlush spans a worker's end-of-superstep flush-and-drain of
 	// all per-destination outboxes (sentinel broadcast included).
 	KindOutboxFlush Kind = "outbox_flush"
+	// KindReplay spans one survivor replaying its logged outbound batches for
+	// one superstep into the recovering workers during confined recovery.
+	KindReplay Kind = "replay"
 )
 
 // ManagerWorker is the Worker value for manager/job-level events.

@@ -1,0 +1,300 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// SpillStore persists message-log segments that no longer fit the in-memory
+// budget. It is satisfied by a thin adapter over cloud.BlobStore on the
+// engine side; transport stays free of a cloud dependency (mirroring the
+// transientSendError layering).
+type SpillStore interface {
+	Put(name string, data []byte) error
+	Get(name string) ([]byte, error)
+	Delete(name string) error
+}
+
+// MessageLog is a sender-side log of outbound data batches, the substrate of
+// confined recovery: when a peer rolls back to a checkpoint, the survivors
+// replay the logged traffic for the lost supersteps instead of re-executing
+// them. Entries are keyed by the superstep that produced them and the
+// destination worker.
+//
+// Ownership contract: Append COPIES the payload into a pooled buffer the log
+// owns exclusively, so callers keep their usual ownership of the batch they
+// are sending (the log is invisible to the send path's recycling rules).
+// Replay hands callbacks a view of log-owned bytes: the callback must copy
+// into a fresh GetPayload buffer before building a Batch and must never
+// PutPayload the view (the pregelvet msglog analyzer enforces both).
+//
+// A bounded in-memory window: once retained bytes exceed the budget, whole
+// closed supersteps spill to the SpillStore (oldest first) and their pooled
+// buffers are recycled. Replay transparently reloads spilled segments.
+type MessageLog struct {
+	mu     sync.Mutex
+	budget int64
+	spill  SpillStore
+	prefix string // spill blob name prefix (unique per worker)
+	steps  map[int]*logStep
+	bytes  int64 // retained in-memory payload bytes
+	floor  int   // lowest superstep still covered by the log
+	newest int   // highest superstep ever appended
+}
+
+type logStep struct {
+	entries []logEntry
+	bytes   int64 // in-memory payload bytes (0 once spilled)
+	spilled bool
+}
+
+type logEntry struct {
+	dest    int32
+	count   int32
+	payload []byte // log-owned pooled buffer
+}
+
+// NewMessageLog creates a log with the given in-memory byte budget. A
+// non-positive budget disables spilling pressure (everything stays in
+// memory); a nil spill store likewise pins the log in memory. prefix
+// namespaces spill blobs (use one per worker).
+func NewMessageLog(budgetBytes int64, spill SpillStore, prefix string) *MessageLog {
+	return &MessageLog{
+		budget: budgetBytes,
+		spill:  spill,
+		prefix: prefix,
+		steps:  make(map[int]*logStep),
+	}
+}
+
+// Append records one outbound batch payload produced at the given superstep
+// for the given destination. The payload is copied; the caller's ownership
+// of it is unchanged.
+func (l *MessageLog) Append(superstep, dest int, payload []byte, count int) {
+	if l == nil {
+		return
+	}
+	cp := GetPayload(len(payload))
+	copy(cp, payload)
+	l.mu.Lock()
+	if superstep < l.floor {
+		// Already truncated past this superstep (possible only on stale
+		// stragglers); nothing downstream can ever need it.
+		l.mu.Unlock()
+		PutPayload(cp)
+		return
+	}
+	st := l.steps[superstep]
+	if st == nil {
+		st = &logStep{}
+		l.steps[superstep] = st
+	}
+	st.entries = append(st.entries, logEntry{dest: int32(dest), count: int32(count), payload: cp})
+	st.bytes += int64(len(cp))
+	l.bytes += int64(len(cp))
+	if superstep > l.newest {
+		l.newest = superstep
+	}
+	l.maybeSpillLocked()
+	l.mu.Unlock()
+}
+
+// maybeSpillLocked serializes the oldest closed supersteps to the spill
+// store while over budget. The newest superstep is still accumulating and
+// never spills. Spill failures are tolerated: the segment simply stays in
+// memory (over budget) and remains replayable.
+func (l *MessageLog) maybeSpillLocked() {
+	if l.spill == nil || l.budget <= 0 {
+		return
+	}
+	for l.bytes > l.budget {
+		oldest := -1
+		for s, st := range l.steps {
+			if st.spilled || st.bytes == 0 || s >= l.newest {
+				continue
+			}
+			if oldest < 0 || s < oldest {
+				oldest = s
+			}
+		}
+		if oldest < 0 {
+			return
+		}
+		st := l.steps[oldest]
+		if err := l.spill.Put(l.spillName(oldest), encodeLogStep(st)); err != nil {
+			return
+		}
+		for _, e := range st.entries {
+			PutPayload(e.payload)
+		}
+		l.bytes -= st.bytes
+		st.entries, st.bytes, st.spilled = nil, 0, true
+	}
+}
+
+func (l *MessageLog) spillName(superstep int) string {
+	return fmt.Sprintf("%s-s%08d", l.prefix, superstep)
+}
+
+// encodeLogStep flattens a step's entries: per entry a 12-byte header
+// (dest, count, payload length) followed by the payload.
+func encodeLogStep(st *logStep) []byte {
+	n := 0
+	for _, e := range st.entries {
+		n += 12 + len(e.payload)
+	}
+	out := make([]byte, 0, n)
+	var hdr [12]byte
+	for _, e := range st.entries {
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(e.dest))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(e.count))
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(len(e.payload)))
+		out = append(out, hdr[:]...)
+		out = append(out, e.payload...)
+	}
+	return out
+}
+
+// Covers reports whether the log still holds every superstep in
+// [from, through] (i.e. none have been truncated). It does not verify spill
+// blobs are readable; Replay surfaces that.
+func (l *MessageLog) Covers(from int) bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return from >= l.floor
+}
+
+// Replay invokes send for every logged entry of the given superstep whose
+// destination satisfies want, in the order the entries were appended. The
+// payload passed to send is log-owned: copy before retaining, never
+// PutPayload it. Returns an error if the superstep has been truncated out of
+// the window or a spilled segment cannot be reloaded — the caller should
+// fall back to global recovery.
+func (l *MessageLog) Replay(superstep int, want func(dest int) bool,
+	send func(dest int, payload []byte, count int) error) error {
+	if l == nil {
+		return fmt.Errorf("msglog: no log configured")
+	}
+	l.mu.Lock()
+	if superstep < l.floor {
+		l.mu.Unlock()
+		return fmt.Errorf("msglog: superstep %d truncated (window floor %d)", superstep, l.floor)
+	}
+	st := l.steps[superstep]
+	spilled := st != nil && st.spilled
+	l.mu.Unlock()
+	if st == nil {
+		return nil // superstep produced no outbound batches
+	}
+	if spilled {
+		data, err := l.spill.Get(l.spillName(superstep))
+		if err != nil {
+			return fmt.Errorf("msglog: reload spilled superstep %d: %w", superstep, err)
+		}
+		return replayEncoded(data, want, send)
+	}
+	// Safe without the lock: closed steps are append-only from other
+	// goroutines' perspective only for the newest superstep, and replay is
+	// only ever invoked for supersteps the worker has finished.
+	for _, e := range st.entries {
+		if !want(int(e.dest)) {
+			continue
+		}
+		if err := send(int(e.dest), e.payload, int(e.count)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replayEncoded(data []byte, want func(dest int) bool,
+	send func(dest int, payload []byte, count int) error) error {
+	for len(data) > 0 {
+		if len(data) < 12 {
+			return fmt.Errorf("msglog: corrupt spill segment (short header)")
+		}
+		dest := int(int32(binary.LittleEndian.Uint32(data[0:])))
+		count := int(int32(binary.LittleEndian.Uint32(data[4:])))
+		n := int(binary.LittleEndian.Uint32(data[8:]))
+		data = data[12:]
+		if n > len(data) {
+			return fmt.Errorf("msglog: corrupt spill segment (truncated payload)")
+		}
+		if want(dest) {
+			if err := send(dest, data[:n], count); err != nil {
+				return err
+			}
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+// TruncateBelow drops every superstep before the given one: pooled buffers
+// are recycled and spill blobs deleted (best effort). Called when a
+// checkpoint at `superstep` commits — the snapshot includes each worker's
+// pending inbox for that superstep, so older traffic can never be replayed.
+func (l *MessageLog) TruncateBelow(superstep int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for s, st := range l.steps {
+		if s >= superstep {
+			continue
+		}
+		for _, e := range st.entries {
+			PutPayload(e.payload)
+		}
+		l.bytes -= st.bytes
+		if st.spilled && l.spill != nil {
+			_ = l.spill.Delete(l.spillName(s))
+		}
+		delete(l.steps, s)
+	}
+	if superstep > l.floor {
+		l.floor = superstep
+	}
+}
+
+// Reset drops the entire log and re-bases the window floor, used when the
+// owning worker itself restores from a checkpoint (its log dies with its
+// VM) or at job teardown.
+func (l *MessageLog) Reset(floor int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for s, st := range l.steps {
+		for _, e := range st.entries {
+			PutPayload(e.payload)
+		}
+		l.bytes -= st.bytes
+		if st.spilled && l.spill != nil {
+			_ = l.spill.Delete(l.spillName(s))
+		}
+		delete(l.steps, s)
+	}
+	l.floor = floor
+	if l.newest < floor {
+		l.newest = floor
+	}
+}
+
+// Bytes returns the retained in-memory payload bytes (spilled segments
+// excluded), the quantity the pregel_msglog_bytes gauge reports and the
+// budget governs.
+func (l *MessageLog) Bytes() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}

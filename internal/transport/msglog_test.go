@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+type fakeSpill struct {
+	blobs map[string][]byte
+	fail  bool
+	puts  int
+}
+
+func newFakeSpill() *fakeSpill { return &fakeSpill{blobs: make(map[string][]byte)} }
+
+func (f *fakeSpill) Put(name string, data []byte) error {
+	if f.fail {
+		return fmt.Errorf("spill unavailable")
+	}
+	f.puts++
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	f.blobs[name] = cp
+	return nil
+}
+
+func (f *fakeSpill) Get(name string) ([]byte, error) {
+	b, ok := f.blobs[name]
+	if !ok {
+		return nil, fmt.Errorf("no blob %s", name)
+	}
+	return b, nil
+}
+
+func (f *fakeSpill) Delete(name string) error {
+	delete(f.blobs, name)
+	return nil
+}
+
+type replayed struct {
+	dest    int
+	payload []byte
+	count   int
+}
+
+func collectReplay(t *testing.T, l *MessageLog, superstep int, want func(int) bool) []replayed {
+	t.Helper()
+	var got []replayed
+	err := l.Replay(superstep, want, func(dest int, payload []byte, count int) error {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		got = append(got, replayed{dest, cp, count})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay superstep %d: %v", superstep, err)
+	}
+	return got
+}
+
+func TestMessageLogAppendReplay(t *testing.T) {
+	l := NewMessageLog(0, nil, "w0")
+	l.Append(0, 1, []byte("alpha"), 2)
+	l.Append(0, 2, []byte("beta"), 1)
+	l.Append(1, 1, []byte("gamma"), 3)
+
+	got := collectReplay(t, l, 0, func(int) bool { return true })
+	if len(got) != 2 || got[0].dest != 1 || string(got[0].payload) != "alpha" || got[0].count != 2 {
+		t.Fatalf("superstep 0 replay mismatch: %+v", got)
+	}
+	// Destination filter.
+	got = collectReplay(t, l, 0, func(d int) bool { return d == 2 })
+	if len(got) != 1 || got[0].dest != 2 || string(got[0].payload) != "beta" {
+		t.Fatalf("filtered replay mismatch: %+v", got)
+	}
+	// A superstep with no outbound traffic replays cleanly as empty.
+	if got := collectReplay(t, l, 7, func(int) bool { return true }); len(got) != 0 {
+		t.Fatalf("expected empty replay, got %+v", got)
+	}
+}
+
+func TestMessageLogAppendCopies(t *testing.T) {
+	l := NewMessageLog(0, nil, "w0")
+	buf := []byte("original")
+	l.Append(0, 1, buf, 1)
+	copy(buf, "clobber!")
+	got := collectReplay(t, l, 0, func(int) bool { return true })
+	if string(got[0].payload) != "original" {
+		t.Fatalf("log retained caller's buffer: %q", got[0].payload)
+	}
+}
+
+func TestMessageLogTruncate(t *testing.T) {
+	l := NewMessageLog(0, nil, "w0")
+	l.Append(0, 1, []byte("a"), 1)
+	l.Append(1, 1, []byte("b"), 1)
+	l.Append(2, 1, []byte("c"), 1)
+	l.TruncateBelow(2)
+	if l.Covers(1) {
+		t.Fatal("log claims to cover truncated superstep 1")
+	}
+	if !l.Covers(2) {
+		t.Fatal("log should still cover superstep 2")
+	}
+	if err := l.Replay(1, func(int) bool { return true }, nil); err == nil {
+		t.Fatal("expected error replaying truncated superstep")
+	}
+	if got := collectReplay(t, l, 2, func(int) bool { return true }); len(got) != 1 || string(got[0].payload) != "c" {
+		t.Fatalf("superstep 2 lost by truncation: %+v", got)
+	}
+	// Appends below the floor are dropped, not resurrected.
+	l.Append(0, 1, []byte("stale"), 1)
+	if l.Bytes() != 1 {
+		t.Fatalf("stale append retained: %d bytes", l.Bytes())
+	}
+}
+
+func TestMessageLogSpillAndReload(t *testing.T) {
+	spill := newFakeSpill()
+	l := NewMessageLog(8, spill, "w3")
+	big := bytes.Repeat([]byte{0xAB}, 16)
+	l.Append(0, 1, big, 4)
+	l.Append(1, 2, big, 4) // superstep 0 is now closed and over budget
+	if spill.puts == 0 {
+		t.Fatal("expected superstep 0 to spill")
+	}
+	if l.Bytes() > 8+16 {
+		t.Fatalf("in-memory bytes not released after spill: %d", l.Bytes())
+	}
+	got := collectReplay(t, l, 0, func(int) bool { return true })
+	if len(got) != 1 || got[0].dest != 1 || got[0].count != 4 || !bytes.Equal(got[0].payload, big) {
+		t.Fatalf("spilled replay mismatch: %+v", got)
+	}
+	// Truncation deletes the spill blob.
+	l.TruncateBelow(1)
+	if len(spill.blobs) != 0 {
+		t.Fatalf("spill blobs leaked after truncation: %v", spill.blobs)
+	}
+}
+
+func TestMessageLogSpillFailureKeepsMemory(t *testing.T) {
+	spill := newFakeSpill()
+	spill.fail = true
+	l := NewMessageLog(4, spill, "w1")
+	l.Append(0, 1, []byte("abcdefgh"), 2)
+	l.Append(1, 1, []byte("ijklmnop"), 2)
+	// Spill failed; both supersteps must still replay from memory.
+	if got := collectReplay(t, l, 0, func(int) bool { return true }); len(got) != 1 || string(got[0].payload) != "abcdefgh" {
+		t.Fatalf("replay after failed spill: %+v", got)
+	}
+}
+
+func TestMessageLogReset(t *testing.T) {
+	spill := newFakeSpill()
+	l := NewMessageLog(4, spill, "w2")
+	l.Append(0, 1, []byte("abcdefgh"), 1)
+	l.Append(1, 1, []byte("ijklmnop"), 1)
+	l.Reset(1)
+	if l.Bytes() != 0 {
+		t.Fatalf("bytes after reset: %d", l.Bytes())
+	}
+	if len(spill.blobs) != 0 {
+		t.Fatalf("spill blobs survive reset: %v", spill.blobs)
+	}
+	if l.Covers(0) {
+		t.Fatal("reset log claims to cover pre-floor superstep")
+	}
+	if err := l.Replay(0, func(int) bool { return true }, nil); err == nil {
+		t.Fatal("expected window error after reset")
+	}
+}

@@ -112,6 +112,24 @@ type (
 	VMRestart = cloud.VMRestart
 	// ConnDrop scripts one dropped data-plane connection (FaultPlan.ConnDrops).
 	ConnDrop = cloud.ConnDrop
+	// BlobWriteFail scripts one blob's writes failing persistently — a VM
+	// dying mid-write (FaultPlan.BlobWriteFails).
+	BlobWriteFail = cloud.BlobWriteFail
+	// RecoveryMode selects confined (failed-workers-only) or global
+	// rollback recovery (JobSpec.RecoveryMode).
+	RecoveryMode = core.RecoveryMode
+	// RecoveryEvent records one recovery's scope and duplicated-work cost
+	// (JobResult.RecoveryEvents).
+	RecoveryEvent = core.RecoveryEvent
+)
+
+// Recovery modes for JobSpec.RecoveryMode.
+const (
+	// RecoverConfined (the default) rolls back only the failed workers;
+	// survivors keep live state and replay logged messages.
+	RecoverConfined = core.RecoverConfined
+	// RecoverGlobal rolls every worker back to the last checkpoint.
+	RecoverGlobal = core.RecoverGlobal
 )
 
 // NewChaos arms a FaultPlan with its seeded per-category PRNG streams.
