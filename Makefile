@@ -41,12 +41,14 @@ test-invariants:
 	$(GO) test -race -tags pregel_invariants -timeout 45m ./...
 
 # bench runs the allocation-counting suite (internal/bench) and merges the
-# results into BENCH_PR3.json under LABEL, so before/after pairs live in one
-# committed artifact. Override SAMPLES for noisier machines.
-LABEL ?= pr3
+# results into OUT under LABEL, so before/after pairs live in one committed
+# artifact (BENCH_PR3.json holds the baseline→pr3 pair). Override SAMPLES
+# for noisier machines.
+LABEL ?= pr7
 SAMPLES ?= 3
+OUT ?= BENCH_PR7.json
 bench:
-	$(GO) run ./cmd/bench -label $(LABEL) -samples $(SAMPLES)
+	$(GO) run ./cmd/bench -label $(LABEL) -samples $(SAMPLES) -out $(OUT)
 
 # bench-smoke is the CI variant: one iteration of every benchmark, just to
 # prove they run, plus a single-sample suite pass emitting the JSON artifact.

@@ -1,31 +1,105 @@
-// Command pregeld serves the framework's web role (paper Fig 1): an HTTP
-// endpoint for submitting graph jobs and polling their status while the job
-// manager and partition workers run them.
+// Command pregeld serves the multi-tenant graph-job service (paper Fig 1
+// grown into a shared deployment): an HTTP endpoint where tenants submit
+// BSP graph jobs that a priority scheduler multiplexes over one simulated
+// VM fleet, with per-tenant caps and dollar quotas, barrier preemption,
+// and SSE progress streaming.
 //
-//	pregeld -addr :8080
+//	pregeld -addr :8080 -fleet-vms 64 -concurrency 4
 //
-//	curl -X POST localhost:8080/jobs -d '{"algorithm":"bc","graph":"wg","workers":8,"roots":25}'
+//	curl -X POST localhost:8080/jobs -d '{"algorithm":"bc","graph":"wg","tenant":"acme","priority":5}'
 //	curl localhost:8080/jobs/0
+//	curl -N localhost:8080/jobs/0/events
+//
+// SIGINT/SIGTERM drains: the listener stops accepting, every accepted job
+// runs to completion, then the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 
-	"pregelnet/internal/webrole"
+	"pregelnet/internal/jobserver"
 )
+
+// parseQuotas turns "acme=2.5,globex=10" into a tenant→dollars map.
+func parseQuotas(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, kv := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad quota %q (want tenant=dollars)", kv)
+		}
+		d, err := strconv.ParseFloat(val, 64)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("bad quota %q: %v", kv, err)
+		}
+		out[name] = d
+	}
+	return out, nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	fleetVMs := flag.Int("fleet-vms", 64, "worker-VM slots in the shared fleet")
+	concurrency := flag.Int("concurrency", 4, "max jobs executing at once")
+	queueDepth := flag.Int("queue-depth", 128, "max jobs waiting to start (429 beyond)")
+	tenantCap := flag.Int("tenant-cap", 8, "max in-flight jobs per tenant (429 beyond)")
+	quota := flag.Float64("quota", 0, "default per-tenant spend ceiling in dollars (0 = unlimited)")
+	quotas := flag.String("quotas", "", "per-tenant quota overrides, e.g. acme=2.5,globex=10")
 	flag.Parse()
 
-	server := webrole.NewServer()
-	defer server.Close()
+	overrides, err := parseQuotas(*quotas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := jobserver.New(jobserver.Config{
+		FleetVMs:            *fleetVMs,
+		MaxConcurrent:       *concurrency,
+		QueueDepth:          *queueDepth,
+		TenantCap:           *tenantCap,
+		DefaultQuotaDollars: *quota,
+		QuotaDollars:        overrides,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	fmt.Printf("pregeld listening on %s\n", *addr)
-	fmt.Println(`submit:  curl -X POST http://` + *addr + `/jobs -d '{"algorithm":"pagerank","graph":"wg"}'`)
+	httpSrv := &http.Server{Addr: *addr, Handler: server.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+
+	fmt.Printf("pregeld listening on %s (fleet %d VMs, %d concurrent jobs)\n",
+		*addr, *fleetVMs, *concurrency)
+	fmt.Println(`submit:  curl -X POST http://` + *addr + `/jobs -d '{"algorithm":"pagerank","graph":"wg","tenant":"acme"}'`)
 	fmt.Println(`status:  curl http://` + *addr + `/jobs/0`)
-	log.Fatal(http.ListenAndServe(*addr, server.Handler()))
+	fmt.Println(`stream:  curl -N http://` + *addr + `/jobs/0/events`)
+
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	// Drain: stop accepting connections, then let every accepted job —
+	// queued, running, or preempted — reach a terminal state.
+	fmt.Println("pregeld draining: finishing accepted jobs...")
+	if err := httpSrv.Shutdown(context.Background()); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	server.Close()
+	fmt.Println("pregeld drained cleanly")
 }

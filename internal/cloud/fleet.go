@@ -1,0 +1,112 @@
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Fleet is a bounded pool of VM slots shared by every job a deployment
+// runs concurrently (paper §III: one cloud deployment hosts the manager,
+// the web role, and a fixed pool of worker instances that jobs draw from).
+// Each running job reserves as many slots as it has partition workers and
+// returns them when it finishes or is preempted; the job-server scheduler
+// admits a job only when the fleet can seat it. Reservations are tracked
+// per tenant so quota accounting and the /metrics endpoint can report who
+// is occupying the deployment.
+//
+// A Fleet tracks slots, not simulated billing: each job still runs its own
+// cloud.Fabric for cost accounting, because simulated time advances
+// per-job while real fleets bill per-instance. All methods are safe for
+// concurrent use.
+type Fleet struct {
+	mu       sync.Mutex
+	capacity int
+	inUse    int
+	byTenant map[string]int
+}
+
+// NewFleet returns a fleet with the given number of VM slots.
+func NewFleet(capacity int) (*Fleet, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("cloud: fleet capacity %d, want >= 1", capacity)
+	}
+	return &Fleet{capacity: capacity, byTenant: make(map[string]int)}, nil
+}
+
+// TryReserve atomically reserves n slots for the tenant, reporting whether
+// the fleet had room. It never blocks and never partially reserves.
+func (f *Fleet) TryReserve(tenant string, n int) bool {
+	if n < 1 {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.inUse+n > f.capacity {
+		return false
+	}
+	f.inUse += n
+	f.byTenant[tenant] += n
+	return true
+}
+
+// Release returns n of the tenant's slots to the pool. Releasing more than
+// the tenant holds is a caller bug and panics: slot accounting errors
+// silently corrupt admission decisions for every tenant.
+func (f *Fleet) Release(tenant string, n int) {
+	if n < 1 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.byTenant[tenant] < n {
+		panic(fmt.Sprintf("cloud: tenant %q releasing %d fleet slots, holds %d", tenant, n, f.byTenant[tenant]))
+	}
+	f.inUse -= n
+	f.byTenant[tenant] -= n
+	if f.byTenant[tenant] == 0 {
+		delete(f.byTenant, tenant)
+	}
+}
+
+// Capacity is the total number of VM slots.
+func (f *Fleet) Capacity() int { return f.capacity }
+
+// InUse is the number of slots currently reserved.
+func (f *Fleet) InUse() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.inUse
+}
+
+// Free is the number of slots currently available.
+func (f *Fleet) Free() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.capacity - f.inUse
+}
+
+// TenantUsage returns each tenant's reserved slot count (tenants holding
+// zero slots are omitted), as a fresh map the caller may keep.
+func (f *Fleet) TenantUsage() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int, len(f.byTenant))
+	for t, n := range f.byTenant {
+		out[t] = n
+	}
+	return out
+}
+
+// Tenants returns the tenants currently holding slots, sorted, so metrics
+// and status endpoints render deterministically.
+func (f *Fleet) Tenants() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.byTenant))
+	for t := range f.byTenant {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

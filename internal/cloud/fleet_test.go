@@ -1,0 +1,79 @@
+package cloud
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFleetReserveRelease(t *testing.T) {
+	f, err := NewFleet(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.TryReserve("acme", 5) {
+		t.Fatal("reserve 5 of 8 refused")
+	}
+	if f.TryReserve("globex", 4) {
+		t.Fatal("reserve 4 with only 3 free succeeded")
+	}
+	if !f.TryReserve("globex", 3) {
+		t.Fatal("reserve 3 of remaining 3 refused")
+	}
+	if f.InUse() != 8 || f.Free() != 0 {
+		t.Fatalf("InUse = %d, Free = %d; want 8, 0", f.InUse(), f.Free())
+	}
+	usage := f.TenantUsage()
+	if usage["acme"] != 5 || usage["globex"] != 3 {
+		t.Fatalf("TenantUsage = %v", usage)
+	}
+	f.Release("acme", 5)
+	if f.Free() != 5 {
+		t.Fatalf("Free after release = %d, want 5", f.Free())
+	}
+	if _, ok := f.TenantUsage()["acme"]; ok {
+		t.Fatal("tenant with zero slots still listed")
+	}
+	if got := f.Tenants(); len(got) != 1 || got[0] != "globex" {
+		t.Fatalf("Tenants = %v, want [globex]", got)
+	}
+}
+
+func TestFleetRejectsBadInputs(t *testing.T) {
+	if _, err := NewFleet(0); err == nil {
+		t.Fatal("NewFleet(0) accepted")
+	}
+	f, _ := NewFleet(4)
+	if f.TryReserve("t", 0) {
+		t.Fatal("TryReserve(0) succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	f.Release("t", 1)
+}
+
+func TestFleetNeverOversubscribesUnderContention(t *testing.T) {
+	const slots = 10
+	f, _ := NewFleet(slots)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(tenant byte) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if f.TryReserve(string('a'+tenant), 3) {
+					if f.InUse() > slots {
+						panic("fleet oversubscribed")
+					}
+					f.Release(string('a'+tenant), 3)
+				}
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+	if f.InUse() != 0 {
+		t.Fatalf("InUse after all releases = %d, want 0", f.InUse())
+	}
+}

@@ -65,6 +65,11 @@ type resizeRequest struct {
 	toWorkers     int
 	resumeStep    int
 	migratedBytes int64
+	// suspend marks a barrier preemption rather than a resize: the migration
+	// blobs are written and the segment is halted, but instead of rebuilding
+	// the workers Run releases the VMs and returns a Suspension for a later
+	// resume (JobSpec.BarrierPreempt / JobSpec.Resume).
+	suspend bool
 }
 
 // jobState is the manager state that survives segment boundaries: the
@@ -104,6 +109,14 @@ type jobState struct {
 	// until the superstep cursor passes the failure point again.
 	recoveryEvents []RecoveryEvent
 	openRecoveries []int
+	// preemptions / preemptSeconds account barrier preemptions across the
+	// job's run segments: how many times it was suspended and the simulated
+	// state write-out + read-in overhead the platform charged for them. The
+	// overhead is reported separately from the job's own SimSeconds so a
+	// preempted job's per-superstep timeline stays bit-identical to an
+	// uninterrupted run.
+	preemptions    int
+	preemptSeconds float64
 	// ckptGens tracks checkpoint generations whose blobs may exist in the
 	// store (committed or attempted); committing a new generation deletes
 	// every superseded one. A generation is (superstep, worker count) — the

@@ -167,6 +167,29 @@ type JobSpec[M any] struct {
 	// Repartitioner chooses vertex placement for the new worker count at
 	// each live resize (default partition.Hash).
 	Repartitioner partition.Partitioner
+	// BarrierPreempt, when non-nil, makes the job preemptible: the manager
+	// consults it after every completed superstep barrier (after the elastic
+	// consult) with the superstep the job would execute next. Returning true
+	// suspends the job at that BSP cut: every worker writes a vertex-granular
+	// migration blob (the live-resize protocol), the segment halts, the VMs
+	// are released, and Run returns with JobResult.Suspended set. Requires
+	// the vertex program to implement Migratable. The hook is called from the
+	// manager goroutine and must not block.
+	BarrierPreempt func(nextSuperstep int) bool
+	// Resume continues a previously suspended job: pass the Suspension from
+	// the prior Run's JobResult, keeping every other field of the spec (the
+	// same Scheduler and ElasticController instances in particular) intact.
+	// The resumed run re-acquires VMs, adopts the migrated state under a
+	// fresh epoch and fresh control queues, and continues at the suspended
+	// superstep; computed results are bit-identical to an uninterrupted run.
+	Resume *Suspension
+	// OnStep, when non-nil, is invoked by the manager after each superstep's
+	// barrier commits, with the completed superstep's statistics — the live
+	// progress feed the job server streams to clients over SSE. Called from
+	// the manager goroutine in superstep order; re-executed supersteps after
+	// a global rollback are reported again as they re-commit. Must not block
+	// for long (it is on the barrier path).
+	OnStep func(stats StepStats)
 
 	// segment is the zero-based resize generation, advanced by Run at each
 	// live resize. Each segment gets fresh control queues (see
@@ -299,6 +322,13 @@ func (s *JobSpec[M]) withDefaults() (JobSpec[M], error) {
 	if spec.MigrateAckTimeout <= 0 {
 		spec.MigrateAckTimeout = spec.BarrierTimeout
 	}
+	if spec.BarrierPreempt != nil || spec.Resume != nil {
+		// Suspension state (migration blobs) lives in the checkpoint store; a
+		// resumed run overrides this with the store the blobs were written to.
+		if spec.CheckpointStore == nil {
+			spec.CheckpointStore = cloud.NewBlobStore()
+		}
+	}
 	if spec.ElasticController != nil {
 		if spec.Network != nil && spec.NetworkFactory == nil {
 			return spec, fmt.Errorf("core: ElasticController with a custom Network requires a NetworkFactory to rebuild it after a resize")
@@ -410,6 +440,19 @@ type JobResult[M any] struct {
 	// ElasticController). Their SimSeconds are included in the job's
 	// SimSeconds total.
 	ScaleEvents []ScaleEvent
+	// Suspended is non-nil when the run ended in a barrier preemption
+	// (JobSpec.BarrierPreempt) rather than completion: the job's resumable
+	// state, to be passed back via JobSpec.Resume. Steps, billing, and
+	// timing cover everything executed so far.
+	Suspended *Suspension
+	// Preemptions counts barrier preemptions across the job's run segments
+	// (suspensions survived so far, including the one ending this run).
+	Preemptions int
+	// PreemptSeconds is the simulated platform overhead of those
+	// preemptions: migration write-out at suspend plus read-in at resume.
+	// Reported separately from SimSeconds, which stays bit-identical to an
+	// uninterrupted run.
+	PreemptSeconds float64
 	// Retries is the total transient-fault retries across all supersteps.
 	Retries int64
 	// DuplicatesDropped is the total duplicate/stale control-plane messages

@@ -213,6 +213,9 @@ func (m *manager[M]) run(js *jobState) (*resizeRequest, error) {
 		js.statsBySuperstep[superstep] = stats.StepStats
 		js.prev = &js.steps[len(js.steps)-1]
 		js.superstep = superstep + 1
+		if m.spec.OnStep != nil {
+			m.spec.OnStep(stats.StepStats)
+		}
 
 		// Live elastic consult: with the barrier complete and the superstep
 		// priced, ask the controller whether the next superstep should run
@@ -222,6 +225,19 @@ func (m *manager[M]) run(js *jobState) (*resizeRequest, error) {
 			if elErr != nil {
 				m.halt()
 				return nil, &runError{superstep, elErr}
+			}
+			if req != nil {
+				return req, nil
+			}
+		}
+		// Preemption consult: same consistent BSP cut, after any resize
+		// decision (a barrier that resized starts the next segment; the
+		// preemption hook is asked again at that segment's first barrier).
+		if m.spec.BarrierPreempt != nil {
+			req, perr := m.maybeSuspend(js)
+			if perr != nil {
+				m.halt()
+				return nil, &runError{superstep, perr}
 			}
 			if req != nil {
 				return req, nil

@@ -33,6 +33,7 @@ type jobInstruments struct {
 	outboxStall  *observe.Histogram // time compute spent blocked on a full outbox
 	scaleOuts    *observe.Counter   // live elastic scale-out resizes
 	scaleIns     *observe.Counter   // live elastic scale-in resizes
+	preempts     *observe.Counter   // barrier preemptions (suspend for resume)
 	workersGauge *observe.Gauge     // current worker count (moves at resizes)
 	confined     *observe.Counter   // recoveries handled confined (failed workers only)
 }
@@ -92,6 +93,8 @@ func newJobInstruments(tracer *observe.Tracer, m *observe.Metrics) *jobInstrumen
 		scaleIns: m.Counter("pregel_scale_events_total",
 			"Live elastic resizes performed at superstep barriers, by direction.",
 			observe.Label{Name: "direction", Value: "in"}),
+		preempts: m.Counter("pregel_preemptions_total",
+			"Barrier preemptions: jobs suspended at a superstep barrier for a later resume."),
 		workersGauge: m.Gauge("pregel_workers",
 			"Partition workers currently deployed (changes under live elastic scaling)."),
 	}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"encoding/json"
+
+	"pregelnet/internal/cloud"
+	"pregelnet/internal/observe"
+	"pregelnet/internal/partition"
+)
+
+// Barrier preemption (the multi-tenant job server's scheduling primitive,
+// built on the live-resize machinery of the elastic runtime). A preemptible
+// job consults JobSpec.BarrierPreempt after every completed superstep
+// barrier — the same consistent BSP cut the elastic controller uses — and
+// when the hook fires the engine runs the migrate protocol unchanged: every
+// worker writes a vertex-granular migration blob of the state it would
+// carry into the next superstep, the segment halts, the VMs are released,
+// and Run returns a JobResult whose Suspended field holds everything needed
+// to continue. Passing that Suspension back via JobSpec.Resume re-acquires
+// VMs, adopts the migrated state under a fresh epoch and fresh control
+// queues, and resumes at exactly the suspended superstep, so a preempted
+// job's computed results are bit-identical to an uninterrupted run.
+
+// Suspension is the opaque resumable state of a preempted job: the manager
+// state that survives segment boundaries plus the layout and blob-store
+// handle needed to adopt the migration blobs. It is produced by Run when
+// JobSpec.BarrierPreempt fires and consumed by a later Run via
+// JobSpec.Resume. A Suspension is single-use and not safe for concurrent
+// resumes; the caller that keeps the job's JobSpec (same Scheduler,
+// ElasticController, and Queues instances) must hand the SAME spec back
+// with Resume set.
+type Suspension struct {
+	js            *jobState
+	segment       int
+	workers       int
+	assignment    partition.Assignment
+	resumeStep    int
+	migratedBytes int64
+	store         *cloud.BlobStore
+	// Cumulative billing and timing through the suspension, carried so the
+	// final JobResult reports whole-job totals across every run segment.
+	wallSeconds float64
+	costDollars float64
+	vmSeconds   float64
+	vmRestarts  int
+}
+
+// ResumeSuperstep is the superstep the job will execute next when resumed.
+func (s *Suspension) ResumeSuperstep() int { return s.resumeStep }
+
+// Workers is the worker count the job was suspended at (and resumes at).
+func (s *Suspension) Workers() int { return s.workers }
+
+// MigratedBytes is the vertex-state volume written out at suspension.
+func (s *Suspension) MigratedBytes() int64 { return s.migratedBytes }
+
+// CompletedSupersteps is the number of supersteps committed before the
+// suspension.
+func (s *Suspension) CompletedSupersteps() int { return len(s.js.steps) }
+
+// maybeSuspend consults the preemption hook with the superstep the job
+// would execute next. When the hook fires it runs the migrate protocol
+// (identical to a live resize's state write-out) and halts the segment,
+// handing Run a suspend request. A failed migration is absorbed exactly
+// like a failed resize — checkpoint rollback when possible — and the job
+// keeps running; the hook is consulted again at the next barrier.
+func (m *manager[M]) maybeSuspend(js *jobState) (*resizeRequest, error) {
+	prev := js.prev
+	// Don't suspend a job that is about to halt: the next loop iteration
+	// would finish it for free, and a suspension would strand a completed
+	// job in the preempted state.
+	if prev.ActiveAfter == 0 && prev.TotalSent() == 0 &&
+		(m.spec.Scheduler == nil || m.spec.Scheduler.Done()) {
+		return nil, nil
+	}
+	if !m.spec.BarrierPreempt(js.superstep) {
+		return nil, nil
+	}
+	resume := js.superstep
+	span := m.ins.tracer.Start(observe.KindPreempt, observe.ManagerWorker, resume)
+	body, merr := json.Marshal(stepToken{Migrate: true, Superstep: resume})
+	if merr != nil {
+		span.End(observe.Str("err", merr.Error()))
+		return nil, merr
+	}
+	for w := 0; w < m.spec.NumWorkers; w++ {
+		m.stepQs[w].Put(body)
+	}
+	migrated, err := m.collectMigrateAcks(resume, js.epoch)
+	if err != nil {
+		if span.Active() {
+			span.End(observe.Str("err", err.Error()))
+		}
+		// The write-out failed (e.g. a VM restart scripted for the resume
+		// superstep): recover like any worker failure and keep running.
+		if rerr := m.rollback(js, resume, nil, err); rerr != nil {
+			return nil, rerr
+		}
+		return nil, nil
+	}
+	m.ins.preempts.Inc()
+	if span.Active() {
+		span.End(observe.Int("superstep", int64(resume)),
+			observe.Int("bytes", migrated))
+	}
+	// Every worker's state is safely in the blob store; end the segment.
+	m.halt()
+	return &resizeRequest{
+		fromWorkers:   m.spec.NumWorkers,
+		toWorkers:     m.spec.NumWorkers,
+		resumeStep:    resume,
+		migratedBytes: migrated,
+		suspend:       true,
+	}, nil
+}

@@ -29,8 +29,46 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 		return nil, err
 	}
 
+	// Resumed run: adopt the suspension's manager state and layout before
+	// anything observes the spec. The suspended worker count and assignment
+	// override the caller's (the job may have been elastically resized
+	// before it was preempted), the blob store holding the migration blobs
+	// replaces any store withDefaults allocated, and the segment and epoch
+	// advance exactly as they do across a live resize so stale control
+	// tokens and data batches from pre-suspension segments can never reach
+	// the resumed job. Prior billing totals carry over so the final result
+	// reports whole-job numbers.
+	js := newJobState()
+	var (
+		priorWall, priorCost, priorVMSec float64
+		priorRestarts                    int
+		pending                          *resizeRequest // migrated state to adopt into the next segment
+	)
+	if s.Resume != nil {
+		susp := s.Resume
+		js = susp.js
+		s.NumWorkers = susp.workers
+		s.Assignment = susp.assignment
+		s.CheckpointStore = susp.store
+		s.segment = susp.segment + 1
+		js.epoch++
+		js.lastCheckpoint = -1
+		js.forceCheckpoint = s.CheckpointEvery > 0
+		priorWall, priorCost, priorVMSec = susp.wallSeconds, susp.costDollars, susp.vmSeconds
+		priorRestarts = susp.vmRestarts
+		pending = &resizeRequest{fromWorkers: susp.workers, toWorkers: susp.workers,
+			resumeStep: susp.resumeStep, migratedBytes: susp.migratedBytes}
+	}
+
 	fabric := cloud.NewFabric()
 	vms := fabric.Acquire(s.CostModel.Spec, s.NumWorkers)
+	if pending != nil {
+		// Bill the resume's read-in phase: the re-acquired VMs stream the
+		// suspended state back in before the first superstep runs.
+		readSec := s.CostModel.MigrationSeconds(pending.migratedBytes, s.NumWorkers)
+		fabric.Advance(readSec)
+		js.preemptSeconds += readSec
+	}
 
 	// Observability wiring: one instrument bundle per run and the chaos
 	// observer turning injected faults into trace events. The per-network
@@ -84,19 +122,38 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 		}
 	}
 
-	js := newJobState()
 	start := time.Now()
 	jobSpan := s.Tracer.Start(observe.KindJob, observe.ManagerWorker, -1)
 
 	var (
-		workers []*worker[M]
-		runErr  error
-		pending *resizeRequest // migrated state to adopt into the next segment
+		workers   []*worker[M]
+		runErr    error
+		suspended *Suspension
 	)
 	for {
 		var resize *resizeRequest
 		resize, workers, runErr = runSegment(&s, js, fabric, ins, pending)
 		if runErr != nil || resize == nil {
+			break
+		}
+		if resize.suspend {
+			// Barrier preemption: the migration blobs are written and the
+			// segment is halted. Bill the write-out, release the VMs (below,
+			// shared with the normal exit), and package everything a later
+			// Run needs to adopt the blobs and continue.
+			writeSec := s.CostModel.MigrationSeconds(resize.migratedBytes, resize.fromWorkers)
+			fabric.Advance(writeSec)
+			js.preemptions++
+			js.preemptSeconds += writeSec
+			suspended = &Suspension{
+				js:            js,
+				segment:       s.segment,
+				workers:       s.NumWorkers,
+				assignment:    s.Assignment,
+				resumeStep:    resize.resumeStep,
+				migratedBytes: resize.migratedBytes,
+				store:         s.CheckpointStore,
+			}
 			break
 		}
 		// New layout for the next segment, computed up front so the
@@ -160,13 +217,24 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 		Programs:       make([]VertexProgram[M], len(workers)),
 		Owned:          make([][]graph.VertexID, len(workers)),
 		Steps:          js.steps,
-		WallSeconds:    time.Since(start).Seconds(),
-		CostDollars:    fabric.CostDollars(),
-		VMSeconds:      fabric.VMSeconds(),
+		WallSeconds:    priorWall + time.Since(start).Seconds(),
+		CostDollars:    priorCost + fabric.CostDollars(),
+		VMSeconds:      priorVMSec + fabric.VMSeconds(),
 		Supersteps:     len(js.steps),
 		Recoveries:     js.recoveries,
 		ScaleEvents:    js.scaleEvents,
 		RecoveryEvents: js.recoveryEvents,
+		Preemptions:    js.preemptions,
+		PreemptSeconds: js.preemptSeconds,
+	}
+	if suspended != nil {
+		// Stamp the cumulative totals at suspension time so the resumed run
+		// reports whole-job numbers.
+		suspended.wallSeconds = result.WallSeconds
+		suspended.costDollars = result.CostDollars
+		suspended.vmSeconds = result.VMSeconds
+		suspended.vmRestarts = priorRestarts + fabric.Restarts()
+		result.Suspended = suspended
 	}
 	for w := range workers {
 		result.Programs[w] = workers[w].program
@@ -189,7 +257,7 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 			result.Supersteps += js.recoveryEvents[i].ReplaySupersteps
 		}
 	}
-	result.VMRestarts = fabric.Restarts()
+	result.VMRestarts = priorRestarts + fabric.Restarts()
 	result.QueueStats = s.Queues.Stats()
 	if s.Chaos != nil {
 		fs := s.Chaos.Stats()
@@ -201,6 +269,10 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 			observe.Int("recoveries", int64(result.Recoveries)),
 			observe.Int("retries", result.Retries),
 			observe.Int("scale_events", int64(len(result.ScaleEvents))),
+			observe.Int("preemptions", int64(result.Preemptions)),
+		}
+		if suspended != nil {
+			jobEnd = append(jobEnd, observe.Str("state", "suspended"))
 		}
 		if runErr != nil {
 			jobEnd = append(jobEnd, observe.Str("err", runErr.Error()))
@@ -292,10 +364,10 @@ func runSegment[M any](s *JobSpec[M], js *jobState, fabric *cloud.Fabric,
 			return nil, nil, fmt.Errorf("core: CheckpointEvery set but program %T does not implement Checkpointable", workers[0].program)
 		}
 	}
-	if s.ElasticController != nil {
+	if s.ElasticController != nil || s.BarrierPreempt != nil {
 		if _, ok := workers[0].program.(Migratable); !ok {
 			closeNet()
-			return nil, nil, fmt.Errorf("core: ElasticController set but program %T does not implement Migratable", workers[0].program)
+			return nil, nil, fmt.Errorf("core: live migration enabled (ElasticController or BarrierPreempt) but program %T does not implement Migratable", workers[0].program)
 		}
 	}
 	if adopt != nil {

@@ -1,0 +1,136 @@
+package jobserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Event is one entry in a job's progress stream, delivered over SSE.
+type Event struct {
+	// Seq is the event's position in the job's stream, starting at 0; it is
+	// also the SSE event id, so reconnecting clients can resume with
+	// Last-Event-ID semantics.
+	Seq int `json:"seq"`
+	// Type: state | superstep | preempt | resume | result | error.
+	Type string `json:"type"`
+	// State accompanies state/preempt/resume/result/error events.
+	State JobState `json:"state,omitempty"`
+	// Superstep identifies the just-committed superstep on superstep
+	// events, and the resume point on preempt/resume events.
+	Superstep int `json:"superstep,omitempty"`
+	// ActiveVertices/Messages/SimSeconds carry the committed superstep's
+	// stats on superstep events.
+	ActiveVertices int64   `json:"activeVertices,omitempty"`
+	Messages       int64   `json:"messages,omitempty"`
+	SimSeconds     float64 `json:"simSeconds,omitempty"`
+	// Result holds the completed-job summary on result events.
+	Result *Summary `json:"result,omitempty"`
+	// Error holds the failure message on error events.
+	Error string `json:"error,omitempty"`
+}
+
+// maxEventLog bounds a job's retained event history. Long jobs drop their
+// oldest superstep events; the stream stays live and terminal events are
+// appended after the cap, so subscribers always see how the job ended.
+const maxEventLog = 4096
+
+// eventLog is a job's append-only progress stream: a bounded replay buffer
+// plus an edge-triggered notification channel. Writers (the job runner and
+// the manager's OnStep hook) append; any number of SSE subscribers replay
+// from an offset and then follow live. The log has its own lock and never
+// calls back into the server, so appends are safe under Server.mu.
+type eventLog struct {
+	mu sync.Mutex
+	// base is the sequence number of events[0] (> 0 once the cap trims).
+	base   int
+	events []Event
+	closed bool
+	notify chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{notify: make(chan struct{})}
+}
+
+// append assigns the event its sequence number and wakes all waiters. The
+// terminal flag closes the stream: subscribers finish after draining.
+func (l *eventLog) append(e Event, terminal bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	e.Seq = l.base + len(l.events)
+	l.events = append(l.events, e)
+	if len(l.events) > maxEventLog {
+		drop := len(l.events) - maxEventLog
+		l.base += drop
+		l.events = append(l.events[:0], l.events[drop:]...)
+	}
+	if terminal {
+		l.closed = true
+	}
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// since returns the events at sequence >= from (clamped to the retained
+// window), whether the stream has ended, and a channel that closes on the
+// next append.
+func (l *eventLog) since(from int) ([]Event, bool, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := from - l.base
+	if i < 0 {
+		i = 0
+	}
+	var batch []Event
+	if i < len(l.events) {
+		batch = append(batch, l.events[i:]...)
+	}
+	return batch, l.closed, l.notify
+}
+
+// serveSSE streams a job's events as text/event-stream: full replay of the
+// retained history, then live events until the job reaches a terminal
+// state or the client disconnects.
+func serveSSE(w http.ResponseWriter, r *http.Request, log *eventLog) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	next := 0
+	for {
+		batch, closed, notify := log.since(next)
+		for _, e := range batch {
+			body, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, body); err != nil {
+				return
+			}
+			next = e.Seq + 1
+		}
+		fl.Flush()
+		if closed && len(batch) == 0 {
+			return
+		}
+		if closed {
+			continue // drain whatever raced in before the close
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -74,6 +74,10 @@ const (
 	// KindReplay spans one survivor replaying its logged outbound batches for
 	// one superstep into the recovering workers during confined recovery.
 	KindReplay Kind = "replay"
+	// KindPreempt spans a barrier preemption: migrate tokens out through the
+	// last worker's migration ack, after which the segment halts and the job
+	// suspends for a later bit-identical resume.
+	KindPreempt Kind = "preempt"
 )
 
 // ManagerWorker is the Worker value for manager/job-level events.

@@ -1,559 +1,48 @@
-// Package webrole implements the paper's web front end (Fig 1): an HTTP
-// service where users submit graph jobs and poll their status while the job
-// manager and partition workers execute them. Requests specify the
-// algorithm, dataset, worker count, partitioning, and (for traversal
-// algorithms) the root count and swath heuristics.
+// Package webrole is the paper's original single-job web front end (Fig 1),
+// kept as a thin compatibility layer over the multi-tenant job service in
+// internal/jobserver. The types are aliases and the server is a jobserver
+// configured to run one job at a time, exactly as a single manager VM
+// would; new code should use jobserver directly.
 package webrole
 
 import (
-	"encoding/json"
-	"fmt"
-	"net/http"
-	"sort"
-	"strconv"
-	"strings"
-	"sync"
-
-	"pregelnet/internal/algorithms"
-	"pregelnet/internal/cloud"
-	"pregelnet/internal/core"
-	"pregelnet/internal/elastic"
-	"pregelnet/internal/graph"
-	"pregelnet/internal/observe"
-	"pregelnet/internal/partition"
+	"pregelnet/internal/jobserver"
 )
 
 // JobRequest is the submission payload.
-type JobRequest struct {
-	// Algorithm: pagerank | bc | apsp | sssp | wcc | lpa.
-	Algorithm string `json:"algorithm"`
-	// Graph: built-in dataset name (sd | wg | cp | lj).
-	Graph string `json:"graph"`
-	// Workers is the partition worker count (default 8).
-	Workers int `json:"workers,omitempty"`
-	// Partitioner: hash | chunk | metis | ldg (default hash).
-	Partitioner string `json:"partitioner,omitempty"`
-	// Roots bounds bc/apsp traversal sources (default 25).
-	Roots int `json:"roots,omitempty"`
-	// Iterations for pagerank/lpa (default 30/10).
-	Iterations int `json:"iterations,omitempty"`
-	// Swath: none | adaptive | sampling (bc/apsp; default adaptive).
-	Swath string `json:"swath,omitempty"`
-	// Initiate: seq | dynamic | staticN (default dynamic).
-	Initiate string `json:"initiate,omitempty"`
-	// MemoryMiB caps per-worker memory (0 = default spec).
-	MemoryMiB int64 `json:"memoryMiB,omitempty"`
-	// ElasticHigh enables live elastic scaling: the job starts at Workers
-	// and a threshold controller may resize it between Workers and
-	// ElasticHigh at any superstep barrier (0 = fixed worker count).
-	ElasticHigh int `json:"elasticHigh,omitempty"`
-	// ElasticThreshold is the scale-out trigger: fraction of the peak
-	// active-vertex count seen so far (default 0.5, the paper's §VIII value).
-	ElasticThreshold float64 `json:"elasticThreshold,omitempty"`
-}
+type JobRequest = jobserver.JobRequest
 
 // JobState is a job's lifecycle phase.
-type JobState string
+type JobState = jobserver.JobState
 
 // Job lifecycle states.
 const (
-	StateQueued  JobState = "queued"
-	StateRunning JobState = "running"
-	StateDone    JobState = "done"
-	StateFailed  JobState = "failed"
+	StateQueued    = jobserver.StateQueued
+	StateRunning   = jobserver.StateRunning
+	StatePreempted = jobserver.StatePreempted
+	StateDone      = jobserver.StateDone
+	StateFailed    = jobserver.StateFailed
 )
 
 // Summary is the completed-job report returned by the status endpoint.
-type Summary struct {
-	Supersteps  int     `json:"supersteps"`
-	Messages    int64   `json:"messages"`
-	SimSeconds  float64 `json:"simSeconds"`
-	CostDollars float64 `json:"costDollars"`
-	WallSeconds float64 `json:"wallSeconds"`
-	// VMSeconds is the billed VM time (workers integrated over simulated
-	// time, including resize migration and acquisition charges).
-	VMSeconds float64 `json:"vmSeconds,omitempty"`
-	// FinalWorkers is the worker count at the last superstep; differs from
-	// the request's Workers only when live elastic scaling resized the job.
-	FinalWorkers int `json:"finalWorkers,omitempty"`
-	// ScaleEvents lists the live resizes performed at superstep barriers.
-	ScaleEvents []core.ScaleEvent `json:"scaleEvents,omitempty"`
-	TopVertices []TopVertex       `json:"topVertices,omitempty"`
-	Extra       string            `json:"extra,omitempty"`
-}
+type Summary = jobserver.Summary
 
 // TopVertex is one row of a ranked result.
-type TopVertex struct {
-	Vertex graph.VertexID `json:"vertex"`
-	Score  float64        `json:"score"`
-}
+type TopVertex = jobserver.TopVertex
 
 // JobStatus is the polled job record.
-type JobStatus struct {
-	ID      int        `json:"id"`
-	Request JobRequest `json:"request"`
-	State   JobState   `json:"state"`
-	Error   string     `json:"error,omitempty"`
-	Result  *Summary   `json:"result,omitempty"`
+type JobStatus = jobserver.JobStatus
 
-	// recorder is the job's flight recorder, attached at submission so the
-	// trace endpoint works for queued, running, failed, and finished jobs
-	// alike; it survives job failure by construction.
-	recorder *observe.Recorder
-	// tracer feeds the recorder; handed to the job spec when the job runs.
-	tracer *observe.Tracer
-	// queues is the running job's control plane, sampled live by /metrics.
-	queues *cloud.QueueService
-}
+// Server is the web role: a job service restricted to one running job.
+type Server = jobserver.Server
 
-// Server is the web role. It runs jobs sequentially in the background (one
-// BSP job at a time, as a single manager VM would).
-type Server struct {
-	mu      sync.Mutex
-	jobs    map[int]*JobStatus
-	order   []int
-	nextID  int
-	queue   chan int
-	wg      sync.WaitGroup
-	metrics *observe.Metrics
-	running *JobStatus // job currently executing (its queues feed /metrics)
-}
-
-// NewServer starts the background job runner.
+// NewServer starts a single-job server (sequential execution, as the
+// paper's one manager VM provides).
 func NewServer() *Server {
-	s := &Server{
-		jobs:    make(map[int]*JobStatus),
-		queue:   make(chan int, 128),
-		metrics: observe.NewMetrics(),
+	s, err := jobserver.New(jobserver.Config{MaxConcurrent: 1})
+	if err != nil {
+		// The default config is statically valid; reaching this is a bug.
+		panic(err)
 	}
-	s.wg.Add(1)
-	go s.runLoop()
 	return s
-}
-
-// Close drains the job queue and stops the runner.
-func (s *Server) Close() {
-	close(s.queue)
-	s.wg.Wait()
-}
-
-// Handler returns the HTTP routes:
-//
-//	POST /jobs             submit a JobRequest, returns {"id": N}
-//	GET  /jobs             list all jobs
-//	GET  /jobs/{id}        poll one job
-//	GET  /jobs/{id}/trace  dump the job's flight recorder (?format=jsonl|chrome)
-//	GET  /metrics          Prometheus text exposition
-//	GET  /healthz          liveness probe
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs", s.handleList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
-	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
-}
-
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req JobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	if err := validate(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	tracer, rec := observe.NewTraceRecorder(observe.DefaultRecorderCapacity)
-	s.mu.Lock()
-	id := s.nextID
-	s.nextID++
-	s.jobs[id] = &JobStatus{ID: id, Request: req, State: StateQueued,
-		recorder: rec, tracer: tracer}
-	s.order = append(s.order, id)
-	s.mu.Unlock()
-	s.queue <- id
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusAccepted)
-	fmt.Fprintf(w, `{"id":%d}`+"\n", id)
-}
-
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	list := make([]*JobStatus, 0, len(s.order))
-	for _, id := range s.order {
-		cp := *s.jobs[id]
-		list = append(list, &cp)
-	}
-	s.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(list)
-}
-
-func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil {
-		http.Error(w, "bad job id", http.StatusBadRequest)
-		return
-	}
-	s.mu.Lock()
-	job, ok := s.jobs[id]
-	var cp JobStatus
-	if ok {
-		cp = *job
-	}
-	s.mu.Unlock()
-	if !ok {
-		http.Error(w, "no such job", http.StatusNotFound)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(&cp)
-}
-
-func validate(req *JobRequest) error {
-	switch req.Algorithm {
-	case "pagerank", "bc", "apsp", "sssp", "wcc", "lpa":
-	default:
-		return fmt.Errorf("unknown algorithm %q", req.Algorithm)
-	}
-	if graph.Dataset(req.Graph) == nil {
-		return fmt.Errorf("unknown graph %q (want sd|wg|cp|lj)", req.Graph)
-	}
-	if req.Workers == 0 {
-		req.Workers = 8
-	}
-	if req.Workers < 1 || req.Workers > 64 {
-		return fmt.Errorf("workers %d out of range [1,64]", req.Workers)
-	}
-	if req.Partitioner == "" {
-		req.Partitioner = "hash"
-	}
-	if partition.ByName(req.Partitioner) == nil {
-		return fmt.Errorf("unknown partitioner %q", req.Partitioner)
-	}
-	if req.Roots <= 0 {
-		req.Roots = 25
-	}
-	if req.Iterations <= 0 {
-		if req.Algorithm == "lpa" {
-			req.Iterations = 10
-		} else {
-			req.Iterations = 30
-		}
-	}
-	if req.Swath == "" {
-		req.Swath = "adaptive"
-	}
-	if req.Initiate == "" {
-		req.Initiate = "dynamic"
-	}
-	if req.ElasticHigh != 0 {
-		if req.ElasticHigh <= req.Workers || req.ElasticHigh > 64 {
-			return fmt.Errorf("elasticHigh %d out of range (%d,64]", req.ElasticHigh, req.Workers)
-		}
-		if req.ElasticThreshold == 0 {
-			req.ElasticThreshold = 0.5
-		}
-		if req.ElasticThreshold < 0 || req.ElasticThreshold > 1 {
-			return fmt.Errorf("elasticThreshold %g out of range [0,1]", req.ElasticThreshold)
-		}
-	}
-	return nil
-}
-
-func (s *Server) runLoop() {
-	defer s.wg.Done()
-	for id := range s.queue {
-		queues := cloud.NewQueueService()
-		s.mu.Lock()
-		job := s.jobs[id]
-		job.State = StateRunning
-		job.queues = queues
-		s.running = job
-		req := job.Request
-		tracer := job.tracer
-		s.mu.Unlock()
-
-		summary, err := execute(req, tracer, s.metrics, queues)
-		s.mu.Lock()
-		if err != nil {
-			job.State = StateFailed
-			job.Error = err.Error()
-		} else {
-			job.State = StateDone
-			job.Result = summary
-		}
-		s.running = nil
-		s.mu.Unlock()
-	}
-}
-
-// handleHealthz is the liveness probe: the server answers as long as its
-// HTTP listener and mux are alive (jobs run on a separate goroutine).
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
-}
-
-// handleMetrics serves the Prometheus text exposition. Engine counters and
-// histograms accumulate into the server-wide registry as jobs run; queue
-// depth, lease, age, and redelivery gauges are sampled at scrape time from
-// the currently running job's control plane.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	states := map[JobState]int{}
-	for _, job := range s.jobs {
-		states[job.State]++
-	}
-	var queues *cloud.QueueService
-	if s.running != nil {
-		queues = s.running.queues
-	}
-	s.mu.Unlock()
-	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed} {
-		s.metrics.Gauge("pregel_jobs", "Jobs by lifecycle state.",
-			observe.Label{Name: "state", Value: string(st)}).Set(float64(states[st]))
-	}
-	if queues != nil {
-		for name, qs := range queues.Stats() {
-			l := observe.Label{Name: "queue", Value: name}
-			s.metrics.Gauge("pregel_queue_depth",
-				"Visible messages in the queue.", l).Set(float64(qs.Depth))
-			s.metrics.Gauge("pregel_queue_leased",
-				"Messages hidden by an outstanding visibility lease.", l).Set(float64(qs.Leased))
-			s.metrics.Gauge("pregel_queue_oldest_age_seconds",
-				"Age of the oldest visible message.", l).Set(qs.OldestAge.Seconds())
-			s.metrics.Gauge("pregel_queue_redeliveries",
-				"Messages redelivered after a visibility-timeout expiry.", l).Set(float64(qs.Redeliveries))
-		}
-	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WritePrometheus(w)
-}
-
-// handleTrace dumps a job's flight recorder. It works for running jobs (the
-// recorder is a concurrent ring buffer) and for failed ones (the ring holds
-// the events leading up to the failure). ?format=chrome emits a Chrome
-// trace_event file loadable in chrome://tracing or Perfetto; the default is
-// one JSON event per line.
-func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil {
-		http.Error(w, "bad job id", http.StatusBadRequest)
-		return
-	}
-	s.mu.Lock()
-	job, ok := s.jobs[id]
-	var rec *observe.Recorder
-	if ok {
-		rec = job.recorder
-	}
-	s.mu.Unlock()
-	if !ok {
-		http.Error(w, "no such job", http.StatusNotFound)
-		return
-	}
-	var events []observe.Event
-	if rec != nil {
-		events = rec.Snapshot()
-	}
-	switch r.URL.Query().Get("format") {
-	case "", "jsonl":
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		_ = observe.WriteJSONL(w, events)
-	case "chrome":
-		w.Header().Set("Content-Type", "application/json")
-		_ = observe.WriteChromeTrace(w, events)
-	default:
-		http.Error(w, "unknown format (want jsonl|chrome)", http.StatusBadRequest)
-	}
-}
-
-// instrument attaches the per-job tracer, the server-wide metrics registry,
-// and the job's dedicated queue namespace to a spec before core.Run, and
-// wires in the live elastic controller when the request asked for one.
-// Resizes need checkpoints to roll back failed migrations, so elastic jobs
-// get checkpointing defaulted on.
-func instrument[M any](spec *core.JobSpec[M], tracer *observe.Tracer, metrics *observe.Metrics, queues *cloud.QueueService, ctrl core.ElasticController) {
-	spec.Tracer = tracer
-	spec.Metrics = metrics
-	spec.Queues = queues
-	if ctrl != nil {
-		spec.ElasticController = ctrl
-		if spec.CheckpointEvery <= 0 {
-			spec.CheckpointEvery = 4
-		}
-	}
-}
-
-func execute(req JobRequest, tracer *observe.Tracer, metrics *observe.Metrics, queues *cloud.QueueService) (*Summary, error) {
-	g := graph.Dataset(req.Graph)
-	assign := partition.ByName(req.Partitioner).Partition(g, req.Workers)
-	model := cloud.DefaultCostModel(cloud.LargeVM())
-	if req.MemoryMiB > 0 {
-		model.Spec = model.Spec.WithMemory(req.MemoryMiB << 20)
-	}
-
-	var elasticCtrl core.ElasticController
-	if req.ElasticHigh > 0 {
-		ctrl, err := elastic.NewLiveController(req.Workers, req.ElasticHigh,
-			elastic.ThresholdPolicy{Fraction: req.ElasticThreshold})
-		if err != nil {
-			return nil, err
-		}
-		elasticCtrl = ctrl
-	}
-
-	top := func(scores []float64, n int) []TopVertex {
-		tv := make([]TopVertex, len(scores))
-		for v, s := range scores {
-			tv[v] = TopVertex{graph.VertexID(v), s}
-		}
-		sort.Slice(tv, func(i, j int) bool { return tv[i].Score > tv[j].Score })
-		if n > len(tv) {
-			n = len(tv)
-		}
-		return tv[:n]
-	}
-	summarize := func(steps []core.StepStats, sim, cost, wall float64, sup int, vmSec float64, scales []core.ScaleEvent) *Summary {
-		var msgs int64
-		finalWorkers := req.Workers
-		for i := range steps {
-			msgs += steps[i].TotalSent()
-			if steps[i].Workers > 0 {
-				finalWorkers = steps[i].Workers
-			}
-		}
-		return &Summary{Supersteps: sup, Messages: msgs, SimSeconds: sim,
-			CostDollars: cost, WallSeconds: wall, VMSeconds: vmSec,
-			FinalWorkers: finalWorkers, ScaleEvents: scales}
-	}
-
-	switch req.Algorithm {
-	case "pagerank":
-		spec := algorithms.PageRank{Iterations: req.Iterations, Damping: 0.85}.Spec(g, req.Workers)
-		spec.Assignment = assign
-		spec.CostModel = model
-		instrument(&spec, tracer, metrics, queues, elasticCtrl)
-		res, err := core.Run(spec)
-		if err != nil {
-			return nil, err
-		}
-		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps, res.VMSeconds, res.ScaleEvents)
-		sum.TopVertices = top(algorithms.Ranks(res, g.NumVertices()), 10)
-		return sum, nil
-	case "bc":
-		sched, err := scheduler(g, req, model)
-		if err != nil {
-			return nil, err
-		}
-		spec := algorithms.BC(g, req.Workers, sched)
-		spec.Assignment = assign
-		spec.CostModel = model
-		instrument(&spec, tracer, metrics, queues, elasticCtrl)
-		res, err := core.Run(spec)
-		if err != nil {
-			return nil, err
-		}
-		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps, res.VMSeconds, res.ScaleEvents)
-		sum.TopVertices = top(algorithms.BCScores(res, g.NumVertices()), 10)
-		return sum, nil
-	case "apsp":
-		sched, err := scheduler(g, req, model)
-		if err != nil {
-			return nil, err
-		}
-		spec := algorithms.APSP(g, req.Workers, sched)
-		spec.Assignment = assign
-		spec.CostModel = model
-		instrument(&spec, tracer, metrics, queues, elasticCtrl)
-		res, err := core.Run(spec)
-		if err != nil {
-			return nil, err
-		}
-		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps, res.VMSeconds, res.ScaleEvents)
-		sum.Extra = fmt.Sprintf("distances computed from %d roots", req.Roots)
-		return sum, nil
-	case "sssp":
-		spec := algorithms.SSSP(g, req.Workers, 0)
-		spec.Assignment = assign
-		spec.CostModel = model
-		instrument(&spec, tracer, metrics, queues, elasticCtrl)
-		res, err := core.Run(spec)
-		if err != nil {
-			return nil, err
-		}
-		return summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps, res.VMSeconds, res.ScaleEvents), nil
-	case "wcc":
-		spec := algorithms.WCC(g, req.Workers)
-		spec.Assignment = assign
-		spec.CostModel = model
-		instrument(&spec, tracer, metrics, queues, elasticCtrl)
-		res, err := core.Run(spec)
-		if err != nil {
-			return nil, err
-		}
-		labels := algorithms.WCCLabels(res, g.NumVertices())
-		comps := map[int32]bool{}
-		for _, l := range labels {
-			comps[l] = true
-		}
-		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps, res.VMSeconds, res.ScaleEvents)
-		sum.Extra = fmt.Sprintf("%d connected components", len(comps))
-		return sum, nil
-	case "lpa":
-		spec := algorithms.LPA(g, req.Workers, req.Iterations)
-		spec.Assignment = assign
-		spec.CostModel = model
-		instrument(&spec, tracer, metrics, queues, elasticCtrl)
-		res, err := core.Run(spec)
-		if err != nil {
-			return nil, err
-		}
-		labels := algorithms.LPALabels(res, g.NumVertices())
-		comms := map[int32]bool{}
-		for _, l := range labels {
-			comms[l] = true
-		}
-		sum := summarize(res.Steps, res.SimSeconds, res.CostDollars, res.WallSeconds, res.Supersteps, res.VMSeconds, res.ScaleEvents)
-		sum.Extra = fmt.Sprintf("%d communities", len(comms))
-		return sum, nil
-	}
-	return nil, fmt.Errorf("unreachable algorithm %q", req.Algorithm)
-}
-
-func scheduler(g *graph.Graph, req JobRequest, model cloud.CostModel) (core.SwathScheduler, error) {
-	sources := core.FirstNSources(g, req.Roots)
-	if req.Swath == "none" {
-		return core.NewAllAtOnce(sources), nil
-	}
-	target := model.Spec.MemoryBytes * 6 / 7
-	var sizer core.SwathSizer
-	switch req.Swath {
-	case "adaptive":
-		sizer = &core.AdaptiveSizer{Initial: max(2, req.Roots/4), TargetMemoryBytes: target}
-	case "sampling":
-		sizer = &core.SamplingSizer{SampleSize: max(2, req.Roots/4), Samples: 2, TargetMemoryBytes: target}
-	default:
-		return nil, fmt.Errorf("unknown swath mode %q", req.Swath)
-	}
-	var init core.SwathInitiator
-	switch {
-	case req.Initiate == "seq":
-		init = core.SequentialInitiator{}
-	case req.Initiate == "dynamic":
-		init = core.DynamicPeakInitiator{}
-	case strings.HasPrefix(req.Initiate, "static"):
-		n, err := strconv.Atoi(strings.TrimPrefix(req.Initiate, "static"))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad initiation %q", req.Initiate)
-		}
-		init = core.StaticNInitiator(n)
-	default:
-		return nil, fmt.Errorf("unknown initiation %q", req.Initiate)
-	}
-	return core.NewSwathRunner(sources, sizer, init), nil
 }
