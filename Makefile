@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint vetcheck test-invariants bench bench-smoke
+.PHONY: build test race vet lint vetcheck test-invariants bench bench-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -55,3 +55,15 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/bench -label ci-smoke -samples 1 -out bench-ci.json
+
+# bench-compare is the perf regression gate: measure the suite now and fail
+# (non-zero exit) if any benchmark's ns/op or allocs/op grew more than
+# THRESHOLD over the committed baseline artifact BASE. CI runs this against
+# the previous PR's artifact; locally, record a baseline with `make bench
+# LABEL=baseline OUT=base.json` before a change and compare after it.
+BASE ?= BENCH_PR7.json
+BASELABEL ?=
+THRESHOLD ?= 0.10
+bench-compare:
+	$(GO) run ./cmd/bench -label compare-head -samples $(SAMPLES) -out bench-compare.json \
+		-compare $(BASE) $(if $(BASELABEL),-baselabel $(BASELABEL)) -threshold $(THRESHOLD)

@@ -7,10 +7,17 @@
 //	go run ./cmd/bench                     # run, write BENCH_PR3.json under label "pr3"
 //	go run ./cmd/bench -label baseline     # record a baseline before a change
 //	go run ./cmd/bench -out results.json   # alternate output path
+//	go run ./cmd/bench -compare BENCH_PR7.json -threshold 0.10
+//	                                       # regression gate: exit 1 if any
+//	                                       # benchmark's ns/op or allocs/op
+//	                                       # grew >10% over the baseline file
 //
 // The output file maps label -> suite results; re-running with a different
 // label merges into the existing file, so a before/after pair lives in one
-// committed artifact.
+// committed artifact. With -compare, the freshly measured results are also
+// checked against a committed baseline artifact (`make bench-compare` in CI);
+// -baselabel selects the label inside the baseline file when it holds more
+// than one run.
 package main
 
 import (
@@ -33,6 +40,9 @@ func main() {
 	out := flag.String("out", "BENCH_PR3.json", "output JSON path (merged by label)")
 	label := flag.String("label", "pr3", "label for this run (e.g. baseline, pr3)")
 	samples := flag.Int("samples", 3, "independent samples per benchmark (fastest kept)")
+	compare := flag.String("compare", "", "baseline JSON artifact to gate against (exit 1 on regression)")
+	baseLabel := flag.String("baselabel", "", "label inside -compare file (default: its only label)")
+	threshold := flag.Float64("threshold", 0.10, "allowed relative growth in ns/op and allocs/op")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "running %d benchmarks (label %q, best of %d)...\n",
@@ -67,4 +77,51 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (label %q)\n", *out, *label)
+
+	if *compare != "" {
+		base, err := loadBaseline(*compare, *baseLabel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			os.Exit(1)
+		}
+		regs := bench.Compare(base, results, *threshold)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "PERF REGRESSION vs %s (threshold %.0f%%):\n", *compare, 100**threshold)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  ", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "no regressions vs %s (threshold %.0f%%)\n", *compare, 100**threshold)
+	}
+}
+
+// loadBaseline reads one labeled result set out of a committed bench
+// artifact. An empty label is allowed when the file holds exactly one run.
+func loadBaseline(path, label string) ([]bench.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := map[string]suiteRun{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if label == "" {
+		if len(doc) != 1 {
+			labels := make([]string, 0, len(doc))
+			for l := range doc {
+				labels = append(labels, l)
+			}
+			return nil, fmt.Errorf("%s holds labels %v; pick one with -baselabel", path, labels)
+		}
+		for _, run := range doc {
+			return run.Results, nil
+		}
+	}
+	run, ok := doc[label]
+	if !ok {
+		return nil, fmt.Errorf("%s has no label %q", path, label)
+	}
+	return run.Results, nil
 }

@@ -5,7 +5,14 @@
 //	pregel -algo pagerank|bc|apsp|sssp|wsssp|wcc|lpa \
 //	       [-graph wg|cp|sd|lj | -file edges.txt] \
 //	       [-workers 8] [-partitioner hash|chunk|metis|ldg|fennel] \
+//	       [-model vertex|subgraph] \
 //	       [-roots N] [-swath adaptive|sampling|none] [-initiate seq|dynamic|staticN]
+//
+// -model subgraph runs the partition-centric ports of the traversals (sssp,
+// wsssp, wcc, bc): each partition converges locally between barriers and
+// only boundary edges generate messages, so supersteps track the
+// partition-hop diameter. Algorithms without a native port (pagerank, apsp,
+// lpa) run their vertex programs under the engine's adapter.
 //
 // Prints the result summary and per-superstep statistics.
 package main
@@ -36,6 +43,7 @@ func main() {
 		file        = flag.String("file", "", "edge-list file (overrides -graph)")
 		workers     = flag.Int("workers", 8, "number of partition workers")
 		partName    = flag.String("partitioner", "hash", "hash|chunk|metis|ldg|fennel")
+		modelName   = flag.String("model", "vertex", "programming model: vertex|subgraph (partition-local convergence)")
 		roots       = flag.Int("roots", 25, "traversal roots for bc/apsp")
 		swath       = flag.String("swath", "adaptive", "swath sizing for bc/apsp: adaptive|sampling|none")
 		initiate    = flag.String("initiate", "dynamic", "swath initiation: seq|dynamic|static<N>")
@@ -105,12 +113,24 @@ func main() {
 			*workers, *elasticHigh, 100**elasticFrac)
 	}
 
+	subgraph := false
+	switch *modelName {
+	case "vertex":
+	case "subgraph":
+		subgraph = true
+	default:
+		fatal(fmt.Errorf("unknown -model %q (want vertex or subgraph)", *modelName))
+	}
+
 	switch *algo {
 	case "pagerank":
 		spec := algorithms.PageRank{Iterations: *iterations, Damping: 0.85}.Spec(g, *workers)
 		spec.Assignment = assign
 		spec.CostModel = model
 		spec.Tracer = tracer
+		if subgraph {
+			core.UseVertexAdapter(&spec)
+		}
 		applyElastic(&spec, elasticCtrl)
 		if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
 			fatal(err)
@@ -122,6 +142,26 @@ func main() {
 		report(res.Steps, res.SimSeconds, res.CostDollars, res.VMSeconds, res.ScaleEvents, *stepsDetail)
 		printTop("rank", algorithms.Ranks(res, g.NumVertices()), *showTop)
 	case "bc":
+		if subgraph {
+			// The subgraph port keeps per-root state in partition-local
+			// maps and batches all roots in one sweep; swath scheduling
+			// does not apply.
+			spec := algorithms.BCSubgraph(g, *workers, core.FirstNSources(g, *roots))
+			spec.Assignment = assign
+			spec.CostModel = model
+			spec.Tracer = tracer
+			applyElastic(&spec, elasticCtrl)
+			if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
+				fatal(err)
+			}
+			res, err := core.Run(spec)
+			if err != nil {
+				fatal(err)
+			}
+			report(res.Steps, res.SimSeconds, res.CostDollars, res.VMSeconds, res.ScaleEvents, *stepsDetail)
+			printTop("betweenness", algorithms.BCSubgraphScores(res, g.NumVertices()), *showTop)
+			return
+		}
 		sched, err := buildScheduler(g, *roots, *swath, *initiate, model)
 		if err != nil {
 			fatal(err)
@@ -149,6 +189,9 @@ func main() {
 		spec.Assignment = assign
 		spec.CostModel = model
 		spec.Tracer = tracer
+		if subgraph {
+			core.UseVertexAdapter(&spec)
+		}
 		applyElastic(&spec, elasticCtrl)
 		if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
 			fatal(err)
@@ -161,6 +204,9 @@ func main() {
 		fmt.Printf("computed distances from %d roots\n", *roots)
 	case "sssp":
 		spec := algorithms.SSSP(g, *workers, 0)
+		if subgraph {
+			spec = algorithms.SSSPSubgraph(g, *workers, 0)
+		}
 		spec.Assignment = assign
 		spec.CostModel = model
 		spec.Tracer = tracer
@@ -173,7 +219,12 @@ func main() {
 			fatal(err)
 		}
 		report(res.Steps, res.SimSeconds, res.CostDollars, res.VMSeconds, res.ScaleEvents, *stepsDetail)
-		dist := algorithms.SSSPDistances(res, g.NumVertices())
+		var dist []int32
+		if subgraph {
+			dist = algorithms.SSSPSubgraphDistances(res, g.NumVertices())
+		} else {
+			dist = algorithms.SSSPDistances(res, g.NumVertices())
+		}
 		reach, maxd := 0, int32(0)
 		for _, d := range dist {
 			if d >= 0 {
@@ -187,6 +238,9 @@ func main() {
 	case "wsssp":
 		wg := graph.RandomWeights(g, 1, 10, 99)
 		spec := algorithms.WeightedSSSP(wg, *workers, 0)
+		if subgraph {
+			spec = algorithms.WeightedSSSPSubgraph(wg, *workers, 0)
+		}
 		spec.Assignment = assign
 		spec.CostModel = model
 		spec.Tracer = tracer
@@ -199,7 +253,12 @@ func main() {
 			fatal(err)
 		}
 		report(res.Steps, res.SimSeconds, res.CostDollars, res.VMSeconds, res.ScaleEvents, *stepsDetail)
-		dist := algorithms.WeightedDistances(res, g.NumVertices())
+		var dist []float64
+		if subgraph {
+			dist = algorithms.WeightedSubgraphDistances(res, g.NumVertices())
+		} else {
+			dist = algorithms.WeightedDistances(res, g.NumVertices())
+		}
 		reach := 0
 		maxd := 0.0
 		for _, d := range dist {
@@ -213,6 +272,9 @@ func main() {
 		fmt.Printf("reached %d/%d vertices, weighted eccentricity %.2f\n", reach, g.NumVertices(), maxd)
 	case "wcc":
 		spec := algorithms.WCC(g, *workers)
+		if subgraph {
+			spec = algorithms.WCCSubgraph(g, *workers)
+		}
 		spec.Assignment = assign
 		spec.CostModel = model
 		spec.Tracer = tracer
@@ -225,7 +287,12 @@ func main() {
 			fatal(err)
 		}
 		report(res.Steps, res.SimSeconds, res.CostDollars, res.VMSeconds, res.ScaleEvents, *stepsDetail)
-		labels := algorithms.WCCLabels(res, g.NumVertices())
+		var labels []int32
+		if subgraph {
+			labels = algorithms.WCCSubgraphLabels(res, g.NumVertices())
+		} else {
+			labels = algorithms.WCCLabels(res, g.NumVertices())
+		}
 		comps := map[int32]int{}
 		for _, l := range labels {
 			comps[l]++
@@ -236,6 +303,9 @@ func main() {
 		spec.Assignment = assign
 		spec.CostModel = model
 		spec.Tracer = tracer
+		if subgraph {
+			core.UseVertexAdapter(&spec)
+		}
 		applyElastic(&spec, elasticCtrl)
 		if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
 			fatal(err)

@@ -1,8 +1,11 @@
 // Quickstart: run PageRank on the web-Google analog with 8 BSP workers and
-// print the top pages, runtime, and simulated cloud bill.
+// print the top pages, runtime, and simulated cloud bill. Pass
+// -model subgraph to run the same program under the subgraph-centric
+// execution path (one sequential partition sweep per superstep).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
@@ -11,11 +14,22 @@ import (
 )
 
 func main() {
+	model := flag.String("model", "vertex", "programming model: vertex|subgraph")
+	flag.Parse()
+
 	g := pregelnet.Datasets.WG()
 	fmt.Printf("dataset %s: %d vertices, %d directed edges\n",
 		g.Name(), g.NumVertices(), g.NumEdges())
 
-	res, err := pregelnet.PageRank(g, 8)
+	run := pregelnet.PageRank
+	switch *model {
+	case "vertex":
+	case "subgraph":
+		run = pregelnet.PageRankSubgraph
+	default:
+		log.Fatalf("unknown -model %q (want vertex or subgraph)", *model)
+	}
+	res, err := run(g, 8)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -51,6 +52,9 @@ func (maxCombiner) Combine(a, b uint32) uint32 {
 }
 
 func main() {
+	model := flag.String("model", "vertex", "programming model: vertex|subgraph (runs the same program under the partition-centric adapter)")
+	flag.Parse()
+
 	g := pregelnet.GenerateWattsStrogatz(5000, 6, 0.1, 42)
 	const workers = 4
 
@@ -83,6 +87,14 @@ func main() {
 			return p
 		},
 		ActivateAll: true,
+	}
+	switch *model {
+	case "vertex":
+	case "subgraph":
+		pregelnet.UseSubgraphModel(&spec)
+		fmt.Println("running under the subgraph-centric model (vertex adapter)")
+	default:
+		log.Fatalf("unknown -model %q (want vertex or subgraph)", *model)
 	}
 	res, err := pregelnet.Run(spec)
 	if err != nil {

@@ -1,0 +1,243 @@
+package algorithms
+
+import (
+	"io"
+
+	"pregelnet/internal/core"
+)
+
+// Checkpoint and migration support for the subgraph-centric programs, in the
+// same per-vertex format family as the vertex programs (checkpoint.go): the
+// whole-partition pair is the concatenation of per-vertex records. All maps
+// serialize in sorted-root order and contribution lists are stored (and
+// restored) in their id-sorted order, so a restore is bit-identical — the
+// property confined recovery and elastic migration rely on when they replay
+// supersteps against restored partition-local state.
+
+// SnapshotVertex implements core.Migratable.
+func (p *ssspSubgraph) SnapshotVertex(li int32, w io.Writer) error {
+	return writeU64(w, uint64(uint32(p.dist[li])))
+}
+
+// RestoreVertex implements core.Migratable.
+func (p *ssspSubgraph) RestoreVertex(li int32, r io.Reader) error {
+	v, err := readU64(r)
+	if err != nil {
+		return err
+	}
+	p.dist[li] = int32(uint32(v))
+	return nil
+}
+
+// Snapshot implements core.Checkpointable.
+func (p *ssspSubgraph) Snapshot(w io.Writer) error {
+	return snapshotAll(w, len(p.dist), p.SnapshotVertex)
+}
+
+// Restore implements core.Checkpointable.
+func (p *ssspSubgraph) Restore(r io.Reader) error {
+	return restoreAll(r, len(p.dist), p.RestoreVertex)
+}
+
+// SnapshotVertex implements core.Migratable.
+func (p *wccSubgraph) SnapshotVertex(li int32, w io.Writer) error {
+	return writeU64(w, uint64(uint32(p.label[li])))
+}
+
+// RestoreVertex implements core.Migratable.
+func (p *wccSubgraph) RestoreVertex(li int32, r io.Reader) error {
+	v, err := readU64(r)
+	if err != nil {
+		return err
+	}
+	p.label[li] = int32(uint32(v))
+	return nil
+}
+
+// Snapshot implements core.Checkpointable.
+func (p *wccSubgraph) Snapshot(w io.Writer) error {
+	return snapshotAll(w, len(p.label), p.SnapshotVertex)
+}
+
+// Restore implements core.Checkpointable.
+func (p *wccSubgraph) Restore(r io.Reader) error {
+	return restoreAll(r, len(p.label), p.RestoreVertex)
+}
+
+// SnapshotVertex implements core.Migratable.
+func (p *wssspSubgraph) SnapshotVertex(li int32, w io.Writer) error {
+	return writeF64(w, p.dist[li])
+}
+
+// RestoreVertex implements core.Migratable.
+func (p *wssspSubgraph) RestoreVertex(li int32, r io.Reader) error {
+	v, err := readF64(r)
+	if err != nil {
+		return err
+	}
+	p.dist[li] = v
+	return nil
+}
+
+// Snapshot implements core.Checkpointable.
+func (p *wssspSubgraph) Snapshot(w io.Writer) error {
+	return snapshotAll(w, len(p.dist), p.SnapshotVertex)
+}
+
+// Restore implements core.Checkpointable.
+func (p *wssspSubgraph) Restore(r io.Reader) error {
+	return restoreAll(r, len(p.dist), p.RestoreVertex)
+}
+
+func writeContribs(w io.Writer, list []bcsContrib) error {
+	if err := writeU64(w, uint64(len(list))); err != nil {
+		return err
+	}
+	for _, c := range list {
+		if err := writeU64(w, uint64(c.id)); err != nil {
+			return err
+		}
+		if err := writeF64(w, c.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readContribs(r io.Reader) ([]bcsContrib, error) {
+	n, err := readU64(r)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	list := make([]bcsContrib, n)
+	for i := range list {
+		id, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		val, err := readF64(r)
+		if err != nil {
+			return nil, err
+		}
+		list[i] = bcsContrib{id: uint32(id), val: val}
+	}
+	return list, nil
+}
+
+// SnapshotVertex implements core.Migratable. Root states serialize in
+// ascending root order, contribution lists in their id-sorted order.
+func (p *bcSubgraph) SnapshotVertex(li int32, w io.Writer) error {
+	if err := writeF64(w, p.scores[li]); err != nil {
+		return err
+	}
+	states := p.states[li]
+	if err := writeU64(w, uint64(len(states))); err != nil {
+		return err
+	}
+	for _, root := range p.sortedRoots(li) {
+		st := states[root]
+		if err := writeU64(w, uint64(root)); err != nil {
+			return err
+		}
+		if err := writeU64(w, uint64(uint32(st.dist))); err != nil {
+			return err
+		}
+		if err := writeF64(w, st.sigma); err != nil {
+			return err
+		}
+		if err := writeF64(w, st.delta); err != nil {
+			return err
+		}
+		if err := writeContribs(w, st.fwd); err != nil {
+			return err
+		}
+		if err := writeContribs(w, st.back); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreVertex implements core.Migratable.
+func (p *bcSubgraph) RestoreVertex(li int32, r io.Reader) error {
+	score, err := readF64(r)
+	if err != nil {
+		return err
+	}
+	p.scores[li] = score
+	n, err := readU64(r)
+	if err != nil {
+		return err
+	}
+	if old := p.states[li]; old != nil {
+		for _, st := range old {
+			p.stateBytes -= bcsStateBaseBytes + int64(16*(len(st.fwd)+len(st.back)))
+		}
+	}
+	if n == 0 {
+		p.states[li] = nil
+		return nil
+	}
+	states := make(map[uint32]*bcsState, n)
+	for j := uint64(0); j < n; j++ {
+		root, err := readU64(r)
+		if err != nil {
+			return err
+		}
+		dist, err := readU64(r)
+		if err != nil {
+			return err
+		}
+		sigma, err := readF64(r)
+		if err != nil {
+			return err
+		}
+		delta, err := readF64(r)
+		if err != nil {
+			return err
+		}
+		fwd, err := readContribs(r)
+		if err != nil {
+			return err
+		}
+		back, err := readContribs(r)
+		if err != nil {
+			return err
+		}
+		states[uint32(root)] = &bcsState{
+			dist:  int32(uint32(dist)),
+			sigma: sigma,
+			delta: delta,
+			fwd:   fwd,
+			back:  back,
+		}
+		p.stateBytes += bcsStateBaseBytes + int64(16*(len(fwd)+len(back)))
+	}
+	p.states[li] = states
+	return nil
+}
+
+// Snapshot implements core.Checkpointable.
+func (p *bcSubgraph) Snapshot(w io.Writer) error {
+	return snapshotAll(w, len(p.scores), p.SnapshotVertex)
+}
+
+// Restore implements core.Checkpointable.
+func (p *bcSubgraph) Restore(r io.Reader) error {
+	p.stateBytes = 0
+	for li := range p.states {
+		p.states[li] = nil
+	}
+	return restoreAll(r, len(p.scores), p.RestoreVertex)
+}
+
+// Compile-time checks that every subgraph program stays migratable.
+var (
+	_ core.Migratable = (*ssspSubgraph)(nil)
+	_ core.Migratable = (*wccSubgraph)(nil)
+	_ core.Migratable = (*wssspSubgraph)(nil)
+	_ core.Migratable = (*bcSubgraph)(nil)
+)

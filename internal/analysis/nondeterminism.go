@@ -14,7 +14,8 @@ import (
 //
 //   - everything in a package whose import path ends in /algorithms (the
 //     vertex program library), and
-//   - any method named Compute in any package (the Program contract).
+//   - any method named Compute or ComputePartition in any package (the
+//     VertexProgram and PartitionProgram contracts).
 //
 // A function that needs randomness deterministically (seeded per vertex and
 // superstep) or timing for non-semantic telemetry can opt out with
@@ -36,7 +37,8 @@ func runNonDeterminism(pass *Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			if !wholePkg && (fd.Recv == nil || fd.Name.Name != "Compute") {
+			if !wholePkg && (fd.Recv == nil ||
+				(fd.Name.Name != "Compute" && fd.Name.Name != "ComputePartition")) {
 				continue
 			}
 			if hasDirective(fd.Doc, allowDirective) {

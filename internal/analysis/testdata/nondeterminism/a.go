@@ -53,6 +53,40 @@ func (debugClock) Compute(step int) int64 {
 	return time.Now().UnixNano()
 }
 
+// ComputePartition bodies (the subgraph-centric program contract) are
+// compute paths too: a partition program's local fixpoint replays from a
+// checkpoint exactly like a vertex program's Compute does.
+type partitionProg struct {
+	labels []int32
+}
+
+func (p *partitionProg) ComputePartition(step int) {
+	if rand.Intn(2) == 0 { // want "math/rand.Intn"
+		p.labels[0] = int32(time.Now().Unix()) // want "time.Now"
+	}
+}
+
+type cleanPartitionProg struct {
+	labels []int32
+}
+
+func (p *cleanPartitionProg) ComputePartition(step int) {
+	for i := range p.labels {
+		p.labels[i] = int32(step)
+	}
+}
+
+type timedPartitionProg struct{}
+
+// ComputePartition opts out: telemetry-only partition timing may sample
+// wall clocks.
+//
+//pregelvet:allow nondeterminism
+func (timedPartitionProg) ComputePartition(step int) int64 {
+	_ = step
+	return time.Now().UnixNano()
+}
+
 // free helpers are not compute paths; only Compute methods are fenced here.
 func helperOutsideCompute() time.Time {
 	return time.Now()

@@ -41,6 +41,10 @@ func Defs() []Def {
 	return []Def{
 		{"superstep/pagerank-channel", benchPageRankChannel},
 		{"superstep/bc-channel", benchBCChannel},
+		{"model/sssp-vertex-metis", benchSSSPVertexMetis},
+		{"model/sssp-subgraph-metis", benchSSSPSubgraphMetis},
+		{"model/wcc-vertex-metis", benchWCCVertexMetis},
+		{"model/wcc-subgraph-metis", benchWCCSubgraphMetis},
 		{"e2e/pagerank-tcp", benchPageRankTCP},
 		{"e2e/bc-tcp", benchBCTCP},
 		{"transport/tcp-batch-roundtrip", benchTCPBatchRoundTrip},

@@ -1,0 +1,51 @@
+package bench
+
+import "fmt"
+
+// Regression is one benchmark metric that got worse than the allowed
+// fraction between a baseline run and the current run.
+type Regression struct {
+	Name   string  `json:"name"`   // benchmark name
+	Metric string  `json:"metric"` // "ns/op" or "allocs/op"
+	Base   float64 `json:"base"`
+	Cur    float64 `json:"cur"`
+	Frac   float64 `json:"frac"` // relative growth, e.g. 0.25 = +25%
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.0f -> %.0f (+%.1f%%)",
+		r.Name, r.Metric, r.Base, r.Cur, 100*r.Frac)
+}
+
+// Compare flags every benchmark whose ns/op or allocs/op grew by more than
+// frac (e.g. 0.10 = 10%) relative to the baseline. Benchmarks present on
+// only one side are ignored — adding or retiring a benchmark is not a
+// regression. Improvements are never flagged.
+func Compare(base, cur []Result, frac float64) []Regression {
+	byName := make(map[string]Result, len(base))
+	for _, r := range base {
+		byName[r.Name] = r
+	}
+	var regs []Regression
+	for _, c := range cur {
+		b, ok := byName[c.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+frac) {
+			regs = append(regs, Regression{
+				Name: c.Name, Metric: "ns/op",
+				Base: b.NsPerOp, Cur: c.NsPerOp,
+				Frac: c.NsPerOp/b.NsPerOp - 1,
+			})
+		}
+		if b.AllocsPerOp > 0 && float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+frac) {
+			regs = append(regs, Regression{
+				Name: c.Name, Metric: "allocs/op",
+				Base: float64(b.AllocsPerOp), Cur: float64(c.AllocsPerOp),
+				Frac: float64(c.AllocsPerOp)/float64(b.AllocsPerOp) - 1,
+			})
+		}
+	}
+	return regs
+}

@@ -1,0 +1,53 @@
+package bench
+
+import "testing"
+
+func baseResults() []Result {
+	return []Result{
+		{Name: "superstep/pagerank-channel", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "e2e/bc-tcp", NsPerOp: 5000, AllocsPerOp: 700},
+	}
+}
+
+func TestCompareCleanRunPasses(t *testing.T) {
+	cur := []Result{
+		{Name: "superstep/pagerank-channel", NsPerOp: 1050, AllocsPerOp: 100}, // +5% ns: within budget
+		{Name: "e2e/bc-tcp", NsPerOp: 4000, AllocsPerOp: 650},                 // improvement
+		{Name: "model/sssp-subgraph-metis", NsPerOp: 9999, AllocsPerOp: 9999}, // new: ignored
+	}
+	if regs := Compare(baseResults(), cur, 0.10); len(regs) != 0 {
+		t.Fatalf("clean run flagged: %v", regs)
+	}
+}
+
+// TestCompareFlagsInjectedRegression is the CI gate's own self-test: a
+// synthetic +50% ns/op and +20% allocs/op regression must be reported.
+func TestCompareFlagsInjectedRegression(t *testing.T) {
+	cur := []Result{
+		{Name: "superstep/pagerank-channel", NsPerOp: 1500, AllocsPerOp: 100}, // +50% ns/op
+		{Name: "e2e/bc-tcp", NsPerOp: 5000, AllocsPerOp: 840},                 // +20% allocs/op
+	}
+	regs := Compare(baseResults(), cur, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions %v, want 2", len(regs), regs)
+	}
+	if regs[0].Name != "superstep/pagerank-channel" || regs[0].Metric != "ns/op" {
+		t.Errorf("regs[0] = %v, want pagerank ns/op", regs[0])
+	}
+	if regs[1].Name != "e2e/bc-tcp" || regs[1].Metric != "allocs/op" {
+		t.Errorf("regs[1] = %v, want bc allocs/op", regs[1])
+	}
+	if regs[0].Frac < 0.49 || regs[0].Frac > 0.51 {
+		t.Errorf("regs[0].Frac = %v, want ~0.5", regs[0].Frac)
+	}
+}
+
+func TestCompareIgnoresRetiredAndMissingBaselines(t *testing.T) {
+	// Baseline has a benchmark the current run dropped, and vice versa:
+	// neither direction is a regression.
+	base := []Result{{Name: "retired/bench", NsPerOp: 10, AllocsPerOp: 1}}
+	cur := []Result{{Name: "brand/new", NsPerOp: 1e9, AllocsPerOp: 1 << 30}}
+	if regs := Compare(base, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("unmatched names flagged: %v", regs)
+	}
+}

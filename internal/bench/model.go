@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"testing"
+
+	"pregelnet/internal/algorithms"
+	"pregelnet/internal/core"
+	"pregelnet/internal/graph"
+	"pregelnet/internal/partition"
+)
+
+// Programming-model benchmarks: the same traversal under the vertex-centric
+// and subgraph-centric execution paths, on a high-diameter graph with
+// multilevel (locality-preserving) partitioning — the regime where
+// partition-local convergence pays. Tracked in the perf-trajectory artifact
+// so the subgraph path's superstep and allocation behavior is gated like
+// every other engine surface.
+
+// benchModelGraph is shared by the model/* benches: a 64x64 grid has
+// diameter 126 so vertex-centric traversals need >120 supersteps while the
+// subgraph path needs roughly the partition-hop diameter.
+func benchModelGraph() *graph.Graph { return graph.Grid(64, 64) }
+
+func runModelBench[M any](b *testing.B, mk func(g *graph.Graph) core.JobSpec[M]) {
+	g := benchModelGraph()
+	asn := partition.NewMultilevel().Partition(g, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var steps int
+	for i := 0; i < b.N; i++ {
+		spec := mk(g)
+		spec.Assignment = asn
+		res, err := core.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = res.Supersteps
+	}
+	b.ReportMetric(float64(steps), "supersteps/op")
+}
+
+func benchSSSPVertexMetis(b *testing.B) {
+	runModelBench(b, func(g *graph.Graph) core.JobSpec[uint32] {
+		return algorithms.SSSP(g, 4, 0)
+	})
+}
+
+func benchSSSPSubgraphMetis(b *testing.B) {
+	runModelBench(b, func(g *graph.Graph) core.JobSpec[uint32] {
+		return algorithms.SSSPSubgraph(g, 4, 0)
+	})
+}
+
+func benchWCCVertexMetis(b *testing.B) {
+	runModelBench(b, func(g *graph.Graph) core.JobSpec[uint32] {
+		return algorithms.WCC(g, 4)
+	})
+}
+
+func benchWCCSubgraphMetis(b *testing.B) {
+	runModelBench(b, func(g *graph.Graph) core.JobSpec[uint32] {
+		return algorithms.WCCSubgraph(g, 4)
+	})
+}

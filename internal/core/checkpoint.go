@@ -41,9 +41,9 @@ func checkpointBlob(superstep, worker int) string {
 // the messages pending for the upcoming superstep, plus the program's own
 // snapshot.
 func (w *worker[M]) snapshot(store *cloud.BlobStore) error {
-	ckpt, ok := w.program.(Checkpointable)
+	ckpt, ok := w.asCheckpointable()
 	if !ok {
-		return fmt.Errorf("program %T does not implement core.Checkpointable", w.program)
+		return fmt.Errorf("program %T does not implement core.Checkpointable", w.programAny())
 	}
 	var buf bytes.Buffer
 	writeU64 := func(v uint64) {
@@ -61,11 +61,13 @@ func (w *worker[M]) snapshot(store *cloud.BlobStore) error {
 	}
 	// Pending inbox: per local vertex, the messages to be processed in the
 	// superstep about to run. With a combiner the engine stores one combined
-	// slot per vertex; the blob format (count, then messages) is shared.
+	// slot per vertex; the blob format (count, then messages) is shared. One
+	// codec scratch buffer serves every message (no per-message allocation).
+	var scratch []byte
 	writeMsg := func(m M) {
-		enc := w.codec.Append(nil, m)
-		writeU64(uint64(len(enc)))
-		buf.Write(enc)
+		scratch = w.codec.Append(scratch[:0], m)
+		writeU64(uint64(len(scratch)))
+		buf.Write(scratch)
 	}
 	if w.combiner != nil {
 		for li := range w.owned {
@@ -125,9 +127,9 @@ func (w *worker[M]) decodeChecked(enc []byte) (m M, err error) {
 // transient state (pending inboxes from the aborted execution are dropped).
 // epoch is the manager-assigned recovery generation for this rollback.
 func (w *worker[M]) restore(store *cloud.BlobStore, superstep int, epoch int32) (err error) {
-	ckpt, ok := w.program.(Checkpointable)
+	ckpt, ok := w.asCheckpointable()
 	if !ok {
-		return fmt.Errorf("program %T does not implement core.Checkpointable", w.program)
+		return fmt.Errorf("program %T does not implement core.Checkpointable", w.programAny())
 	}
 	span := w.tracer.Start(observe.KindRestore, w.id, superstep)
 	defer func() {
@@ -200,6 +202,7 @@ func (w *worker[M]) restore(store *cloud.BlobStore, superstep int, epoch int32) 
 			w.inboxLocks[i].Unlock()
 		}
 	}
+	var scratch []byte // reused decode buffer: one allocation per high-water message, not per message
 	readMsg := func() (M, error) {
 		var zero M
 		size, err := readU64()
@@ -209,7 +212,10 @@ func (w *worker[M]) restore(store *cloud.BlobStore, superstep int, epoch int32) 
 		if size > uint64(r.Len()) {
 			return zero, fmt.Errorf("corrupt checkpoint: message claims %d bytes, %d remain", size, r.Len())
 		}
-		enc := make([]byte, size)
+		if uint64(cap(scratch)) < size {
+			scratch = make([]byte, size)
+		}
+		enc := scratch[:size]
 		if _, err := io.ReadFull(r, enc); err != nil {
 			return zero, err
 		}

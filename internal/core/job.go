@@ -39,8 +39,15 @@ type JobSpec[M any] struct {
 	Assignment partition.Assignment
 	// NumWorkers is the number of partition workers.
 	NumWorkers int
-	// NewProgram creates worker-local program instances.
+	// NewProgram creates worker-local vertex-centric program instances.
+	// Exactly one of NewProgram and NewPartitionProgram must be set.
 	NewProgram func(workerID int, g *graph.Graph, owned []graph.VertexID) VertexProgram[M]
+	// NewPartitionProgram creates worker-local subgraph-centric program
+	// instances (see PartitionProgram): each worker runs a sequential
+	// algorithm over its whole partition to a local fixpoint between
+	// barriers, exchanging only boundary messages. Exactly one of NewProgram
+	// and NewPartitionProgram must be set.
+	NewPartitionProgram func(workerID int, g *graph.Graph, owned []graph.VertexID) PartitionProgram[M]
 	// Codec serializes messages.
 	Codec Codec[M]
 	// Combiner, if non-nil, merges messages addressed to the same vertex
@@ -251,8 +258,11 @@ func (s *JobSpec[M]) withDefaults() (JobSpec[M], error) {
 	if spec.NumWorkers <= 0 {
 		return spec, fmt.Errorf("core: NumWorkers must be positive, got %d", spec.NumWorkers)
 	}
-	if spec.NewProgram == nil {
-		return spec, fmt.Errorf("core: JobSpec.NewProgram is required")
+	if spec.NewProgram == nil && spec.NewPartitionProgram == nil {
+		return spec, fmt.Errorf("core: one of JobSpec.NewProgram or JobSpec.NewPartitionProgram is required")
+	}
+	if spec.NewProgram != nil && spec.NewPartitionProgram != nil {
+		return spec, fmt.Errorf("core: JobSpec.NewProgram and NewPartitionProgram are mutually exclusive")
 	}
 	if spec.Codec == nil {
 		return spec, fmt.Errorf("core: JobSpec.Codec is required")
@@ -414,8 +424,15 @@ func (s *StepStats) Utilization() float64 {
 
 // JobResult is the outcome of a completed job.
 type JobResult[M any] struct {
-	// Programs are the per-worker program instances, for result extraction.
+	// Programs are the per-worker vertex-centric program instances, for
+	// result extraction. Under the subgraph model it is populated only when
+	// the job ran an adapted vertex program (AdaptVertexProgram), in which
+	// case it holds the unwrapped inner programs so vertex-centric result
+	// extractors keep working unchanged.
 	Programs []VertexProgram[M]
+	// PartitionPrograms are the per-worker subgraph-centric program
+	// instances, aligned with Owned; nil entries under the vertex model.
+	PartitionPrograms []PartitionProgram[M]
 	// Owned lists each worker's vertices, aligned with Programs.
 	Owned [][]graph.VertexID
 	// Steps are the per-superstep statistics in order.

@@ -51,9 +51,9 @@ func migrationBlob(superstep, worker int) string {
 // state bytes come from Migratable.SnapshotVertex. All integers are
 // little-endian. Returns the blob size for migration-cost accounting.
 func (w *worker[M]) writeMigration(store *cloud.BlobStore, resumeStep int) (n int64, err error) {
-	mig, ok := w.program.(Migratable)
+	mig, ok := w.asMigratable()
 	if !ok {
-		return 0, fmt.Errorf("program %T does not implement core.Migratable", w.program)
+		return 0, fmt.Errorf("program %T does not implement core.Migratable", w.programAny())
 	}
 	span := w.tracer.Start(observe.KindMigrate, w.id, resumeStep)
 	defer func() {
@@ -72,10 +72,11 @@ func (w *worker[M]) writeMigration(store *cloud.BlobStore, resumeStep int) (n in
 		binary.LittleEndian.PutUint64(b[:], v)
 		buf.Write(b[:])
 	}
+	var scratch []byte // one codec buffer reused for every message record
 	writeMsg := func(m M) {
-		enc := w.codec.Append(nil, m)
-		writeU64(uint64(len(enc)))
-		buf.Write(enc)
+		scratch = w.codec.Append(scratch[:0], m)
+		writeU64(uint64(len(scratch)))
+		buf.Write(scratch)
 	}
 	writeU64(uint64(len(w.owned)))
 	var state bytes.Buffer
@@ -244,7 +245,11 @@ func (w *worker[M]) adoptVertex(gid graph.VertexID, halted bool, encMsgs [][]byt
 			w.inboxCurBytes += size
 		}
 	}
-	if err := w.program.(Migratable).RestoreVertex(li, bytes.NewReader(state)); err != nil {
+	mig, ok := w.asMigratable()
+	if !ok {
+		return fmt.Errorf("program %T does not implement core.Migratable", w.programAny())
+	}
+	if err := mig.RestoreVertex(li, bytes.NewReader(state)); err != nil {
 		return fmt.Errorf("vertex %d state restore: %w", gid, err)
 	}
 	return nil

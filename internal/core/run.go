@@ -214,18 +214,19 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 	}
 
 	result := &JobResult[M]{
-		Programs:       make([]VertexProgram[M], len(workers)),
-		Owned:          make([][]graph.VertexID, len(workers)),
-		Steps:          js.steps,
-		WallSeconds:    priorWall + time.Since(start).Seconds(),
-		CostDollars:    priorCost + fabric.CostDollars(),
-		VMSeconds:      priorVMSec + fabric.VMSeconds(),
-		Supersteps:     len(js.steps),
-		Recoveries:     js.recoveries,
-		ScaleEvents:    js.scaleEvents,
-		RecoveryEvents: js.recoveryEvents,
-		Preemptions:    js.preemptions,
-		PreemptSeconds: js.preemptSeconds,
+		Programs:          make([]VertexProgram[M], len(workers)),
+		PartitionPrograms: make([]PartitionProgram[M], len(workers)),
+		Owned:             make([][]graph.VertexID, len(workers)),
+		Steps:             js.steps,
+		WallSeconds:       priorWall + time.Since(start).Seconds(),
+		CostDollars:       priorCost + fabric.CostDollars(),
+		VMSeconds:         priorVMSec + fabric.VMSeconds(),
+		Supersteps:        len(js.steps),
+		Recoveries:        js.recoveries,
+		ScaleEvents:       js.scaleEvents,
+		RecoveryEvents:    js.recoveryEvents,
+		Preemptions:       js.preemptions,
+		PreemptSeconds:    js.preemptSeconds,
 	}
 	if suspended != nil {
 		// Stamp the cumulative totals at suspension time so the resumed run
@@ -238,6 +239,12 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 	}
 	for w := range workers {
 		result.Programs[w] = workers[w].program
+		result.PartitionPrograms[w] = workers[w].partProg
+		if ad, ok := workers[w].partProg.(*vertexAdapter[M]); ok {
+			// Adapted vertex programs surface through Programs so the vertex
+			// model's result extractors work unchanged under -model subgraph.
+			result.Programs[w] = ad.inner
+		}
 		result.Owned[w] = workers[w].owned
 	}
 	for i := range js.steps {
@@ -359,15 +366,15 @@ func runSegment[M any](s *JobSpec[M], js *jobState, fabric *cloud.Fabric,
 		workers[w] = newWorker(s, w, owned[w], perWorkerIndex[w], ep, s.AggregatorOps, ins)
 	}
 	if s.CheckpointEvery > 0 {
-		if _, ok := workers[0].program.(Checkpointable); !ok {
+		if _, ok := workers[0].asCheckpointable(); !ok {
 			closeNet()
-			return nil, nil, fmt.Errorf("core: CheckpointEvery set but program %T does not implement Checkpointable", workers[0].program)
+			return nil, nil, fmt.Errorf("core: CheckpointEvery set but program %T does not implement Checkpointable", workers[0].programAny())
 		}
 	}
 	if s.ElasticController != nil || s.BarrierPreempt != nil {
-		if _, ok := workers[0].program.(Migratable); !ok {
+		if _, ok := workers[0].asMigratable(); !ok {
 			closeNet()
-			return nil, nil, fmt.Errorf("core: live migration enabled (ElasticController or BarrierPreempt) but program %T does not implement Migratable", workers[0].program)
+			return nil, nil, fmt.Errorf("core: live migration enabled (ElasticController or BarrierPreempt) but program %T does not implement Migratable", workers[0].programAny())
 		}
 	}
 	if adopt != nil {

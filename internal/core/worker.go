@@ -142,7 +142,12 @@ type worker[M any] struct {
 	owned         []graph.VertexID
 	globalToLocal []int32
 	halted        []bool
-	program       VertexProgram[M]
+	// Exactly one of program (vertex-centric) and partProg (subgraph-
+	// centric) is non-nil, per the JobSpec; everything below the compute
+	// phase — data plane, combiners, aggregators, checkpointing, recovery,
+	// migration — is shared between the two models.
+	program  VertexProgram[M]
+	partProg PartitionProgram[M]
 
 	// Inboxes. With a combiner every vertex's pending messages collapse to a
 	// single combined slot, so the engine keeps one message + one present
@@ -329,7 +334,11 @@ func newWorker[M any](spec *JobSpec[M], id int, owned []graph.VertexID,
 			&blobSpill{store: spec.CheckpointStore, retry: &w.retry},
 			fmt.Sprintf("seg%02d-w%04d", spec.segment, id))
 	}
-	w.program = spec.NewProgram(id, spec.Graph, owned)
+	if spec.NewPartitionProgram != nil {
+		w.partProg = spec.NewPartitionProgram(id, spec.Graph, owned)
+	} else {
+		w.program = spec.NewProgram(id, spec.Graph, owned)
+	}
 	return w
 }
 
@@ -608,27 +617,36 @@ func (w *worker[M]) runSuperstep(tok *stepToken) {
 	}
 	w.activeBuf = active
 
-	// Parallel compute across cores.
+	// Compute phase. Vertex-centric programs run in parallel across cores;
+	// subgraph-centric programs run one sequential pass over the whole
+	// partition (their local fixpoint IS the parallel work, amortized across
+	// supersteps). The partition program is invoked every superstep, active
+	// set or not: phase machines driven by aggregates need to observe a
+	// convergence superstep in which no vertex received a message.
 	computeSpan := w.tracer.Start(observe.KindCompute, w.id, w.superstep)
-	var wg sync.WaitGroup
-	p := w.parallel
-	if p > len(active) && len(active) > 0 {
-		p = len(active)
+	if w.partProg != nil {
+		w.computePartition(active)
+	} else {
+		var wg sync.WaitGroup
+		p := w.parallel
+		if p > len(active) && len(active) > 0 {
+			p = len(active)
+		}
+		if p < 1 {
+			p = 1
+		}
+		for slot := 0; slot < p; slot++ {
+			lo := len(active) * slot / p
+			hi := len(active) * (slot + 1) / p
+			ctx := w.slotContext(slot)
+			wg.Add(1)
+			go func(ctx *Context[M], vertices []int32) {
+				defer wg.Done()
+				w.computeSlice(ctx, vertices)
+			}(ctx, active[lo:hi])
+		}
+		wg.Wait()
 	}
-	if p < 1 {
-		p = 1
-	}
-	for slot := 0; slot < p; slot++ {
-		lo := len(active) * slot / p
-		hi := len(active) * (slot + 1) / p
-		ctx := w.slotContext(slot)
-		wg.Add(1)
-		go func(ctx *Context[M], vertices []int32) {
-			defer wg.Done()
-			w.computeSlice(ctx, vertices)
-		}(ctx, active[lo:hi])
-	}
-	wg.Wait()
 	if computeSpan.Active() {
 		computeSpan.End(
 			observe.Int("active", int64(len(active))),
@@ -657,11 +675,7 @@ func (w *worker[M]) runSuperstep(tok *stepToken) {
 
 	// Memory accounting: messages held for this step + messages buffered for
 	// the next + program state (paper §IV: buffered messages dominate).
-	var stateBytes int64
-	if sr, ok := w.program.(StateReporter); ok {
-		stateBytes = sr.StateBytes()
-	}
-	peakMem := w.inboxCurBytes + w.inboxNextByts.Load() + stateBytes
+	peakMem := w.inboxCurBytes + w.inboxNextByts.Load() + w.programStateBytes()
 
 	// Swap inboxes for the next superstep.
 	w.swapInboxes()
@@ -798,7 +812,13 @@ func (w *worker[M]) computeSlice(ctx *Context[M], vertices []int32) {
 			w.recycleMsgs(li, msgs)
 		}
 	}
-	// Flush combiner stages into the wire buffers, then enqueue all buffers.
+	w.finishSlot(ctx)
+}
+
+// finishSlot is the compute epilogue shared by both models: flush the slot's
+// combiner stages into wire buffers, enqueue all staged batches, and merge
+// the per-slot counters and aggregator contributions.
+func (w *worker[M]) finishSlot(ctx *Context[M]) {
 	if ctx.combineStage != nil {
 		for dest, stage := range ctx.combineStage {
 			if len(stage) == 0 {
@@ -815,7 +835,6 @@ func (w *worker[M]) computeSlice(ctx *Context[M], vertices []int32) {
 			w.flushSlotBuffer(ctx, dest)
 		}
 	}
-	// Merge per-slot counters.
 	w.statComputeOps.Add(ctx.computeOps)
 	w.statSentLocal.Add(ctx.sentLocal)
 	w.statSentRemote.Add(ctx.sentRemote)

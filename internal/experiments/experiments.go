@@ -151,6 +151,7 @@ func All() []Experiment {
 		{"fig16", "Elastic scaling: time and cost projections (Fig 16)", Fig16},
 		{"fig16live", "Elastic scaling: live resize at superstep barriers (Fig 16, measured)", Fig16Live},
 		{"figconfined", "Confined vs global recovery: duplicated work on worker failure (extension)", FigConfined},
+		{"figsubgraph", "Subgraph-centric vs vertex-centric compute mode (extension)", FigSubgraph},
 		{"ext_buffering", "Extension: disk vs memory buffering under pressure", ExtBuffering},
 		{"ext_partitioners", "Extension: partitioner sweep across datasets and k", ExtPartitioners},
 	}

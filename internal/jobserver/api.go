@@ -22,6 +22,12 @@ type JobRequest struct {
 	Roots int `json:"roots,omitempty"`
 	// Iterations for pagerank/lpa (default 30/10).
 	Iterations int `json:"iterations,omitempty"`
+	// Model selects the programming model: vertex | subgraph (default
+	// vertex). Under subgraph, traversal algorithms (sssp, wcc, bc) run
+	// their partition-centric ports — local convergence between barriers,
+	// boundary-only messages — and the rest run their vertex programs under
+	// the engine's adapter, so results match the vertex model either way.
+	Model string `json:"model,omitempty"`
 	// Swath: none | adaptive | sampling (bc/apsp; default adaptive).
 	Swath string `json:"swath,omitempty"`
 	// Initiate: seq | dynamic | staticN (default dynamic).
@@ -126,6 +132,12 @@ func validate(req *JobRequest) error {
 		} else {
 			req.Iterations = 30
 		}
+	}
+	if req.Model == "" {
+		req.Model = "vertex"
+	}
+	if req.Model != "vertex" && req.Model != "subgraph" {
+		return fmt.Errorf("unknown model %q (want vertex|subgraph)", req.Model)
 	}
 	if req.Swath == "" {
 		req.Swath = "adaptive"

@@ -96,6 +96,9 @@ func executeJob(req JobRequest, h *runHooks) (*Summary, error) {
 		spec := algorithms.PageRank{Iterations: req.Iterations, Damping: 0.85}.Spec(g, req.Workers)
 		spec.Assignment = assign
 		spec.CostModel = model
+		if req.Model == "subgraph" {
+			core.UseVertexAdapter(&spec)
+		}
 		res, err := runSpec(spec, h, elasticCtrl)
 		if err != nil {
 			return nil, err
@@ -104,6 +107,21 @@ func executeJob(req JobRequest, h *runHooks) (*Summary, error) {
 		sum.TopVertices = top(algorithms.Ranks(res, g.NumVertices()), 10)
 		return sum, nil
 	case "bc":
+		if req.Model == "subgraph" {
+			// The subgraph port batches all roots in one AllAtOnce sweep:
+			// its per-root state lives in partition-local maps, so swath
+			// scheduling (a vertex-memory optimization) does not apply.
+			spec := algorithms.BCSubgraph(g, req.Workers, core.FirstNSources(g, req.Roots))
+			spec.Assignment = assign
+			spec.CostModel = model
+			res, err := runSpec(spec, h, elasticCtrl)
+			if err != nil {
+				return nil, err
+			}
+			sum := summarizeResult(req, res)
+			sum.TopVertices = top(algorithms.BCSubgraphScores(res, g.NumVertices()), 10)
+			return sum, nil
+		}
 		sched, err := swathScheduler(g, req, model)
 		if err != nil {
 			return nil, err
@@ -126,6 +144,9 @@ func executeJob(req JobRequest, h *runHooks) (*Summary, error) {
 		spec := algorithms.APSP(g, req.Workers, sched)
 		spec.Assignment = assign
 		spec.CostModel = model
+		if req.Model == "subgraph" {
+			core.UseVertexAdapter(&spec)
+		}
 		res, err := runSpec(spec, h, elasticCtrl)
 		if err != nil {
 			return nil, err
@@ -135,6 +156,9 @@ func executeJob(req JobRequest, h *runHooks) (*Summary, error) {
 		return sum, nil
 	case "sssp":
 		spec := algorithms.SSSP(g, req.Workers, 0)
+		if req.Model == "subgraph" {
+			spec = algorithms.SSSPSubgraph(g, req.Workers, 0)
+		}
 		spec.Assignment = assign
 		spec.CostModel = model
 		res, err := runSpec(spec, h, elasticCtrl)
@@ -144,13 +168,21 @@ func executeJob(req JobRequest, h *runHooks) (*Summary, error) {
 		return summarizeResult(req, res), nil
 	case "wcc":
 		spec := algorithms.WCC(g, req.Workers)
+		if req.Model == "subgraph" {
+			spec = algorithms.WCCSubgraph(g, req.Workers)
+		}
 		spec.Assignment = assign
 		spec.CostModel = model
 		res, err := runSpec(spec, h, elasticCtrl)
 		if err != nil {
 			return nil, err
 		}
-		labels := algorithms.WCCLabels(res, g.NumVertices())
+		var labels []int32
+		if req.Model == "subgraph" {
+			labels = algorithms.WCCSubgraphLabels(res, g.NumVertices())
+		} else {
+			labels = algorithms.WCCLabels(res, g.NumVertices())
+		}
 		comps := map[int32]bool{}
 		for _, l := range labels {
 			comps[l] = true
@@ -162,6 +194,9 @@ func executeJob(req JobRequest, h *runHooks) (*Summary, error) {
 		spec := algorithms.LPA(g, req.Workers, req.Iterations)
 		spec.Assignment = assign
 		spec.CostModel = model
+		if req.Model == "subgraph" {
+			core.UseVertexAdapter(&spec)
+		}
 		res, err := runSpec(spec, h, elasticCtrl)
 		if err != nil {
 			return nil, err

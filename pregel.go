@@ -68,6 +68,12 @@ type (
 	Context[M any] = core.Context[M]
 	// VertexProgram is a user algorithm.
 	VertexProgram[M any] = core.VertexProgram[M]
+	// PartitionProgram is a subgraph-centric user algorithm: it receives
+	// its whole partition each superstep and typically runs to a local
+	// fixpoint before the barrier (JobSpec.NewPartitionProgram).
+	PartitionProgram[M any] = core.PartitionProgram[M]
+	// PartitionContext is the engine API available inside ComputePartition.
+	PartitionContext[M any] = core.PartitionContext[M]
 	// Codec serializes messages.
 	Codec[M any] = core.Codec[M]
 	// Combiner merges same-destination messages.
@@ -312,6 +318,26 @@ func PageRankWith(g *Graph, workers, iterations int, damping float64,
 	}, nil
 }
 
+// PageRankSubgraph runs the default 30-iteration PageRank under the
+// subgraph-centric execution path (UseSubgraphModel): one sequential
+// partition sweep per superstep instead of the parallel per-vertex slots.
+// Ranks agree with PageRank to ULP scale — the adapter changes only the
+// order float sums associate in.
+func PageRankSubgraph(g *Graph, workers int) (*PageRankResult, error) {
+	spec := algorithms.PageRank{Iterations: 30, Damping: 0.85}.Spec(g, workers)
+	core.UseVertexAdapter(&spec)
+	res, err := core.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &PageRankResult{
+		Ranks:  algorithms.Ranks(res, g.NumVertices()),
+		Stats:  res.Steps,
+		SimSec: res.SimSeconds,
+		CostUS: res.CostDollars,
+	}, nil
+}
+
 // BCOptions configures a betweenness-centrality run.
 type BCOptions struct {
 	// Roots is the number of traversal sources (0 = all vertices). The
@@ -440,6 +466,25 @@ func ShortestPaths(g *Graph, workers int, src VertexID) ([]int32, error) {
 	return algorithms.SSSPDistances(res, g.NumVertices()), nil
 }
 
+// ShortestPathsSubgraph is ShortestPaths under the subgraph-centric model:
+// each partition relaxes to a local fixpoint between barriers and only
+// boundary edges generate messages, so supersteps track the partition-hop
+// diameter instead of the vertex-hop diameter. Distances are bit-identical
+// to ShortestPaths.
+func ShortestPathsSubgraph(g *Graph, workers int, src VertexID) ([]int32, error) {
+	res, err := core.Run(algorithms.SSSPSubgraph(g, workers, src))
+	if err != nil {
+		return nil, err
+	}
+	return algorithms.SSSPSubgraphDistances(res, g.NumVertices()), nil
+}
+
+// UseSubgraphModel rewrites a vertex-centric spec in place to run under the
+// subgraph-centric execution path via the engine's adapter: one sequential
+// partition sweep per superstep, same results. Useful for A/B-ing the two
+// models on an unmodified VertexProgram.
+func UseSubgraphModel[M any](spec *JobSpec[M]) { core.UseVertexAdapter(spec) }
+
 // ConnectedComponents labels each vertex with its component's minimum
 // vertex id.
 func ConnectedComponents(g *Graph, workers int) ([]int32, error) {
@@ -448,6 +493,17 @@ func ConnectedComponents(g *Graph, workers int) ([]int32, error) {
 		return nil, err
 	}
 	return algorithms.WCCLabels(res, g.NumVertices()), nil
+}
+
+// ConnectedComponentsSubgraph is ConnectedComponents under the
+// subgraph-centric model (bit-identical labels, far fewer supersteps and
+// boundary messages on high-diameter or well-partitioned graphs).
+func ConnectedComponentsSubgraph(g *Graph, workers int) ([]int32, error) {
+	res, err := core.Run(algorithms.WCCSubgraph(g, workers))
+	if err != nil {
+		return nil, err
+	}
+	return algorithms.WCCSubgraphLabels(res, g.NumVertices()), nil
 }
 
 // Communities runs label-propagation community detection for `rounds`
