@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint vetcheck test-invariants bench bench-smoke bench-compare
+.PHONY: build test race vet lint lint-sarif vetcheck test-invariants bench bench-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,12 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the full static gauntlet: stock go vet, the pregelvet suite
-# (internal/analysis — pool ownership, epoch stamping, transient-error
-# classification, nil-safe observability, lock order, compute determinism),
-# and, when present on PATH, staticcheck and govulncheck. The optional tools
-# are best-effort so the target works in hermetic environments.
+# (internal/analysis — interprocedural pool ownership, context/view escapes,
+# map-iteration determinism, blocking calls and goroutine joins in compute
+# paths, epoch stamping, transient-error classification, nil-safe
+# observability, lock order), and, when present on PATH, staticcheck and
+# govulncheck. The optional tools are best-effort so the target works in
+# hermetic environments.
 lint: vet
 	$(GO) run ./cmd/pregelvet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
@@ -26,11 +28,26 @@ lint: vet
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 	else echo "lint: govulncheck not installed, skipping"; fi
 
+# lint-sarif emits the pregelvet findings as machine-readable artifacts for
+# code-scanning UIs: pregelvet.sarif (SARIF 2.1.0) plus a JSON array on
+# stdout. Exit status still reflects findings, so CI can both gate and
+# upload.
+lint-sarif:
+	$(GO) run ./cmd/pregelvet -json -sarif pregelvet.sarif ./...
+
+# bin/pregelvet is rebuilt only when the analyzer engine or the command
+# itself changed (fixtures under testdata/ are test inputs, not tool
+# sources), so repeated `make vetcheck` runs hit go vet's result cache
+# instead of relinking the tool and invalidating it via a new buildID.
+PREGELVET_SRCS := $(shell find internal/analysis cmd/pregelvet -name '*.go' -not -path '*/testdata/*') go.mod
+bin/pregelvet: $(PREGELVET_SRCS)
+	$(GO) build -o $@ ./cmd/pregelvet
+
 # vetcheck proves the vettool protocol end to end: build the pregelvet
-# binary and drive it through `go vet -vettool`, the way editors and CI
-# integrations consume it.
-vetcheck:
-	$(GO) build -o bin/pregelvet ./cmd/pregelvet
+# binary (if stale) and drive it through `go vet -vettool`, the way editors
+# and CI integrations consume it — this is also the only mode that checks
+# _test.go files, which the in-process loader skips.
+vetcheck: bin/pregelvet
 	$(GO) vet -vettool=$(CURDIR)/bin/pregelvet ./...
 
 # test-invariants compiles in the runtime assertions (double-put canaries in

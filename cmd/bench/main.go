@@ -9,8 +9,9 @@
 //	go run ./cmd/bench -out results.json   # alternate output path
 //	go run ./cmd/bench -compare BENCH_PR7.json -threshold 0.10
 //	                                       # regression gate: exit 1 if any
-//	                                       # benchmark's ns/op or allocs/op
-//	                                       # grew >10% over the baseline file
+//	                                       # benchmark's ns/op, bytes/op, or
+//	                                       # allocs/op grew >10% over the
+//	                                       # baseline file
 //
 // The output file maps label -> suite results; re-running with a different
 // label merges into the existing file, so a before/after pair lives in one
@@ -42,7 +43,7 @@ func main() {
 	samples := flag.Int("samples", 3, "independent samples per benchmark (fastest kept)")
 	compare := flag.String("compare", "", "baseline JSON artifact to gate against (exit 1 on regression)")
 	baseLabel := flag.String("baselabel", "", "label inside -compare file (default: its only label)")
-	threshold := flag.Float64("threshold", 0.10, "allowed relative growth in ns/op and allocs/op")
+	threshold := flag.Float64("threshold", 0.10, "allowed relative growth in ns/op, bytes/op, and allocs/op")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "running %d benchmarks (label %q, best of %d)...\n",

@@ -1,19 +1,30 @@
 // Command pregelvet runs the pregelnet static-analysis suite
-// (internal/analysis): poolleak, epochstamp, transienterr, tracenil,
-// lockorder, nondeterminism.
+// (internal/analysis): poolleak, msglog, epochstamp, transienterr, tracenil,
+// lockorder, nondeterminism, ctxescape, mapiter, blockingcompute, goroleak.
 //
 // It runs in two modes:
 //
 // Standalone, over package patterns (defaults to ./... in the current
 // module):
 //
-//	pregelvet [-analyzers=name,name] [packages]
+//	pregelvet [-analyzers=name,name] [-json] [-sarif=file] [packages]
+//
+// -json prints findings as a JSON array on stdout; -sarif writes a SARIF
+// 2.1.0 log to the given file ("-" for stdout) for code-scanning UIs. Both
+// can be combined with the human-readable output going to stderr.
 //
 // As a vet tool, speaking the cmd/go unit-checking protocol, so findings
 // surface through the standard toolchain entry point:
 //
 //	go build -o pregelvet ./cmd/pregelvet
 //	go vet -vettool=$(pwd)/pregelvet ./...
+//
+// In vet-tool mode the per-package .vetx files carry the facts layer
+// (internal/analysis/facts.go): each unit run merges the serialized
+// summaries of its dependencies, computes its own, and writes the union to
+// VetxOutput, so interprocedural checks (poolleak ownership, transienterr
+// wrapping) see through helpers across package boundaries exactly as the
+// in-process loader does.
 //
 // In both modes diagnostics print as file:line:col: analyzer: message, and
 // the exit status is nonzero iff there are findings (1 standalone, 2 as a
@@ -76,6 +87,8 @@ func standaloneMode(args []string) int {
 	names := fs.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	dir := fs.String("C", ".", "change to `dir` (a directory inside the target module) before loading")
+	jsonOut := fs.Bool("json", false, "print findings as a JSON array on stdout (human output moves to stderr)")
+	sarifOut := fs.String("sarif", "", "write a SARIF 2.1.0 log to `file` (\"-\" for stdout)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: pregelvet [flags] [packages]\n\n")
 		fs.PrintDefaults()
@@ -106,14 +119,46 @@ func standaloneMode(args []string) int {
 		fmt.Fprintln(os.Stderr, "pregelvet:", err)
 		return 1
 	}
-	units, err := analysis.NewLoader(abs).Load(patterns...)
+	loader := analysis.NewLoader(abs)
+	units, err := loader.Load(patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pregelvet:", err)
 		return 1
 	}
-	diags := analysis.RunAnalyzers(units, analyzers)
+	diags := analysis.RunAnalyzers(units, analyzers, loader.Facts)
+
+	human := os.Stdout
+	if *jsonOut {
+		human = os.Stderr
+		if err := analysis.WriteJSON(os.Stdout, diags, abs); err != nil {
+			fmt.Fprintln(os.Stderr, "pregelvet:", err)
+			return 1
+		}
+	}
+	if *sarifOut != "" {
+		w := io.Writer(os.Stdout)
+		var closeFn func() error
+		if *sarifOut != "-" {
+			f, err := os.Create(*sarifOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pregelvet:", err)
+				return 1
+			}
+			w, closeFn = f, f.Close
+		}
+		err := analysis.WriteSARIF(w, diags, analyzers, abs)
+		if closeFn != nil {
+			if cerr := closeFn(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pregelvet:", err)
+			return 1
+		}
+	}
 	for _, d := range diags {
-		fmt.Printf("%s: %s: %s\n", relPos(d.Pos, abs), d.Analyzer, d.Message)
+		fmt.Fprintf(human, "%s: %s: %s\n", relPos(d.Pos, abs), d.Analyzer, d.Message)
 	}
 	if len(diags) > 0 {
 		return 1
@@ -140,6 +185,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	NonGoFiles                []string
 	IgnoredFiles              []string
+	ModulePath                string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
 	Standard                  map[string]bool
@@ -161,28 +207,83 @@ func vetToolMode(cfgPath string) int {
 		return 1
 	}
 
-	// cmd/go reads the "vetx" facts file after every run; pregelvet keeps no
-	// cross-package facts, so an empty file satisfies the protocol.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	// Pool-ownership and error-minting facts only mean something for code
+	// that can reach the module's pool and retry layers: standard-library
+	// units (no ModulePath) get an empty facts file without typechecking,
+	// mirroring the in-process loader's !Standard rule.
+	if cfg.VetxOnly && cfg.ModulePath == "" {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "pregelvet:", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
+	// Facts of every dependency cmd/go has already vetted. Files that do not
+	// exist or hold no pregelvet facts (other tools' output, legacy empty
+	// files) merge as nothing.
+	facts := analysis.NewFactSet()
+	for _, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		if err := facts.Merge(data); err != nil {
+			fmt.Fprintf(os.Stderr, "pregelvet: reading facts %s: %v\n", vetxFile, err)
+			return 1
+		}
+	}
+
+	unit, status := typecheckUnit(&cfg)
+	if unit != nil && cfg.ModulePath != "" {
+		facts.AddUnit(unit)
+	}
+	// cmd/go reads the vetx file after every successful run, including
+	// VetxOnly dependency passes — this is how facts reach dependents.
+	if cfg.VetxOutput != "" && (unit != nil || status == 0) {
+		encoded, err := facts.Encode()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "pregelvet:", err)
 			return 1
 		}
+		if err := os.WriteFile(cfg.VetxOutput, encoded, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "pregelvet:", err)
+			return 1
+		}
+	}
+	if unit == nil {
+		return status
 	}
 	if cfg.VetxOnly {
 		return 0 // dependency pass: facts only, no diagnostics wanted
 	}
 
+	diags := analysis.RunAnalyzers([]*analysis.Unit{unit}, analysis.All, facts)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheckUnit parses and typechecks the unit described by cfg against its
+// dependencies' export data. On failure it returns a nil unit and the exit
+// status the protocol wants (0 when cfg says typecheck failures succeed).
+func typecheckUnit(cfg *vetConfig) (*analysis.Unit, int) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return nil, 0
 			}
 			fmt.Fprintln(os.Stderr, "pregelvet:", err)
-			return 1
+			return nil, 1
 		}
 		files = append(files, f)
 	}
@@ -219,28 +320,20 @@ func vetToolMode(cfgPath string) int {
 	pkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
 	if typeErr != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return nil, 0
 		}
 		fmt.Fprintf(os.Stderr, "pregelvet: typechecking %s: %v\n", cfg.ImportPath, typeErr)
-		return 1
+		return nil, 1
 	}
 
-	unit := &analysis.Unit{
+	return &analysis.Unit{
 		ImportPath: cfg.ImportPath,
 		Dir:        cfg.Dir,
 		Fset:       fset,
 		Files:      files,
 		Pkg:        pkg,
 		Info:       info,
-	}
-	diags := analysis.RunAnalyzers([]*analysis.Unit{unit}, analysis.All)
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
-	}
-	if len(diags) > 0 {
-		return 2
-	}
-	return 0
+	}, 0
 }
 
 type importerFunc func(string) (*types.Package, error)

@@ -3,6 +3,7 @@ package algorithms
 import (
 	"encoding/binary"
 	"math"
+	"sort"
 	"sync/atomic"
 
 	"pregelnet/internal/core"
@@ -171,8 +172,19 @@ func (p *bcProgram) Compute(ctx *core.Context[BCMsg], msgs []BCMsg) {
 		}
 	}
 
+	// Drain the per-root state in sorted root order: map iteration order
+	// varies run to run, and both loops below send messages and accumulate
+	// floating-point scores, so replay after recovery must walk the roots
+	// in the same order the original run did.
+	roots := make([]uint32, 0, len(states))
+	for root := range states {
+		roots = append(roots, root)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+
 	// Newly discovered traversals forward their sigma down the tree.
-	for root, st := range states {
+	for _, root := range roots {
+		st := states[root]
 		if st.discovered == step {
 			fwd := BCMsg{Root: root, Kind: bcForward, From: self, Aux: uint32(st.dist + 1), Value: st.sigma}
 			ctx.SendToNeighbors(fwd)
@@ -181,7 +193,8 @@ func (p *bcProgram) Compute(ctx *core.Context[BCMsg], msgs []BCMsg) {
 
 	// Fire completed traversals: successor count is final two supersteps
 	// after discovery, and every successor has contributed back.
-	for root, st := range states {
+	for _, root := range roots {
+		st := states[root]
 		if step >= st.discovered+2 && st.back == st.succ {
 			if st.dist > 0 {
 				p.scores[li] += st.delta

@@ -61,6 +61,9 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts holds the per-function summaries of this package and everything
+	// it imports (see facts.go), letting analyzers see through helper calls.
+	Facts *FactSet
 
 	diags   *[]Diagnostic
 	ignores map[int][]string // file-base-offset line -> suppressed analyzer names
@@ -138,6 +141,49 @@ func collectIgnores(fset *token.FileSet, f *ast.File, into map[int][]string) {
 	}
 }
 
+// checkAllowDirectives reports //pregelvet:allow directives that name one of
+// the analyzers being run but carry no reason string. An allow is a standing
+// exemption from an engine invariant; the reason is the review trail that
+// keeps exemptions honest (and greppable) as the code around them changes.
+func checkAllowDirectives(u *Unit, names map[string]bool, diags *[]Diagnostic) {
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "pregelvet:allow") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "pregelvet:allow"))
+				name, reason := rest, ""
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					name, reason = rest[:i], strings.TrimSpace(rest[i+1:])
+				}
+				// An embedded // starts trailing commentary (fixture want
+				// annotations), not a reason.
+				if i := strings.Index(reason, "//"); i >= 0 {
+					reason = strings.TrimSpace(reason[:i])
+				}
+				if !names[name] || reason != "" {
+					continue
+				}
+				*diags = append(*diags, Diagnostic{
+					Pos:      u.Fset.Position(c.Pos()),
+					Analyzer: name,
+					Message: fmt.Sprintf("bare //pregelvet:allow %s: a reason string is required"+
+						" (say what makes this use safe)", name),
+				})
+			}
+		}
+	}
+}
+
+// hasAllow reports whether a doc comment carries //pregelvet:allow <name>
+// (with or without a trailing reason; bare allows are separately flagged by
+// checkAllowDirectives).
+func hasAllow(doc *ast.CommentGroup, name string) bool {
+	return hasDirective(doc, "pregelvet:allow "+name)
+}
+
 // All is the full pregelvet suite, in reporting order.
 var All = []*Analyzer{
 	PoolLeak,
@@ -147,6 +193,10 @@ var All = []*Analyzer{
 	TraceNil,
 	LockOrder,
 	NonDeterminism,
+	CtxEscape,
+	MapIter,
+	BlockingCompute,
+	GoroLeak,
 }
 
 // ByName returns the analyzers with the given comma-separated names.
@@ -167,14 +217,29 @@ next:
 }
 
 // RunAnalyzers applies each analyzer to each unit and returns all
-// diagnostics sorted by file position.
-func RunAnalyzers(units []*Unit, analyzers []*Analyzer) []Diagnostic {
+// diagnostics sorted by file position. facts carries the per-function
+// summaries for the units and their dependencies (Loader.Facts for loader
+// runs, the merged .vetx sets in vet-tool mode); nil computes facts from the
+// units alone, which is correct only when they close over their module-local
+// call graph in dependency order.
+func RunAnalyzers(units []*Unit, analyzers []*Analyzer, facts *FactSet) []Diagnostic {
+	if facts == nil {
+		facts = NewFactSet()
+		for _, u := range units {
+			facts.AddUnit(u)
+		}
+	}
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
 	var diags []Diagnostic
 	for _, u := range units {
 		ignores := make(map[int][]string)
 		for _, f := range u.Files {
 			collectIgnores(u.Fset, f, ignores)
 		}
+		checkAllowDirectives(u, names, &diags)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -182,6 +247,7 @@ func RunAnalyzers(units []*Unit, analyzers []*Analyzer) []Diagnostic {
 				Files:     u.Files,
 				Pkg:       u.Pkg,
 				TypesInfo: u.Info,
+				Facts:     facts,
 				diags:     &diags,
 				ignores:   ignores,
 			}

@@ -54,6 +54,11 @@ func TestTraceNil(t *testing.T)     { runFixtureTest(t, TraceNil, "tracenil") }
 
 func TestLockOrder(t *testing.T) { runFixtureTest(t, LockOrder, "lockorder") }
 
+func TestCtxEscape(t *testing.T)       { runFixtureTest(t, CtxEscape, "ctxescape") }
+func TestMapIter(t *testing.T)         { runFixtureTest(t, MapIter, "mapiter") }
+func TestBlockingCompute(t *testing.T) { runFixtureTest(t, BlockingCompute, "blockingcompute") }
+func TestGoroLeak(t *testing.T)        { runFixtureTest(t, GoroLeak, "goroleak") }
+
 func TestNonDeterminism(t *testing.T) {
 	runFixtureTest(t, NonDeterminism, "nondeterminism")
 }

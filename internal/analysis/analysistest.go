@@ -98,7 +98,10 @@ func RunFixture(l *Loader, a *Analyzer, fixtureDir string) (*FixtureResult, erro
 	if err != nil {
 		return nil, err
 	}
-	diags := RunAnalyzers([]*Unit{unit}, []*Analyzer{a})
+	// l.Facts already covers the stubs (TypecheckFiles summarizes each
+	// package as it loads) and the fixture itself, so cross-package fact
+	// propagation is exercised exactly as in a module run.
+	diags := RunAnalyzers([]*Unit{unit}, []*Analyzer{a}, l.Facts)
 	return matchWants(l, fixtureFiles, diags)
 }
 

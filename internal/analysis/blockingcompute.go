@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BlockingCompute keeps superstep compute paths non-blocking. The BSP
+// barrier waits for the slowest vertex: one Compute call that sleeps, does
+// raw network or substrate I/O, or parks on an unpaired channel stalls the
+// whole superstep across every worker — the pathology the paper's
+// stragglers analysis attributes most variance to on shared public-cloud
+// tenancy. I/O belongs in the engine's pipelined send/receive layers, not
+// in vertex programs. Flagged inside compute paths (see computePathFuncs):
+//
+//   - time.Sleep,
+//   - direct net/* calls and os file I/O,
+//   - calls into the cloud substrate package that can touch the network
+//     (those returning an error; pure helpers like IsTransient pass),
+//   - sync.WaitGroup.Wait with no goroutines launched in the same function
+//     (waiting on work you did not start is unbounded), and
+//   - channel operations — send, receive, range — in a function that
+//     launches no goroutines, unless inside a select with a default clause.
+//
+// A function that launches its own goroutines is allowed channel/WaitGroup
+// joins (goroleak checks they exist); the bound is then the local work it
+// spawned. Deliberate blocking is opted out with //pregelvet:allow
+// blockingcompute <reason> on the function, or per line with
+// //pregelvet:ignore blockingcompute.
+var BlockingCompute = &Analyzer{
+	Name: "blockingcompute",
+	Doc:  "no sleeps, raw I/O, or unpaired channel/WaitGroup blocking in superstep compute paths",
+	Run:  runBlockingCompute,
+}
+
+func runBlockingCompute(pass *Pass) {
+	info := pass.TypesInfo
+	for _, fd := range computePathFuncs(pass) {
+		if hasAllow(fd.Doc, "blockingcompute") {
+			continue
+		}
+		hasGo := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.GoStmt); ok {
+				hasGo = true
+			}
+			return true
+		})
+		parents := parentMap(fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkBlockingCall(pass, info, n, hasGo)
+			case *ast.SendStmt:
+				if !hasGo && !inSelectWithDefault(n, parents) {
+					pass.Reportf(n.Pos(),
+						"channel send in a compute path with no local goroutines can park the vertex and stall the superstep barrier; move cross-goroutine traffic into the engine's send pipeline")
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !hasGo && !inSelectWithDefault(n, parents) {
+					pass.Reportf(n.Pos(),
+						"channel receive in a compute path with no local goroutines can park the vertex and stall the superstep barrier; compute inputs arrive via ctx.Messages, not channels")
+				}
+			case *ast.RangeStmt:
+				if hasGo {
+					return true
+				}
+				if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+					if _, isCh := tv.Type.Underlying().(*types.Chan); isCh {
+						pass.Reportf(n.Pos(),
+							"range over a channel in a compute path blocks until the channel closes, stalling the superstep barrier")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkBlockingCall(pass *Pass, info *types.Info, call *ast.CallExpr, hasGo bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg := fn.Pkg().Path()
+	switch {
+	case pkg == "time" && fn.Name() == "Sleep":
+		pass.Reportf(call.Pos(),
+			"time.Sleep in a compute path stalls every worker at the superstep barrier (the BSP bound is the slowest vertex); backoff belongs in the engine's retry layer")
+	case fn.Name() == "Wait" && recvNamed(fn, "sync", "WaitGroup"):
+		if !hasGo {
+			pass.Reportf(call.Pos(),
+				"sync.WaitGroup.Wait in a compute path that launches no goroutines waits on work this function did not start; the superstep barrier is unbounded by it")
+		}
+	case pkg == "net" || strings.HasPrefix(pkg, "net/"):
+		pass.Reportf(call.Pos(),
+			"raw network I/O (%s.%s) in a compute path blocks the superstep on an unbounded remote; route data through the engine's pipelined transport", pkg, fn.Name())
+	case pkg == "os" || pkg == "io/ioutil":
+		pass.Reportf(call.Pos(),
+			"file I/O (%s.%s) in a compute path blocks the superstep on the disk; graph and message state must come from the engine", pkg, fn.Name())
+	case pkgHasSuffix(fn.Pkg(), "cloud") && returnsError(fn):
+		pass.Reportf(call.Pos(),
+			"cloud substrate call %s.%s in a compute path does network I/O inside the superstep; the engine owns all substrate traffic (blob, queue, retry)", fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// returnsError reports whether fn's last result is the error interface —
+// the shape of the substrate's I/O entry points, as opposed to its pure
+// classification helpers.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// inSelectWithDefault reports whether n sits in the comm clause of a select
+// that has a default clause (and therefore never blocks).
+func inSelectWithDefault(n ast.Node, parents map[ast.Node]ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		sel, ok := p.(*ast.SelectStmt)
+		if !ok {
+			continue
+		}
+		for _, clause := range sel.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxEscape enforces the borrow discipline on engine-owned compute state.
+// The engine hands vertex programs a core.Context (and partition programs a
+// core.PartitionContext) that is valid only for the duration of the call:
+// contexts are pooled per worker and re-armed for the next vertex, and the
+// views they expose — Messages slices, Neighbors adjacency, Active lists,
+// and the payload views MessageLog.Replay passes to its callback — alias
+// engine buffers that are recycled as soon as the call returns. A program
+// that stashes any of these sees them mutate under it (or corrupts the next
+// vertex's state) one superstep later, a bug that only reproduces under
+// specific scheduling. Flagged escapes:
+//
+//   - storing a context or view in a struct field or package-level variable
+//     (including through index/composite-literal chains),
+//   - sending one on a channel, and
+//   - capturing one in a goroutine (go statement), directly or via closure.
+//
+// Passing a borrow down the call stack, returning it to the caller (whose
+// own frame is equally checked), ranging over a view, and reading elements
+// are all fine — the value never outlives the compute call. Deliberate
+// retention (e.g. a test harness that owns the engine) is opted out with
+// //pregelvet:allow ctxescape <reason> on the function, or per line with
+// //pregelvet:ignore ctxescape.
+var CtxEscape = &Analyzer{
+	Name: "ctxescape",
+	Doc:  "compute contexts and engine-owned views must not outlive the call that borrowed them",
+	Run:  runCtxEscape,
+}
+
+// ctxRoot is one tracked borrowed value within a function.
+type ctxRoot struct {
+	obj  types.Object
+	what string // human label for reports
+}
+
+func runCtxEscape(pass *Pass) {
+	if pkgHasSuffix(pass.Pkg, "core") {
+		return // the engine mints the contexts; it owns their lifetime
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasAllow(fd.Doc, "ctxescape") {
+				continue
+			}
+			checkCtxEscape(pass, fd)
+		}
+	}
+}
+
+// isContextType reports whether t is (a pointer to) one of the engine's
+// per-call compute contexts.
+func isContextType(t types.Type) bool {
+	return namedIn(t, "core", "Context") || namedIn(t, "core", "PartitionContext")
+}
+
+// isViewCall reports whether call returns an engine-owned view: Messages,
+// Neighbors, or Active on a context receiver.
+func isViewCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Messages", "Neighbors", "Active":
+	default:
+		return "", false
+	}
+	if !recvNamedContext(fn) {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+func recvNamedContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && isContextType(sig.Recv().Type())
+}
+
+func checkCtxEscape(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var roots []ctxRoot
+	seen := make(map[types.Object]bool)
+	track := func(obj types.Object, what string) {
+		if obj != nil && !seen[obj] {
+			seen[obj] = true
+			roots = append(roots, ctxRoot{obj: obj, what: what})
+		}
+	}
+	// Contexts: every variable in the declaration (parameters, locals,
+	// literal parameters) typed as a compute context.
+	ast.Inspect(fd, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := objOfIdent(info, id)
+		if v, ok := obj.(*types.Var); ok && isContextType(v.Type()) {
+			track(obj, "a compute context")
+		}
+		return true
+	})
+	// Views: locals bound from Messages/Neighbors/Active, and the payload
+	// parameters of MessageLog.Replay callbacks.
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := isViewCall(info, call)
+			if !ok {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					track(objOfIdent(info, id), "a "+name+" view")
+				}
+			}
+		case *ast.CallExpr:
+			if !isReplayCall(info, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					for _, p := range payloadParams(info, lit) {
+						track(p, "a Replay payload view")
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(roots) == 0 {
+		return
+	}
+	parents := parentMap(fd)
+	for _, root := range roots {
+		for _, use := range usesOf(fd.Body, info, root.obj) {
+			if info.Defs[use] != nil {
+				continue // the defining occurrence, not a use
+			}
+			reportCtxEscape(pass, use, root, parents)
+		}
+	}
+}
+
+// reportCtxEscape walks outward from one use of a borrowed value and flags
+// it if the enclosing construct lets the value outlive the compute call.
+func reportCtxEscape(pass *Pass, use *ast.Ident, root ctxRoot, parents map[ast.Node]ast.Node) {
+	info := pass.TypesInfo
+	escape := func(how string) {
+		pass.Reportf(use.Pos(),
+			"%s (%s, engine-owned and valid only during this call) %s; the engine recycles it after the call, so copy the data instead",
+			root.obj.Name(), root.what, how)
+	}
+	chain := ancestorPath(use, parents)
+	child := ast.Node(use)
+	inCall := false // the borrow was consumed as a call argument/receiver
+	for i := 0; i < len(chain); i++ {
+		p := chain[i]
+		switch pn := p.(type) {
+		case *ast.GoStmt:
+			escape("is captured by a goroutine launched here")
+			return
+		case *ast.DeferStmt:
+			return // deferred code runs before the frame returns
+		case *ast.CallExpr:
+			// append(dst, v...) carries the reference into dst; every other
+			// call consumes the borrow (passing it down the stack is fine)
+			// and yields an unrelated result.
+			if id, ok := ast.Unparen(pn.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+					break
+				}
+			}
+			inCall = true
+		case *ast.FuncLit:
+			// A closure capturing the borrow escapes with it: keep walking to
+			// see what happens to the closure.
+			inCall = false
+		case *ast.KeyValueExpr, *ast.CompositeLit, *ast.UnaryExpr,
+			*ast.SliceExpr, *ast.StarExpr, *ast.ParenExpr, *ast.SelectorExpr:
+			// Carriers: the enclosing value still references the borrow.
+		case *ast.IndexExpr:
+			return // element reads copy the element; views hold value types
+		case *ast.BinaryExpr:
+			return // comparisons/arithmetic yield fresh values
+		case *ast.AssignStmt:
+			if inCall {
+				return // the assigned value is a call result, not the borrow
+			}
+			rhsIdx := -1
+			for j, r := range pn.Rhs {
+				if containsNode(r, child) {
+					rhsIdx = j
+				}
+			}
+			if rhsIdx < 0 {
+				return // use sits on the left-hand side (e.g. reslicing a view)
+			}
+			targets := pn.Lhs
+			if len(pn.Lhs) == len(pn.Rhs) {
+				targets = pn.Lhs[rhsIdx : rhsIdx+1]
+			}
+			for _, lhs := range targets {
+				if kind := storeTargetKind(info, lhs); kind != "" {
+					escape("is stored in " + kind)
+					return
+				}
+			}
+			return
+		case *ast.SendStmt:
+			if !inCall && containsNode(pn.Value, child) {
+				escape("is sent on a channel")
+			}
+			return
+		case ast.Stmt:
+			// Expression consumed in place (condition, range, return, ...) —
+			// unless the statement sits inside a function literal, in which
+			// case the interesting question is what happens to the closure.
+			lit := -1
+			for j := i + 1; j < len(chain); j++ {
+				if _, ok := chain[j].(*ast.FuncLit); ok {
+					lit = j
+					break
+				}
+			}
+			if lit < 0 {
+				return
+			}
+			i = lit - 1 // loop increment lands on the FuncLit
+			child = chain[lit]
+			continue
+		}
+		child = p
+	}
+}
+
+// storeTargetKind classifies an assignment target that extends lifetime
+// beyond the current call: struct fields and package-level variables,
+// including through index and dereference chains. Returns "" for locals.
+func storeTargetKind(info *types.Info, lhs ast.Expr) string {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				return "a struct field"
+			}
+			if v, ok := objOfIdent(info, e.Sel).(*types.Var); ok &&
+				v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return "a package-level variable"
+			}
+			return ""
+		case *ast.Ident:
+			if v, ok := objOfIdent(info, e).(*types.Var); ok &&
+				v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return "a package-level variable"
+			}
+			return ""
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,658 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Facts layer. PR 4's analyzers were intraprocedural: any helper call was a
+// trust boundary (poolleak treated every call argument as an ownership
+// transfer; transienterr required a directive on every frame). This file
+// adds go/analysis-style exported facts: a per-function summary computed
+// once per package, in dependency order, and consulted at call sites by the
+// analyzers. In-process runs (the self-test, cmd/pregelvet standalone, the
+// fixture harness) accumulate facts in the Loader as packages typecheck; the
+// `go vet -vettool` protocol serializes them as JSON into the .vetx facts
+// file cmd/go stores alongside export data, so cross-package facts survive
+// the one-process-per-package unit-checking model.
+//
+// Three families of facts are computed:
+//
+//   - pooled-parameter ownership: for each parameter that could hold pooled
+//     transport memory ([]byte payloads, *transport.Batch), whether the
+//     function reads it (ownership stays with the caller), consumes it
+//     (releases or transfers it on every path), or drops it (releases on
+//     some paths only — the caller can neither Put nor not-Put safely);
+//   - pooled returns: whether the function's first result is pool-acquired
+//     memory the caller now owns (a GetPayload/GetBatch wrapper); and
+//   - error minting: whether any return path produces a fresh unwrapped
+//     error (errors.New, fmt.Errorf without %w, or transitively a call to a
+//     minting function), which transienterr flags on retry paths.
+
+// Pooled-parameter ownership classifications. The zero value (ParamUnknown)
+// means "no fact": the parameter is not a poolable type, or the function
+// body was not available.
+const (
+	ParamUnknown  = ""         // no fact computed
+	ParamReads    = "reads"    // pure view: never released, stored, or passed on
+	ParamConsumes = "consumes" // released or ownership-transferred on every path
+	ParamDrops    = "drops"    // released/transferred on some paths, dropped on others
+)
+
+// FuncFact is the exported summary of one function or method.
+type FuncFact struct {
+	// Params classifies each parameter's treatment of pooled memory
+	// (ParamReads/ParamConsumes/ParamDrops, "" for non-poolable types).
+	// Variadic and multi-name fields expand positionally.
+	Params []string `json:"params,omitempty"`
+	// DropPos is parallel to Params: for a ParamDrops entry, the position
+	// ("file:line") of the exit that abandons the value.
+	DropPos []string `json:"drop_pos,omitempty"`
+	// ReturnsPooled marks functions whose first result is pool-acquired
+	// memory: callers own it and must release or transfer it.
+	ReturnsPooled bool `json:"returns_pooled,omitempty"`
+	// MintsError marks functions with an error result minted fresh and
+	// unwrapped on some return path (no %w, no //pregelvet:terminal).
+	MintsError bool `json:"mints_error,omitempty"`
+	// MintPos is the position of the first minting return, for diagnostics.
+	MintPos string `json:"mint_pos,omitempty"`
+}
+
+func (f *FuncFact) paramFact(i int) string {
+	if f == nil || i < 0 || i >= len(f.Params) {
+		return ParamUnknown
+	}
+	return f.Params[i]
+}
+
+func (f *FuncFact) dropPos(i int) string {
+	if f == nil || i < 0 || i >= len(f.DropPos) {
+		return ""
+	}
+	return f.DropPos[i]
+}
+
+// A FactSet holds per-function facts keyed by types.Func full name
+// (pkgpath.Func or (pkgpath.Recv).Method), the one spelling that is stable
+// between from-source loads and export-data loads.
+type FactSet struct {
+	funcs map[string]*FuncFact
+
+	// inProgress guards mutually recursive fact computation within a
+	// package: a cycle falls back to "no fact" (trust the call).
+	inProgress map[string]bool
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet {
+	return &FactSet{
+		funcs:      make(map[string]*FuncFact),
+		inProgress: make(map[string]bool),
+	}
+}
+
+// Of returns the fact for fn, or nil when none was computed (external
+// function, interface method, or cycle).
+func (s *FactSet) Of(fn *types.Func) *FuncFact {
+	if s == nil || fn == nil {
+		return nil
+	}
+	return s.funcs[fn.FullName()]
+}
+
+// Len reports the number of functions with facts, for tests and telemetry.
+func (s *FactSet) Len() int { return len(s.funcs) }
+
+// Encode serializes the fact set as JSON (the .vetx payload).
+func (s *FactSet) Encode() ([]byte, error) {
+	return json.Marshal(s.funcs)
+}
+
+// Merge decodes a serialized fact set (a dependency's .vetx file) into s.
+// Empty input — including the zero-length files pre-facts pregelvet wrote —
+// merges as nothing.
+func (s *FactSet) Merge(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	m := make(map[string]*FuncFact)
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("decoding facts: %w", err)
+	}
+	for k, v := range m {
+		s.funcs[k] = v
+	}
+	return nil
+}
+
+// AddUnit computes facts for every function declared in the unit. Units must
+// be added in dependency order (the order Loader.Load yields them) so callee
+// facts are present when callers are summarized; within the unit, calls into
+// not-yet-summarized siblings recurse on demand.
+func (s *FactSet) AddUnit(u *Unit) {
+	fc := &factComputer{unit: u, set: s, decls: make(map[*types.Func]*ast.FuncDecl)}
+	for _, f := range u.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := u.Info.Defs[fd.Name].(*types.Func); ok {
+				fc.decls[fn] = fd
+			}
+		}
+	}
+	for fn := range fc.decls {
+		fc.factFor(fn)
+	}
+}
+
+// factComputer summarizes one unit's functions into a FactSet.
+type factComputer struct {
+	unit  *Unit
+	set   *FactSet
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// factFor returns fn's fact, computing it on demand when fn is declared in
+// this unit. Recursion cycles yield nil (no fact).
+func (fc *factComputer) factFor(fn *types.Func) *FuncFact {
+	if fn == nil {
+		return nil
+	}
+	key := fn.FullName()
+	if f, ok := fc.set.funcs[key]; ok {
+		return f
+	}
+	fd, local := fc.decls[fn]
+	if !local || fc.set.inProgress[key] {
+		return fc.set.funcs[key]
+	}
+	fc.set.inProgress[key] = true
+	fact := fc.compute(fn, fd)
+	delete(fc.set.inProgress, key)
+	fc.set.funcs[key] = fact
+	return fact
+}
+
+func (fc *factComputer) compute(fn *types.Func, fd *ast.FuncDecl) *FuncFact {
+	fact := &FuncFact{}
+	info := fc.unit.Info
+	sig, _ := fn.Type().(*types.Signature)
+
+	// Pooled-parameter ownership.
+	params := flattenParamsInfo(info, fd)
+	var facts, drops []string
+	any := false
+	for _, p := range params {
+		if p == nil || !isPoolableType(p.Type()) {
+			facts = append(facts, ParamUnknown)
+			drops = append(drops, "")
+			continue
+		}
+		kind, pos := fc.classifyParam(fd, p)
+		facts = append(facts, kind)
+		drops = append(drops, pos)
+		if kind != ParamUnknown {
+			any = true
+		}
+	}
+	if any {
+		fact.Params = facts
+		fact.DropPos = drops
+	}
+
+	// Pooled returns.
+	if sig != nil && sig.Results().Len() > 0 && isPoolableType(sig.Results().At(0).Type()) {
+		fact.ReturnsPooled = fc.returnsPooled(fd)
+	}
+
+	// Error minting.
+	if sig != nil && sig.Results().Len() > 0 {
+		last := sig.Results().At(sig.Results().Len() - 1)
+		if types.Identical(last.Type(), types.Universe.Lookup("error").Type()) {
+			fact.MintsError, fact.MintPos = fc.mintsError(fd, sig.Results().Len())
+		}
+	}
+	return fact
+}
+
+// flattenParamsInfo expands a declaration's parameter fields positionally
+// into their objects (nil for unnamed/underscore parameters), so fact
+// indexes line up with call-argument positions.
+func flattenParamsInfo(info *types.Info, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			v, _ := info.Defs[name].(*types.Var)
+			if name.Name == "_" {
+				v = nil
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// isPoolableType reports whether t could hold pooled transport memory: a
+// byte slice (payload) or a transport.Batch (by pointer or value).
+func isPoolableType(t types.Type) bool {
+	if namedIn(t, "transport", "Batch") {
+		return true
+	}
+	if slice, ok := t.Underlying().(*types.Slice); ok {
+		if basic, ok := slice.Elem().(*types.Basic); ok && basic.Kind() == types.Byte {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyParam decides how fd treats parameter p were it pooled memory:
+// reads (never moves it), consumes (releases or transfers on every path), or
+// drops (some exit abandons it). The second result positions the dropping
+// exit for diagnostics.
+func (fc *factComputer) classifyParam(fd *ast.FuncDecl, p *types.Var) (string, string) {
+	info := fc.unit.Info
+	uses := usesOf(fd.Body, info, p)
+	if len(uses) == 0 {
+		return ParamReads, "" // untouched: ownership plainly stays with the caller
+	}
+	parents := parentMap(fd.Body)
+	var moves []*ast.Ident // releases and transfers
+	for _, use := range uses {
+		kind, _, _ := classifyPooledUse(info, use, parents, fc)
+		switch kind {
+		case useRelease, useTransfer:
+			moves = append(moves, use)
+		case useDropCall:
+			// Forwarding to a function that drops makes this one a dropper.
+			return ParamDrops, fc.unit.Fset.Position(use.Pos()).String()
+		}
+	}
+	if len(moves) == 0 {
+		return ParamReads, ""
+	}
+	// Every exit (explicit returns plus falling off the end) must be
+	// dominated by a move.
+	var exits []ast.Node
+	inspectSkipFuncLit(fd.Body, func(n ast.Node) {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			exits = append(exits, r)
+		}
+	})
+	if fallsThrough(fd.Body) {
+		exits = append(exits, fallThroughExit{fd.Body})
+	}
+	for _, exit := range exits {
+		if dominatedByMove(exit, moves, parents) {
+			continue
+		}
+		// A return that hands the value back to the caller moves ownership
+		// there; classifyPooledUse already counted it as a transfer, and the
+		// domination check above accepts it (same position). Anything else
+		// is a drop.
+		return ParamDrops, fc.unit.Fset.Position(exit.Pos()).String()
+	}
+	return ParamConsumes, ""
+}
+
+// fallThroughExit marks the implicit return at the end of a body whose last
+// statement does not terminate.
+type fallThroughExit struct{ body *ast.BlockStmt }
+
+func (f fallThroughExit) Pos() token.Pos { return f.body.End() }
+func (f fallThroughExit) End() token.Pos { return f.body.End() }
+
+// fallsThrough reports whether control can reach the closing brace of body:
+// the last statement is not a return or an obviously terminating statement.
+func fallsThrough(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return true
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return false
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return false
+			}
+		}
+	case *ast.ForStmt:
+		if last.Cond == nil { // for {} without break analysis: assume no fallthrough
+			return false
+		}
+	}
+	return true
+}
+
+// dominatedByMove reports whether some move precedes exit without branch
+// divergence. A move inside exit itself (return b) counts.
+func dominatedByMove(exit ast.Node, moves []*ast.Ident, parents map[ast.Node]ast.Node) bool {
+	for _, m := range moves {
+		if _, implicit := exit.(fallThroughExit); implicit {
+			// Falling off the end is dominated only by an unconditional move.
+			if m.Pos() < exit.Pos() && unconditionalIn(m, parents) {
+				return true
+			}
+			continue
+		}
+		if m.Pos() <= exit.End() && !branchDiverged(m, exit, parents) {
+			return true
+		}
+	}
+	return false
+}
+
+// unconditionalIn reports whether n executes on every pass through its
+// function body: no branch, loop, or closure on its ancestor chain.
+func unconditionalIn(n ast.Node, parents map[ast.Node]ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		switch p.(type) {
+		case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt,
+			*ast.CaseClause, *ast.CommClause, *ast.ForStmt, *ast.RangeStmt,
+			*ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		}
+	}
+	return true
+}
+
+// returnsPooled reports whether fd returns pool-acquired memory in result
+// position 0 on every non-nil return path.
+func (fc *factComputer) returnsPooled(fd *ast.FuncDecl) bool {
+	info := fc.unit.Info
+	// Locals that ever hold a pool acquisition.
+	pooled := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) && len(as.Rhs) != 1 {
+				continue
+			}
+			rhs := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			}
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if fc.isAcquireCall(call) && i == 0 {
+				if obj := objOfIdent(info, id); obj != nil {
+					pooled[obj] = true
+				}
+			}
+			// buf = append(buf, ...) keeps the pooled origin.
+			if fn := calleeFunc(info, call); fn == nil {
+				if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "append" && len(call.Args) > 0 {
+					if src, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+						if srcObj := objOfIdent(info, src); srcObj != nil && pooled[srcObj] {
+							if obj := objOfIdent(info, id); obj != nil {
+								pooled[obj] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	sawPooledReturn := false
+	clean := true
+	inspectSkipFuncLit(fd.Body, func(n ast.Node) {
+		r, ok := n.(*ast.ReturnStmt)
+		if !ok || len(r.Results) == 0 {
+			return
+		}
+		res := ast.Unparen(r.Results[0])
+		switch e := res.(type) {
+		case *ast.Ident:
+			if e.Name == "nil" {
+				return
+			}
+			if obj := objOfIdent(info, e); obj != nil && pooled[obj] {
+				sawPooledReturn = true
+				return
+			}
+		case *ast.CallExpr:
+			if fc.isAcquireCall(e) {
+				sawPooledReturn = true
+				return
+			}
+		}
+		clean = false
+	})
+	return sawPooledReturn && clean
+}
+
+// isAcquireCall reports whether call yields pool-owned memory: the pool
+// getters, transport batch reads, or a callee whose fact says ReturnsPooled.
+func (fc *factComputer) isAcquireCall(call *ast.CallExpr) bool {
+	if isPoolAcquire(fc.unit.Info, call) {
+		return true
+	}
+	fn := calleeFunc(fc.unit.Info, call)
+	f := fc.factFor(fn)
+	return f != nil && f.ReturnsPooled
+}
+
+// mintsError reports whether some return path yields a fresh unwrapped error
+// in the final result position, directly or through a call chain.
+func (fc *factComputer) mintsError(fd *ast.FuncDecl, nResults int) (bool, string) {
+	info := fc.unit.Info
+	terminal := directiveLines(fc.unit, terminalDirective)
+	minted := false
+	var pos string
+	inspectSkipFuncLit(fd.Body, func(n ast.Node) {
+		if minted {
+			return
+		}
+		r, ok := n.(*ast.ReturnStmt)
+		if !ok || len(r.Results) != nResults {
+			return
+		}
+		res := r.Results[nResults-1]
+		call, ok := ast.Unparen(res).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		p := fc.unit.Fset.Position(r.Pos())
+		if terminal[p.Filename] != nil && (terminal[p.Filename][p.Line] || terminal[p.Filename][p.Line-1]) {
+			return
+		}
+		fn := calleeFunc(info, call)
+		switch {
+		case isPkgFunc(fn, "errors", "New"):
+		case isPkgFunc(fn, "fmt", "Errorf") && !errorfWraps(info, call):
+		default:
+			if f := fc.factFor(fn); f != nil && f.MintsError {
+				break
+			}
+			return
+		}
+		minted = true
+		pos = fc.unit.Fset.Position(res.Pos()).String()
+	})
+	return minted, pos
+}
+
+// directiveLines maps file -> lines carrying the given directive prefix in
+// the unit's files.
+func directiveLines(u *Unit, directive string) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), directive) {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = make(map[int]bool)
+				}
+				out[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// factSource is what classifyPooledUse needs to resolve callee facts: the
+// in-unit computer during fact computation, or a plain lookup during
+// analyzer runs.
+type factSource interface {
+	factFor(fn *types.Func) *FuncFact
+}
+
+// setSource adapts a FactSet (analyzer-run time) to factSource.
+type setSource struct{ set *FactSet }
+
+func (s setSource) factFor(fn *types.Func) *FuncFact { return s.set.Of(fn) }
+
+// Use classifications for one identifier occurrence of a pooled value.
+type useKind int
+
+const (
+	useRead     useKind = iota // value inspected; ownership unchanged
+	useTransfer                // ownership moves: stored, sent, returned, or passed to a consumer
+	useRelease                 // returned to the pool (PutPayload/PutBatch)
+	useDropCall                // passed to a callee that releases on some paths only
+)
+
+// classifyPooledUse decides what one use of a pooled value does with its
+// ownership, consulting callee facts at call sites. For useDropCall the
+// *types.Func is the dropping callee and the string positions the exit in
+// the callee that abandons the value.
+func classifyPooledUse(info *types.Info, use *ast.Ident, parents map[ast.Node]ast.Node, facts factSource) (useKind, *types.Func, string) {
+	child := ast.Node(use)
+	for p := parents[use]; p != nil; p = parents[p] {
+		switch pn := p.(type) {
+		case *ast.CallExpr:
+			if pn.Fun == child {
+				return useRead, nil, "" // calling a method ON the value moves nothing
+			}
+			return classifyCallArg(info, pn, child, facts)
+		case *ast.SendStmt:
+			if pn.Value == child {
+				return useTransfer, nil, ""
+			}
+			return useRead, nil, ""
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.FuncLit:
+			return useTransfer, nil, ""
+		case *ast.UnaryExpr:
+			if pn.Op == token.AND {
+				return useTransfer, nil, ""
+			}
+			return useRead, nil, ""
+		case *ast.AssignStmt:
+			for _, rhs := range pn.Rhs {
+				if containsNode(rhs, child) {
+					return useTransfer, nil, "" // aliased or stored; the new holder owns it
+				}
+			}
+			return useRead, nil, ""
+		case *ast.SelectorExpr:
+			if pn.X == child {
+				child = p
+				continue // b.Payload passed along still moves b's memory
+			}
+			return useRead, nil, ""
+		case *ast.IndexExpr:
+			return useRead, nil, "" // element access inspects, never moves, the buffer
+		case *ast.SliceExpr:
+			if pn.X == child {
+				child = p
+				continue // a subslice aliases the same backing memory
+			}
+			return useRead, nil, ""
+		case *ast.StarExpr, *ast.ParenExpr:
+			child = p
+			continue
+		case *ast.BinaryExpr, *ast.RangeStmt, *ast.IfStmt, *ast.ForStmt,
+			*ast.SwitchStmt, *ast.TypeSwitchStmt:
+			return useRead, nil, ""
+		case ast.Stmt:
+			return useRead, nil, ""
+		}
+		child = p
+	}
+	return useRead, nil, ""
+}
+
+// classifyCallArg classifies a pooled value appearing as a call argument:
+// releases and fact-known callees are precise; unknown callees are trusted
+// as documented owners (the PR 4 behavior); pure builtins only read.
+func classifyCallArg(info *types.Info, call *ast.CallExpr, arg ast.Node, facts factSource) (useKind, *types.Func, string) {
+	fn := calleeFunc(info, call)
+	if isPoolRelease(fn) {
+		return useRelease, fn, ""
+	}
+	if fn == nil {
+		// Builtins read; append aliases its destination; calls through
+		// function values are trusted transfers.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				switch id.Name {
+				case "len", "cap", "copy", "clear", "print", "println", "min", "max":
+					return useRead, nil, ""
+				case "append":
+					if len(call.Args) > 0 && containsNode(call.Args[0], arg) {
+						return useTransfer, nil, "" // result aliases the destination
+					}
+					return useRead, nil, "" // appended-from source is copied out
+				}
+			}
+		}
+		return useTransfer, nil, ""
+	}
+	fact := facts.factFor(fn)
+	if fact == nil || len(fact.Params) == 0 {
+		return useTransfer, fn, "" // no fact: trust, as before
+	}
+	// Arguments index straight into Params: facts are computed over declared
+	// parameters, and method receivers are not call arguments.
+	idx := callArgIndex(call, arg)
+	if idx < 0 {
+		return useTransfer, fn, ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Variadic() && idx >= sig.Params().Len()-1 {
+		idx = sig.Params().Len() - 1
+	}
+	switch fact.paramFact(idx) {
+	case ParamReads:
+		return useRead, fn, ""
+	case ParamConsumes:
+		return useTransfer, fn, ""
+	case ParamDrops:
+		return useDropCall, fn, fact.dropPos(idx)
+	}
+	return useTransfer, fn, ""
+}
+
+// callArgIndex returns which argument position contains arg, or -1.
+func callArgIndex(call *ast.CallExpr, arg ast.Node) int {
+	for i, a := range call.Args {
+		if a == arg || containsNode(a, arg) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak requires goroutines launched in superstep compute paths to be
+// provably joined before the function returns. The barrier certifies that
+// all of a superstep's work is done; a goroutine still running when Compute
+// returns races the barrier — it can send into a flushed outbox, mutate
+// vertex state the checkpointer is serializing, or touch a context the
+// engine has re-armed for the next vertex. Accepted join evidence, matched
+// by identity (variable, or receiver.field) and position:
+//
+//   - the goroutine calls Done on a sync.WaitGroup that some statement
+//     after the go statement Waits on;
+//   - the goroutine sends on (or closes) a channel that is received from
+//     (<-ch or range ch) after the go statement;
+//   - a non-literal target (go helper(wg) / go helper(ch)) passing a
+//     WaitGroup or channel argument with a matching Wait/receive after the
+//     go statement — the helper is trusted to Done/send.
+//
+// Everything else is flagged at the go statement. Fire-and-forget work that
+// genuinely may outlive the superstep (it must not touch engine state) is
+// opted out with //pregelvet:allow goroleak <reason> on the function, or
+// per line with //pregelvet:ignore goroleak.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutines launched in compute paths must be joined before the superstep returns",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	info := pass.TypesInfo
+	for _, fd := range computePathFuncs(pass) {
+		if hasAllow(fd.Doc, "goroleak") {
+			continue
+		}
+		var gos []*ast.GoStmt
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				gos = append(gos, g)
+			}
+			return true
+		})
+		if len(gos) == 0 {
+			continue
+		}
+		joins := collectJoins(info, fd.Body)
+		for _, g := range gos {
+			if joinedGoroutine(info, g, joins) {
+				continue
+			}
+			pass.Reportf(g.Pos(),
+				"goroutine launched in a compute path has no visible join (WaitGroup Done/Wait pair or channel handshake) before return; it races the superstep barrier and the engine's recycled state")
+		}
+	}
+}
+
+// joinPoints records where a body waits: WaitGroup identities with Wait
+// positions, and channel identities with receive/range/drain positions.
+type joinPoints struct {
+	waits map[string][]token.Pos
+	recvs map[string][]token.Pos
+}
+
+func collectJoins(info *types.Info, body *ast.BlockStmt) joinPoints {
+	joins := joinPoints{
+		waits: make(map[string][]token.Pos),
+		recvs: make(map[string][]token.Pos),
+	}
+	add := func(m map[string][]token.Pos, key string, pos token.Pos) {
+		if key != "" {
+			m[key] = append(m[key], pos)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if fn != nil && fn.Name() == "Wait" && recvNamed(fn, "sync", "WaitGroup") {
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					add(joins.waits, exprKey(info, sel.X), n.Pos())
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				add(joins.recvs, exprKey(info, n.X), n.Pos())
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isCh := tv.Type.Underlying().(*types.Chan); isCh {
+					add(joins.recvs, exprKey(info, n.X), n.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return joins
+}
+
+// joinedGoroutine reports whether g has join evidence: a Done/send/close
+// inside the launched call matching a Wait/receive after it, or (for
+// non-literal targets) a WaitGroup/channel argument matching one.
+func joinedGoroutine(info *types.Info, g *ast.GoStmt, joins joinPoints) bool {
+	end := g.End()
+	after := func(m map[string][]token.Pos, key string) bool {
+		if key == "" {
+			return false
+		}
+		for _, p := range m[key] {
+			if p > end {
+				return true
+			}
+		}
+		return false
+	}
+	joined := false
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if fn != nil && fn.Name() == "Done" && recvNamed(fn, "sync", "WaitGroup") {
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+					after(joins.waits, exprKey(info, sel.X)) {
+					joined = true
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, builtin := info.Uses[id].(*types.Builtin); builtin &&
+					after(joins.recvs, exprKey(info, n.Args[0])) {
+					joined = true
+				}
+			}
+		case *ast.SendStmt:
+			if after(joins.recvs, exprKey(info, n.Chan)) {
+				joined = true
+			}
+		}
+		return true
+	})
+	if joined {
+		return true
+	}
+	if _, isLit := ast.Unparen(g.Call.Fun).(*ast.FuncLit); isLit {
+		return false
+	}
+	for _, arg := range g.Call.Args {
+		tv, ok := info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		key := exprKey(info, arg)
+		if namedIn(tv.Type, "sync", "WaitGroup") && after(joins.waits, key) {
+			return true
+		}
+		if _, isCh := tv.Type.Underlying().(*types.Chan); isCh && after(joins.recvs, key) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprKey names a join handle for identity matching: a variable by object,
+// a selector chain by base object plus field path, through & and *.
+// Returns "" for expressions too dynamic to match.
+func exprKey(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := objOfIdent(info, e); obj != nil {
+			return fmt.Sprintf("%p", obj)
+		}
+	case *ast.SelectorExpr:
+		if base := exprKey(info, e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return exprKey(info, e.X)
+		}
+	case *ast.StarExpr:
+		return exprKey(info, e.X)
+	}
+	return ""
+}

@@ -42,6 +42,13 @@ func isPkgFunc(fn *types.Func, pkgSuffix, name string) bool {
 	return fn != nil && fn.Name() == name && pkgHasSuffix(fn.Pkg(), pkgSuffix)
 }
 
+// recvNamed reports whether fn is a method whose receiver (after stripping
+// pointers) is the named type name in a package matching pkgSuffix.
+func recvNamed(fn *types.Func, pkgSuffix, name string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && namedIn(sig.Recv().Type(), pkgSuffix, name)
+}
+
 // namedIn reports whether t (after stripping pointers) is the named type
 // name in a package matching pkgSuffix.
 func namedIn(t types.Type, pkgSuffix, name string) bool {
@@ -205,6 +212,37 @@ func stmtLists(body *ast.BlockStmt, visit func([]ast.Stmt)) {
 		}
 		return true
 	})
+}
+
+// computePathFuncs yields the function declarations that execute inside a
+// superstep, the scope shared by the determinism and barrier-liveness
+// analyzers (nondeterminism, mapiter, blockingcompute, goroleak): every
+// declaration in an algorithms-suffixed package (the algorithm library),
+// plus methods named Compute, ComputePartition, or Combine in any package
+// (the VertexProgram, PartitionProgram, and Combiner contracts).
+func computePathFuncs(pass *Pass) []*ast.FuncDecl {
+	wholePkg := pkgHasSuffix(pass.Pkg, "algorithms")
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if wholePkg {
+				out = append(out, fd)
+				continue
+			}
+			if fd.Recv == nil {
+				continue
+			}
+			switch fd.Name.Name {
+			case "Compute", "ComputePartition", "Combine":
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
 }
 
 // objOfIdent resolves the object an identifier defines or uses.

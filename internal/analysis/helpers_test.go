@@ -1,0 +1,350 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"testing"
+)
+
+// typecheckSrc parses and typechecks one import-free source file through a
+// fresh loader, returning the unit, so helper tests run against real
+// go/types objects without touching the filesystem.
+func typecheckSrc(t *testing.T, importPath, src string) *Unit {
+	t.Helper()
+	l := NewLoader(t.TempDir())
+	f, err := parser.ParseFile(l.Fset, importPath+"/src.go", src,
+		parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := l.TypecheckFiles(importPath, []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return unit
+}
+
+func TestPkgHasSuffix(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"pregelnet/internal/transport", "transport", true},
+		{"transport", "transport", true},
+		{"pregelvetstub/transport", "transport", true},
+		{"pregelnet/internal/transportx", "transport", false},
+		{"pregelnet/internal/xtransport", "transport", false},
+		{"pregelnet/internal/core", "transport", false},
+	}
+	for _, c := range cases {
+		pkg := types.NewPackage(c.path, "p")
+		if got := pkgHasSuffix(pkg, c.suffix); got != c.want {
+			t.Errorf("pkgHasSuffix(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+	if pkgHasSuffix(nil, "transport") {
+		t.Error("pkgHasSuffix(nil) = true")
+	}
+}
+
+const calleeSrc = `package callee
+
+type T struct{}
+
+func (T) Method() {}
+func Free()       {}
+
+func drive() {
+	Free()
+	var t T
+	t.Method()
+	fv := Free
+	fv()
+	_ = len("x")
+	_ = int64(7)
+}
+`
+
+// TestCalleeFunc: static callees resolve for package functions and methods;
+// function values, builtins, and conversions yield nil.
+func TestCalleeFunc(t *testing.T) {
+	unit := typecheckSrc(t, "fixture/callee", calleeSrc)
+	var names []string
+	ast.Inspect(unit.Files[0], func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(unit.Info, call); fn != nil {
+			names = append(names, fn.Name())
+		} else {
+			names = append(names, "<nil>")
+		}
+		return true
+	})
+	want := []string{"Free", "Method", "<nil>", "<nil>", "<nil>"}
+	if len(names) != len(want) {
+		t.Fatalf("saw %d calls %v, want %d", len(names), names, len(want))
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("call %d resolved to %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+const shapeSrc = `package core
+
+type Context struct{}
+
+func (c *Context) Send()  {}
+func (c Context) Halt()   {}
+func Standalone()         {}
+
+type prog struct{}
+
+func (p *prog) Compute(c *Context)          {}
+func (p *prog) ComputePartition(c *Context) {}
+func (p *prog) Combine(a, b int) int        { return a }
+func (p *prog) helper()                     {}
+
+func free() {
+	f := func() {
+		g := func() {}
+		g()
+	}
+	f()
+}
+`
+
+func TestNamedInAndRecvNamed(t *testing.T) {
+	unit := typecheckSrc(t, "fixture/core", shapeSrc)
+	scope := unit.Pkg.Scope()
+	ctx := scope.Lookup("Context").Type()
+	if !namedIn(ctx, "core", "Context") {
+		t.Error("namedIn missed the plain named type")
+	}
+	if !namedIn(types.NewPointer(ctx), "core", "Context") {
+		t.Error("namedIn missed the pointer-to-named type")
+	}
+	if namedIn(ctx, "core", "Other") || namedIn(ctx, "transport", "Context") {
+		t.Error("namedIn matched a wrong name or package")
+	}
+
+	for _, m := range []string{"Send", "Halt"} {
+		fn, _, _ := types.LookupFieldOrMethod(ctx, true, unit.Pkg, m)
+		if !recvNamed(fn.(*types.Func), "core", "Context") {
+			t.Errorf("recvNamed missed method %s", m)
+		}
+	}
+	standalone := scope.Lookup("Standalone").(*types.Func)
+	if recvNamed(standalone, "core", "Context") {
+		t.Error("recvNamed matched a receiverless function")
+	}
+	if !isPkgFunc(standalone, "core", "Standalone") {
+		t.Error("isPkgFunc missed a package function")
+	}
+	if isPkgFunc(standalone, "core", "Other") || isPkgFunc(nil, "core", "Standalone") {
+		t.Error("isPkgFunc matched a wrong name or nil func")
+	}
+}
+
+// TestFuncScopes: every declaration and every (nested) literal is its own
+// scope, so linear state machines never leak across closure boundaries.
+func TestFuncScopes(t *testing.T) {
+	unit := typecheckSrc(t, "fixture/scopes", shapeSrc)
+	var decls, lits int
+	for _, s := range funcScopes(unit.Files) {
+		if s.body == nil {
+			t.Fatalf("scope %s has no body", s.name)
+		}
+		if s.decl != nil {
+			decls++
+		} else {
+			lits++
+			if s.name != "free.func" {
+				t.Errorf("literal scope named %q, want free.func", s.name)
+			}
+		}
+	}
+	if decls != 8 || lits != 2 {
+		t.Errorf("funcScopes found %d decls and %d literals, want 8 and 2", decls, lits)
+	}
+}
+
+// TestComputePathFuncs: in an ordinary package only the Compute /
+// ComputePartition / Combine methods are in scope; in an algorithms-suffixed
+// package every declaration is.
+func TestComputePathFuncs(t *testing.T) {
+	for _, tc := range []struct {
+		importPath string
+		want       map[string]bool
+	}{
+		{"fixture/core", map[string]bool{
+			"Compute": true, "ComputePartition": true, "Combine": true,
+		}},
+		{"fixture/algorithms", map[string]bool{
+			"Send": true, "Halt": true, "Standalone": true, "Compute": true,
+			"ComputePartition": true, "Combine": true, "helper": true, "free": true,
+		}},
+	} {
+		unit := typecheckSrc(t, tc.importPath, shapeSrc)
+		pass := &Pass{Files: unit.Files, Pkg: unit.Pkg, TypesInfo: unit.Info, Fset: unit.Fset}
+		got := map[string]bool{}
+		for _, fd := range computePathFuncs(pass) {
+			got[fd.Name.Name] = true
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: computePathFuncs = %v, want %v", tc.importPath, got, tc.want)
+			continue
+		}
+		for name := range tc.want {
+			if !got[name] {
+				t.Errorf("%s: computePathFuncs missed %s", tc.importPath, name)
+			}
+		}
+	}
+}
+
+const branchSrc = `package branch
+
+func f(cond bool, ch chan int) {
+	a := 0
+	if cond {
+		a = 1
+	} else {
+		a = 2
+	}
+	switch a {
+	case 1:
+		a = 10
+	case 2:
+		a = 20
+	}
+	select {
+	case <-ch:
+		a = 30
+	default:
+		a = 40
+	}
+	a = 50
+	a = 60
+	_ = a
+}
+`
+
+// assignTargets returns the AssignStmt writing each literal constant, keyed
+// by the constant's text, as stable anchors for ancestry tests.
+func assignTargets(f *ast.File) map[string]*ast.AssignStmt {
+	out := map[string]*ast.AssignStmt{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		if lit, ok := as.Rhs[0].(*ast.BasicLit); ok {
+			out[lit.Value] = as
+		}
+		return true
+	})
+	return out
+}
+
+func TestBranchDiverged(t *testing.T) {
+	unit := typecheckSrc(t, "fixture/branch", branchSrc)
+	f := unit.Files[0]
+	parents := parentMap(f)
+	at := assignTargets(f)
+
+	diverged := [][2]string{
+		{"1", "2"},   // if vs else
+		{"10", "20"}, // switch cases
+		{"30", "40"}, // select clause vs default
+	}
+	for _, pair := range diverged {
+		if !branchDiverged(at[pair[0]], at[pair[1]], parents) {
+			t.Errorf("assignments of %s and %s should diverge", pair[0], pair[1])
+		}
+	}
+	together := [][2]string{
+		{"50", "60"}, // same straight-line block
+		{"1", "10"},  // sequential statements at different nesting
+	}
+	for _, pair := range together {
+		if branchDiverged(at[pair[0]], at[pair[1]], parents) {
+			t.Errorf("assignments of %s and %s should not diverge", pair[0], pair[1])
+		}
+	}
+	// A node diverges from nothing relative to itself.
+	if branchDiverged(at["1"], at["1"], parents) {
+		t.Error("a node diverged from itself")
+	}
+}
+
+func TestAncestorPath(t *testing.T) {
+	unit := typecheckSrc(t, "fixture/ancestor", branchSrc)
+	f := unit.Files[0]
+	parents := parentMap(f)
+	at := assignTargets(f)
+
+	chain := ancestorPath(at["1"], parents)
+	if len(chain) == 0 {
+		t.Fatal("empty ancestor chain")
+	}
+	var sawIf, sawFunc bool
+	for _, n := range chain {
+		switch n.(type) {
+		case *ast.IfStmt:
+			sawIf = true
+		case *ast.FuncDecl:
+			sawFunc = true
+		}
+	}
+	if !sawIf || !sawFunc {
+		t.Errorf("chain missing IfStmt (%v) or FuncDecl (%v)", sawIf, sawFunc)
+	}
+	if chain[len(chain)-1] != f {
+		t.Error("chain does not end at the file root")
+	}
+}
+
+// TestStmtLists: blocks plus switch and select clause bodies all surface,
+// and function literals are skipped as separate scopes.
+func TestStmtLists(t *testing.T) {
+	unit := typecheckSrc(t, "fixture/stmts", branchSrc)
+	fd := unit.Files[0].Decls[0].(*ast.FuncDecl)
+	var lists int
+	stmtLists(fd.Body, func(stmts []ast.Stmt) { lists++ })
+	// func body + then + else + switch/select body blocks + 2 case bodies +
+	// 2 comm bodies = 9
+	if lists != 9 {
+		t.Errorf("stmtLists visited %d lists, want 9", lists)
+	}
+}
+
+func TestUsesOfAndObjOfIdent(t *testing.T) {
+	unit := typecheckSrc(t, "fixture/uses", branchSrc)
+	fd := unit.Files[0].Decls[0].(*ast.FuncDecl)
+	// The defining occurrence of a resolves through Defs, uses through Uses.
+	var aObj types.Object
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "a" && aObj == nil {
+			aObj = objOfIdent(unit.Info, id)
+		}
+		return aObj == nil
+	})
+	if aObj == nil {
+		t.Fatal("could not resolve object for a")
+	}
+	uses := usesOf(fd.Body, unit.Info, aObj)
+	// a := 0, eight branch-arm/straight-line writes, switch a, and _ = a.
+	if len(uses) != 11 {
+		t.Errorf("usesOf found %d occurrences of a, want 11", len(uses))
+	}
+	for _, id := range uses {
+		if id.Name != "a" {
+			t.Errorf("usesOf returned identifier %q", id.Name)
+		}
+	}
+}

@@ -51,6 +51,10 @@ type Loader struct {
 	Dir string
 	// Fset positions every file loaded through this loader.
 	Fset *token.FileSet
+	// Facts accumulates per-function summaries (facts.go) for every
+	// non-standard package this loader typechecks, in dependency order, so
+	// analyzers see callee facts across package boundaries.
+	Facts *FactSet
 
 	typed map[string]*types.Package
 	// syntax and type info retained for non-standard packages only, so Load
@@ -65,6 +69,7 @@ func NewLoader(dir string) *Loader {
 	return &Loader{
 		Dir:         dir,
 		Fset:        token.NewFileSet(),
+		Facts:       NewFactSet(),
 		typed:       make(map[string]*types.Package),
 		parsedFiles: make(map[string][]*ast.File),
 		parsedInfo:  make(map[string]*types.Info),
@@ -186,7 +191,9 @@ func (l *Loader) TypecheckFiles(importPath string, files []*ast.File) (*Unit, er
 		return nil, fmt.Errorf("typechecking %s:\n  %s", importPath, strings.Join(typeErrs, "\n  "))
 	}
 	l.typed[importPath] = pkg
-	return &Unit{ImportPath: importPath, Fset: l.Fset, Files: files, Pkg: pkg, Info: info}, nil
+	unit := &Unit{ImportPath: importPath, Fset: l.Fset, Files: files, Pkg: pkg, Info: info}
+	l.Facts.AddUnit(unit)
+	return unit, nil
 }
 
 func (l *Loader) typecheck(p *listPackage) error {
@@ -218,6 +225,9 @@ func (l *Loader) typecheck(p *listPackage) error {
 	if !p.Standard {
 		l.parsedFiles[p.ImportPath] = files
 		l.parsedInfo[p.ImportPath] = info
+		// go list -deps yields dependencies first, so callee facts are
+		// already present when their callers are summarized here.
+		l.Facts.AddUnit(l.unitFor(p))
 	}
 	return nil
 }

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module under a temp dir and returns its
+// root, so loader error paths can be exercised against real `go list` runs.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadTinyModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.21\n",
+		"a.go":   "package tmpmod\n\nfunc Add(a, b int) int { return a + b }\n",
+	})
+	l := NewLoader(dir)
+	units, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 1 || units[0].ImportPath != "tmpmod" {
+		t.Fatalf("units = %v, want exactly tmpmod", units)
+	}
+	if l.Typed("tmpmod") == nil {
+		t.Error("Typed(tmpmod) not cached after Load")
+	}
+	if l.Typed("no/such/path") != nil {
+		t.Error("Typed returned a package for an unloaded path")
+	}
+	// Module-local packages feed the facts layer in dependency order.
+	if l.Facts.Len() == 0 {
+		t.Error("Load did not record any facts summaries for the module package")
+	}
+}
+
+// TestLoadReportsListErrors: `go list -e` surfaces broken packages through
+// the Error field rather than a nonzero exit; Load must turn that into an
+// error instead of typechecking garbage.
+func TestLoadReportsListErrors(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.21\n",
+		"a.go":   "package tmpmod\n\nfunc Broken( {\n", // parse error
+	})
+	if _, err := NewLoader(dir).Load("./..."); err == nil {
+		t.Fatal("Load succeeded on a module with a parse-broken package")
+	}
+}
+
+func TestLoadReportsUnknownPattern(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.21\n",
+		"a.go":   "package tmpmod\n",
+	})
+	if _, err := NewLoader(dir).Load("./nosuchdir"); err == nil {
+		t.Fatal("Load succeeded on a pattern matching nothing")
+	}
+}
+
+// TestImporterFallbacks covers the three resolution paths: unsafe is
+// special-cased, cached packages resolve directly, and standard-library
+// imports of golang.org/x/... fall back to the vendored copy.
+func TestImporterFallbacks(t *testing.T) {
+	l := NewLoader(t.TempDir())
+	imp := l.Importer()
+
+	if p, err := imp.Import("unsafe"); err != nil || p != types.Unsafe {
+		t.Errorf("Import(unsafe) = %v, %v; want types.Unsafe", p, err)
+	}
+
+	direct := types.NewPackage("tmp/direct", "direct")
+	l.typed["tmp/direct"] = direct
+	if p, err := imp.Import("tmp/direct"); err != nil || p != direct {
+		t.Errorf("Import(tmp/direct) = %v, %v; want cached package", p, err)
+	}
+
+	vendored := types.NewPackage("vendor/golang.org/x/fake", "fake")
+	l.typed["vendor/golang.org/x/fake"] = vendored
+	if p, err := imp.Import("golang.org/x/fake"); err != nil || p != vendored {
+		t.Errorf("Import(golang.org/x/fake) = %v, %v; want vendored fallback", p, err)
+	}
+
+	if _, err := imp.Import("never/loaded"); err == nil {
+		t.Error("Import(never/loaded) succeeded; want not-loaded error")
+	}
+}
+
+// TestTypecheckFilesReportsTypeErrors: the fixture harness path must fail
+// loudly (with the type error text) rather than hand analyzers a half-typed
+// unit.
+func TestTypecheckFilesReportsTypeErrors(t *testing.T) {
+	l := NewLoader(t.TempDir())
+	f, err := parser.ParseFile(l.Fset, "bad/bad.go",
+		"package bad\n\nvar x int = \"not an int\"\n",
+		parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.TypecheckFiles("bad", []*ast.File{f}); err == nil ||
+		!strings.Contains(err.Error(), "bad") {
+		t.Fatalf("TypecheckFiles err = %v, want a typechecking error naming the package", err)
+	}
+}

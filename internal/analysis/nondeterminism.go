@@ -14,34 +14,24 @@ import (
 //
 //   - everything in a package whose import path ends in /algorithms (the
 //     vertex program library), and
-//   - any method named Compute or ComputePartition in any package (the
-//     VertexProgram and PartitionProgram contracts).
+//   - any method named Compute, ComputePartition, or Combine in any package
+//     (the VertexProgram, PartitionProgram, and Combiner contracts —
+//     combiners run on the send path of compute and replay with it).
 //
 // A function that needs randomness deterministically (seeded per vertex and
 // superstep) or timing for non-semantic telemetry can opt out with
-// //pregelvet:allow nondeterminism in its doc comment, or per line with
-// //pregelvet:ignore nondeterminism.
+// //pregelvet:allow nondeterminism <reason> in its doc comment, or per line
+// with //pregelvet:ignore nondeterminism.
 var NonDeterminism = &Analyzer{
 	Name: "nondeterminism",
 	Doc:  "no time.Now/math/rand in superstep compute paths (replay determinism)",
 	Run:  runNonDeterminism,
 }
 
-const allowDirective = "pregelvet:allow nondeterminism"
-
 func runNonDeterminism(pass *Pass) {
-	wholePkg := pkgHasSuffix(pass.Pkg, "algorithms")
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if !wholePkg && (fd.Recv == nil ||
-				(fd.Name.Name != "Compute" && fd.Name.Name != "ComputePartition")) {
-				continue
-			}
-			if hasDirective(fd.Doc, allowDirective) {
+	for _, fd := range computePathFuncs(pass) {
+		{
+			if hasAllow(fd.Doc, "nondeterminism") {
 				continue
 			}
 			ast.Inspect(fd.Body, func(n ast.Node) bool {

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 )
 
@@ -19,11 +18,18 @@ import (
 //   - touching a value after handing it back to the pool (retained-after-put
 //     aliasing), detected over straight-line statement sequences.
 //
-// The check is intraprocedural and heuristic: any call argument position
-// counts as an ownership transfer (the callee is presumed a documented
-// owner), and branch-sensitivity is limited to "different arms of the same
-// select/switch/if cannot both have executed". Suppress a deliberate
-// violation with //pregelvet:ignore poolleak.
+// The check is interprocedural through the facts layer (facts.go): a call
+// argument is an ownership transfer only when the callee's summary says it
+// consumes the value (or when no summary exists — function values, external
+// code — which is trusted as before). Passing a pooled value to a helper
+// that merely reads it leaves ownership with the caller, so the missing Put
+// after the call is flagged; passing it to a helper that releases on some
+// paths but drops it on others is flagged at the call site (the caller can
+// neither Put nor skip the Put safely). Helpers that return pool-acquired
+// memory (GetPayload/GetBatch wrappers, by fact ReturnsPooled) count as
+// acquisitions in their callers. Branch-sensitivity remains "different arms
+// of the same select/switch/if cannot both have executed". Suppress a
+// deliberate violation with //pregelvet:ignore poolleak.
 var PoolLeak = &Analyzer{
 	Name: "poolleak",
 	Doc:  "transport pool buffers must be released or ownership-transferred on every path",
@@ -71,6 +77,7 @@ func runPoolLeak(pass *Pass) {
 
 func runPoolLeakScope(pass *Pass, scope funcScope) {
 	info := pass.TypesInfo
+	facts := setSource{pass.Facts}
 	var acqs []acquisition
 	inspectSkipFuncLit(scope.body, func(n ast.Node) {
 		as, ok := n.(*ast.AssignStmt)
@@ -78,8 +85,15 @@ func runPoolLeakScope(pass *Pass, scope funcScope) {
 			return
 		}
 		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
-		if !ok || !isPoolAcquire(info, call) {
+		if !ok {
 			return
+		}
+		if !isPoolAcquire(info, call) {
+			// Module-local GetPayload/GetBatch wrappers, known by fact.
+			f := facts.factFor(calleeFunc(info, call))
+			if f == nil || !f.ReturnsPooled {
+				return
+			}
 		}
 		id, ok := as.Lhs[0].(*ast.Ident)
 		if !ok || id.Name == "_" {
@@ -116,7 +130,18 @@ func runPoolLeakScope(pass *Pass, scope funcScope) {
 			if use.Pos() <= a.call.End() && use.Pos() >= a.call.Pos() {
 				continue
 			}
-			if isTransferUse(use, parents) {
+			kind, callee, dropPos := classifyPooledUse(info, use, parents, facts)
+			switch kind {
+			case useRelease, useTransfer:
+				transfers = append(transfers, use)
+			case useDropCall:
+				// The callee releases the value on some paths but abandons it
+				// on others — the cross-function leak an intraprocedural scan
+				// cannot see. Count it as a transfer afterwards so the
+				// early-exit check does not cascade a second report.
+				pass.Reportf(use.Pos(),
+					"%s (pooled) is passed to %s, which releases it on some paths but drops it at %s; the caller can neither release nor retain it safely",
+					a.obj.Name(), callee.Name(), dropPos)
 				transfers = append(transfers, use)
 			}
 		}
@@ -182,49 +207,6 @@ func returnExempt(r *ast.ReturnStmt, a acquisition, parents map[ast.Node]ast.Nod
 				return true
 			}
 		}
-	}
-	return false
-}
-
-// isTransferUse classifies one identifier use: does it release the value or
-// move its ownership somewhere this analysis cannot see (and therefore
-// trusts)?
-func isTransferUse(use *ast.Ident, parents map[ast.Node]ast.Node) bool {
-	child := ast.Node(use)
-	for p := parents[use]; p != nil; p = parents[p] {
-		switch pn := p.(type) {
-		case *ast.CallExpr:
-			if pn.Fun != child { // an argument, not the callee expression
-				return true
-			}
-		case *ast.SendStmt:
-			if pn.Value == child {
-				return true
-			}
-		case *ast.ReturnStmt, *ast.CompositeLit, *ast.FuncLit:
-			// Returned, stored in a literal, or captured by a closure.
-			return true
-		case *ast.UnaryExpr:
-			if pn.Op == token.AND {
-				return true
-			}
-		case *ast.AssignStmt:
-			for _, rhs := range pn.Rhs {
-				if containsNode(rhs, child) {
-					return true // aliased or stored; the new holder owns it
-				}
-			}
-			return false
-		case *ast.SelectorExpr:
-			if pn.X == child {
-				child = p
-				continue // b.Payload passed along still moves b's memory
-			}
-			return false
-		case ast.Stmt:
-			return false
-		}
-		child = p
 	}
 	return false
 }

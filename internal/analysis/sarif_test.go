@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/repo/internal/core/worker.go", Line: 42, Column: 7},
+			Analyzer: "poolleak",
+			Message:  "b acquired from the transport pool is never released",
+		},
+		{
+			Pos:      token.Position{Filename: "/elsewhere/outside.go", Line: 3, Column: 1},
+			Analyzer: "mapiter",
+			Message:  "map iteration order reaches message sends",
+		},
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleDiags(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var got []JSONDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d diagnostics, want 2", len(got))
+	}
+	if got[0].File != "internal/core/worker.go" {
+		t.Errorf("in-repo path = %q, want relative to base", got[0].File)
+	}
+	if got[1].File != "/elsewhere/outside.go" {
+		t.Errorf("out-of-repo path = %q, want left absolute", got[1].File)
+	}
+	if got[0].Analyzer != "poolleak" || got[0].Line != 42 || got[0].Column != 7 {
+		t.Errorf("got[0] = %+v, want poolleak at 42:7", got[0])
+	}
+}
+
+// TestWriteJSONEmpty: no findings must serialize as [], never null, so
+// scripted consumers can range without a nil check.
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(buf.String()); s != "[]" {
+		t.Errorf("empty run serialized as %q, want []", s)
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sampleDiags(), All, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version %q schema %q, want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "pregelvet" {
+		t.Errorf("driver name %q, want pregelvet", run.Tool.Driver.Name)
+	}
+	// Every suite analyzer is a rule, found or not, so rule IDs resolve.
+	if len(run.Tool.Driver.Rules) != len(All) {
+		t.Errorf("got %d rules, want %d (one per analyzer)", len(run.Tool.Driver.Rules), len(All))
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	for _, res := range run.Results {
+		if !ruleIDs[res.RuleID] {
+			t.Errorf("result rule %q has no matching rule entry", res.RuleID)
+		}
+		if res.Level != "error" {
+			t.Errorf("result level %q, want error", res.Level)
+		}
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/core/worker.go" || loc.Region.StartLine != 42 {
+		t.Errorf("location = %+v, want internal/core/worker.go:42", loc)
+	}
+}

@@ -31,7 +31,7 @@ func TestRepoIsClean(t *testing.T) {
 	if len(own) == 0 {
 		t.Fatal("module load returned no packages")
 	}
-	diags := RunAnalyzers(own, All)
+	diags := RunAnalyzers(own, All, l.Facts)
 	for _, d := range diags {
 		rel := d.Pos.Filename
 		if wd, err := os.Getwd(); err == nil {

@@ -1,0 +1,114 @@
+// Fixture for the blockingcompute analyzer: superstep compute paths must
+// not sleep, do raw I/O, or park on unpaired channel/WaitGroup operations —
+// the BSP barrier waits for the slowest vertex.
+package blockingcompute
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"pregelvetstub/cloud"
+	"pregelvetstub/core"
+)
+
+type vertex struct {
+	score float64
+}
+
+func (v *vertex) Compute(ctx *core.Context[float64]) {
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep in a compute path"
+	ctx.Send(1, v.score)
+}
+
+// Raw network and file I/O block the superstep on unbounded externals.
+type ioVertex struct{}
+
+func (ioVertex) Compute(ctx *core.Context[float64]) {
+	conn, _ := net.Dial("tcp", "example.com:80") // want "raw network I/O"
+	_ = conn
+	data, _ := os.ReadFile("/tmp/state") // want "file I/O"
+	_ = data
+}
+
+// Substrate calls belong in the engine's blob/queue/retry layers.
+type blobVertex struct{}
+
+func (blobVertex) Compute(ctx *core.Context[float64]) {
+	_ = cloud.PutBlob("key", nil) // want "cloud substrate call"
+	// Pure classification helpers are not I/O and pass.
+	if cloud.IsTransient(nil) {
+		ctx.VoteToHalt()
+	}
+}
+
+// Channel operations with no local goroutines park the vertex on traffic
+// this function cannot unblock.
+type chanVertex struct {
+	in  chan float64
+	out chan float64
+}
+
+func (v *chanVertex) Compute(ctx *core.Context[float64]) {
+	v.out <- 1.0 // want "channel send in a compute path"
+	x := <-v.in  // want "channel receive in a compute path"
+	_ = x
+	for y := range v.in { // want "range over a channel"
+		_ = y
+	}
+}
+
+// A select with a default clause never blocks and passes.
+func (v *chanVertex) ComputePartition(pc *core.PartitionContext[float64]) {
+	select {
+	case x := <-v.in:
+		_ = x
+	default:
+	}
+	select {
+	case v.out <- 2.0:
+	default:
+	}
+}
+
+// WaitGroup.Wait with no goroutines launched here waits on foreign work.
+type wgVertex struct {
+	wg sync.WaitGroup
+}
+
+func (v *wgVertex) Compute(ctx *core.Context[float64]) {
+	v.wg.Wait() // want "launches no goroutines"
+}
+
+// A function that launches its own goroutines may join them (goroleak
+// checks the join exists); the channel ops and Wait are the join.
+type forkVertex struct{}
+
+func (forkVertex) Compute(ctx *core.Context[float64]) {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+}
+
+// Deliberate blocking is opted out with a reasoned allow.
+type debugVertex struct{}
+
+// Compute stalls on purpose.
+//
+//pregelvet:allow blockingcompute fault-injection fixture, stall is the test
+func (debugVertex) Compute(ctx *core.Context[float64]) {
+	time.Sleep(time.Second)
+}
+
+// Outside compute paths, blocking is unconstrained.
+func freeFunc(ch chan int) int {
+	time.Sleep(time.Millisecond)
+	return <-ch
+}

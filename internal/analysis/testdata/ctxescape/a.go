@@ -1,0 +1,98 @@
+// Fixture for the ctxescape analyzer: compute contexts and engine-owned
+// views (Messages/Neighbors/Active slices, Replay payload views) are borrows
+// valid only for the duration of the call; storing, sending, or capturing
+// them in a goroutine is flagged.
+package ctxescape
+
+import (
+	"pregelvetstub/core"
+	"pregelvetstub/transport"
+)
+
+type vertex struct {
+	saved *core.Context[float64]
+	nbrs  []core.VertexID
+	score float64
+}
+
+var globalCtx *core.Context[float64]
+
+// Storing the context itself in a field or global escapes the borrow.
+func (v *vertex) Compute(ctx *core.Context[float64]) {
+	v.saved = ctx   // want "stored in a struct field"
+	globalCtx = ctx // want "stored in a package-level variable"
+}
+
+// A view bound from PartitionContext.Messages must not outlive the call.
+type partProg struct {
+	lastMsgs []float64
+	adj      map[core.VertexID][]core.VertexID
+}
+
+func (p *partProg) ComputePartition(pc *core.PartitionContext[float64]) {
+	msgs := pc.Messages(0)
+	p.lastMsgs = msgs // want "Messages view.*stored in a struct field"
+
+	nbrs := pc.Neighbors(7)
+	p.adj[7] = nbrs // want "Neighbors view.*stored in a struct field"
+}
+
+// Goroutine capture: the engine re-arms the context while the goroutine is
+// still running.
+func (v *vertex) computeAsync(ctx *core.Context[float64]) {
+	go func() {
+		ctx.Send(1, 0.5) // want "captured by a goroutine"
+	}()
+	go leakTo(ctx) // want "captured by a goroutine"
+}
+
+func leakTo(ctx *core.Context[float64]) {}
+
+// Sending a view on a channel escapes it to another goroutine's lifetime.
+func shipActive(pc *core.PartitionContext[float64], out chan []int32) {
+	act := pc.Active()
+	out <- act // want "Active view.*sent on a channel"
+}
+
+// Clean uses: borrowing down the stack, ranging views, reading elements,
+// copying data out, and deferred use all stay within the call.
+func (v *vertex) computeClean(ctx *core.Context[float64]) {
+	for _, n := range ctx.Neighbors() {
+		ctx.Send(n, v.score)
+	}
+	helper(ctx)
+	defer ctx.VoteToHalt()
+	nbrs := ctx.Neighbors()
+	if len(nbrs) > 0 {
+		v.score += float64(nbrs[0])
+	}
+	// Copying is the sanctioned way to retain borrowed data.
+	v.nbrs = append(v.nbrs[:0], ctx.Neighbors()...)
+	_ = v.nbrs
+}
+
+func helper(ctx *core.Context[float64]) {}
+
+// A Replay payload view is log-owned: capturing it in a goroutine races the
+// log's buffer recycling.
+func replayEscape(log *transport.MessageLog, ch chan []byte) error {
+	return log.Replay(3, func(dest int) bool { return true },
+		func(dest int, payload []byte, count int) error {
+			go stash(payload) // want "Replay payload view.*captured by a goroutine"
+			return nil
+		})
+}
+
+func stash(p []byte) {}
+
+// Deliberate retention is opted out with a reasoned allow.
+type harness struct {
+	ctx *core.Context[float64]
+}
+
+// Compute retains the context on purpose.
+//
+//pregelvet:allow ctxescape test harness owns the engine, context cannot be re-armed
+func (h *harness) Compute(ctx *core.Context[float64]) {
+	h.ctx = ctx
+}

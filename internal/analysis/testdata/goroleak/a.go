@@ -1,0 +1,111 @@
+// Fixture for the goroleak analyzer: goroutines launched in compute paths
+// must be provably joined (WaitGroup Done/Wait pair or channel handshake)
+// before the superstep returns to the barrier.
+package goroleak
+
+import (
+	"sync"
+
+	"pregelvetstub/core"
+)
+
+type vertex struct {
+	score float64
+}
+
+// Fire-and-forget: nothing joins the goroutine before return.
+func (v *vertex) Compute(ctx *core.Context[float64]) {
+	go func() { // want "no visible join"
+		v.score++
+	}()
+}
+
+// WaitGroup join: Done inside the goroutine, Wait after the launch.
+type wgVertex struct{}
+
+func (wgVertex) Compute(ctx *core.Context[float64]) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Channel handshake: the goroutine sends, the function receives after.
+type chVertex struct{}
+
+func (chVertex) Compute(ctx *core.Context[float64]) {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+// A Wait on a different WaitGroup than the one the goroutine signals is not
+// a join.
+type wrongWgVertex struct {
+	other sync.WaitGroup
+}
+
+func (v *wrongWgVertex) Compute(ctx *core.Context[float64]) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "no visible join"
+		defer wg.Done()
+	}()
+	v.other.Wait()
+}
+
+// A Wait BEFORE the launch joins nothing: the goroutine outlives it.
+type earlyWaitVertex struct{}
+
+func (earlyWaitVertex) Compute(ctx *core.Context[float64]) {
+	var wg sync.WaitGroup
+	wg.Wait()
+	wg.Add(1)
+	go func() { // want "no visible join"
+		defer wg.Done()
+	}()
+}
+
+// Non-literal targets: a WaitGroup or channel argument with a matching
+// Wait/receive after the launch is trusted as a join.
+type helperVertex struct{}
+
+func worker(wg *sync.WaitGroup)  { wg.Done() }
+func producer(ch chan<- float64) { ch <- 1 }
+
+func (helperVertex) ComputePartition(pc *core.PartitionContext[float64]) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+
+	ch := make(chan float64, 1)
+	go producer(ch)
+	_ = <-ch
+}
+
+// A non-literal target with no join handle in its arguments is flagged.
+func fire() {}
+
+func (helperVertex) Compute(ctx *core.Context[float64]) {
+	go fire() // want "no visible join"
+}
+
+// Genuine fire-and-forget that touches no engine state is opted out.
+type loggerVertex struct{}
+
+// Compute spawns detached telemetry.
+//
+//pregelvet:allow goroleak telemetry goroutine touches no engine state and may outlive the step
+func (loggerVertex) Compute(ctx *core.Context[float64]) {
+	go func() {}()
+}
+
+// Outside compute paths, goroutine lifetime is unconstrained.
+func freeFunc() {
+	go func() {}()
+}

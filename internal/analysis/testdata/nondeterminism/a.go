@@ -48,8 +48,18 @@ type debugClock struct{}
 
 // Compute opts out: a debug-only vertex may sample wall clocks.
 //
-//pregelvet:allow nondeterminism
+//pregelvet:allow nondeterminism debug-only vertex, timing is never checkpointed
 func (debugClock) Compute(step int) int64 {
+	return time.Now().UnixNano()
+}
+
+type bareAllowClock struct{}
+
+// Compute carries a bare allow: it still suppresses the analyzer, but the
+// missing reason string is itself a diagnostic.
+//
+//pregelvet:allow nondeterminism // want "bare //pregelvet:allow nondeterminism: a reason string is required"
+func (bareAllowClock) Compute(step int) int64 {
 	return time.Now().UnixNano()
 }
 
@@ -81,7 +91,7 @@ type timedPartitionProg struct{}
 // ComputePartition opts out: telemetry-only partition timing may sample
 // wall clocks.
 //
-//pregelvet:allow nondeterminism
+//pregelvet:allow nondeterminism telemetry-only timing, excluded from replay equality
 func (timedPartitionProg) ComputePartition(step int) int64 {
 	_ = step
 	return time.Now().UnixNano()

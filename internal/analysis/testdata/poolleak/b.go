@@ -1,0 +1,69 @@
+// Interprocedural cases: ownership decisions flow through helper summaries
+// from the facts layer, across the package boundary to the poolhelpers stub
+// and within this package.
+package poolleak
+
+import (
+	"pregelvetstub/poolhelpers"
+	"pregelvetstub/transport"
+)
+
+// Passing to a consuming helper transfers ownership: clean.
+func consumeHelper() {
+	p := transport.GetPayload(64)
+	poolhelpers.ConsumeAlways(p)
+}
+
+// A read-only helper leaves ownership here: acquiring and only reading
+// leaks. PR 4's intraprocedural version trusted every call as a transfer
+// and provably missed this.
+func readHelperLeaks() {
+	p := transport.GetPayload(64) // want "never released"
+	_ = poolhelpers.ReadOnly(p)
+}
+
+// Read-only helper followed by a real release: clean.
+func readHelperThenPut() {
+	p := transport.GetPayload(64)
+	_ = poolhelpers.ReadOnly(p)
+	transport.PutPayload(p)
+}
+
+// A helper that releases on some paths but drops on others is flagged at
+// the call site: the caller can neither release nor skip the release.
+func dropHelper() {
+	p := transport.GetPayload(64)
+	poolhelpers.DropSometimes(p) // want "releases it on some paths but drops it"
+}
+
+// A pool-wrapper acquisition must be released like a direct GetPayload.
+func wrapperLeaks() {
+	p := poolhelpers.NewBuf(64) // want "never released"
+	_ = len(p)
+}
+
+func wrapperThenPut() {
+	p := poolhelpers.NewBuf(64)
+	transport.PutPayload(p)
+}
+
+// Same-package helpers get facts too: localDrop mirrors DropSometimes
+// within the fixture package itself.
+func localDrop(p []byte) {
+	if cap(p) == 0 {
+		return
+	}
+	transport.PutPayload(p)
+}
+
+func callsLocalDrop() {
+	p := transport.GetPayload(32)
+	localDrop(p) // want "releases it on some paths but drops it"
+}
+
+// Unknown callees (function values) are still trusted as transfers: the
+// summary does not exist, so the PR 4 behavior is preserved.
+func unknownCallee(sink func([]byte)) {
+	p := transport.GetPayload(16)
+	sink(p)
+}

@@ -15,3 +15,11 @@ type RetryPolicy struct {
 }
 
 func (p RetryPolicy) Do(op func() error) error { return op() }
+
+// IsTransient mirrors the pure classifier: no I/O, so blockingcompute lets
+// compute paths call it.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// PutBlob mirrors a substrate I/O entry point (error-returning, so
+// blockingcompute flags it in compute paths).
+func PutBlob(key string, data []byte) error { return nil }

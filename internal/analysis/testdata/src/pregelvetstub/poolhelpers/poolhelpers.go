@@ -1,0 +1,41 @@
+// Package poolhelpers is a fixture stub exercising the facts layer
+// (internal/analysis/facts.go): helpers with each pooled-ownership summary
+// poolleak distinguishes — consumes, reads, drops-on-some-paths, and
+// returns-pooled. The fixture package calls these across the package
+// boundary, so the facts must survive serialization through the loader.
+package poolhelpers
+
+import "pregelvetstub/transport"
+
+// ConsumeAlways releases p on every path: call sites transfer ownership.
+func ConsumeAlways(p []byte) {
+	transport.PutPayload(p)
+}
+
+// ReadOnly only inspects p: ownership stays with the caller, so acquiring
+// and only calling this still leaks.
+func ReadOnly(p []byte) int {
+	n := 0
+	for _, b := range p {
+		n += int(b)
+	}
+	return n
+}
+
+// DropSometimes releases p only when it is non-empty; the empty-case early
+// return abandons it. Callers can neither release (double-free on the full
+// path) nor skip the release (leak on the empty path) — the cross-function
+// bug an intraprocedural scan cannot see.
+func DropSometimes(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	transport.PutPayload(p)
+}
+
+// NewBuf wraps the pool getter: ReturnsPooled makes call sites
+// acquisitions that must be released like a direct GetPayload.
+func NewBuf(n int) []byte {
+	buf := transport.GetPayload(n)
+	return buf
+}

@@ -1,0 +1,52 @@
+// Call-chain cases: the facts layer summarizes which helpers mint fresh
+// unwrapped errors (MintsError, transitive), so retry paths are checked
+// through helpers without annotating every frame.
+package transienterr
+
+import (
+	"fmt"
+
+	"pregelvetstub/cloud"
+)
+
+// newOpError mints a fresh unwrapped error: its summary poisons retry-path
+// returns that forward its result.
+func newOpError(op string) error {
+	return fmt.Errorf("op %s failed", op)
+}
+
+// wrapCause preserves classification with %w: its summary is clean.
+func wrapCause(op string, err error) error {
+	return fmt.Errorf("op %s: %w", op, err)
+}
+
+// failFast forwards newOpError's result: minting is transitive.
+func failFast() error {
+	return newOpError("fast")
+}
+
+func chainStep() error { return nil }
+
+func retryWithHelpers(p cloud.RetryPolicy) error {
+	return p.Do(func() error {
+		if err := chainStep(); err != nil {
+			return wrapCause("step", err)
+		}
+		return newOpError("flush") // want "mints a fresh unclassified error"
+	})
+}
+
+func retryTransitive(p cloud.RetryPolicy) error {
+	return p.Do(func() error {
+		return failFast() // want "mints a fresh unclassified error"
+	})
+}
+
+// The terminal directive still declares a chain-minted failure deliberately
+// non-retryable.
+func retryTerminalChain(p cloud.RetryPolicy) error {
+	return p.Do(func() error {
+		//pregelvet:terminal malformed config is never retryable
+		return newOpError("config")
+	})
+}

@@ -21,8 +21,13 @@ import (
 // Inside a retry path, a return whose error operand is a fresh unwrapped
 // error is flagged unless the return line carries //pregelvet:terminal
 // (declaring the failure deliberately non-retryable) or a generic ignore
-// directive. Errors that flow through (identifiers, call results, %w wraps)
-// are trusted to carry their classification.
+// directive. The check follows wrapping through call chains via the facts
+// layer (facts.go): returning the result of a helper whose summary says it
+// mints fresh unwrapped errors on some path (MintsError, computed
+// transitively in dependency order) is flagged at the retry-path return, so
+// helpers no longer need a //pregelvet:retrypath annotation on every frame.
+// Errors that genuinely flow through (identifiers, %w wraps, calls into
+// wrapping helpers) are trusted to carry their classification.
 var TransientErr = &Analyzer{
 	Name: "transienterr",
 	Doc:  "retry-path errors must preserve transient classification or be marked terminal",
@@ -53,15 +58,28 @@ func runTransientErr(pass *Pass) {
 					continue
 				}
 				fn := calleeFunc(info, call)
+				viaChain := ""
 				switch {
 				case isPkgFunc(fn, "errors", "New"):
 				case isPkgFunc(fn, "fmt", "Errorf") && !errorfWraps(info, call):
 				default:
+					// Follow the call chain: a helper whose fact says it
+					// mints fresh unwrapped errors poisons this return too.
+					if f := pass.Facts.Of(fn); f != nil && f.MintsError {
+						viaChain = f.MintPos
+						break
+					}
 					continue
 				}
 				line := pass.Fset.Position(ret.Pos()).Line
 				file := pass.Fset.Position(ret.Pos()).Filename
 				if terminal[file] != nil && (terminal[file][line] || terminal[file][line-1]) {
+					continue
+				}
+				if viaChain != "" {
+					pass.Reportf(res.Pos(),
+						"retry path returns an error from %s, which mints a fresh unclassified error at %s: wrap it with %%w here, fix the helper, or mark the return //pregelvet:terminal",
+						fn.Name(), viaChain)
 					continue
 				}
 				pass.Reportf(res.Pos(),

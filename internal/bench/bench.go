@@ -202,7 +202,9 @@ func benchBatchRoundTrip(b *testing.B, network transport.Network, cleanup func()
 				close(recvd)
 				return
 			}
-			recvd <- batch.WireSize()
+			size := batch.WireSize()
+			transport.PutBatch(batch)
+			recvd <- size
 		}
 	}()
 	b.ReportAllocs()

@@ -17,10 +17,12 @@ func (r Regression) String() string {
 		r.Name, r.Metric, r.Base, r.Cur, 100*r.Frac)
 }
 
-// Compare flags every benchmark whose ns/op or allocs/op grew by more than
-// frac (e.g. 0.10 = 10%) relative to the baseline. Benchmarks present on
-// only one side are ignored — adding or retiring a benchmark is not a
-// regression. Improvements are never flagged.
+// Compare flags every benchmark whose ns/op, bytes/op, or allocs/op grew by
+// more than frac (e.g. 0.10 = 10%) relative to the baseline. Benchmarks
+// present on only one side are ignored — adding or retiring a benchmark is
+// not a regression. Improvements are never flagged. The bytes/op gate
+// exists because a pooled buffer that silently stops being reused shows up
+// as heap growth long before it moves ns/op on a quiet machine.
 func Compare(base, cur []Result, frac float64) []Regression {
 	byName := make(map[string]Result, len(base))
 	for _, r := range base {
@@ -37,6 +39,13 @@ func Compare(base, cur []Result, frac float64) []Regression {
 				Name: c.Name, Metric: "ns/op",
 				Base: b.NsPerOp, Cur: c.NsPerOp,
 				Frac: c.NsPerOp/b.NsPerOp - 1,
+			})
+		}
+		if b.BytesPerOp > 0 && float64(c.BytesPerOp) > float64(b.BytesPerOp)*(1+frac) {
+			regs = append(regs, Regression{
+				Name: c.Name, Metric: "bytes/op",
+				Base: float64(b.BytesPerOp), Cur: float64(c.BytesPerOp),
+				Frac: float64(c.BytesPerOp)/float64(b.BytesPerOp) - 1,
 			})
 		}
 		if b.AllocsPerOp > 0 && float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+frac) {

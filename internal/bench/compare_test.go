@@ -4,16 +4,16 @@ import "testing"
 
 func baseResults() []Result {
 	return []Result{
-		{Name: "superstep/pagerank-channel", NsPerOp: 1000, AllocsPerOp: 100},
-		{Name: "e2e/bc-tcp", NsPerOp: 5000, AllocsPerOp: 700},
+		{Name: "superstep/pagerank-channel", NsPerOp: 1000, BytesPerOp: 4096, AllocsPerOp: 100},
+		{Name: "e2e/bc-tcp", NsPerOp: 5000, BytesPerOp: 1 << 20, AllocsPerOp: 700},
 	}
 }
 
 func TestCompareCleanRunPasses(t *testing.T) {
 	cur := []Result{
-		{Name: "superstep/pagerank-channel", NsPerOp: 1050, AllocsPerOp: 100}, // +5% ns: within budget
-		{Name: "e2e/bc-tcp", NsPerOp: 4000, AllocsPerOp: 650},                 // improvement
-		{Name: "model/sssp-subgraph-metis", NsPerOp: 9999, AllocsPerOp: 9999}, // new: ignored
+		{Name: "superstep/pagerank-channel", NsPerOp: 1050, BytesPerOp: 4300, AllocsPerOp: 100}, // +5% ns, +5% bytes: within budget
+		{Name: "e2e/bc-tcp", NsPerOp: 4000, BytesPerOp: 1 << 19, AllocsPerOp: 650},              // improvement
+		{Name: "model/sssp-subgraph-metis", NsPerOp: 9999, AllocsPerOp: 9999},                   // new: ignored
 	}
 	if regs := Compare(baseResults(), cur, 0.10); len(regs) != 0 {
 		t.Fatalf("clean run flagged: %v", regs)
@@ -39,6 +39,26 @@ func TestCompareFlagsInjectedRegression(t *testing.T) {
 	}
 	if regs[0].Frac < 0.49 || regs[0].Frac > 0.51 {
 		t.Errorf("regs[0].Frac = %v, want ~0.5", regs[0].Frac)
+	}
+}
+
+// TestCompareFlagsBytesRegression: heap growth alone — ns/op and allocs/op
+// flat, bytes/op +25% (a pooled buffer silently falling out of reuse) —
+// must trip the gate.
+func TestCompareFlagsBytesRegression(t *testing.T) {
+	cur := []Result{
+		{Name: "superstep/pagerank-channel", NsPerOp: 1000, BytesPerOp: 5120, AllocsPerOp: 100},
+		{Name: "e2e/bc-tcp", NsPerOp: 5000, BytesPerOp: 1 << 20, AllocsPerOp: 700},
+	}
+	regs := Compare(baseResults(), cur, 0.10)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions %v, want 1", len(regs), regs)
+	}
+	if regs[0].Name != "superstep/pagerank-channel" || regs[0].Metric != "bytes/op" {
+		t.Errorf("regs[0] = %v, want pagerank bytes/op", regs[0])
+	}
+	if regs[0].Frac < 0.24 || regs[0].Frac > 0.26 {
+		t.Errorf("regs[0].Frac = %v, want ~0.25", regs[0].Frac)
 	}
 }
 

@@ -111,6 +111,9 @@ type stragglerProgram struct {
 	naps  time.Duration
 }
 
+// Compute sleeps exactly once on one worker.
+//
+//pregelvet:allow blockingcompute the stall is the fixture: it must overshoot BarrierTimeout to trigger straggler recovery
 func (p *stragglerProgram) Compute(ctx *Context[uint32], msgs []uint32) {
 	if ctx.WorkerID() == 1 && ctx.Superstep() == p.at && !p.slept.Swap(true) {
 		time.Sleep(p.naps)

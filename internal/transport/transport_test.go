@@ -250,6 +250,7 @@ func TestTCPLargePayload(t *testing.T) {
 			t.Fatalf("payload corrupted at %d", i)
 		}
 	}
+	PutBatch(b)
 }
 
 func TestTCPConcurrentSendersToOnePeer(t *testing.T) {
@@ -283,6 +284,7 @@ func TestTCPConcurrentSendersToOnePeer(t *testing.T) {
 			t.Fatal(err)
 		}
 		key := [2]byte{b.Payload[0], b.Payload[1]}
+		PutBatch(b)
 		if got[key] {
 			t.Fatalf("duplicate batch %v", key)
 		}
