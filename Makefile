@@ -61,9 +61,9 @@ test-invariants:
 # results into OUT under LABEL, so before/after pairs live in one committed
 # artifact (BENCH_PR3.json holds the baseline→pr3 pair). Override SAMPLES
 # for noisier machines.
-LABEL ?= pr7
+LABEL ?= pr10
 SAMPLES ?= 3
-OUT ?= BENCH_PR7.json
+OUT ?= BENCH_PR10.json
 bench:
 	$(GO) run ./cmd/bench -label $(LABEL) -samples $(SAMPLES) -out $(OUT)
 
@@ -78,9 +78,19 @@ bench-smoke:
 # THRESHOLD over the committed baseline artifact BASE. CI runs this against
 # the previous PR's artifact; locally, record a baseline with `make bench
 # LABEL=baseline OUT=base.json` before a change and compare after it.
-BASE ?= BENCH_PR7.json
+#
+# ALLOW carries known, accepted costs against a frozen baseline: the BC
+# determinism fix (sorted root maps on the send path, so recovery replay is
+# bit-reproducible) landed after BENCH_PR8.json was recorded and costs ~48%
+# allocs/op on the BC benchmarks. Each entry is still gated, at its own
+# documented ceiling.
+BASE ?= BENCH_PR8.json
 BASELABEL ?=
 THRESHOLD ?= 0.10
+ALLOW ?= -allow superstep/bc-channel:allocs/op:0.55 \
+	-allow superstep/bc-channel:bytes/op:0.25 \
+	-allow e2e/bc-tcp:allocs/op:0.55 \
+	-allow e2e/bc-tcp:bytes/op:0.25
 bench-compare:
 	$(GO) run ./cmd/bench -label compare-head -samples $(SAMPLES) -out bench-compare.json \
-		-compare $(BASE) $(if $(BASELABEL),-baselabel $(BASELABEL)) -threshold $(THRESHOLD)
+		-compare $(BASE) $(if $(BASELABEL),-baselabel $(BASELABEL)) -threshold $(THRESHOLD) $(ALLOW)

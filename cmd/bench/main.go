@@ -44,6 +44,15 @@ func main() {
 	compare := flag.String("compare", "", "baseline JSON artifact to gate against (exit 1 on regression)")
 	baseLabel := flag.String("baselabel", "", "label inside -compare file (default: its only label)")
 	threshold := flag.Float64("threshold", 0.10, "allowed relative growth in ns/op, bytes/op, and allocs/op")
+	var allowances []bench.Allowance
+	flag.Func("allow", "name:metric:maxfrac — raise the gate for one benchmark metric to a documented ceiling (repeatable)", func(s string) error {
+		a, err := bench.ParseAllowance(s)
+		if err != nil {
+			return err
+		}
+		allowances = append(allowances, a)
+		return nil
+	})
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "running %d benchmarks (label %q, best of %d)...\n",
@@ -85,7 +94,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "compare:", err)
 			os.Exit(1)
 		}
-		regs := bench.Compare(base, results, *threshold)
+		regs := bench.Compare(base, results, *threshold, allowances...)
 		if len(regs) > 0 {
 			fmt.Fprintf(os.Stderr, "PERF REGRESSION vs %s (threshold %.0f%%):\n", *compare, 100**threshold)
 			for _, r := range regs {

@@ -66,7 +66,10 @@ func main() {
 	bestCut := 2.0
 	for i, p := range partitioners {
 		a := p.Partition(g, *k)
-		q := partition.Evaluate(g, a, *k, p.Name())
+		q, err := partition.Evaluate(g, a, *k, p.Name())
+		if err != nil {
+			fatal(err)
+		}
 		t.AddRow(names[i],
 			fmt.Sprintf("%d", q.EdgeCut),
 			fmt.Sprintf("%.1f%%", 100*q.CutFraction),

@@ -54,6 +54,8 @@ func main() {
 		traceFile   = flag.String("trace", "", "write a Chrome trace_event file of the run (open in chrome://tracing or Perfetto)")
 		elasticHigh = flag.Int("elastic-high", 0, "live elastic scaling: scale between -workers and this count at superstep barriers (0 = off)")
 		elasticFrac = flag.Float64("elastic-threshold", 0.5, "scale out when active vertices exceed this fraction of the peak (with -elastic-high)")
+		repartName  = flag.String("repartitioner", "incremental", "layout strategy at resizes: incremental|hash|chunk|metis|ldg|fennel (with -elastic-high)")
+		reshuffle   = flag.Int("reshuffle-every", 0, "force a full reshuffle every Nth resize instead of a delta migration (0 = never)")
 		recovery    = flag.String("recovery", "confined", "worker-failure recovery: confined (failed workers only) | global (roll everyone back)")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "checkpoint every N supersteps (0 = no checkpoints; recovery needs them)")
 		msglogMiB   = flag.Int64("msglog-budget-mib", 0, "in-memory budget per worker for the confined-recovery message log, MiB (0 = default 8)")
@@ -91,7 +93,10 @@ func main() {
 		fatal(fmt.Errorf("unknown partitioner %q", *partName))
 	}
 	assign := p.Partition(g, *workers)
-	q := partition.Evaluate(g, assign, *workers, p.Name())
+	q, err := partition.Evaluate(g, assign, *workers, p.Name())
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("partitioning %s: %.0f%% remote edges, balance %.3f\n", p.Name(), 100*q.CutFraction, q.Balance)
 
 	model := cloud.DefaultCostModel(cloud.LargeVM())
@@ -101,16 +106,23 @@ func main() {
 
 	// -elastic-high enables live elastic scaling: the job starts at -workers
 	// and the threshold controller may resize it at any superstep barrier.
-	var elasticCtrl core.ElasticController
+	var (
+		elasticCtrl   core.ElasticController
+		elasticRepart partition.Partitioner
+	)
 	if *elasticHigh > 0 {
 		ctrl, err := elastic.NewLiveController(*workers, *elasticHigh,
 			elastic.ThresholdPolicy{Fraction: *elasticFrac})
 		if err != nil {
 			fatal(err)
 		}
+		ctrl.SetReshufflePeriod(*reshuffle)
 		elasticCtrl = ctrl
-		fmt.Printf("elastic: live threshold scaling %d <-> %d workers at %.0f%% of peak active\n",
-			*workers, *elasticHigh, 100**elasticFrac)
+		if elasticRepart = partition.ByName(*repartName); elasticRepart == nil {
+			fatal(fmt.Errorf("unknown repartitioner %q", *repartName))
+		}
+		fmt.Printf("elastic: live threshold scaling %d <-> %d workers at %.0f%% of peak active (%s repartitioning)\n",
+			*workers, *elasticHigh, 100**elasticFrac, elasticRepart.Name())
 	}
 
 	subgraph := false
@@ -131,7 +143,7 @@ func main() {
 		if subgraph {
 			core.UseVertexAdapter(&spec)
 		}
-		applyElastic(&spec, elasticCtrl)
+		applyElastic(&spec, elasticCtrl, elasticRepart)
 		if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
 			fatal(err)
 		}
@@ -150,7 +162,7 @@ func main() {
 			spec.Assignment = assign
 			spec.CostModel = model
 			spec.Tracer = tracer
-			applyElastic(&spec, elasticCtrl)
+			applyElastic(&spec, elasticCtrl, elasticRepart)
 			if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
 				fatal(err)
 			}
@@ -170,7 +182,7 @@ func main() {
 		spec.Assignment = assign
 		spec.CostModel = model
 		spec.Tracer = tracer
-		applyElastic(&spec, elasticCtrl)
+		applyElastic(&spec, elasticCtrl, elasticRepart)
 		if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
 			fatal(err)
 		}
@@ -192,7 +204,7 @@ func main() {
 		if subgraph {
 			core.UseVertexAdapter(&spec)
 		}
-		applyElastic(&spec, elasticCtrl)
+		applyElastic(&spec, elasticCtrl, elasticRepart)
 		if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
 			fatal(err)
 		}
@@ -210,7 +222,7 @@ func main() {
 		spec.Assignment = assign
 		spec.CostModel = model
 		spec.Tracer = tracer
-		applyElastic(&spec, elasticCtrl)
+		applyElastic(&spec, elasticCtrl, elasticRepart)
 		if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
 			fatal(err)
 		}
@@ -244,7 +256,7 @@ func main() {
 		spec.Assignment = assign
 		spec.CostModel = model
 		spec.Tracer = tracer
-		applyElastic(&spec, elasticCtrl)
+		applyElastic(&spec, elasticCtrl, elasticRepart)
 		if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
 			fatal(err)
 		}
@@ -278,7 +290,7 @@ func main() {
 		spec.Assignment = assign
 		spec.CostModel = model
 		spec.Tracer = tracer
-		applyElastic(&spec, elasticCtrl)
+		applyElastic(&spec, elasticCtrl, elasticRepart)
 		if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
 			fatal(err)
 		}
@@ -306,7 +318,7 @@ func main() {
 		if subgraph {
 			core.UseVertexAdapter(&spec)
 		}
-		applyElastic(&spec, elasticCtrl)
+		applyElastic(&spec, elasticCtrl, elasticRepart)
 		if err := applyRecovery(&spec, *recovery, *ckptEvery, *msglogMiB); err != nil {
 			fatal(err)
 		}
@@ -382,11 +394,12 @@ func buildScheduler(g *graph.Graph, roots int, swath, initiate string, model clo
 
 // applyElastic wires the live controller (if any) into a spec; resizes need
 // checkpoints to roll back failed migrations, so default them on.
-func applyElastic[M any](spec *core.JobSpec[M], ctrl core.ElasticController) {
+func applyElastic[M any](spec *core.JobSpec[M], ctrl core.ElasticController, repart partition.Partitioner) {
 	if ctrl == nil {
 		return
 	}
 	spec.ElasticController = ctrl
+	spec.Repartitioner = repart
 	if spec.CheckpointEvery <= 0 {
 		spec.CheckpointEvery = 4
 	}
@@ -424,8 +437,9 @@ func report(steps []core.StepStats, simSec, cost, vmSec float64, scales []core.S
 	if len(scales) > 0 {
 		fmt.Printf("elastic: %d resize(s), %.1f VM-seconds billed\n", len(scales), vmSec)
 		for _, ev := range scales {
-			fmt.Printf("  superstep %3d: %d -> %d workers (%d bytes migrated, +%.2fs)\n",
-				ev.Superstep, ev.FromWorkers, ev.ToWorkers, ev.MigratedBytes, ev.SimSeconds)
+			fmt.Printf("  superstep %3d: %d -> %d workers via %s (%d vertices / %d bytes migrated, cut %.1f%% -> %.1f%%, +%.2fs)\n",
+				ev.Superstep, ev.FromWorkers, ev.ToWorkers, ev.Strategy,
+				ev.MovedVertices, ev.MigratedBytes, 100*ev.CutBefore, 100*ev.CutAfter, ev.SimSeconds)
 		}
 	}
 	fmt.Printf("messages/superstep: %s\n", metrics.Sparkline(metrics.MessagesPerStep(steps)))

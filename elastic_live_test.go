@@ -8,6 +8,7 @@ import (
 
 	"pregelnet/internal/algorithms"
 	"pregelnet/internal/observe"
+	"pregelnet/internal/partition"
 	"pregelnet/internal/transport"
 )
 
@@ -235,6 +236,252 @@ func TestChaosSoakElasticResizeTCP(t *testing.T) {
 	} {
 		if byKind[k] == 0 {
 			t.Errorf("resize soak trace has no %q spans (have %v)", k, byKind)
+		}
+	}
+}
+
+// TestLiveResizeRepartitioners is the resize determinism matrix: the same
+// WCC job resized mid-run under every repartitioning strategy, on both data
+// planes, must reproduce the fixed-worker labels bit for bit (WCC state is
+// integral and min-reduced, so there is no FP tolerance to hide behind).
+func TestLiveResizeRepartitioners(t *testing.T) {
+	g := GenerateWattsStrogatz(400, 4, 0.02, 7)
+	fixed, err := Run(algorithms.WCC(g, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.WCCLabels(fixed, g.NumVertices())
+
+	for _, repart := range []string{"metis", "ldg", "incremental"} {
+		for _, net := range []string{"channel", "tcp"} {
+			t.Run(repart+"/"+net, func(t *testing.T) {
+				spec := algorithms.WCC(g, 2)
+				spec.CheckpointEvery = 2
+				spec.ElasticController = mustLiveThreshold(t, 2, 5)
+				spec.Repartitioner = partition.ByName(repart)
+				if spec.Repartitioner == nil {
+					t.Fatalf("unknown repartitioner %q", repart)
+				}
+				if net == "tcp" {
+					network, err := transport.NewTCPNetwork(2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer network.Close()
+					spec.Network = network
+					spec.NetworkFactory = func(n int) (transport.Network, error) {
+						return transport.NewTCPNetwork(n)
+					}
+				}
+				res, err := Run(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := algorithms.WCCLabels(res, g.NumVertices())
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("vertex %d: label %d under %s/%s resize, want %d",
+							v, got[v], repart, net, want[v])
+					}
+				}
+				requireResized(t, res.Steps, res.ScaleEvents)
+				for _, ev := range res.ScaleEvents {
+					wantStrategy := repart + "(full)"
+					if repart == "incremental" {
+						wantStrategy = "incremental"
+					}
+					if ev.Strategy != wantStrategy {
+						t.Errorf("scale event %d->%d used strategy %q, want %q",
+							ev.FromWorkers, ev.ToWorkers, ev.Strategy, wantStrategy)
+					}
+				}
+			})
+		}
+	}
+
+	// The subgraph-centric model shares the migration plumbing; incremental
+	// repartitioning must stay exact there too.
+	for _, net := range []string{"channel", "tcp"} {
+		t.Run("incremental/subgraph/"+net, func(t *testing.T) {
+			spec := algorithms.WCCSubgraph(g, 2)
+			spec.CheckpointEvery = 2
+			spec.ElasticController = mustLiveThreshold(t, 2, 5)
+			if net == "tcp" {
+				network, err := transport.NewTCPNetwork(2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer network.Close()
+				spec.Network = network
+				spec.NetworkFactory = func(n int) (transport.Network, error) {
+					return transport.NewTCPNetwork(n)
+				}
+			}
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := algorithms.WCCSubgraphLabels(res, g.NumVertices())
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("vertex %d: label %d under subgraph/%s resize, want %d",
+						v, got[v], net, want[v])
+				}
+			}
+			requireResized(t, res.Steps, res.ScaleEvents)
+		})
+	}
+}
+
+// TestChaosSoakIncrementalResizeTCP soaks incremental repartitioning under
+// chaos: a small-delta 4<->5 threshold controller over real TCP sockets,
+// starting from an LDG layout, with a VM restart scripted onto the first
+// migration. Results must match the failure-free run, and two clean control
+// runs (same controller, incremental vs hash reshuffle) must show the delta
+// migrating a fraction of the bytes a full hash reshuffle moves.
+func TestChaosSoakIncrementalResizeTCP(t *testing.T) {
+	g := GenerateErdosRenyi(120, 360, 41)
+	roots := FirstNSources(g, 10)
+	initial := StreamingPartitioner().Partition(g, 4)
+
+	clean, err := Run(soakBCSpec(g, roots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BCScoresOf(clean, g.NumVertices())
+
+	mkSpec := func(t *testing.T) JobSpec[BCMessage] {
+		spec := BCSpec(g, 4, AllSourcesAtOnce(roots))
+		spec.CheckpointEvery = 3
+		spec.Assignment = append(Assignment(nil), initial...)
+		spec.ElasticController = mustLiveThreshold(t, 4, 5)
+		spec.NetworkFactory = func(n int) (transport.Network, error) {
+			return transport.NewTCPNetwork(n)
+		}
+		return spec
+	}
+
+	spec := mkSpec(t)
+	network, err := transport.NewTCPNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer network.Close()
+	spec.Network = network
+	tracer, recorder := NewTraceRecorder(1 << 17)
+	spec.Tracer = tracer
+	spec.Chaos = NewChaos(FaultPlan{
+		Seed:               2028,
+		BlobErrorProb:      1,
+		MaxBlobErrors:      3,
+		QueueDuplicateProb: 0.5,
+		LeaseExpiryProb:    0.25,
+		MaxLeaseExpiries:   6,
+		VMRestarts:         []VMRestart{{Worker: 1, Superstep: 1}},
+	})
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatalf("incremental resize soak failed: %v", err)
+	}
+	got := BCScoresOf(res, g.NumVertices())
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6 {
+			t.Fatalf("vertex %d: score %v under incremental chaos, %v clean", v, got[v], want[v])
+		}
+	}
+	if res.Recoveries < 1 {
+		t.Errorf("recoveries = %d, want >= 1 (scripted VM restart)", res.Recoveries)
+	}
+	requireResized(t, res.Steps, res.ScaleEvents)
+	for _, ev := range res.ScaleEvents {
+		if ev.Strategy != "incremental" {
+			t.Errorf("scale event %d->%d used strategy %q, want incremental (the default)",
+				ev.FromWorkers, ev.ToWorkers, ev.Strategy)
+		}
+		if ev.CutAfter > ev.CutBefore+0.15 {
+			t.Errorf("resize %d->%d degraded the cut %.3f -> %.3f; the delta must keep the layout",
+				ev.FromWorkers, ev.ToWorkers, ev.CutBefore, ev.CutAfter)
+		}
+	}
+
+	// Control experiment, no chaos: the same small-delta events billed under
+	// incremental repartitioning vs a hash full reshuffle. The delta must
+	// migrate at most half the bytes (measured ratios are ~4x smaller).
+	sumMigrated := func(evs []ScaleEvent) int64 {
+		var total int64
+		for _, ev := range evs {
+			total += ev.MigratedBytes
+		}
+		return total
+	}
+	incSpec := mkSpec(t)
+	incNet, err := transport.NewTCPNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer incNet.Close()
+	incSpec.Network = incNet
+	incRes, err := Run(incSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashSpec := mkSpec(t)
+	hashNet, err := transport.NewTCPNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hashNet.Close()
+	hashSpec.Network = hashNet
+	hashSpec.Repartitioner = HashPartitioner
+	hashRes, err := Run(hashSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incRes.ScaleEvents) == 0 || len(incRes.ScaleEvents) != len(hashRes.ScaleEvents) {
+		t.Fatalf("control runs diverged: incremental %d events, hash %d",
+			len(incRes.ScaleEvents), len(hashRes.ScaleEvents))
+	}
+	incBytes, hashBytes := sumMigrated(incRes.ScaleEvents), sumMigrated(hashRes.ScaleEvents)
+	if hashBytes <= 0 {
+		t.Fatal("hash reshuffle migrated no bytes; the control run is broken")
+	}
+	if incBytes*2 > hashBytes {
+		t.Errorf("incremental migrated %d bytes vs hash %d: want <= 50%% on the same events",
+			incBytes, hashBytes)
+	}
+	t.Logf("migrated bytes over %d resize events: incremental=%d hash=%d (%.1f%%)",
+		len(incRes.ScaleEvents), incBytes, hashBytes, 100*float64(incBytes)/float64(hashBytes))
+
+	// Trace artifact (left in PREGELNET_TRACE_DIR for CI) with the elastic
+	// and repartition span kinds present.
+	events := recorder.Snapshot()
+	dir := os.Getenv("PREGELNET_TRACE_DIR")
+	if dir == "" {
+		dir = t.TempDir()
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "chaos-soak-incremental-resize-tcp.trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(f, events); err != nil {
+		t.Fatalf("writing chrome trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	byKind := map[TraceKind]int{}
+	for _, e := range events {
+		byKind[e.Kind]++
+	}
+	for _, k := range []TraceKind{
+		observe.KindMigrate, observe.KindRepartition, observe.KindVMRestart,
+		observe.KindCheckpoint, observe.KindRollback,
+	} {
+		if byKind[k] == 0 {
+			t.Errorf("incremental soak trace has no %q spans (have %v)", k, byKind)
 		}
 	}
 }

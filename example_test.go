@@ -59,8 +59,8 @@ func ExamplePartitionQuality() {
 		b.AddUndirected(pregelnet.VertexID(v), pregelnet.VertexID((v+1)%16))
 	}
 	g := b.Build()
-	hash := pregelnet.PartitionQuality(g, pregelnet.HashPartitioner.Partition(g, 4), 4, "hash")
-	metis := pregelnet.PartitionQuality(g, pregelnet.MultilevelPartitioner().Partition(g, 4), 4, "metis")
+	hash, _ := pregelnet.PartitionQuality(g, pregelnet.HashPartitioner.Partition(g, 4), 4, "hash")
+	metis, _ := pregelnet.PartitionQuality(g, pregelnet.MultilevelPartitioner().Partition(g, 4), 4, "metis")
 	fmt.Printf("hash cut: %.0f%%, metis cut: %.0f%%\n", 100*hash.CutFraction, 100*metis.CutFraction)
 	// Output: hash cut: 100%, metis cut: 25%
 }

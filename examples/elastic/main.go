@@ -95,8 +95,9 @@ func main() {
 
 	fmt.Println("\nlive run (started at 4 workers, threshold controller in charge):")
 	for _, ev := range live.ScaleEvents {
-		fmt.Printf("  superstep %3d: %d -> %d workers (%d KiB migrated, +%.3fs resize window)\n",
-			ev.Superstep, ev.FromWorkers, ev.ToWorkers, ev.MigratedBytes>>10, ev.SimSeconds)
+		fmt.Printf("  superstep %3d: %d -> %d workers via %s (%d vertices / %d KiB migrated, cut %.0f%% -> %.0f%%, +%.3fs resize window)\n",
+			ev.Superstep, ev.FromWorkers, ev.ToWorkers, ev.Strategy,
+			ev.MovedVertices, ev.MigratedBytes>>10, 100*ev.CutBefore, 100*ev.CutAfter, ev.SimSeconds)
 	}
 	fmt.Printf("  live:    %.2f sim-s, %.2f VM-seconds (%d resizes)\n",
 		live.SimSec, live.VMSec, len(live.ScaleEvents))

@@ -27,7 +27,10 @@ func main() {
 		var hashTime float64
 		for _, s := range strategies {
 			assign := s.p.Partition(g, workers)
-			q := pregelnet.PartitionQuality(g, assign, workers, s.name)
+			q, err := pregelnet.PartitionQuality(g, assign, workers, s.name)
+			if err != nil {
+				log.Fatal(err)
+			}
 
 			res, err := pregelnet.BetweennessCentrality(g, workers, pregelnet.BCOptions{
 				Roots:      20,
@@ -48,6 +51,57 @@ func main() {
 	}
 	fmt.Println("takeaway: a low edge cut is necessary but not sufficient under BSP —")
 	fmt.Println("per-superstep load balance matters as much as total remote traffic.")
+	fmt.Println()
+	incrementalDemo()
+}
+
+// incrementalDemo shows what happens to a structure-aware layout when the
+// worker set changes: adapting the previous assignment (Spinner-style
+// incremental repartitioning, the elastic runtime's default) moves a small
+// fraction of the vertices and keeps the cut; reshuffling by hash moves
+// almost everything and destroys it.
+func incrementalDemo() {
+	g := pregelnet.Datasets.WG()
+	const from, to = 8, 7
+	prev := pregelnet.StreamingPartitioner().Partition(g, from)
+	prevQ, err := pregelnet.PartitionQuality(g, prev, from, "ldg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	inc := pregelnet.IncrementalPartitioner().(pregelnet.RepartitionerFrom)
+	adapted, err := inc.PartitionFrom(g, prev, to, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptedQ, err := pregelnet.PartitionQuality(g, adapted, to, "incremental")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hash := pregelnet.HashPartitioner.Partition(g, to)
+	hashQ, err := pregelnet.PartitionQuality(g, hash, to, "hash")
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := g.NumVertices()
+	fmt.Printf("=== resize %d -> %d workers on %s (ldg layout, cut %.0f%%) ===\n",
+		from, to, g.Name(), 100*prevQ.CutFraction)
+	fmt.Printf("  %-22s moved %5.1f%% of vertices, cut %4.0f%%, balance %.2f\n",
+		"incremental (delta)", 100*float64(moved(prev, adapted))/float64(n),
+		100*adaptedQ.CutFraction, adaptedQ.Balance)
+	fmt.Printf("  %-22s moved %5.1f%% of vertices, cut %4.0f%%, balance %.2f\n",
+		"hash (full reshuffle)", 100*float64(moved(prev, hash))/float64(n),
+		100*hashQ.CutFraction, hashQ.Balance)
+}
+
+// moved counts vertices whose partition differs between two assignments.
+func moved(a, b pregelnet.Assignment) int {
+	m := 0
+	for v := range a {
+		if a[v] != b[v] {
+			m++
+		}
+	}
+	return m
 }
 
 // peakImbalance returns max/mean worker messages in the busiest superstep.

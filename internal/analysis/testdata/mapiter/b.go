@@ -1,0 +1,74 @@
+// Label-propagation fixtures for the mapiter analyzer: incremental
+// repartitioning and community detection both score candidate labels in a
+// map keyed by label. Ranging that map while sending or folding float
+// affinities bakes iteration order into the result — ties break differently
+// run to run, so a resized run stops being replayable. The engine's own
+// partitioners avoid maps entirely (dense slices indexed by partition); code
+// that does use a label map must drain it through sorted keys.
+package mapiter
+
+import (
+	"sort"
+
+	"pregelvetstub/core"
+)
+
+// lpVertex pushes its current best community label to neighbors. Sending
+// while ranging the affinity map means the "current best" a neighbor sees
+// mid-scan depends on map order.
+type lpVertex struct {
+	affinity map[int32]float64
+	label    int32
+}
+
+func (v *lpVertex) Compute(ctx *core.Context[float64]) {
+	best := 0.0
+	for l, a := range v.affinity { // want "message sends"
+		if a > best {
+			best, v.label = a, l
+		}
+		ctx.Send(core.VertexID(v.label), best)
+	}
+}
+
+// lpScore folds traffic-weighted neighbor affinities into a float score per
+// candidate label: float addition is not associative, so the fold order
+// (map order) changes the low bits, and with them any threshold decision.
+type lpScore struct {
+	perLabel map[int32]float64
+	score    float64
+}
+
+func (p *lpScore) ComputePartition(pc *core.PartitionContext[float64]) {
+	for _, a := range p.perLabel { // want "floating-point accumulation"
+		p.score += a * 0.5
+	}
+}
+
+// The sanctioned spelling, mirroring the incremental partitioner: collect
+// the candidate labels, sort them, and scan in that fixed order. Neither
+// loop is an order-sensitive map range.
+func (v *lpVertex) computeSorted(ctx *core.Context[float64]) {
+	labels := make([]int32, 0, len(v.affinity))
+	for l := range v.affinity {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	best := 0.0
+	for _, l := range labels {
+		if a := v.affinity[l]; a > best {
+			best, v.label = a, l
+		}
+	}
+	ctx.Send(core.VertexID(v.label), best)
+}
+
+// Integer tallies commute exactly; counting labels in map order is fine as
+// long as nothing order-sensitive happens in the loop.
+func (v *lpVertex) countLabels() int {
+	n := 0
+	for range v.affinity {
+		n++
+	}
+	return n
+}

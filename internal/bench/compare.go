@@ -1,6 +1,10 @@
 package bench
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Regression is one benchmark metric that got worse than the allowed
 // fraction between a baseline run and the current run.
@@ -17,16 +21,55 @@ func (r Regression) String() string {
 		r.Name, r.Metric, r.Base, r.Cur, 100*r.Frac)
 }
 
+// Allowance raises the threshold for one benchmark metric to MaxFrac: a
+// known, accepted cost (e.g. a correctness fix that trades allocations for
+// determinism) recorded against a baseline frozen before the trade. An
+// allowance never silences unbounded growth — the metric is still gated,
+// just at its own documented ceiling.
+type Allowance struct {
+	Name    string  // exact benchmark name
+	Metric  string  // "ns/op", "bytes/op", or "allocs/op"
+	MaxFrac float64 // allowed relative growth for this metric
+}
+
+// ParseAllowance parses "name:metric:maxfrac" (benchmark names contain "/"
+// but never ":", so the split is unambiguous).
+func ParseAllowance(s string) (Allowance, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return Allowance{}, fmt.Errorf("allowance %q: want name:metric:maxfrac", s)
+	}
+	switch parts[1] {
+	case "ns/op", "bytes/op", "allocs/op":
+	default:
+		return Allowance{}, fmt.Errorf("allowance %q: unknown metric %q", s, parts[1])
+	}
+	frac, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || frac <= 0 {
+		return Allowance{}, fmt.Errorf("allowance %q: bad maxfrac %q", s, parts[2])
+	}
+	return Allowance{Name: parts[0], Metric: parts[1], MaxFrac: frac}, nil
+}
+
 // Compare flags every benchmark whose ns/op, bytes/op, or allocs/op grew by
 // more than frac (e.g. 0.10 = 10%) relative to the baseline. Benchmarks
 // present on only one side are ignored — adding or retiring a benchmark is
 // not a regression. Improvements are never flagged. The bytes/op gate
 // exists because a pooled buffer that silently stops being reused shows up
-// as heap growth long before it moves ns/op on a quiet machine.
-func Compare(base, cur []Result, frac float64) []Regression {
+// as heap growth long before it moves ns/op on a quiet machine. Allowances
+// raise the threshold for individually named metrics.
+func Compare(base, cur []Result, frac float64, allowances ...Allowance) []Regression {
 	byName := make(map[string]Result, len(base))
 	for _, r := range base {
 		byName[r.Name] = r
+	}
+	limit := func(name, metric string) float64 {
+		for _, a := range allowances {
+			if a.Name == name && a.Metric == metric {
+				return a.MaxFrac
+			}
+		}
+		return frac
 	}
 	var regs []Regression
 	for _, c := range cur {
@@ -34,21 +77,21 @@ func Compare(base, cur []Result, frac float64) []Regression {
 		if !ok {
 			continue
 		}
-		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+frac) {
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+limit(c.Name, "ns/op")) {
 			regs = append(regs, Regression{
 				Name: c.Name, Metric: "ns/op",
 				Base: b.NsPerOp, Cur: c.NsPerOp,
 				Frac: c.NsPerOp/b.NsPerOp - 1,
 			})
 		}
-		if b.BytesPerOp > 0 && float64(c.BytesPerOp) > float64(b.BytesPerOp)*(1+frac) {
+		if b.BytesPerOp > 0 && float64(c.BytesPerOp) > float64(b.BytesPerOp)*(1+limit(c.Name, "bytes/op")) {
 			regs = append(regs, Regression{
 				Name: c.Name, Metric: "bytes/op",
 				Base: float64(b.BytesPerOp), Cur: float64(c.BytesPerOp),
 				Frac: float64(c.BytesPerOp)/float64(b.BytesPerOp) - 1,
 			})
 		}
-		if b.AllocsPerOp > 0 && float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+frac) {
+		if b.AllocsPerOp > 0 && float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+limit(c.Name, "allocs/op")) {
 			regs = append(regs, Regression{
 				Name: c.Name, Metric: "allocs/op",
 				Base: float64(b.AllocsPerOp), Cur: float64(c.AllocsPerOp),

@@ -71,3 +71,43 @@ func TestCompareIgnoresRetiredAndMissingBaselines(t *testing.T) {
 		t.Fatalf("unmatched names flagged: %v", regs)
 	}
 }
+
+// TestCompareAllowances: an allowance raises one metric's gate to its own
+// ceiling without loosening anything else, and growth past the ceiling is
+// still flagged.
+func TestCompareAllowances(t *testing.T) {
+	cur := []Result{
+		{Name: "superstep/pagerank-channel", NsPerOp: 1000, BytesPerOp: 4096, AllocsPerOp: 145}, // +45% allocs
+		{Name: "e2e/bc-tcp", NsPerOp: 5000, BytesPerOp: 1 << 20, AllocsPerOp: 1200},             // +71% allocs
+	}
+	allow := []Allowance{
+		{Name: "superstep/pagerank-channel", Metric: "allocs/op", MaxFrac: 0.55},
+		{Name: "e2e/bc-tcp", Metric: "allocs/op", MaxFrac: 0.55},
+	}
+	regs := Compare(baseResults(), cur, 0.10, allow...)
+	if len(regs) != 1 || regs[0].Name != "e2e/bc-tcp" || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regs = %v, want only the past-ceiling bc-tcp allocs/op", regs)
+	}
+	// Without the allowances both are flagged.
+	if regs := Compare(baseResults(), cur, 0.10); len(regs) != 2 {
+		t.Fatalf("unallowed regs = %v, want 2", regs)
+	}
+	// The allowance is scoped to its metric: an ns/op regression on the same
+	// benchmark still gates at the default threshold.
+	cur[0].NsPerOp = 1300
+	if regs := Compare(baseResults(), cur, 0.10, allow...); len(regs) != 2 {
+		t.Fatalf("regs = %v, want ns/op still gated at 10%%", regs)
+	}
+}
+
+func TestParseAllowance(t *testing.T) {
+	a, err := ParseAllowance("superstep/bc-channel:allocs/op:0.55")
+	if err != nil || a.Name != "superstep/bc-channel" || a.Metric != "allocs/op" || a.MaxFrac != 0.55 {
+		t.Fatalf("a = %+v, err = %v", a, err)
+	}
+	for _, bad := range []string{"", "x:allocs/op", "x:widgets/op:0.5", "x:ns/op:-1", "x:ns/op:zero"} {
+		if _, err := ParseAllowance(bad); err == nil {
+			t.Errorf("ParseAllowance(%q) accepted", bad)
+		}
+	}
+}

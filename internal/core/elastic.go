@@ -55,6 +55,26 @@ type ScaleEvent struct {
 	// clock: state write-out (overlapped with provisioning latency on
 	// scale-out) plus read-in on the new layout.
 	SimSeconds float64 `json:"simSeconds"`
+	// Strategy names the repartitioner that produced the new layout
+	// ("incremental", or "<name>(full)" for a from-scratch reshuffle), so a
+	// silent fallback to a structure-blind layout is visible in summaries.
+	Strategy string `json:"strategy,omitempty"`
+	// MovedVertices counts the vertices whose owner changed.
+	MovedVertices int `json:"movedVertices,omitempty"`
+	// CutBefore / CutAfter are the edge-cut fractions of the old and new
+	// assignments — the partition-quality cost (or recovery) of this resize.
+	CutBefore float64 `json:"cutBefore,omitempty"`
+	CutAfter  float64 `json:"cutAfter,omitempty"`
+}
+
+// ReshuffleDecider is optionally implemented by an ElasticController to pick,
+// per resize, between a delta migration (adapt the previous assignment, move
+// only what balance requires) and a full reshuffle (recompute the layout from
+// scratch). It is consulted only when the job's Repartitioner supports
+// incremental mode; eventIndex is the number of resizes already performed.
+// Controllers that do not implement it get delta migrations for every event.
+type ReshuffleDecider interface {
+	FullReshuffle(fromWorkers, toWorkers, eventIndex int) bool
 }
 
 // resizeRequest is the manager's instruction to Run: the migration blobs
@@ -65,6 +85,14 @@ type resizeRequest struct {
 	toWorkers     int
 	resumeStep    int
 	migratedBytes int64
+	// migratedPerWorker holds each old worker's migration-blob size, so the
+	// billed cross-owner share can be priced per partition instead of
+	// assuming uniform per-vertex state size.
+	migratedPerWorker []int64
+	// traffic is the per-vertex received-message counts loaded from the old
+	// segment's traffic blobs: the affinity signal for incremental
+	// repartitioning, and the seed for the next segment's counters.
+	traffic []int64
 	// suspend marks a barrier preemption rather than a resize: the migration
 	// blobs are written and the segment is halted, but instead of rebuilding
 	// the workers Run releases the VMs and returns a Suspension for a later
@@ -174,11 +202,18 @@ func clampWorkerTarget(target, numVertices int) int {
 	return target
 }
 
-// movedStateBytes estimates the share of a resize's migrated vertex state
+// movedStateBytes computes the share of a resize's migrated vertex state
 // that actually changes owners between the old and new assignments.
 // Vertices retained by a surviving worker restore from its local memory;
 // only the cross-owner share streams over the network and is billed.
-func movedStateBytes(total int64, oldA, newA partition.Assignment) int64 {
+//
+// perWorker holds each old worker's actual migration-blob size from the
+// resize window: partition w's moved share is priced at its own measured
+// per-vertex rate perWorker[w]/|w|, so a partition holding heavyweight state
+// (long adjacency-derived snapshots, deep per-root maps) bills more per moved
+// vertex than a lightweight one. With no usable per-worker sizes the job-wide
+// uniform estimate total·moved/n is used instead.
+func movedStateBytes(total int64, perWorker []int64, oldA, newA partition.Assignment) int64 {
 	n := len(oldA)
 	if n == 0 || len(newA) != n {
 		return total
@@ -187,6 +222,32 @@ func movedStateBytes(total int64, oldA, newA partition.Assignment) int64 {
 	for v := 0; v < n; v++ {
 		if oldA[v] != newA[v] {
 			moved++
+		}
+	}
+	k := len(perWorker)
+	if k > 0 {
+		counts := make([]int64, k)
+		movedIn := make([]int64, k)
+		usable := true
+		for v := 0; v < n; v++ {
+			w := int(oldA[v])
+			if w < 0 || w >= k {
+				usable = false
+				break
+			}
+			counts[w]++
+			if oldA[v] != newA[v] {
+				movedIn[w]++
+			}
+		}
+		if usable {
+			var bytes int64
+			for w := 0; w < k; w++ {
+				if counts[w] > 0 {
+					bytes += perWorker[w] * movedIn[w] / counts[w]
+				}
+			}
+			return bytes
 		}
 	}
 	return total * int64(moved) / int64(n)

@@ -12,6 +12,7 @@ import (
 	"pregelnet/internal/cloud"
 	"pregelnet/internal/graph"
 	"pregelnet/internal/observe"
+	"pregelnet/internal/partition"
 	"pregelnet/internal/transport"
 )
 
@@ -347,5 +348,106 @@ func TestMigrationBlobCorruptionDetected(t *testing.T) {
 	}
 	if err := adoptMigrationBlob(workers, buf.Bytes()); err == nil {
 		t.Fatal("truncated migration blob accepted")
+	}
+}
+
+func TestMovedStateBytesPerPartition(t *testing.T) {
+	// Worker 0 holds 1000 bytes over 2 vertices (500 each); worker 1 holds
+	// 100 bytes over 2 vertices (50 each). Moving one vertex out of worker 0
+	// must bill 500, not the uniform estimate.
+	oldA := partition.Assignment{0, 0, 1, 1}
+	perWorker := []int64{1000, 100}
+	if got := movedStateBytes(1100, perWorker, oldA, partition.Assignment{1, 0, 1, 1}); got != 500 {
+		t.Errorf("one vertex from the heavy worker billed %d bytes, want 500", got)
+	}
+	if got := movedStateBytes(1100, perWorker, oldA, partition.Assignment{1, 0, 0, 1}); got != 550 {
+		t.Errorf("one vertex from each worker billed %d bytes, want 550", got)
+	}
+	if got := movedStateBytes(1100, perWorker, oldA, oldA); got != 0 {
+		t.Errorf("no movement billed %d bytes, want 0", got)
+	}
+}
+
+func TestMovedStateBytesFallsBackToUniform(t *testing.T) {
+	oldA := partition.Assignment{0, 0, 1, 1}
+	newA := partition.Assignment{1, 0, 0, 1} // 2 of 4 moved
+	if got := movedStateBytes(2000, nil, oldA, newA); got != 1000 {
+		t.Errorf("nil perWorker billed %d bytes, want uniform 1000", got)
+	}
+	// An out-of-range entry in the old assignment makes per-partition
+	// weighting unusable; fall back rather than panic or drop the charge.
+	bad := partition.Assignment{0, 5, 1, 1} // 3 of 4 differ from newA
+	if got := movedStateBytes(2000, []int64{1000, 100}, bad, newA); got != 2000*3/4 {
+		t.Errorf("out-of-range oldA billed %d bytes, want uniform fallback", got)
+	}
+	// Mismatched assignment lengths: charge the conservative total.
+	if got := movedStateBytes(2000, nil, oldA, partition.Assignment{0}); got != 2000 {
+		t.Errorf("mismatched lengths billed %d bytes, want the full total", got)
+	}
+}
+
+func TestResizeRecordsStrategyAndCut(t *testing.T) {
+	// The default repartitioner is incremental: a resize must record the
+	// strategy, the delta size, and the cut on both sides of the event.
+	g := graph.ErdosRenyi(300, 900, 5)
+	spec := elasticBFSSpec(g, 2, 0)
+	spec.ElasticController = stepAtController(1, 3)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ScaleEvents) != 1 {
+		t.Fatalf("ScaleEvents = %+v, want exactly one", res.ScaleEvents)
+	}
+	ev := res.ScaleEvents[0]
+	if ev.Strategy != "incremental" {
+		t.Errorf("Strategy = %q, want incremental (the default)", ev.Strategy)
+	}
+	if ev.MovedVertices <= 0 || ev.MovedVertices >= g.NumVertices() {
+		t.Errorf("MovedVertices = %d, want a proper delta of %d vertices", ev.MovedVertices, g.NumVertices())
+	}
+	if ev.CutBefore < 0 || ev.CutBefore > 1 || ev.CutAfter < 0 || ev.CutAfter > 1 {
+		t.Errorf("cut out of range: before=%v after=%v", ev.CutBefore, ev.CutAfter)
+	}
+
+	// An explicit full-reshuffle repartitioner is tagged as such.
+	spec2 := elasticBFSSpec(g, 2, 0)
+	spec2.ElasticController = stepAtController(1, 3)
+	spec2.Repartitioner = partition.Hash{}
+	res2, err := Run(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.ScaleEvents) != 1 || res2.ScaleEvents[0].Strategy != "hash(full)" {
+		t.Errorf("ScaleEvents = %+v, want one hash(full) event", res2.ScaleEvents)
+	}
+}
+
+// reshuffleAlways wraps a controller and forces a full reshuffle on every
+// resize, exercising the ReshuffleDecider hook.
+type reshuffleAlways struct{ ElasticController }
+
+func (reshuffleAlways) FullReshuffle(fromWorkers, toWorkers, eventIndex int) bool { return true }
+
+func TestReshuffleDeciderForcesFull(t *testing.T) {
+	g := graph.ErdosRenyi(300, 900, 5)
+	want := graph.BFS(g, 0)
+	spec := elasticBFSSpec(g, 2, 0)
+	spec.ElasticController = reshuffleAlways{stepAtController(1, 3)}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := migDistances(res, g.NumVertices())
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("vertex %d: dist %d after forced reshuffle, want %d", v, got[v], want[v])
+		}
+	}
+	if len(res.ScaleEvents) != 1 {
+		t.Fatalf("ScaleEvents = %+v, want exactly one", res.ScaleEvents)
+	}
+	if got := res.ScaleEvents[0].Strategy; got != "incremental(full)" {
+		t.Errorf("Strategy = %q, want incremental(full) when the decider forces a reshuffle", got)
 	}
 }

@@ -344,7 +344,12 @@ func (s *JobSpec[M]) withDefaults() (JobSpec[M], error) {
 			return spec, fmt.Errorf("core: ElasticController with a custom Network requires a NetworkFactory to rebuild it after a resize")
 		}
 		if spec.Repartitioner == nil {
-			spec.Repartitioner = partition.Hash{}
+			// Incremental by default: a resize adapts the current assignment
+			// (whatever produced it — METIS, LDG, a caller-supplied layout)
+			// and moves only what balance requires. Defaulting to Hash here
+			// silently hash-shuffled structure-aware layouts at the first
+			// scale event, cutting ≈(k-1)/k of the edges.
+			spec.Repartitioner = partition.NewIncremental()
 		}
 		// Migration blobs live in the checkpoint store.
 		if spec.CheckpointStore == nil {

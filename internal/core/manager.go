@@ -648,7 +648,7 @@ func (m *manager[M]) maybeResize(js *jobState) (*resizeRequest, error) {
 	for w := 0; w < m.spec.NumWorkers; w++ {
 		m.stepQs[w].Put(body)
 	}
-	migrated, err := m.collectMigrateAcks(resume, js.epoch)
+	perWorker, err := m.collectMigrateAcks(resume, js.epoch)
 	if err != nil {
 		if span.Active() {
 			span.End(observe.Str("err", err.Error()))
@@ -660,6 +660,10 @@ func (m *manager[M]) maybeResize(js *jobState) (*resizeRequest, error) {
 		}
 		return nil, nil
 	}
+	var migrated int64
+	for _, b := range perWorker {
+		migrated += b
+	}
 	counter.Inc()
 	if span.Active() {
 		span.End(observe.Int("from", int64(m.spec.NumWorkers)),
@@ -669,43 +673,45 @@ func (m *manager[M]) maybeResize(js *jobState) (*resizeRequest, error) {
 	// Every worker's state is safely in the blob store; end the segment.
 	m.halt()
 	return &resizeRequest{
-		fromWorkers:   m.spec.NumWorkers,
-		toWorkers:     target,
-		resumeStep:    resume,
-		migratedBytes: migrated,
+		fromWorkers:       m.spec.NumWorkers,
+		toWorkers:         target,
+		resumeStep:        resume,
+		migratedBytes:     migrated,
+		migratedPerWorker: perWorker,
 	}, nil
 }
 
 // collectMigrateAcks waits for every worker to confirm writing its
-// migration blob for the resume superstep, returning the total bytes
-// written. Stale superstep check-ins, acks from an abandoned resize attempt
-// before a recovery (wrong epoch), and duplicated acks are drained and
-// ignored, mirroring collectRestoreAcks. The deadline comes from
+// migration blob for the resume superstep, returning the per-worker bytes
+// written (indexed by worker; movedStateBytes prices the cross-owner share
+// from these). Stale superstep check-ins, acks from an abandoned resize
+// attempt before a recovery (wrong epoch), and duplicated acks are drained
+// and ignored, mirroring collectRestoreAcks. The deadline comes from
 // JobSpec.MigrateAckTimeout and the timeout error names the silent workers.
-func (m *manager[M]) collectMigrateAcks(resume, epoch int) (int64, error) {
+func (m *manager[M]) collectMigrateAcks(resume, epoch int) ([]int64, error) {
 	n := m.spec.NumWorkers
 	seen := make([]bool, n)
-	var total int64
+	perWorker := make([]int64, n)
 	deadline := time.Now().Add(m.spec.MigrateAckTimeout)
 	for got := 0; got < n; {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return 0, fmt.Errorf("timeout waiting for migration acks (%d/%d): missing workers %v",
+			return nil, fmt.Errorf("timeout waiting for migration acks (%d/%d): missing workers %v",
 				got, n, missingWorkers(nil, seen))
 		}
 		lease := m.barrierQ.GetWait(m.spec.QueueVisibility, remaining)
 		if lease == nil {
-			return 0, fmt.Errorf("timeout waiting for migration acks (%d/%d): missing workers %v",
+			return nil, fmt.Errorf("timeout waiting for migration acks (%d/%d): missing workers %v",
 				got, n, missingWorkers(nil, seen))
 		}
 		var msg barrierMsg
 		err := json.Unmarshal(lease.Body, &msg)
 		_ = m.barrierQ.Delete(lease.ID)
 		if err != nil {
-			return 0, fmt.Errorf("bad migration ack: %v", err)
+			return nil, fmt.Errorf("bad migration ack: %v", err)
 		}
 		if msg.Worker < 0 || msg.Worker >= n {
-			return 0, fmt.Errorf("migration ack from unknown worker %d", msg.Worker)
+			return nil, fmt.Errorf("migration ack from unknown worker %d", msg.Worker)
 		}
 		if !msg.Migrated || msg.Superstep != resume || msg.Epoch != epoch || seen[msg.Worker] {
 			// Stale check-ins from the just-completed execution, restore
@@ -715,13 +721,13 @@ func (m *manager[M]) collectMigrateAcks(resume, epoch int) (int64, error) {
 			continue
 		}
 		if msg.Err != "" {
-			return 0, fmt.Errorf("worker %d migration failed: %s", msg.Worker, msg.Err)
+			return nil, fmt.Errorf("worker %d migration failed: %s", msg.Worker, msg.Err)
 		}
 		seen[msg.Worker] = true
 		got++
-		total += msg.MigratedBytes
+		perWorker[msg.Worker] = msg.MigratedBytes
 	}
-	return total, nil
+	return perWorker, nil
 }
 
 // restorePrev returns the stats preceding the checkpointed superstep, for

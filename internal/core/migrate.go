@@ -41,6 +41,14 @@ func migrationBlob(superstep, worker int) string {
 	return fmt.Sprintf("m%08d-w%04d", superstep, worker)
 }
 
+// trafficBlob names a worker's per-vertex traffic sidecar for a resize
+// window: the message-delivery counters incremental repartitioning weighs
+// vertices by. Telemetry, not state — it is never adopted into worker
+// inboxes and is excluded from MigratedBytes.
+func trafficBlob(superstep, worker int) string {
+	return fmt.Sprintf("t%08d-w%04d", superstep, worker)
+}
+
 // writeMigration serializes this worker's whole partition for the resume
 // superstep and stores it (with transient-fault retries) in the blob store.
 // Layout: u64 vertex count, then per vertex
@@ -114,7 +122,81 @@ func (w *worker[M]) writeMigration(store *cloud.BlobStore, resumeStep int) (n in
 	}); err != nil {
 		return 0, fmt.Errorf("storing migration blob: %w", err)
 	}
+	w.writeTrafficSidecar(store, resumeStep)
 	return int64(buf.Len()), nil
+}
+
+// writeTrafficSidecar stores this worker's per-vertex traffic counters as
+// (u64 pair count, then u64 globalID | u64 count per non-zero vertex). The
+// sidecar is a heuristic signal for the repartitioner, so a store failure
+// after retries degrades the next layout to unweighted rather than failing
+// the migration.
+func (w *worker[M]) writeTrafficSidecar(store *cloud.BlobStore, resumeStep int) {
+	var buf bytes.Buffer
+	writeU64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf.Write(b[:])
+	}
+	pairs := 0
+	for _, t := range w.vertexTraffic {
+		if t > 0 {
+			pairs++
+		}
+	}
+	writeU64(uint64(pairs))
+	for li, t := range w.vertexTraffic {
+		if t > 0 {
+			writeU64(uint64(w.owned[li]))
+			writeU64(uint64(t))
+		}
+	}
+	_ = w.retry.Do(func() error {
+		return store.Put(migrationContainer, trafficBlob(resumeStep, w.id), buf.Bytes())
+	})
+}
+
+// loadResizeTraffic reassembles the per-vertex traffic counters from every
+// old worker's sidecar. Any missing or malformed sidecar yields nil — the
+// repartitioner then runs unweighted, which only costs layout quality.
+func loadResizeTraffic(store *cloud.BlobStore, retry cloud.RetryPolicy,
+	resumeStep, fromWorkers, n int) []int64 {
+	traffic := make([]int64, n)
+	for ow := 0; ow < fromWorkers; ow++ {
+		var data []byte
+		name := trafficBlob(resumeStep, ow)
+		if err := retry.Do(func() error {
+			var gerr error
+			data, gerr = store.Get(migrationContainer, name)
+			return gerr
+		}); err != nil {
+			return nil
+		}
+		r := bytes.NewReader(data)
+		readU64 := func() (uint64, bool) {
+			var b [8]byte
+			if _, err := io.ReadFull(r, b[:]); err != nil {
+				return 0, false
+			}
+			return binary.LittleEndian.Uint64(b[:]), true
+		}
+		count, ok := readU64()
+		if !ok {
+			return nil
+		}
+		for i := uint64(0); i < count; i++ {
+			gid, ok1 := readU64()
+			t, ok2 := readU64()
+			if !ok1 || !ok2 || gid >= uint64(n) {
+				return nil
+			}
+			traffic[gid] += int64(t)
+		}
+		if r.Len() != 0 {
+			return nil
+		}
+	}
+	return traffic
 }
 
 // adoptMigrations loads every old worker's migration blob and routes each

@@ -33,6 +33,7 @@ type jobInstruments struct {
 	outboxStall  *observe.Histogram // time compute spent blocked on a full outbox
 	scaleOuts    *observe.Counter   // live elastic scale-out resizes
 	scaleIns     *observe.Counter   // live elastic scale-in resizes
+	movedBytes   *observe.Counter   // vertex-state bytes that changed owners in resizes
 	preempts     *observe.Counter   // barrier preemptions (suspend for resume)
 	workersGauge *observe.Gauge     // current worker count (moves at resizes)
 	confined     *observe.Counter   // recoveries handled confined (failed workers only)
@@ -93,6 +94,8 @@ func newJobInstruments(tracer *observe.Tracer, m *observe.Metrics) *jobInstrumen
 		scaleIns: m.Counter("pregel_scale_events_total",
 			"Live elastic resizes performed at superstep barriers, by direction.",
 			observe.Label{Name: "direction", Value: "in"}),
+		movedBytes: m.Counter("pregel_resize_moved_bytes_total",
+			"Vertex-state bytes that changed owners across live resizes (the billed migration traffic)."),
 		preempts: m.Counter("pregel_preemptions_total",
 			"Barrier preemptions: jobs suspended at a superstep barrier for a later resume."),
 		workersGauge: m.Gauge("pregel_workers",

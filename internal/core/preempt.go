@@ -86,7 +86,7 @@ func (m *manager[M]) maybeSuspend(js *jobState) (*resizeRequest, error) {
 	for w := 0; w < m.spec.NumWorkers; w++ {
 		m.stepQs[w].Put(body)
 	}
-	migrated, err := m.collectMigrateAcks(resume, js.epoch)
+	perWorker, err := m.collectMigrateAcks(resume, js.epoch)
 	if err != nil {
 		if span.Active() {
 			span.End(observe.Str("err", err.Error()))
@@ -97,6 +97,10 @@ func (m *manager[M]) maybeSuspend(js *jobState) (*resizeRequest, error) {
 			return nil, rerr
 		}
 		return nil, nil
+	}
+	var migrated int64
+	for _, b := range perWorker {
+		migrated += b
 	}
 	m.ins.preempts.Inc()
 	if span.Active() {

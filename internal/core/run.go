@@ -8,6 +8,7 @@ import (
 	"pregelnet/internal/cloud"
 	"pregelnet/internal/graph"
 	"pregelnet/internal/observe"
+	"pregelnet/internal/partition"
 	"pregelnet/internal/transport"
 )
 
@@ -158,10 +159,15 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 		}
 		// New layout for the next segment, computed up front so the
 		// transition window can be priced on the state that actually
-		// changes owners.
-		newAssign := s.Repartitioner.Partition(s.Graph, resize.toWorkers)
+		// changes owners. The previous assignment seeds an incremental
+		// repartitioner (retained vertices keep their owner); controllers
+		// implementing ReshuffleDecider can force a from-scratch layout
+		// for any given event instead.
+		resize.traffic = loadResizeTraffic(s.CheckpointStore, s.Retry,
+			resize.resumeStep, resize.fromWorkers, s.Graph.NumVertices())
+		newAssign, strategy := nextAssignment(&s, js, resize)
 		if err := newAssign.Validate(resize.toWorkers); err != nil {
-			runErr = fmt.Errorf("core: repartition for %d workers: %w", resize.toWorkers, err)
+			runErr = fmt.Errorf("core: repartition (%s) for %d workers: %w", strategy, resize.toWorkers, err)
 			break
 		}
 		// Bill the transition window in its two phases: the old layout's
@@ -173,7 +179,7 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 		// whose owner changes crosses the network: retained partitions
 		// stay in their worker's memory (the full blob write is the
 		// simulator's migration artifact, not billed traffic).
-		moved := movedStateBytes(resize.migratedBytes, s.Assignment, newAssign)
+		moved := movedStateBytes(resize.migratedBytes, resize.migratedPerWorker, s.Assignment, newAssign)
 		writeSec, readSec := s.CostModel.ResizePhases(resize.fromWorkers, resize.toWorkers, moved)
 		overhead := writeSec + readSec
 		fabric.Advance(writeSec)
@@ -186,13 +192,25 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 			vms = vms[:resize.toWorkers]
 		}
 		fabric.Advance(readSec)
-		js.scaleEvents = append(js.scaleEvents, ScaleEvent{
+		ev := ScaleEvent{
 			Superstep:     resize.resumeStep,
 			FromWorkers:   resize.fromWorkers,
 			ToWorkers:     resize.toWorkers,
 			MigratedBytes: moved,
 			SimSeconds:    overhead,
-		})
+			Strategy:      strategy,
+			MovedVertices: partition.MovedVertices(s.Assignment, newAssign),
+			CutBefore:     partition.CutFraction(s.Graph, s.Assignment),
+			CutAfter:      partition.CutFraction(s.Graph, newAssign),
+		}
+		js.scaleEvents = append(js.scaleEvents, ev)
+		ins.movedBytes.Add(moved)
+		if s.Tracer.Enabled() {
+			s.Tracer.Emit(observe.KindRepartition, observe.ManagerWorker, resize.resumeStep,
+				observe.Str("strategy", strategy),
+				observe.Int("moved_vertices", int64(ev.MovedVertices)),
+				observe.Int("moved_bytes", moved))
+		}
 		// Switch to the new layout: advance the segment (fresh control
 		// queues) and the data-plane epoch (the rebuilt network's streams
 		// must never be confusable with the old segment's), and force a
@@ -292,6 +310,26 @@ func Run[M any](spec JobSpec[M]) (*JobResult[M], error) {
 	return result, nil
 }
 
+// nextAssignment chooses the layout for a resize's new worker count. With a
+// RepartitionerFrom (the default), the previous assignment is adapted in
+// place — a delta migration — unless the controller's ReshuffleDecider asks
+// for a full reshuffle of this event. The returned strategy name lands in
+// the ScaleEvent: "<name>(full)" marks a from-scratch layout.
+func nextAssignment[M any](s *JobSpec[M], js *jobState, resize *resizeRequest) (partition.Assignment, string) {
+	rf, incremental := s.Repartitioner.(partition.RepartitionerFrom)
+	if incremental && len(s.Assignment) == s.Graph.NumVertices() {
+		if dec, ok := s.ElasticController.(ReshuffleDecider); !ok ||
+			!dec.FullReshuffle(resize.fromWorkers, resize.toWorkers, len(js.scaleEvents)) {
+			if a, err := rf.PartitionFrom(s.Graph, s.Assignment, resize.toWorkers, resize.traffic); err == nil {
+				return a, rf.Name()
+			}
+			// A previous-assignment mismatch falls through to a full
+			// reshuffle rather than failing a running job.
+		}
+	}
+	return s.Repartitioner.Partition(s.Graph, resize.toWorkers), s.Repartitioner.Name() + "(full)"
+}
+
 // runSegment builds the worker set for the spec's current segment
 // (assignment, worker count, queue names), optionally adopts migrated
 // vertex state from the previous segment, and drives the manager until the
@@ -389,6 +427,16 @@ func runSegment[M any](s *JobSpec[M], js *jobState, fabric *cloud.Fabric,
 		if err := adoptMigrations(workers, s.CheckpointStore, s.Retry, adopt.resumeStep, adopt.fromWorkers); err != nil {
 			closeNet()
 			return nil, nil, fmt.Errorf("core: adopting migrated state: %w", err)
+		}
+		// Carry the traffic counters across the resize so the affinity
+		// signal accumulates over the whole job instead of restarting from
+		// zero in every segment.
+		if len(adopt.traffic) == n {
+			for _, w := range workers {
+				for li, gid := range w.owned {
+					w.vertexTraffic[li] = adopt.traffic[gid]
+				}
+			}
 		}
 	}
 

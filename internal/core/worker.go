@@ -164,6 +164,14 @@ type worker[M any] struct {
 	inboxCurBytes int64
 	inboxNextByts atomic.Int64
 	inboxLocks    [inboxStripes]sync.Mutex
+	// vertexTraffic counts messages delivered to each owned vertex across the
+	// whole segment (local sends and remote receives alike — deliverLocal is
+	// the one point every delivery funnels through). It is the per-vertex
+	// affinity signal incremental repartitioning weighs edges by; a heuristic
+	// only, never consulted by the compute path. Guarded by the same stripe
+	// locks as the inboxes; read at migrate time, after the sentinel wait's
+	// happens-before edge, so no extra synchronization is needed.
+	vertexTraffic []int64
 
 	endpoint transport.Endpoint
 	stepQ    *cloud.Queue
@@ -278,6 +286,7 @@ func newWorker[M any](spec *JobSpec[M], id int, owned []graph.VertexID,
 		doneThrough:    -1,
 		recvStreams:    make([]recvStream, spec.NumWorkers),
 		injectedBits:   make([]uint64, (len(owned)+63)/64),
+		vertexTraffic:  make([]int64, len(owned)),
 	}
 	for i := range w.recvStreams {
 		w.recvStreams[i].next = 1 // senders stamp from 1 within each epoch
@@ -865,6 +874,7 @@ func (w *worker[M]) deliverLocal(li int32, m M, size int64) {
 	stripe := int(li) % inboxStripes
 	lock := &w.inboxLocks[stripe]
 	lock.Lock()
+	w.vertexTraffic[li]++
 	if w.combiner != nil {
 		if w.inboxHasNext[li] {
 			w.inboxOneNext[li] = w.combiner.Combine(w.inboxOneNext[li], m)

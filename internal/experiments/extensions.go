@@ -94,7 +94,10 @@ func ExtPartitioners(cfg Config) (*Report, error) {
 		for _, k := range []int{4, 8, 16} {
 			row := []string{g.Name(), fmt.Sprintf("%d", k)}
 			for _, p := range partitioners {
-				q := partition.Evaluate(g, p.Partition(g, k), k, p.Name())
+				q, err := partition.Evaluate(g, p.Partition(g, k), k, p.Name())
+				if err != nil {
+					return nil, err
+				}
 				row = append(row, fmt.Sprintf("%.0f%% (%.2f)", 100*q.CutFraction, q.Balance))
 			}
 			t.AddRow(row...)

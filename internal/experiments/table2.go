@@ -26,7 +26,10 @@ func Table2(cfg Config) (*Report, error) {
 	}
 	for _, g := range []*graph.Graph{graph.DatasetWG(), graph.DatasetCP()} {
 		for _, p := range partitioners {
-			q := partition.Evaluate(g, p.Partition(g, k), k, p.Name())
+			q, err := partition.Evaluate(g, p.Partition(g, k), k, p.Name())
+			if err != nil {
+				return nil, err
+			}
 			t.AddRow(g.Name(), p.Name(),
 				fmt.Sprintf("%.0f%%", 100*q.CutFraction),
 				fmt.Sprintf("%.3f", q.Balance))

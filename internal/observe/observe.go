@@ -68,6 +68,10 @@ const (
 	// KindMigrate spans one worker writing its migration blob during a live
 	// resize.
 	KindMigrate Kind = "migrate"
+	// KindRepartition marks the layout decision of a live resize: the
+	// strategy used (incremental delta vs. full reshuffle), the vertices
+	// whose owner changed, and the billed moved bytes.
+	KindRepartition Kind = "repartition"
 	// KindOutboxFlush spans a worker's end-of-superstep flush-and-drain of
 	// all per-destination outboxes (sentinel broadcast included).
 	KindOutboxFlush Kind = "outbox_flush"

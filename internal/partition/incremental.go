@@ -1,0 +1,290 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"pregelnet/internal/graph"
+)
+
+// Incremental repartitioning (Spinner, Martella et al.): when the worker set
+// changes, a running job should not throw its layout away and reshuffle from
+// scratch. Instead the previous assignment seeds a label-propagation pass —
+// each vertex's current owner is its label — and only the minimum set of
+// vertices needed to satisfy the balance constraint changes label. Vertices
+// that must move pick their new partition with the LDG placement rule from
+// streaming.go, optionally weighted by observed per-vertex message traffic so
+// chatty vertices gravitate toward the partitions they talk to most.
+
+// RepartitionerFrom is implemented by partitioners that can adapt an existing
+// assignment to a new partition count incrementally, instead of recomputing a
+// layout from scratch. traffic, when non-nil, holds per-vertex received
+// message counts observed during the run (len == g.NumVertices()); it is a
+// heuristic affinity signal only and never affects which vertices are
+// *eligible* to move.
+type RepartitionerFrom interface {
+	Partitioner
+	// PartitionFrom returns an assignment for k partitions in which every
+	// vertex whose previous partition survives (prev[v] in [0,k)) keeps it
+	// unless it must move to restore balance. Vertices whose previous
+	// partition does not survive are placed greedily.
+	PartitionFrom(g *graph.Graph, prev Assignment, k int, traffic []int64) (Assignment, error)
+}
+
+// IncrementalSlack is the default balance slack for incremental
+// repartitioning. It is looser than LDG's DefaultSlack because every unit of
+// slack saved here is paid for in migrated vertices: capacity slack·n/k
+// bounds the imbalance while letting retained vertices stay put.
+const IncrementalSlack = 1.10
+
+// Incremental adapts a previous assignment to a new partition count, moving
+// only (a) vertices whose old partition index no longer exists and (b) the
+// minimum number of vertices needed to bring every partition under the
+// capacity slack·n/k. Fresh jobs (no previous assignment) fall back to the
+// Seeder for the initial layout.
+type Incremental struct {
+	// Slack bounds partition size at slack·n/k (IncrementalSlack if <= 1).
+	Slack float64
+	// Seeder produces the initial assignment when there is no previous one.
+	// Defaults to LDG with the standard slack.
+	Seeder Partitioner
+}
+
+// NewIncremental returns an incremental repartitioner with the default slack
+// and an LDG seeder.
+func NewIncremental() *Incremental {
+	return &Incremental{Slack: IncrementalSlack, Seeder: NewLDG(DefaultSlack)}
+}
+
+// Name implements Partitioner.
+func (inc *Incremental) Name() string { return "incremental" }
+
+// Partition implements Partitioner by delegating to the Seeder: with no
+// previous assignment there is nothing to be incremental about.
+func (inc *Incremental) Partition(g *graph.Graph, k int) Assignment {
+	s := inc.Seeder
+	if s == nil {
+		s = NewLDG(DefaultSlack)
+	}
+	return s.Partition(g, k)
+}
+
+// capacity returns the integer per-partition capacity. It is at least
+// ceil(n/k) so that k partitions can always hold all n vertices — without
+// that floor a tight slack could make the rebalance loop unsatisfiable.
+func (inc *Incremental) capacity(n, k int) int {
+	slack := inc.Slack
+	if slack <= 1 {
+		slack = IncrementalSlack
+	}
+	c := int(slack * float64(n) / float64(k))
+	if ceil := (n + k - 1) / k; c < ceil {
+		c = ceil
+	}
+	return c
+}
+
+// PartitionFrom implements RepartitionerFrom. The algorithm is deterministic:
+// all iteration is in vertex-ID order and every tie breaks toward the smaller
+// partition size, then the lower partition index, then the lower vertex ID.
+func (inc *Incremental) PartitionFrom(g *graph.Graph, prev Assignment, k int,
+	traffic []int64) (Assignment, error) {
+	n := g.NumVertices()
+	if len(prev) != n {
+		return nil, fmt.Errorf("partition: previous assignment covers %d vertices, graph has %d", len(prev), n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k = %d, want >= 1", k)
+	}
+	capInt := inc.capacity(n, k)
+	weight := trafficWeights(traffic, n)
+
+	// Seed from the previous labels. Vertices whose partition index no longer
+	// exists (scale-in) or was never valid become orphans to place greedily.
+	a := make(Assignment, n)
+	sizes := make([]int, k)
+	orphans := make([]graph.VertexID, 0)
+	for v := range prev {
+		if p := prev[v]; p >= 0 && int(p) < k {
+			a[v] = p
+			sizes[p]++
+		} else {
+			a[v] = -1
+			orphans = append(orphans, graph.VertexID(v))
+		}
+	}
+
+	// affinity fills aff[p] with the (traffic-weighted) number of v's
+	// neighbors currently assigned to p.
+	aff := make([]float64, k)
+	affinity := func(v graph.VertexID) {
+		for p := range aff {
+			aff[p] = 0
+		}
+		for _, u := range g.Neighbors(v) {
+			if p := a[u]; p >= 0 {
+				w := 1.0
+				if weight != nil {
+					w = weight[u]
+				}
+				aff[p] += w
+			}
+		}
+	}
+
+	// Phase 1 — place orphans with the LDG rule over the seeded layout:
+	// maximize affinity(p) · (1 − size(p)/C), skipping full partitions. Some
+	// partition is always below capInt while any vertex is unplaced, because
+	// k·capInt >= n.
+	for _, v := range orphans {
+		affinity(v)
+		best, bestScore := -1, -1.0
+		for p := 0; p < k; p++ {
+			if sizes[p] >= capInt {
+				continue
+			}
+			score := aff[p] * (1 - float64(sizes[p])/float64(capInt))
+			if score > bestScore ||
+				(score == bestScore && (best < 0 || sizes[p] < sizes[best])) {
+				best, bestScore = p, score
+			}
+		}
+		if best < 0 {
+			// Unreachable while k·capInt >= n; keep the LDG fallback anyway.
+			best = 0
+			for p := 1; p < k; p++ {
+				if sizes[p] < sizes[best] {
+					best = p
+				}
+			}
+		}
+		a[v] = int32(best)
+		sizes[best]++
+	}
+
+	// Phase 2 — shed overflow. A retained partition can exceed capacity when
+	// k shrank the ideal size under it (scale-out) or the previous layout was
+	// already imbalanced. Evict exactly size−capInt vertices per overfull
+	// partition, choosing the ones that lose the least locally: highest
+	// (affinity to best other partition − affinity to home).
+	for p := 0; p < k; p++ {
+		if sizes[p] > capInt {
+			inc.shed(g, a, sizes, p, capInt, affinity, aff)
+		}
+	}
+	return a, nil
+}
+
+// shedCandidate is one vertex eligible to leave an overfull partition.
+type shedCandidate struct {
+	v    graph.VertexID
+	gain float64   // affinity to its best alternative minus affinity to home
+	aff  []float64 // per-partition affinity snapshot, for target selection
+}
+
+// shed evicts sizes[from]−capInt vertices from an overfull partition into
+// underfull ones, preferring vertices whose neighborhoods already live
+// elsewhere. Targets are re-checked against capacity as moves land, so a
+// popular destination filling up redirects later evictions deterministically.
+func (inc *Incremental) shed(g *graph.Graph, a Assignment, sizes []int,
+	from, capInt int, affinity func(graph.VertexID), aff []float64) {
+	need := sizes[from] - capInt
+	cands := make([]shedCandidate, 0, sizes[from])
+	for v := 0; v < len(a); v++ {
+		if int(a[v]) != from {
+			continue
+		}
+		vid := graph.VertexID(v)
+		affinity(vid)
+		row := make([]float64, len(aff))
+		copy(row, aff)
+		bestOther := -1.0
+		for p, w := range row {
+			if p != from && w > bestOther {
+				bestOther = w
+			}
+		}
+		cands = append(cands, shedCandidate{v: vid, gain: bestOther - row[from], aff: row})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].gain != cands[j].gain {
+			return cands[i].gain > cands[j].gain
+		}
+		return cands[i].v < cands[j].v
+	})
+	for _, c := range cands {
+		if need == 0 {
+			break
+		}
+		// Best currently-underfull target by affinity; ties toward the
+		// smaller partition, then the lower index.
+		best := -1
+		for p := range c.aff {
+			if p == from || sizes[p] >= capInt {
+				continue
+			}
+			if best < 0 || c.aff[p] > c.aff[best] ||
+				(c.aff[p] == c.aff[best] && sizes[p] < sizes[best]) {
+				best = p
+			}
+		}
+		if best < 0 {
+			// Every other partition is at capacity: the remaining overflow is
+			// within the ceil(n/k) floor's rounding and can stay.
+			break
+		}
+		a[c.v] = int32(best)
+		sizes[best]++
+		sizes[from]--
+		need--
+	}
+}
+
+// trafficWeights converts raw per-vertex message counts into multiplicative
+// edge weights >= 1: w(v) = 1 + traffic(v)/mean. A nil or mismatched slice
+// (or one with no observed traffic) yields nil, meaning unweighted.
+func trafficWeights(traffic []int64, n int) []float64 {
+	if len(traffic) != n || n == 0 {
+		return nil
+	}
+	var total int64
+	for _, t := range traffic {
+		total += t
+	}
+	if total <= 0 {
+		return nil
+	}
+	mean := float64(total) / float64(n)
+	w := make([]float64, n)
+	for v, t := range traffic {
+		w[v] = 1 + float64(t)/mean
+	}
+	return w
+}
+
+// MovedVertices counts the vertices whose owner differs between two
+// assignments of the same length.
+func MovedVertices(oldA, newA Assignment) int {
+	moved := 0
+	for v := range oldA {
+		if v < len(newA) && oldA[v] != newA[v] {
+			moved++
+		}
+	}
+	return moved
+}
+
+// CutFraction returns the fraction of directed edges whose endpoints are in
+// different partitions, 0 for an empty or mismatched assignment.
+func CutFraction(g *graph.Graph, a Assignment) float64 {
+	if len(a) != g.NumVertices() || g.NumEdges() == 0 {
+		return 0
+	}
+	cut := 0
+	g.ForEachEdge(func(u, v graph.VertexID) {
+		if a[u] != a[v] {
+			cut++
+		}
+	})
+	return float64(cut) / float64(g.NumEdges())
+}

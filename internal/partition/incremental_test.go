@@ -1,0 +1,238 @@
+package partition
+
+import (
+	"testing"
+
+	"pregelnet/internal/graph"
+)
+
+func TestIncrementalFreshDelegatesToSeeder(t *testing.T) {
+	g := graph.WattsStrogatz(2000, 6, 0.05, 3)
+	inc := NewIncremental()
+	a := inc.Partition(g, 8)
+	ldg := NewLDG(DefaultSlack).Partition(g, 8)
+	for v := range a {
+		if a[v] != ldg[v] {
+			t.Fatalf("fresh incremental layout differs from LDG at vertex %d", v)
+		}
+	}
+}
+
+func TestIncrementalScaleInMovesOnlyOrphans(t *testing.T) {
+	g := graph.WattsStrogatz(2000, 6, 0.05, 3)
+	inc := NewIncremental()
+	prev := NewLDG(DefaultSlack).Partition(g, 8)
+	a, err := inc.PartitionFrom(g, prev, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(7); err != nil {
+		t.Fatal(err)
+	}
+	// Scale-in 8 -> 7: partition 7's vertices are orphans (~1/8 of the
+	// graph); everyone else keeps its owner unless balance forces a move.
+	// With slack 1.10 the retained partitions have headroom, so nothing but
+	// the orphans should move.
+	moved := MovedVertices(prev, a)
+	orphans := 0
+	for _, p := range prev {
+		if p == 7 {
+			orphans++
+		}
+	}
+	if moved != orphans {
+		t.Errorf("moved %d vertices, want exactly the %d orphans", moved, orphans)
+	}
+	for v := range prev {
+		if prev[v] != 7 && a[v] != prev[v] {
+			t.Errorf("retained vertex %d moved %d -> %d", v, prev[v], a[v])
+		}
+	}
+	capInt := inc.capacity(g.NumVertices(), 7)
+	for p, s := range a.Sizes(7) {
+		if s > capInt {
+			t.Errorf("partition %d has %d vertices, capacity %d", p, s, capInt)
+		}
+	}
+}
+
+func TestIncrementalScaleOutMovesMinimum(t *testing.T) {
+	g := graph.WattsStrogatz(2000, 6, 0.05, 3)
+	inc := NewIncremental()
+	prev := NewLDG(DefaultSlack).Partition(g, 7)
+	a, err := inc.PartitionFrom(g, prev, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	// Scale-out 7 -> 8: no orphans; only the overflow above the new capacity
+	// moves (into the empty partition 7). The minimum movement is
+	// sum over partitions of max(0, size - cap).
+	capInt := inc.capacity(g.NumVertices(), 8)
+	want := 0
+	for _, s := range prev.Sizes(7) {
+		if s > capInt {
+			want += s - capInt
+		}
+	}
+	moved := MovedVertices(prev, a)
+	if moved != want {
+		t.Errorf("moved %d vertices, want the minimum %d", moved, want)
+	}
+	// A hash reshuffle on the same event moves nearly everything.
+	hashMoved := MovedVertices(prev, Hash{}.Partition(g, 8))
+	if moved*4 > hashMoved {
+		t.Errorf("incremental moved %d, hash %d: want <= 25%%", moved, hashMoved)
+	}
+	for p, s := range a.Sizes(8) {
+		if s > capInt {
+			t.Errorf("partition %d has %d vertices, capacity %d", p, s, capInt)
+		}
+	}
+}
+
+func TestIncrementalPreservesCut(t *testing.T) {
+	g := graph.WattsStrogatz(2000, 6, 0.05, 3)
+	inc := NewIncremental()
+	prev := NewLDG(DefaultSlack).Partition(g, 8)
+	prevCut := CutFraction(g, prev)
+	a, err := inc.PartitionFrom(g, prev, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incCut := CutFraction(g, a)
+	hashCut := CutFraction(g, Hash{}.Partition(g, 7))
+	t.Logf("cut: prev=%.3f incremental=%.3f hash=%.3f", prevCut, incCut, hashCut)
+	// The adapted layout keeps most of the structure the seed found: far
+	// better than a hash reshuffle and within a modest factor of the
+	// pre-resize cut.
+	if incCut >= hashCut {
+		t.Errorf("incremental cut %.3f not better than hash %.3f", incCut, hashCut)
+	}
+	if incCut > prevCut+0.15 {
+		t.Errorf("incremental cut %.3f degraded too far from %.3f", incCut, prevCut)
+	}
+}
+
+func TestIncrementalDeterministic(t *testing.T) {
+	g := graph.DatasetSD()
+	traffic := make([]int64, g.NumVertices())
+	for v := range traffic {
+		traffic[v] = int64(v % 17)
+	}
+	inc := NewIncremental()
+	prev := NewLDG(DefaultSlack).Partition(g, 5)
+	a1, err := inc.PartitionFrom(g, prev, 4, traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := inc.PartitionFrom(g, prev, 4, traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a1 {
+		if a1[v] != a2[v] {
+			t.Fatalf("nondeterministic at vertex %d: %d vs %d", v, a1[v], a2[v])
+		}
+	}
+}
+
+func TestIncrementalTrafficWeightingValid(t *testing.T) {
+	g := graph.Community(2000, 16, 4, 0.9, 5)
+	inc := NewIncremental()
+	prev := NewLDG(DefaultSlack).Partition(g, 8)
+	// Skew traffic heavily toward the low-ID half; the layout must stay
+	// valid and balanced regardless of the weighting.
+	traffic := make([]int64, g.NumVertices())
+	for v := 0; v < len(traffic)/2; v++ {
+		traffic[v] = 100
+	}
+	a, err := inc.PartitionFrom(g, prev, 6, traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	capInt := inc.capacity(g.NumVertices(), 6)
+	for p, s := range a.Sizes(6) {
+		if s > capInt {
+			t.Errorf("partition %d has %d vertices, capacity %d", p, s, capInt)
+		}
+	}
+}
+
+func TestIncrementalPrevMismatch(t *testing.T) {
+	g := graph.Ring(10)
+	inc := NewIncremental()
+	if _, err := inc.PartitionFrom(g, make(Assignment, 5), 2, nil); err == nil {
+		t.Error("expected an error for a mismatched previous assignment")
+	}
+	if _, err := inc.PartitionFrom(g, make(Assignment, 10), 0, nil); err == nil {
+		t.Error("expected an error for k = 0")
+	}
+}
+
+func TestIncrementalK1AndEmpty(t *testing.T) {
+	g := graph.Ring(10)
+	inc := NewIncremental()
+	prev := Hash{}.Partition(g, 4)
+	a, err := inc.PartitionFrom(g, prev, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range a {
+		if p != 0 {
+			t.Fatal("k=1 must assign everything to partition 0")
+		}
+	}
+	empty := graph.NewBuilder(0).Build()
+	if a, err := inc.PartitionFrom(empty, Assignment{}, 4, nil); err != nil || len(a) != 0 {
+		t.Fatalf("empty graph: a=%v err=%v", a, err)
+	}
+}
+
+func TestEvaluateRejectsBadAssignments(t *testing.T) {
+	g := graph.Ring(10)
+	bad := make(Assignment, 10)
+	bad[3] = 42
+	if _, err := Evaluate(g, bad, 4, "bad"); err == nil {
+		t.Error("expected an error for an out-of-range partition index")
+	}
+	bad[3] = -1
+	if _, err := Evaluate(g, bad, 4, "bad"); err == nil {
+		t.Error("expected an error for a negative partition index")
+	}
+	if _, err := Evaluate(g, make(Assignment, 4), 4, "short"); err == nil {
+		t.Error("expected an error for a short assignment")
+	}
+	if _, err := Evaluate(g, make(Assignment, 10), 0, "k0"); err == nil {
+		t.Error("expected an error for k = 0")
+	}
+}
+
+func TestSizesDefensive(t *testing.T) {
+	a := Assignment{0, 1, 99, -1, 1}
+	sizes := a.Sizes(2) // must not panic on out-of-range entries
+	if sizes[0] != 1 || sizes[1] != 2 {
+		t.Errorf("Sizes = %v, want [1 2]", sizes)
+	}
+}
+
+func TestTrafficWeights(t *testing.T) {
+	if trafficWeights(nil, 4) != nil {
+		t.Error("nil traffic should give nil weights")
+	}
+	if trafficWeights(make([]int64, 3), 4) != nil {
+		t.Error("mismatched traffic should give nil weights")
+	}
+	if trafficWeights(make([]int64, 4), 4) != nil {
+		t.Error("all-zero traffic should give nil weights")
+	}
+	w := trafficWeights([]int64{0, 2, 4, 2}, 4)
+	if w == nil || w[0] != 1 || w[2] <= w[1] {
+		t.Errorf("weights = %v", w)
+	}
+}

@@ -29,11 +29,15 @@ func (a Assignment) NumPartitions() int {
 	return int(maxP + 1)
 }
 
-// Sizes returns the number of vertices per partition.
+// Sizes returns the number of vertices per partition. Entries outside
+// [0, k) are skipped rather than indexed — Validate is the place that
+// reports them as errors.
 func (a Assignment) Sizes(k int) []int {
 	sizes := make([]int, k)
 	for _, p := range a {
-		sizes[p]++
+		if p >= 0 && int(p) < k {
+			sizes[p]++
+		}
 	}
 	return sizes
 }
@@ -110,8 +114,19 @@ type Quality struct {
 	Sizes       []int
 }
 
-// Evaluate measures the quality of an assignment.
-func Evaluate(g *graph.Graph, a Assignment, k int, strategy string) Quality {
+// Evaluate measures the quality of an assignment. The assignment is
+// validated before any metric touches it, so a vertex assigned outside
+// [0, k) is a diagnosable error, not an index panic.
+func Evaluate(g *graph.Graph, a Assignment, k int, strategy string) (Quality, error) {
+	if k < 1 {
+		return Quality{}, fmt.Errorf("partition: k = %d, want >= 1", k)
+	}
+	if len(a) != g.NumVertices() {
+		return Quality{}, fmt.Errorf("partition: assignment covers %d vertices, graph has %d", len(a), g.NumVertices())
+	}
+	if err := a.Validate(k); err != nil {
+		return Quality{}, err
+	}
 	q := Quality{Strategy: strategy, K: k, Sizes: a.Sizes(k)}
 	cut := 0
 	g.ForEachEdge(func(u, v graph.VertexID) {
@@ -133,11 +148,12 @@ func Evaluate(g *graph.Graph, a Assignment, k int, strategy string) Quality {
 		ideal := float64(g.NumVertices()) / float64(k)
 		q.Balance = float64(maxSize) / ideal
 	}
-	return q
+	return q, nil
 }
 
-// ByName returns the partitioner registered under name, or nil.
-// Recognized: "hash", "chunk", "ldg", "fennel", "metis" (and "multilevel").
+// ByName returns the partitioner registered under name, or nil. Recognized:
+// "hash", "chunk", "ldg", "fennel", "metis" (and "multilevel"),
+// "incremental" (and "spinner").
 func ByName(name string) Partitioner {
 	switch name {
 	case "hash":
@@ -150,6 +166,8 @@ func ByName(name string) Partitioner {
 		return NewFennel()
 	case "metis", "multilevel":
 		return NewMultilevel()
+	case "incremental", "spinner":
+		return NewIncremental()
 	}
 	return nil
 }

@@ -7,6 +7,16 @@ import (
 	"pregelnet/internal/graph"
 )
 
+// mustEval evaluates an assignment, failing the test on a validation error.
+func mustEval(t *testing.T, g *graph.Graph, a Assignment, k int, strategy string) Quality {
+	t.Helper()
+	q, err := Evaluate(g, a, k, strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
 func TestHash(t *testing.T) {
 	g := graph.Ring(10)
 	a := Hash{}.Partition(g, 4)
@@ -60,7 +70,7 @@ func TestEvaluateRingChunk(t *testing.T) {
 	// A ring of 12 in 4 chunks cuts exactly 4 undirected edges = 8 directed.
 	g := graph.Ring(12)
 	a := Chunk{}.Partition(g, 4)
-	q := Evaluate(g, a, 4, "chunk")
+	q := mustEval(t, g, a, 4, "chunk")
 	if q.EdgeCut != 8 {
 		t.Errorf("edge cut = %d, want 8", q.EdgeCut)
 	}
@@ -72,7 +82,7 @@ func TestEvaluateRingChunk(t *testing.T) {
 func TestEvaluateHashCutsNearlyEverything(t *testing.T) {
 	g := graph.DatasetSD()
 	k := 8
-	q := Evaluate(g, Hash{}.Partition(g, k), k, "hash")
+	q := mustEval(t, g, Hash{}.Partition(g, k), k, "hash")
 	// Expect ~ (k-1)/k = 87.5% cut, as the paper reports ~87%.
 	if q.CutFraction < 0.80 || q.CutFraction > 0.95 {
 		t.Errorf("hash cut fraction = %.2f, want ~0.875", q.CutFraction)
@@ -82,13 +92,13 @@ func TestEvaluateHashCutsNearlyEverything(t *testing.T) {
 func TestLDGBeatsHashOnLocalGraph(t *testing.T) {
 	g := graph.WattsStrogatz(2000, 6, 0.05, 3)
 	k := 8
-	hashQ := Evaluate(g, Hash{}.Partition(g, k), k, "hash")
+	hashQ := mustEval(t, g, Hash{}.Partition(g, k), k, "hash")
 	ldg := NewLDG(DefaultSlack)
 	a := ldg.Partition(g, k)
 	if err := a.Validate(k); err != nil {
 		t.Fatal(err)
 	}
-	q := Evaluate(g, a, k, "ldg")
+	q := mustEval(t, g, a, k, "ldg")
 	if q.CutFraction >= hashQ.CutFraction {
 		t.Errorf("LDG cut %.3f not better than hash %.3f", q.CutFraction, hashQ.CutFraction)
 	}
@@ -116,8 +126,8 @@ func TestLDGBFSOrder(t *testing.T) {
 	if err := a.Validate(k); err != nil {
 		t.Fatal(err)
 	}
-	q := Evaluate(g, a, k, "ldg-bfs")
-	hashQ := Evaluate(g, Hash{}.Partition(g, k), k, "hash")
+	q := mustEval(t, g, a, k, "ldg-bfs")
+	hashQ := mustEval(t, g, Hash{}.Partition(g, k), k, "hash")
 	if q.CutFraction >= hashQ.CutFraction {
 		t.Errorf("LDG-BFS cut %.3f not better than hash %.3f", q.CutFraction, hashQ.CutFraction)
 	}
@@ -132,7 +142,7 @@ func TestMultilevelRing(t *testing.T) {
 	if err := a.Validate(4); err != nil {
 		t.Fatal(err)
 	}
-	q := Evaluate(g, a, 4, "metis")
+	q := mustEval(t, g, a, 4, "metis")
 	if q.EdgeCut > 16 {
 		t.Errorf("ring 4-way cut = %d directed edges, want <= 16", q.EdgeCut)
 	}
@@ -146,7 +156,7 @@ func TestMultilevelGrid(t *testing.T) {
 	m := NewMultilevel()
 	k := 4
 	a := m.Partition(g, k)
-	q := Evaluate(g, a, k, "metis")
+	q := mustEval(t, g, a, k, "metis")
 	// Optimal 4-way cut of a 32x32 grid is ~64 undirected edges (two
 	// straight cuts); accept up to 3x.
 	if q.EdgeCut > 3*2*64 {
@@ -160,9 +170,9 @@ func TestMultilevelGrid(t *testing.T) {
 func TestMultilevelBeatsLDGAndHash(t *testing.T) {
 	g := graph.DatasetCP()
 	k := 8
-	hashQ := Evaluate(g, Hash{}.Partition(g, k), k, "hash")
-	ldgQ := Evaluate(g, NewLDG(DefaultSlack).Partition(g, k), k, "ldg")
-	metisQ := Evaluate(g, NewMultilevel().Partition(g, k), k, "metis")
+	hashQ := mustEval(t, g, Hash{}.Partition(g, k), k, "hash")
+	ldgQ := mustEval(t, g, NewLDG(DefaultSlack).Partition(g, k), k, "ldg")
+	metisQ := mustEval(t, g, NewMultilevel().Partition(g, k), k, "metis")
 	t.Logf("CP': hash=%.2f ldg=%.2f metis=%.2f", hashQ.CutFraction, ldgQ.CutFraction, metisQ.CutFraction)
 	if !(metisQ.CutFraction < ldgQ.CutFraction && ldgQ.CutFraction < hashQ.CutFraction) {
 		t.Errorf("expected metis < ldg < hash cut ordering, got %.2f %.2f %.2f",
@@ -212,12 +222,12 @@ func TestMultilevelDeterministic(t *testing.T) {
 func TestFennelBeatsHashOnCommunityGraph(t *testing.T) {
 	g := graph.Community(2000, 16, 4, 0.9, 5)
 	k := 8
-	hashQ := Evaluate(g, Hash{}.Partition(g, k), k, "hash")
+	hashQ := mustEval(t, g, Hash{}.Partition(g, k), k, "hash")
 	a := NewFennel().Partition(g, k)
 	if err := a.Validate(k); err != nil {
 		t.Fatal(err)
 	}
-	q := Evaluate(g, a, k, "fennel")
+	q := mustEval(t, g, a, k, "fennel")
 	if q.CutFraction >= hashQ.CutFraction {
 		t.Errorf("fennel cut %.3f not better than hash %.3f", q.CutFraction, hashQ.CutFraction)
 	}
@@ -275,7 +285,7 @@ func TestEvaluateSizesSumProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		g := graph.ErdosRenyi(60, 120, seed)
 		a := NewLDG(DefaultSlack).Partition(g, 5)
-		q := Evaluate(g, a, 5, "ldg")
+		q := mustEval(t, g, a, 5, "ldg")
 		total := 0
 		for _, s := range q.Sizes {
 			total += s
@@ -294,7 +304,7 @@ func TestMultilevelBalanceProperty(t *testing.T) {
 		k := int(kRaw%6) + 2
 		g := graph.Community(600, 6, 3, 0.8, seed)
 		m := NewMultilevel()
-		q := Evaluate(g, m.Partition(g, k), k, "metis")
+		q := mustEval(t, g, m.Partition(g, k), k, "metis")
 		// Tolerance 1.05 plus slack for integer rounding on small parts.
 		return q.Balance <= m.BalanceTolerance+0.1
 	}

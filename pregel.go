@@ -205,8 +205,21 @@ func MultilevelPartitioner() Partitioner { return partition.NewMultilevel() }
 // (LDG) streaming partitioner of Stanton & Kliot.
 func StreamingPartitioner() Partitioner { return partition.NewLDG(partition.DefaultSlack) }
 
-// PartitionQuality evaluates an assignment (edge-cut %, balance).
-func PartitionQuality(g *Graph, a Assignment, k int, strategy string) partition.Quality {
+// IncrementalPartitioner returns the Spinner-style incremental repartitioner:
+// fresh jobs get an LDG layout, and live resizes adapt the previous
+// assignment, moving only the minimum set of vertices needed for balance.
+// This is the default JobSpec.Repartitioner for elastic jobs.
+func IncrementalPartitioner() Partitioner { return partition.NewIncremental() }
+
+// RepartitionerFrom is implemented by partitioners that can adapt a previous
+// assignment to a new partition count instead of recomputing from scratch
+// (see IncrementalPartitioner). The engine uses it automatically at live
+// resizes when JobSpec.Repartitioner implements it.
+type RepartitionerFrom = partition.RepartitionerFrom
+
+// PartitionQuality evaluates an assignment (edge-cut %, balance). It returns
+// an error (rather than panicking) for assignments with out-of-range entries.
+func PartitionQuality(g *Graph, a Assignment, k int, strategy string) (partition.Quality, error) {
 	return partition.Evaluate(g, a, k, strategy)
 }
 

@@ -93,12 +93,21 @@ func TestFacadeComponentsAndCommunities(t *testing.T) {
 
 func TestFacadePartitioners(t *testing.T) {
 	g := Datasets.SD()
-	for _, p := range []Partitioner{HashPartitioner, ChunkPartitioner, MultilevelPartitioner(), StreamingPartitioner()} {
+	for _, p := range []Partitioner{HashPartitioner, ChunkPartitioner, MultilevelPartitioner(), StreamingPartitioner(), IncrementalPartitioner()} {
 		a := p.Partition(g, 8)
-		q := PartitionQuality(g, a, 8, p.Name())
+		q, err := PartitionQuality(g, a, 8, p.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
 		if q.CutFraction < 0 || q.CutFraction > 1 {
 			t.Errorf("%s cut = %v", p.Name(), q.CutFraction)
 		}
+	}
+	// Out-of-range assignments are a diagnosable error, not a panic.
+	bad := make(Assignment, g.NumVertices())
+	bad[0] = 99
+	if _, err := PartitionQuality(g, bad, 8, "bad"); err == nil {
+		t.Error("expected an error for an out-of-range assignment")
 	}
 }
 
